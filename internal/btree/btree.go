@@ -1,0 +1,253 @@
+// Package btree implements an in-memory B+tree: values live only in
+// leaves, leaves are chained for range scans, and interior nodes hold
+// separator keys. The relational substrate uses it as the composite
+// clustered index on (gram, length, id, weight) that the paper's SQL
+// baseline depends on (§VIII); it is generic and reusable.
+//
+// Deletion is "lazy" in the style of slotted-page systems: entries are
+// removed from leaves without rebalancing, so a tree that shrinks a lot
+// stays taller than necessary but remains correct.
+package btree
+
+// degree is the fan-out: every node holds at most 2*degree-1 keys.
+const degree = 32
+
+// Tree is a B+tree from K to V ordered by a user-supplied comparison.
+// Not safe for concurrent mutation; safe for concurrent readers between
+// mutations.
+type Tree[K, V any] struct {
+	less   func(a, b K) bool
+	root   node[K, V]
+	length int
+	nodes  int
+}
+
+type node[K, V any] interface{ isNode() }
+
+type leaf[K, V any] struct {
+	keys []K
+	vals []V
+	next *leaf[K, V]
+}
+
+type inner[K, V any] struct {
+	// children[i] covers keys < seps[i]; children[len(seps)] covers the rest.
+	seps     []K
+	children []node[K, V]
+}
+
+func (*leaf[K, V]) isNode()  {}
+func (*inner[K, V]) isNode() {}
+
+// New returns an empty tree ordered by less.
+func New[K, V any](less func(a, b K) bool) *Tree[K, V] {
+	return &Tree[K, V]{less: less, root: &leaf[K, V]{}, nodes: 1}
+}
+
+// Len reports the number of stored entries.
+func (t *Tree[K, V]) Len() int { return t.length }
+
+// Nodes reports the number of allocated tree nodes (for size accounting).
+func (t *Tree[K, V]) Nodes() int { return t.nodes }
+
+func (t *Tree[K, V]) eq(a, b K) bool { return !t.less(a, b) && !t.less(b, a) }
+
+// search returns the index of the first key ≥ k in keys.
+func (t *Tree[K, V]) search(keys []K, k K) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.less(keys[mid], k) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex returns which child of n covers key k.
+func (t *Tree[K, V]) childIndex(n *inner[K, V], k K) int {
+	// child i covers keys in [seps[i-1], seps[i]).
+	lo, hi := 0, len(n.seps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.less(k, n.seps[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Set inserts key → val, replacing an existing equal key. It reports
+// whether a new entry was created.
+func (t *Tree[K, V]) Set(key K, val V) bool {
+	sep, right, created := t.insert(t.root, key, val)
+	if right != nil {
+		t.root = &inner[K, V]{seps: []K{sep}, children: []node[K, V]{t.root, right}}
+		t.nodes++
+	}
+	if created {
+		t.length++
+	}
+	return created
+}
+
+// insert descends into n; on child split it returns the separator and new
+// right sibling to link into the parent.
+func (t *Tree[K, V]) insert(n node[K, V], key K, val V) (sep K, right node[K, V], created bool) {
+	switch n := n.(type) {
+	case *leaf[K, V]:
+		i := t.search(n.keys, key)
+		if i < len(n.keys) && t.eq(n.keys[i], key) {
+			n.vals[i] = val
+			return sep, nil, false
+		}
+		n.keys = append(n.keys, key)
+		n.vals = append(n.vals, val)
+		copy(n.keys[i+1:], n.keys[i:])
+		copy(n.vals[i+1:], n.vals[i:])
+		n.keys[i] = key
+		n.vals[i] = val
+		if len(n.keys) < 2*degree {
+			return sep, nil, true
+		}
+		mid := len(n.keys) / 2
+		r := &leaf[K, V]{
+			keys: append([]K(nil), n.keys[mid:]...),
+			vals: append([]V(nil), n.vals[mid:]...),
+			next: n.next,
+		}
+		n.keys = n.keys[:mid:mid]
+		n.vals = n.vals[:mid:mid]
+		n.next = r
+		t.nodes++
+		return r.keys[0], r, true
+
+	case *inner[K, V]:
+		ci := t.childIndex(n, key)
+		csep, cright, ccreated := t.insert(n.children[ci], key, val)
+		if cright == nil {
+			return sep, nil, ccreated
+		}
+		n.seps = append(n.seps, csep)
+		n.children = append(n.children, nil)
+		copy(n.seps[ci+1:], n.seps[ci:])
+		copy(n.children[ci+2:], n.children[ci+1:])
+		n.seps[ci] = csep
+		n.children[ci+1] = cright
+		if len(n.seps) < 2*degree {
+			return sep, nil, ccreated
+		}
+		mid := len(n.seps) / 2
+		promoted := n.seps[mid]
+		r := &inner[K, V]{
+			seps:     append([]K(nil), n.seps[mid+1:]...),
+			children: append([]node[K, V](nil), n.children[mid+1:]...),
+		}
+		n.seps = n.seps[:mid:mid]
+		n.children = n.children[: mid+1 : mid+1]
+		t.nodes++
+		return promoted, r, ccreated
+	}
+	panic("btree: unknown node type")
+}
+
+// Get returns the value stored under key.
+func (t *Tree[K, V]) Get(key K) (V, bool) {
+	n := t.root
+	for {
+		switch nn := n.(type) {
+		case *inner[K, V]:
+			n = nn.children[t.childIndex(nn, key)]
+		case *leaf[K, V]:
+			i := t.search(nn.keys, key)
+			if i < len(nn.keys) && t.eq(nn.keys[i], key) {
+				return nn.vals[i], true
+			}
+			var zero V
+			return zero, false
+		}
+	}
+}
+
+// Delete removes key without rebalancing, reporting whether it existed.
+func (t *Tree[K, V]) Delete(key K) bool {
+	n := t.root
+	for {
+		switch nn := n.(type) {
+		case *inner[K, V]:
+			n = nn.children[t.childIndex(nn, key)]
+		case *leaf[K, V]:
+			i := t.search(nn.keys, key)
+			if i >= len(nn.keys) || !t.eq(nn.keys[i], key) {
+				return false
+			}
+			nn.keys = append(nn.keys[:i], nn.keys[i+1:]...)
+			nn.vals = append(nn.vals[:i], nn.vals[i+1:]...)
+			t.length--
+			return true
+		}
+	}
+}
+
+// Seek returns an iterator positioned at the first entry with key ≥ key.
+func (t *Tree[K, V]) Seek(key K) *Iterator[K, V] {
+	n := t.root
+	for {
+		switch nn := n.(type) {
+		case *inner[K, V]:
+			n = nn.children[t.childIndex(nn, key)]
+		case *leaf[K, V]:
+			i := t.search(nn.keys, key)
+			it := &Iterator[K, V]{l: nn, i: i}
+			it.skipExhausted()
+			return it
+		}
+	}
+}
+
+// First returns an iterator at the smallest entry.
+func (t *Tree[K, V]) First() *Iterator[K, V] {
+	n := t.root
+	for {
+		switch nn := n.(type) {
+		case *inner[K, V]:
+			n = nn.children[0]
+		case *leaf[K, V]:
+			it := &Iterator[K, V]{l: nn, i: 0}
+			it.skipExhausted()
+			return it
+		}
+	}
+}
+
+// Iterator walks entries in ascending key order across chained leaves.
+type Iterator[K, V any] struct {
+	l *leaf[K, V]
+	i int
+}
+
+func (it *Iterator[K, V]) skipExhausted() {
+	for it.l != nil && it.i >= len(it.l.keys) {
+		it.l = it.l.next
+		it.i = 0
+	}
+}
+
+// Valid reports whether the iterator is positioned at an entry.
+func (it *Iterator[K, V]) Valid() bool { return it.l != nil }
+
+// Key returns the current key; the iterator must be Valid.
+func (it *Iterator[K, V]) Key() K { return it.l.keys[it.i] }
+
+// Value returns the current value; the iterator must be Valid.
+func (it *Iterator[K, V]) Value() V { return it.l.vals[it.i] }
+
+// Next advances to the following entry.
+func (it *Iterator[K, V]) Next() {
+	it.i++
+	it.skipExhausted()
+}

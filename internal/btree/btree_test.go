@@ -1,0 +1,254 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func TestSetGet(t *testing.T) {
+	tr := New[int, string](intLess)
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("empty tree Get found a key")
+	}
+	if !tr.Set(1, "one") {
+		t.Fatal("insert reported replace")
+	}
+	if tr.Set(1, "ONE") {
+		t.Fatal("replace reported insert")
+	}
+	if v, ok := tr.Get(1); !ok || v != "ONE" {
+		t.Fatalf("Get(1) = %q,%v", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestSplitsAndOrder(t *testing.T) {
+	tr := New[int, int](intLess)
+	rng := rand.New(rand.NewSource(1))
+	keys := rng.Perm(10000)
+	for _, k := range keys {
+		tr.Set(k, k*3)
+	}
+	if tr.Len() != 10000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Nodes() < 10000/(2*degree) {
+		t.Fatalf("too few nodes (%d): did splitting happen?", tr.Nodes())
+	}
+	prev := -1
+	count := 0
+	for it := tr.First(); it.Valid(); it.Next() {
+		if it.Key() <= prev {
+			t.Fatalf("order violated at key %d", it.Key())
+		}
+		if it.Value() != it.Key()*3 {
+			t.Fatalf("value mismatch at key %d", it.Key())
+		}
+		prev = it.Key()
+		count++
+	}
+	if count != 10000 {
+		t.Fatalf("iterated %d entries", count)
+	}
+}
+
+func TestSeekRange(t *testing.T) {
+	tr := New[int, int](intLess)
+	for k := 0; k < 1000; k += 10 {
+		tr.Set(k, k)
+	}
+	// Seek into a gap.
+	it := tr.Seek(101)
+	if !it.Valid() || it.Key() != 110 {
+		t.Fatalf("Seek(101) = %v", it.Key())
+	}
+	// Range scan [200, 250).
+	var got []int
+	for it := tr.Seek(200); it.Valid() && it.Key() < 250; it.Next() {
+		got = append(got, it.Key())
+	}
+	want := []int{200, 210, 220, 230, 240}
+	if len(got) != len(want) {
+		t.Fatalf("range = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range = %v, want %v", got, want)
+		}
+	}
+	// Seek past the end.
+	if it := tr.Seek(10000); it.Valid() {
+		t.Fatal("Seek past end is valid")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New[int, int](intLess)
+	for k := 0; k < 500; k++ {
+		tr.Set(k, k)
+	}
+	for k := 0; k < 500; k += 2 {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) missed", k)
+		}
+	}
+	if tr.Delete(0) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Len() != 250 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for k := 0; k < 500; k++ {
+		_, ok := tr.Get(k)
+		if want := k%2 == 1; ok != want {
+			t.Fatalf("Get(%d) = %v, want %v", k, ok, want)
+		}
+	}
+	// Iteration skips emptied leaves.
+	count := 0
+	for it := tr.First(); it.Valid(); it.Next() {
+		count++
+	}
+	if count != 250 {
+		t.Fatalf("iterated %d after deletes", count)
+	}
+}
+
+func TestCompositeKeys(t *testing.T) {
+	type key struct {
+		gram uint32
+		len  float64
+		id   uint64
+	}
+	less := func(a, b key) bool {
+		if a.gram != b.gram {
+			return a.gram < b.gram
+		}
+		if a.len != b.len {
+			return a.len < b.len
+		}
+		return a.id < b.id
+	}
+	tr := New[key, float64](less)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		tr.Set(key{uint32(rng.Intn(20)), float64(rng.Intn(50)), uint64(i)}, rng.Float64())
+	}
+	// Range scan over one gram within a length band — the SQL baseline's
+	// exact access pattern.
+	lo := key{gram: 7, len: 10}
+	count := 0
+	for it := tr.Seek(lo); it.Valid(); it.Next() {
+		k := it.Key()
+		if k.gram != 7 || k.len > 30 {
+			break
+		}
+		if k.len < 10 {
+			t.Fatalf("scan yielded out-of-range length %g", k.len)
+		}
+		count++
+	}
+	// Verify against brute force.
+	want := 0
+	for it := tr.First(); it.Valid(); it.Next() {
+		k := it.Key()
+		if k.gram == 7 && k.len >= 10 && k.len <= 30 {
+			want++
+		}
+	}
+	if count != want {
+		t.Fatalf("range count %d, want %d", count, want)
+	}
+}
+
+func TestQuickModel(t *testing.T) {
+	type op struct {
+		Key uint16
+		Del bool
+	}
+	f := func(ops []op, seekAt uint16) bool {
+		tr := New[int, int](intLess)
+		ref := map[int]int{}
+		for i, o := range ops {
+			k := int(o.Key)
+			if o.Del {
+				if tr.Delete(k) != (func() bool { _, ok := ref[k]; return ok })() {
+					return false
+				}
+				delete(ref, k)
+			} else {
+				tr.Set(k, i)
+				ref[k] = i
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		var sorted []int
+		for k := range ref {
+			sorted = append(sorted, k)
+		}
+		sort.Ints(sorted)
+		i := 0
+		for it := tr.First(); it.Valid(); it.Next() {
+			if i >= len(sorted) || it.Key() != sorted[i] || it.Value() != ref[sorted[i]] {
+				return false
+			}
+			i++
+		}
+		if i != len(sorted) {
+			return false
+		}
+		// Seek lands on the first key ≥ seekAt.
+		wantIdx := sort.SearchInts(sorted, int(seekAt))
+		it := tr.Seek(int(seekAt))
+		if wantIdx == len(sorted) {
+			return !it.Valid()
+		}
+		return it.Valid() && it.Key() == sorted[wantIdx]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSequentialInsert(t *testing.T) {
+	// Ascending bulk insert (clustered-index build order) must stay valid.
+	tr := New[int, int](intLess)
+	for k := 0; k < 20000; k++ {
+		tr.Set(k, k)
+	}
+	it := tr.Seek(19999)
+	if !it.Valid() || it.Key() != 19999 {
+		t.Fatal("lost the max key")
+	}
+	if v, ok := tr.Get(13337); !ok || v != 13337 {
+		t.Fatal("lost a middle key")
+	}
+}
+
+func BenchmarkSetRandom(b *testing.B) {
+	tr := New[int, int](intLess)
+	rng := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Set(rng.Intn(1<<20), i)
+	}
+}
+
+func BenchmarkSeek(b *testing.B) {
+	tr := New[int, int](intLess)
+	for k := 0; k < 1<<17; k++ {
+		tr.Set(k, k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Seek(i & (1<<17 - 1))
+	}
+}

@@ -1,0 +1,219 @@
+// Package collection holds the set database D: every input string
+// decomposed into a token-frequency vector, plus the corpus statistics
+// (document frequencies, idf weights, normalized lengths) that the
+// similarity measures and query algorithms consume.
+package collection
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/tokenize"
+)
+
+// SetID identifies a set within a Collection. The paper associates each
+// word with a unique 8-byte identifier encoding its location in the data
+// table; we use a dense 64-bit id and keep the source string retrievable.
+type SetID uint64
+
+// Collection is an immutable database of token sets built by a Builder.
+type Collection struct {
+	dict      *tokenize.Dict
+	tk        tokenize.Tokenizer
+	sets      [][]tokenize.Count // per set, sorted by token
+	source    []string           // original strings (may be empty if not retained)
+	df        []int              // per token document frequency
+	idf       []float64          // per token idf weight
+	lens      []float64          // per set normalized length (IDF semantics)
+	avgTokens float64
+}
+
+// Builder accumulates strings and produces a Collection. Builders are not
+// safe for concurrent use.
+type Builder struct {
+	dict       *tokenize.Dict
+	tk         tokenize.Tokenizer
+	sets       [][]tokenize.Count
+	source     []string
+	keepSource bool
+	scratch    []string
+	tokenCount int
+}
+
+// NewBuilder returns a Builder that decomposes strings with tk.
+// If keepSource is true the original strings are retained and retrievable
+// through Collection.Source.
+func NewBuilder(tk tokenize.Tokenizer, keepSource bool) *Builder {
+	return &Builder{dict: tokenize.NewDict(), tk: tk, keepSource: keepSource}
+}
+
+// Add tokenizes s and appends it as the next set. Strings that produce no
+// tokens are skipped (the paper's measure is undefined on empty sets) and
+// Add reports false for them.
+func (b *Builder) Add(s string) bool {
+	counts := tokenize.Counts(b.dict, b.tk, s, b.scratch)
+	if len(counts) == 0 {
+		return false
+	}
+	for _, c := range counts {
+		b.tokenCount += int(c.TF)
+	}
+	b.sets = append(b.sets, counts)
+	if b.keepSource {
+		b.source = append(b.source, s)
+	}
+	return true
+}
+
+// Len reports the number of sets added so far.
+func (b *Builder) Len() int { return len(b.sets) }
+
+// Build freezes the builder into a Collection, computing document
+// frequencies, idf weights and normalized lengths. The builder must not
+// be used afterwards.
+func (b *Builder) Build() *Collection {
+	c := &Collection{
+		dict:   b.dict,
+		tk:     b.tk,
+		sets:   b.sets,
+		source: b.source,
+		df:     make([]int, b.dict.Len()),
+	}
+	for _, set := range c.sets {
+		for _, cnt := range set {
+			c.df[cnt.Token]++ // one per containing set: counts are deduped
+		}
+	}
+	n := len(c.sets)
+	c.idf = make([]float64, len(c.df))
+	for t, df := range c.df {
+		c.idf[t] = sim.IDF(df, n)
+	}
+	c.lens = make([]float64, n)
+	for i, set := range c.sets {
+		var sum float64
+		for _, cnt := range set {
+			w := c.idf[cnt.Token]
+			sum += w * w
+		}
+		c.lens[i] = sqrt(sum)
+	}
+	if n > 0 {
+		c.avgTokens = float64(b.tokenCount) / float64(n)
+	}
+	b.sets, b.source, b.dict = nil, nil, nil
+	return c
+}
+
+// NumSets implements sim.Stats.
+func (c *Collection) NumSets() int { return len(c.sets) }
+
+// DF implements sim.Stats.
+func (c *Collection) DF(t tokenize.Token) int {
+	if int(t) >= len(c.df) {
+		return 0
+	}
+	return c.df[t]
+}
+
+// AvgTokens implements sim.Stats.
+func (c *Collection) AvgTokens() float64 { return c.avgTokens }
+
+// IDFWeight returns the idf weight of token t (0 if unknown to the corpus
+// — callers that need unseen-token smoothing use sim.IDF directly).
+func (c *Collection) IDFWeight(t tokenize.Token) float64 {
+	if int(t) >= len(c.idf) {
+		return 0
+	}
+	return c.idf[t]
+}
+
+// Length returns the normalized length of set id.
+func (c *Collection) Length(id SetID) float64 { return c.lens[id] }
+
+// Set returns the token-frequency vector of set id, sorted by token.
+// The returned slice must not be modified.
+func (c *Collection) Set(id SetID) []tokenize.Count { return c.sets[id] }
+
+// Source returns the original string of set id. It panics if the
+// collection was built without keepSource.
+func (c *Collection) Source(id SetID) string {
+	if c.source == nil {
+		panic("collection: built without keepSource")
+	}
+	return c.source[id]
+}
+
+// HasSource reports whether original strings were retained.
+func (c *Collection) HasSource() bool { return c.source != nil }
+
+// Dict exposes the token dictionary (for query-side tokenization).
+func (c *Collection) Dict() *tokenize.Dict { return c.dict }
+
+// Tokenizer returns the tokenizer the collection was built with.
+func (c *Collection) Tokenizer() tokenize.Tokenizer { return c.tk }
+
+// NumTokens reports the number of distinct tokens in the corpus.
+func (c *Collection) NumTokens() int { return len(c.df) }
+
+// TokenSets enumerates, for every token, the ids of the sets containing it
+// in ascending id order, invoking fn(token, ids). The ids slice is reused
+// across invocations. This is the single pass the index builders use.
+func (c *Collection) TokenSets(fn func(t tokenize.Token, ids []SetID)) {
+	// Bucket pass: offsets via df prefix sums, then fill.
+	offsets := make([]int, len(c.df)+1)
+	for t, df := range c.df {
+		offsets[t+1] = offsets[t] + df
+	}
+	total := offsets[len(c.df)]
+	flat := make([]SetID, total)
+	next := make([]int, len(c.df))
+	copy(next, offsets[:len(c.df)])
+	for id, set := range c.sets {
+		for _, cnt := range set {
+			flat[next[cnt.Token]] = SetID(id)
+			next[cnt.Token]++
+		}
+	}
+	for t := range c.df {
+		fn(tokenize.Token(t), flat[offsets[t]:offsets[t+1]])
+	}
+}
+
+// Validate performs internal consistency checks, returning a descriptive
+// error on the first violation. Used by tests and the ssindex tool.
+func (c *Collection) Validate() error {
+	for id, set := range c.sets {
+		for i := 1; i < len(set); i++ {
+			if set[i-1].Token >= set[i].Token {
+				return fmt.Errorf("collection: set %d tokens not strictly sorted", id)
+			}
+		}
+		if len(set) == 0 {
+			return fmt.Errorf("collection: set %d is empty", id)
+		}
+		if c.lens[id] <= 0 {
+			return fmt.Errorf("collection: set %d has non-positive length %g", id, c.lens[id])
+		}
+	}
+	df := make([]int, len(c.df))
+	for _, set := range c.sets {
+		for _, cnt := range set {
+			df[cnt.Token]++
+		}
+	}
+	for t := range df {
+		if df[t] != c.df[t] {
+			return fmt.Errorf("collection: token %d df mismatch: stored %d, actual %d", t, c.df[t], df[t])
+		}
+	}
+	return nil
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

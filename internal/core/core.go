@@ -1,0 +1,266 @@
+// Package core implements the paper's set-similarity selection algorithms
+// over the substrates in the sibling packages: the sort-by-id multiway
+// merge and SQL baselines (§III), plain TA and NRA, and the improved
+// algorithms that exploit the semantic properties of IDF — iTA, iNRA (§V),
+// Shortest-First (§VI) and Hybrid (§VII) — plus the top-k and parallel
+// extensions the paper lists as future work (§X).
+//
+// All algorithms answer the same question: given a preprocessed Query and
+// a threshold τ, return every set s with I(q, s) ≥ τ (Eq. 1), together
+// with access statistics (elements read, skipped, random probes) that the
+// evaluation experiments report.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/collection"
+	"repro/internal/exthash"
+	"repro/internal/invlist"
+	"repro/internal/relational"
+	"repro/internal/sim"
+	"repro/internal/tokenize"
+)
+
+// Algorithm selects one of the implemented query-processing strategies.
+type Algorithm int
+
+// The algorithms compared in the paper's evaluation (§VIII), plus Naive
+// (the indexless linear scan used as the correctness oracle).
+const (
+	Naive Algorithm = iota
+	SortByID
+	SQL
+	TA
+	NRA
+	ITA
+	INRA
+	SF
+	Hybrid
+)
+
+var algorithmNames = [...]string{
+	Naive:    "naive",
+	SortByID: "sort-by-id",
+	SQL:      "sql",
+	TA:       "ta",
+	NRA:      "nra",
+	ITA:      "ita",
+	INRA:     "inra",
+	SF:       "sf",
+	Hybrid:   "hybrid",
+}
+
+// String returns the name used in experiment reports.
+func (a Algorithm) String() string {
+	if int(a) < len(algorithmNames) {
+		return algorithmNames[a]
+	}
+	return fmt.Sprintf("algorithm(%d)", int(a))
+}
+
+// Algorithms lists every selectable algorithm, in presentation order.
+func Algorithms() []Algorithm {
+	return []Algorithm{SortByID, SQL, TA, NRA, ITA, INRA, SF, Hybrid}
+}
+
+// Options toggles the optimizations the evaluation ablates.
+type Options struct {
+	// NoLengthBound disables Theorem 1: no skipping to τ·len(q) and no
+	// stopping past len(q)/τ (the "NLB" variants of Fig. 8).
+	NoLengthBound bool
+	// NoSkipIndex performs the initial length seek by sequential reads
+	// instead of the skip index (the "NSL" variants of Fig. 9).
+	NoSkipIndex bool
+}
+
+// Result is one qualifying set with its exact IDF score.
+type Result struct {
+	ID    collection.SetID
+	Score float64
+}
+
+// Stats records the work a query performed.
+type Stats struct {
+	// ElementsRead counts postings materialized by sorted access.
+	ElementsRead int
+	// ElementsSkipped counts postings jumped over via skip indexes.
+	ElementsSkipped int
+	// ListTotal is the combined length of the query tokens' lists (the
+	// denominator of pruning power).
+	ListTotal int
+	// RandomProbes counts extendible-hash page fetches (TA family).
+	RandomProbes int
+	// CandidateScans counts candidate-set sweep passes.
+	CandidateScans int
+	// CandidatesInserted counts candidate-set insertions.
+	CandidatesInserted int
+	// Rounds counts round-robin passes (breadth-first algorithms).
+	Rounds int
+	// Elapsed is wall-clock query time.
+	Elapsed time.Duration
+}
+
+// PruningPower is the percentage of list elements never examined,
+// the y-axis of Fig. 7.
+func (s Stats) PruningPower() float64 {
+	if s.ListTotal == 0 {
+		return 0
+	}
+	p := 100 * (1 - float64(s.ElementsRead)/float64(s.ListTotal))
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// Engine ties a collection to its indexes and runs selection queries.
+type Engine struct {
+	c     *collection.Collection
+	store invlist.Store
+	// hashes holds one extendible-hash index per token (id → length),
+	// the random-access path of TA/iTA; nil when disabled.
+	hashes []*exthash.Table
+	rel    *relational.Engine
+}
+
+// Config controls which indexes NewEngine builds.
+type Config struct {
+	// Store supplies the inverted lists; nil builds an in-memory store.
+	Store invlist.Store
+	// SkipInterval is the skip-index spacing for the built MemStore.
+	SkipInterval int
+	// NoHashes skips building the per-list extendible hash indexes
+	// (TA and iTA become unavailable).
+	NoHashes bool
+	// NoRelational skips building the SQL baseline's engine.
+	NoRelational bool
+	// HashPageSize is the extendible-hashing page size in bytes
+	// (≤ 0 selects the paper's tuned 1KB pages).
+	HashPageSize int
+}
+
+// NewEngine builds the indexes for c per cfg.
+func NewEngine(c *collection.Collection, cfg Config) *Engine {
+	e := &Engine{c: c, store: cfg.Store}
+	if e.store == nil {
+		e.store = invlist.BuildMem(c, cfg.SkipInterval)
+	}
+	if !cfg.NoHashes {
+		e.hashes = make([]*exthash.Table, c.NumTokens())
+		c.TokenSets(func(t tokenize.Token, ids []collection.SetID) {
+			h := exthash.New(cfg.HashPageSize)
+			for _, id := range ids {
+				h.Put(uint64(id), c.Length(id))
+			}
+			e.hashes[t] = h
+		})
+	}
+	if !cfg.NoRelational {
+		e.rel = relational.Build(c)
+	}
+	return e
+}
+
+// NewEngineWithHashes assembles an engine from prebuilt components. The
+// tuning ablations use it to swap one index (e.g. extendible hashing at a
+// different page size) without rebuilding the rest.
+func NewEngineWithHashes(c *collection.Collection, store invlist.Store, hashes []*exthash.Table) *Engine {
+	return &Engine{c: c, store: store, hashes: hashes}
+}
+
+// Collection exposes the underlying corpus.
+func (e *Engine) Collection() *collection.Collection { return e.c }
+
+// Store exposes the inverted-list store.
+func (e *Engine) Store() invlist.Store { return e.store }
+
+// HashSizeBytes totals the extendible-hash indexes (Fig. 5's largest
+// inverted-list component).
+func (e *Engine) HashSizeBytes() int64 {
+	var total int64
+	for _, h := range e.hashes {
+		if h != nil {
+			total += h.SizeBytes()
+		}
+	}
+	return total
+}
+
+// RelationalSizes exposes the SQL baseline's storage accounting.
+func (e *Engine) RelationalSizes() relational.Sizes {
+	if e.rel == nil {
+		return relational.Sizes{}
+	}
+	return e.rel.Sizes()
+}
+
+// Errors returned by Select.
+var (
+	ErrEmptyQuery   = errors.New("core: query has no tokens")
+	ErrBadThreshold = errors.New("core: threshold must be in (0, 1]")
+	ErrNoHashIndex  = errors.New("core: TA/iTA require hash indexes (Config.NoHashes was set)")
+	ErrNoRelational = errors.New("core: SQL baseline disabled (Config.NoRelational was set)")
+	ErrUnknownAlg   = errors.New("core: unknown algorithm")
+)
+
+// Select runs one selection query. Results are sorted by ascending id.
+func (e *Engine) Select(q Query, tau float64, alg Algorithm, opts *Options) ([]Result, Stats, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	var stats Stats
+	if len(q.Tokens) == 0 {
+		return nil, stats, ErrEmptyQuery
+	}
+	if tau <= 0 || tau > 1+sim.ScoreEpsilon {
+		return nil, stats, ErrBadThreshold
+	}
+	for _, qt := range q.Tokens {
+		stats.ListTotal += e.store.ListLen(qt.Token)
+	}
+	start := time.Now()
+	var res []Result
+	var err error
+	switch alg {
+	case Naive:
+		res = e.selectNaive(q, tau, &stats)
+	case SortByID:
+		res, err = e.selectSortByID(q, tau, &stats)
+	case SQL:
+		res, err = e.selectSQL(q, tau, &o, &stats)
+	case TA:
+		res, err = e.selectTA(q, tau, false, &o, &stats)
+	case ITA:
+		res, err = e.selectTA(q, tau, true, &o, &stats)
+	case NRA:
+		res, err = e.selectNRA(q, tau, &stats)
+	case INRA:
+		res, err = e.selectINRA(q, tau, &o, &stats)
+	case SF:
+		res, err = e.selectSF(q, tau, &o, &stats)
+	case Hybrid:
+		res, err = e.selectHybrid(q, tau, &o, &stats)
+	default:
+		err = ErrUnknownAlg
+	}
+	stats.Elapsed = time.Since(start)
+	if err != nil {
+		return nil, stats, err
+	}
+	sortResults(res)
+	return res, stats, nil
+}
+
+func sortResults(rs []Result) {
+	// Insertion sort: result sets are small; avoids sort.Slice closure
+	// allocation on the hot path.
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j-1].ID > rs[j].ID; j-- {
+			rs[j-1], rs[j] = rs[j], rs[j-1]
+		}
+	}
+}

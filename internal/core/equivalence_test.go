@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/collection"
+	"repro/internal/tokenize"
+)
+
+// buildEngine constructs a random q-gram corpus and full engine.
+func buildEngine(tb testing.TB, n int, seed int64, alphabet int, cfg Config) *Engine {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := collection.NewBuilder(tokenize.QGramTokenizer{Q: 3}, true)
+	for i := 0; i < n; i++ {
+		ln := 3 + rng.Intn(14)
+		var sb strings.Builder
+		for j := 0; j < ln; j++ {
+			sb.WriteByte(byte('a' + rng.Intn(alphabet)))
+		}
+		b.Add(sb.String())
+	}
+	return NewEngine(b.Build(), cfg)
+}
+
+// assertSameResults compares an algorithm's output with the oracle's,
+// tolerating disagreement only on sets whose score sits inside the
+// epsilon band around τ.
+func assertSameResults(t *testing.T, e *Engine, q Query, tau float64, alg Algorithm, got, want []Result) {
+	t.Helper()
+	wm := map[collection.SetID]float64{}
+	for _, r := range want {
+		wm[r.ID] = r.Score
+	}
+	gm := map[collection.SetID]float64{}
+	for _, r := range got {
+		gm[r.ID] = r.Score
+		w, ok := wm[r.ID]
+		if !ok {
+			t.Fatalf("%v τ=%g: spurious result id=%d score=%g", alg, tau, r.ID, r.Score)
+		}
+		if math.Abs(r.Score-w) > 1e-9 {
+			t.Fatalf("%v τ=%g id=%d: score %.12f, oracle %.12f", alg, tau, r.ID, r.Score, w)
+		}
+	}
+	for _, r := range want {
+		if _, ok := gm[r.ID]; !ok {
+			t.Fatalf("%v τ=%g: missing result id=%d score=%.12f (len(s)=%g len(q)=%g)",
+				alg, tau, r.ID, r.Score, e.c.Length(r.ID), q.Len)
+		}
+	}
+}
+
+func TestAllAlgorithmsMatchOracle(t *testing.T) {
+	e := buildEngine(t, 800, 42, 7, Config{})
+	rng := rand.New(rand.NewSource(43))
+	taus := []float64{0.3, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0}
+	for trial := 0; trial < 25; trial++ {
+		qid := collection.SetID(rng.Intn(e.c.NumSets()))
+		q := e.PrepareCounts(e.c.Set(qid))
+		tau := taus[trial%len(taus)]
+		want, _, err := e.Select(q, tau, Naive, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range Algorithms() {
+			got, _, err := e.Select(q, tau, alg, nil)
+			if err != nil {
+				t.Fatalf("%v: %v", alg, err)
+			}
+			assertSameResults(t, e, q, tau, alg, got, want)
+		}
+	}
+}
+
+func TestAllAlgorithmsMatchOracleNoLengthBound(t *testing.T) {
+	e := buildEngine(t, 500, 7, 6, Config{})
+	rng := rand.New(rand.NewSource(8))
+	opts := &Options{NoLengthBound: true}
+	for trial := 0; trial < 12; trial++ {
+		qid := collection.SetID(rng.Intn(e.c.NumSets()))
+		q := e.PrepareCounts(e.c.Set(qid))
+		tau := 0.5 + 0.1*float64(trial%5)
+		want, _, err := e.Select(q, tau, Naive, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range Algorithms() {
+			got, _, err := e.Select(q, tau, alg, opts)
+			if err != nil {
+				t.Fatalf("%v: %v", alg, err)
+			}
+			assertSameResults(t, e, q, tau, alg, got, want)
+		}
+	}
+}
+
+func TestAllAlgorithmsMatchOracleNoSkipIndex(t *testing.T) {
+	e := buildEngine(t, 400, 9, 6, Config{})
+	rng := rand.New(rand.NewSource(10))
+	opts := &Options{NoSkipIndex: true}
+	for trial := 0; trial < 10; trial++ {
+		qid := collection.SetID(rng.Intn(e.c.NumSets()))
+		q := e.PrepareCounts(e.c.Set(qid))
+		tau := 0.6 + 0.1*float64(trial%4)
+		want, _, err := e.Select(q, tau, Naive, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range Algorithms() {
+			got, _, err := e.Select(q, tau, alg, opts)
+			if err != nil {
+				t.Fatalf("%v: %v", alg, err)
+			}
+			assertSameResults(t, e, q, tau, alg, got, want)
+		}
+	}
+}
+
+// TestModifiedQueries exercises queries that are not corpus members
+// (random edits), including out-of-vocabulary grams.
+func TestModifiedQueries(t *testing.T) {
+	e := buildEngine(t, 600, 11, 6, Config{})
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		src := e.c.Source(collection.SetID(rng.Intn(e.c.NumSets())))
+		mod := mutate(rng, src, 1+rng.Intn(3))
+		q := e.Prepare(mod)
+		if len(q.Tokens) == 0 {
+			continue
+		}
+		tau := 0.4 + 0.15*float64(trial%4)
+		want, _, err := e.Select(q, tau, Naive, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range Algorithms() {
+			got, _, err := e.Select(q, tau, alg, nil)
+			if err != nil {
+				t.Fatalf("%v: %v", alg, err)
+			}
+			assertSameResults(t, e, q, tau, alg, got, want)
+		}
+	}
+}
+
+// mutate applies random letter insertions, deletions and swaps — the
+// paper's "modifications".
+func mutate(rng *rand.Rand, s string, n int) string {
+	b := []byte(s)
+	for i := 0; i < n && len(b) > 0; i++ {
+		switch rng.Intn(3) {
+		case 0: // insert
+			pos := rng.Intn(len(b) + 1)
+			b = append(b[:pos], append([]byte{byte('a' + rng.Intn(26))}, b[pos:]...)...)
+		case 1: // delete
+			pos := rng.Intn(len(b))
+			b = append(b[:pos], b[pos+1:]...)
+		case 2: // swap
+			if len(b) >= 2 {
+				pos := rng.Intn(len(b) - 1)
+				b[pos], b[pos+1] = b[pos+1], b[pos]
+			}
+		}
+	}
+	return string(b)
+}
+
+// TestQuickRandomInstances is a randomized property sweep over small
+// instances where every algorithm must agree with the oracle exactly.
+func TestQuickRandomInstances(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			e := buildEngine(t, 120+rng.Intn(200), seed*131+1, 4+rng.Intn(4), Config{})
+			for trial := 0; trial < 10; trial++ {
+				qid := collection.SetID(rng.Intn(e.c.NumSets()))
+				q := e.PrepareCounts(e.c.Set(qid))
+				tau := 0.25 + rng.Float64()*0.74
+				want, _, err := e.Select(q, tau, Naive, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, alg := range Algorithms() {
+					got, _, err := e.Select(q, tau, alg, nil)
+					if err != nil {
+						t.Fatalf("%v: %v", alg, err)
+					}
+					assertSameResults(t, e, q, tau, alg, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestSelfQueryAtTauOne(t *testing.T) {
+	e := buildEngine(t, 300, 99, 8, Config{})
+	for id := 0; id < 20; id++ {
+		q := e.PrepareCounts(e.c.Set(collection.SetID(id)))
+		for _, alg := range Algorithms() {
+			got, _, err := e.Select(q, 1.0, alg, nil)
+			if err != nil {
+				t.Fatalf("%v: %v", alg, err)
+			}
+			found := false
+			for _, r := range got {
+				if r.ID == collection.SetID(id) {
+					found = true
+					if math.Abs(r.Score-1) > 1e-9 {
+						t.Errorf("%v: self score %g", alg, r.Score)
+					}
+				}
+			}
+			if !found {
+				t.Errorf("%v: query %d did not match itself at τ=1", alg, id)
+			}
+		}
+	}
+}
+
+func TestSelectValidation(t *testing.T) {
+	e := buildEngine(t, 50, 1, 6, Config{})
+	q := e.PrepareCounts(e.c.Set(0))
+	if _, _, err := e.Select(Query{}, 0.5, SF, nil); err != ErrEmptyQuery {
+		t.Errorf("empty query err = %v", err)
+	}
+	if _, _, err := e.Select(q, 0, SF, nil); err != ErrBadThreshold {
+		t.Errorf("τ=0 err = %v", err)
+	}
+	if _, _, err := e.Select(q, 1.5, SF, nil); err != ErrBadThreshold {
+		t.Errorf("τ=1.5 err = %v", err)
+	}
+	if _, _, err := e.Select(q, 0.5, Algorithm(99), nil); err != ErrUnknownAlg {
+		t.Errorf("bad alg err = %v", err)
+	}
+}
+
+func TestEngineWithoutOptionalIndexes(t *testing.T) {
+	e := buildEngine(t, 100, 2, 6, Config{NoHashes: true, NoRelational: true})
+	q := e.PrepareCounts(e.c.Set(0))
+	if _, _, err := e.Select(q, 0.8, TA, nil); err != ErrNoHashIndex {
+		t.Errorf("TA without hashes err = %v", err)
+	}
+	if _, _, err := e.Select(q, 0.8, SQL, nil); err != ErrNoRelational {
+		t.Errorf("SQL without relational err = %v", err)
+	}
+	// The list-only algorithms must still work.
+	for _, alg := range []Algorithm{SortByID, NRA, INRA, SF, Hybrid} {
+		if _, _, err := e.Select(q, 0.8, alg, nil); err != nil {
+			t.Errorf("%v: %v", alg, err)
+		}
+	}
+}
+
+// TestQuickPropertyAllAlgorithms drives the full lineup through
+// testing/quick: arbitrary (seed, size, alphabet, tau) instances must
+// produce oracle-identical answers for every algorithm.
+func TestQuickPropertyAllAlgorithms(t *testing.T) {
+	f := func(seed int64, nRaw uint16, alphaRaw uint8, tauRaw uint16) bool {
+		n := 50 + int(nRaw)%250
+		alphabet := 4 + int(alphaRaw)%6
+		tau := 0.2 + 0.79*float64(tauRaw)/65535
+		e := buildEngine(t, n, seed, alphabet, Config{})
+		rng := rand.New(rand.NewSource(seed + 1))
+		for trial := 0; trial < 3; trial++ {
+			qid := collection.SetID(rng.Intn(e.c.NumSets()))
+			q := e.PrepareCounts(e.c.Set(qid))
+			want, _, err := e.Select(q, tau, Naive, nil)
+			if err != nil {
+				return false
+			}
+			wm := map[collection.SetID]float64{}
+			for _, r := range want {
+				wm[r.ID] = r.Score
+			}
+			for _, alg := range Algorithms() {
+				got, _, err := e.Select(q, tau, alg, nil)
+				if err != nil {
+					return false
+				}
+				if len(got) != len(want) {
+					t.Logf("seed=%d n=%d alpha=%d tau=%g alg=%v: %d vs %d results",
+						seed, n, alphabet, tau, alg, len(got), len(want))
+					return false
+				}
+				for _, r := range got {
+					w, ok := wm[r.ID]
+					if !ok || math.Abs(r.Score-w) > 1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 15}
+	if testing.Short() {
+		cfg.MaxCount = 4
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"repro/internal/collection"
+	"repro/internal/sim"
+)
+
+// selectHybrid is Algorithm 4 (§VII): iNRA's round-robin sorted access
+// with SF's per-list stopping rule. List i pauses once its next length
+// exceeds max(µᵢ, maxLen(C)) with µᵢ = min(λᵢ, len(q)/τ): beyond that
+// point the list can neither produce a new viable candidate (λᵢ) nor
+// complete an existing one (maxLen(C)). A paused list resumes if a later
+// discovery in a higher-idf list pushes maxLen(C) past its frontier —
+// without the resume the algorithm could fail to complete the score of a
+// long candidate first seen in an earlier list, so pausing (not the
+// paper's literal "mark complete") is required for correctness.
+//
+// Candidates use the partitioned organization the paper describes: one
+// discovery-ordered list per inverted list — ascending (len, id) by
+// construction — plus a hash table on ids, so maxLen(C) is found by
+// peeking at the partition tails and pruning pops dead tails only.
+func (e *Engine) selectHybrid(q Query, tau float64, o *Options, stats *Stats) ([]Result, error) {
+	lo, hi := lengthWindow(q, tau, o)
+	lists := e.openLists(q, lo, o, stats)
+	n := len(lists)
+
+	suffix := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + q.Tokens[i].IDFSq
+	}
+	tauP := tau - sim.ScoreEpsilon
+	mu := make([]float64, n)
+	for i := range mu {
+		mu[i] = suffix[i] / (tauP * q.Len)
+		if hi < mu[i] {
+			mu[i] = hi
+		}
+	}
+
+	cands := make(map[collection.SetID]*impCand)
+	parts := make([][]*impCand, n) // §VII partitioned candidate lists
+	gone := make(map[*impCand]bool)
+
+	var out []Result
+	remove := func(c *impCand) {
+		delete(cands, c.id)
+		gone[c] = true
+	}
+
+	// maxLenC peeks at the partition tails, eagerly re-evaluating each
+	// tail candidate with Order Preservation before trusting its length:
+	// the paper's "dropping elements repeatedly from the back of all
+	// lists until a viable candidate is found". Eager tail pruning is
+	// what keeps Hybrid's scan depth at or below SF's — a long tail
+	// candidate that is no longer viable must not extend the bound.
+	maxLenC := func() float64 {
+		m := -1.0
+		for i := range parts {
+			tail := parts[i]
+			for len(tail) > 0 {
+				c := tail[len(tail)-1]
+				if gone[c] {
+					tail = tail[:len(tail)-1]
+					continue
+				}
+				for j, lj := range lists {
+					if !c.resolved.has(j) && ruledOut(lj, c.len, c.id) {
+						c.resolveAbsent(j, lj.idfSq)
+					}
+				}
+				if c.nResolved == n {
+					if sim.Meets(c.lower, tau) {
+						out = append(out, Result{ID: c.id, Score: c.lower})
+					}
+					remove(c)
+					tail = tail[:len(tail)-1]
+					continue
+				}
+				if !sim.Meets(c.upper(q.Len), tau) {
+					remove(c)
+					tail = tail[:len(tail)-1]
+					continue
+				}
+				break
+			}
+			parts[i] = tail
+			if len(tail) > 0 && tail[len(tail)-1].len > m {
+				m = tail[len(tail)-1].len
+			}
+		}
+		return m
+	}
+
+	admitNew := true
+	for {
+		popped := false
+		for i, l := range lists {
+			if l.done {
+				continue
+			}
+			p, ok := l.frontier()
+			if !ok {
+				l.done = true
+				continue
+			}
+			if p.Len > hi {
+				l.done = true
+				continue
+			}
+			need := mu[i]
+			if m := maxLenC(); m > need {
+				need = m
+			}
+			if p.Len > need {
+				continue // paused; may resume when maxLen(C) grows
+			}
+			stats.ElementsRead++
+			l.cur.Next()
+			popped = true
+
+			if c := cands[p.ID]; c != nil {
+				c.resolveSeen(i, l.idfSq, l.w(q.Len, p.Len))
+				if c.nResolved == n {
+					if sim.Meets(c.lower, tau) {
+						out = append(out, Result{ID: c.id, Score: c.lower})
+					}
+					remove(c)
+				}
+				continue
+			}
+			if !admitNew {
+				continue
+			}
+			if c := admit(lists, i, p, q, tau); c != nil {
+				c.listIdx = i
+				cands[p.ID] = c
+				parts[i] = append(parts[i], c)
+				stats.CandidatesInserted++
+			}
+		}
+		stats.Rounds++
+
+		if !popped {
+			// Every list is done or paused beyond maxLen(C): all
+			// candidate memberships are resolved (Order Preservation)
+			// and no unseen element can qualify (the λ argument).
+			for _, c := range cands {
+				if sim.Meets(c.lower, tau) {
+					out = append(out, Result{ID: c.id, Score: c.lower})
+				}
+			}
+			return out, listsErr(lists)
+		}
+
+		var f float64
+		for _, l := range lists {
+			if p, ok := l.frontier(); ok && p.Len <= hi {
+				f += l.w(q.Len, p.Len)
+			}
+		}
+		if sim.Meets(f, tau) {
+			continue
+		}
+		admitNew = false
+
+		stats.CandidateScans++
+		for _, c := range cands {
+			for j, lj := range lists {
+				if !c.resolved.has(j) && ruledOut(lj, c.len, c.id) {
+					c.resolveAbsent(j, lj.idfSq)
+				}
+			}
+			if c.nResolved == n {
+				if sim.Meets(c.lower, tau) {
+					out = append(out, Result{ID: c.id, Score: c.lower})
+				}
+				remove(c)
+				continue
+			}
+			if !sim.Meets(c.upper(q.Len), tau) {
+				remove(c)
+			}
+		}
+		if len(cands) == 0 && !sim.Meets(f, tau) {
+			return out, listsErr(lists)
+		}
+	}
+}

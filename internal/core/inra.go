@@ -1,0 +1,198 @@
+package core
+
+import (
+	"repro/internal/collection"
+	"repro/internal/invlist"
+	"repro/internal/sim"
+)
+
+// impCand is a candidate of the improved algorithms (iNRA, Hybrid). In
+// addition to the NRA state it tracks which lists have been *resolved* —
+// seen, or ruled out by Order Preservation / list completion — and the
+// idf² mass of the still-unresolved lists, so the Magnitude Boundedness
+// upper bound lower + remIdfSq/(len(q)·len(s)) is available at any time.
+type impCand struct {
+	id        collection.SetID
+	len       float64
+	lower     float64
+	resolved  listMask
+	nResolved int
+	remIdfSq  float64
+	// node links the candidate into the Hybrid per-list partitioned
+	// candidate lists (§VII); unused by iNRA.
+	listIdx int
+}
+
+func (c *impCand) upper(lenQ float64) float64 {
+	return c.lower + c.remIdfSq/(lenQ*c.len)
+}
+
+// resolveAbsent marks list i as resolved-absent, removing its mass from
+// the candidate's upper bound.
+func (c *impCand) resolveAbsent(i int, idfSq float64) {
+	if c.resolved.has(i) {
+		return
+	}
+	c.resolved.set(i)
+	c.nResolved++
+	c.remIdfSq -= idfSq
+	if c.remIdfSq < 0 {
+		c.remIdfSq = 0
+	}
+}
+
+// resolveSeen records that the candidate surfaced in list i.
+func (c *impCand) resolveSeen(i int, idfSq, w float64) {
+	if c.resolved.has(i) {
+		return
+	}
+	c.resolved.set(i)
+	c.nResolved++
+	c.remIdfSq -= idfSq
+	if c.remIdfSq < 0 {
+		c.remIdfSq = 0
+	}
+	c.lower += w
+}
+
+// ruledOut applies Order Preservation (Property 1): candidate (len, id)
+// is definitively absent from list l if l is done, or if l's frontier has
+// advanced past the position (len, id) in weight-list order.
+func ruledOut(l *listState, len float64, id collection.SetID) bool {
+	p, ok := l.frontier()
+	if !ok {
+		return true
+	}
+	return !beforeOrAt(p, len, id)
+}
+
+// admit evaluates a newly surfaced posting for candidacy: it combines
+// Order Preservation (exclude lists whose frontier already passed the
+// posting) with Magnitude Boundedness (best-case score from the remaining
+// lists). It returns the candidate, or nil when the best case misses τ.
+func admit(lists []*listState, seenIn int, p invlist.Posting, q Query, tau float64) *impCand {
+	c := &impCand{
+		id:       p.ID,
+		len:      p.Len,
+		resolved: newMask(len(lists)),
+	}
+	var possible float64
+	for j, lj := range lists {
+		if j == seenIn {
+			continue
+		}
+		if ruledOut(lj, p.Len, p.ID) {
+			c.resolved.set(j)
+			c.nResolved++
+			continue
+		}
+		possible += lj.idfSq
+	}
+	c.remIdfSq = possible
+	c.resolved.set(seenIn)
+	c.nResolved++
+	w := lists[seenIn].w(q.Len, p.Len)
+	c.lower = w
+	if !sim.Meets(c.upper(q.Len), tau) {
+		return nil
+	}
+	return c
+}
+
+// selectINRA is Algorithm 2: NRA's round-robin sorted access augmented
+// with the three semantic properties of §IV — Length Boundedness to skip
+// to τ·len(q) and stop past len(q)/τ, Order Preservation to resolve
+// absences from frontiers, and Magnitude Boundedness for tight upper
+// bounds — plus the F < τ gate before admitting new candidates and
+// before scanning the candidate set.
+func (e *Engine) selectINRA(q Query, tau float64, o *Options, stats *Stats) ([]Result, error) {
+	lo, hi := lengthWindow(q, tau, o)
+	lists := e.openLists(q, lo, o, stats)
+	cands := make(map[collection.SetID]*impCand)
+	var out []Result
+	n := len(lists)
+
+	admitNew := true // true while F ≥ τ
+	for {
+		alive := false
+		for i, l := range lists {
+			if l.done {
+				continue
+			}
+			p, ok := l.frontier()
+			if !ok {
+				l.done = true
+				continue
+			}
+			stats.ElementsRead++
+			l.cur.Next()
+			if p.Len > hi {
+				l.done = true
+				continue
+			}
+			alive = true
+			if c := cands[p.ID]; c != nil {
+				c.resolveSeen(i, l.idfSq, l.w(q.Len, p.Len))
+				if c.nResolved == n {
+					if sim.Meets(c.lower, tau) {
+						out = append(out, Result{ID: c.id, Score: c.lower})
+					}
+					delete(cands, p.ID)
+				}
+				continue
+			}
+			if !admitNew {
+				continue
+			}
+			if c := admit(lists, i, p, q, tau); c != nil {
+				cands[p.ID] = c
+				stats.CandidatesInserted++
+			}
+		}
+		stats.Rounds++
+
+		if !alive {
+			// All lists done: every unresolved list is ruled out, so
+			// scores are complete.
+			for _, c := range cands {
+				if sim.Meets(c.lower, tau) {
+					out = append(out, Result{ID: c.id, Score: c.lower})
+				}
+			}
+			return out, listsErr(lists)
+		}
+
+		var f float64
+		for _, l := range lists {
+			if p, ok := l.frontier(); ok && p.Len <= hi {
+				f += l.w(q.Len, p.Len)
+			}
+		}
+		if sim.Meets(f, tau) {
+			continue // scanning is pointless while F ≥ τ (§V)
+		}
+		admitNew = false
+
+		stats.CandidateScans++
+		for id, c := range cands {
+			for j, lj := range lists {
+				if !c.resolved.has(j) && ruledOut(lj, c.len, c.id) {
+					c.resolveAbsent(j, lj.idfSq)
+				}
+			}
+			if c.nResolved == n {
+				if sim.Meets(c.lower, tau) {
+					out = append(out, Result{ID: id, Score: c.lower})
+				}
+				delete(cands, id)
+				continue
+			}
+			if !sim.Meets(c.upper(q.Len), tau) {
+				delete(cands, id)
+			}
+		}
+		if len(cands) == 0 {
+			return out, listsErr(lists)
+		}
+	}
+}

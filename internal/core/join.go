@@ -1,0 +1,87 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/collection"
+)
+
+// Pair is one matching pair of a self-join, with A < B.
+type Pair struct {
+	A, B  collection.SetID
+	Score float64
+}
+
+// SelfJoin computes the set-similarity self-join of the indexed
+// collection: every pair (a, b), a < b, with I(a, b) ≥ tau. The paper's
+// data-cleaning motivation (§I) is exactly this operation; §IX observes
+// that a selection engine subsumes the join — each set is issued as a
+// selection query — and the parallel batch machinery (§X) fans the
+// queries across workers. Pairs are returned sorted by (A, B).
+func (e *Engine) SelfJoin(tau float64, alg Algorithm, opts *Options, workers int) ([]Pair, error) {
+	if tau <= 0 || tau > 1 {
+		return nil, ErrBadThreshold
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := e.c.NumSets()
+	if workers > n {
+		workers = n
+	}
+
+	parts := make([][]Pair, workers)
+	errs := make([]error, workers)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			var local []Pair
+			for {
+				mu.Lock()
+				id := next
+				next++
+				mu.Unlock()
+				if id >= n {
+					break
+				}
+				sid := collection.SetID(id)
+				q := e.PrepareCounts(e.c.Set(sid))
+				res, _, err := e.Select(q, tau, alg, opts)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				for _, r := range res {
+					// Emit each unordered pair once: from its smaller side.
+					if r.ID > sid {
+						local = append(local, Pair{A: sid, B: r.ID, Score: r.Score})
+					}
+				}
+			}
+			parts[w] = local
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out []Pair
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out, nil
+}

@@ -1,0 +1,10 @@
+package core
+
+// listMask is a small bitset over query-list indexes, used by candidates
+// to track which lists they have been seen in or ruled out of.
+type listMask []uint64
+
+func newMask(n int) listMask { return make(listMask, (n+63)/64) }
+
+func (m listMask) set(i int)      { m[i/64] |= 1 << (uint(i) % 64) }
+func (m listMask) has(i int) bool { return m[i/64]&(1<<(uint(i)%64)) != 0 }

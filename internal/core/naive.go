@@ -1,0 +1,38 @@
+package core
+
+import (
+	"repro/internal/collection"
+	"repro/internal/sim"
+	"repro/internal/tokenize"
+)
+
+// selectNaive scans the whole collection, scoring every set directly from
+// Eq. 1 with the query's precomputed weights (including the length mass
+// of out-of-vocabulary tokens, which the inverted-list algorithms also
+// carry in q.Len). It is the correctness oracle for all indexed
+// algorithms and the "no index available" case of §III-A, where a linear
+// scan of the base table is unavoidable.
+func (e *Engine) selectNaive(q Query, tau float64, stats *Stats) []Result {
+	idfSq := make(map[tokenize.Token]float64, len(q.Tokens))
+	for _, qt := range q.Tokens {
+		idfSq[qt.Token] = qt.IDFSq
+	}
+	var out []Result
+	for id := 0; id < e.c.NumSets(); id++ {
+		sid := collection.SetID(id)
+		var dot float64
+		for _, cnt := range e.c.Set(sid) {
+			if w, ok := idfSq[cnt.Token]; ok {
+				dot += w
+			}
+		}
+		if dot == 0 {
+			continue
+		}
+		score := dot / (q.Len * e.c.Length(sid))
+		if sim.Meets(score, tau) {
+			out = append(out, Result{ID: sid, Score: score})
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"repro/internal/collection"
+	"repro/internal/sim"
+)
+
+// nraCand is a candidate of the classic NRA (Algorithm 1): a lower bound
+// accumulated from sorted accesses plus a bit vector of the lists it has
+// been seen in. Upper bounds come from the list frontiers, not from the
+// candidate's own length — plain NRA does not exploit the semantic
+// properties of IDF.
+type nraCand struct {
+	id    collection.SetID
+	len   float64
+	lower float64
+	seen  listMask
+	nSeen int
+}
+
+// selectNRA implements Algorithm 1 with the two mitigations the paper
+// itself applied to make it terminate at all (§VIII-A): candidate-set
+// scans are skipped while the unseen-element bound F still reaches τ, and
+// a scan stops early at the first still-viable candidate.
+func (e *Engine) selectNRA(q Query, tau float64, stats *Stats) ([]Result, error) {
+	lists := e.openLists(q, 0, &Options{NoLengthBound: true}, stats)
+	n := len(lists)
+	cands := make(map[collection.SetID]*nraCand)
+	var out []Result
+
+	for {
+		alive := false
+		for i, l := range lists {
+			p, ok := l.frontier()
+			if !ok {
+				l.done = true
+				continue
+			}
+			alive = true
+			stats.ElementsRead++
+			l.cur.Next()
+			c := cands[p.ID]
+			if c == nil {
+				c = &nraCand{id: p.ID, len: p.Len, seen: newMask(n)}
+				cands[p.ID] = c
+				stats.CandidatesInserted++
+			}
+			if !c.seen.has(i) {
+				c.seen.set(i)
+				c.nSeen++
+				c.lower += l.w(q.Len, p.Len)
+			}
+		}
+		stats.Rounds++
+
+		// Frontier contributions for upper bounds and the F gate.
+		fw := make([]float64, n)
+		var f float64
+		for i, l := range lists {
+			if p, ok := l.frontier(); ok {
+				fw[i] = l.w(q.Len, p.Len)
+				f += fw[i]
+			}
+		}
+
+		switch {
+		case !alive:
+			// Every list exhausted: all scores are complete.
+			for _, c := range cands {
+				if sim.Meets(c.lower, tau) {
+					out = append(out, Result{ID: c.id, Score: c.lower})
+				}
+			}
+			return out, listsErr(lists)
+
+		case !sim.Meets(f, tau):
+			// Scan the candidate set (mitigation: only once F < τ).
+			stats.CandidateScans++
+			for id, c := range cands {
+				upper := c.lower
+				complete := true
+				for i := range lists {
+					if c.seen.has(i) {
+						continue
+					}
+					if fw[i] > 0 {
+						upper += fw[i]
+						complete = false
+					}
+					// fw[i] == 0 means list i is exhausted; the
+					// candidate is definitively absent from it.
+				}
+				if complete {
+					if sim.Meets(c.lower, tau) {
+						out = append(out, Result{ID: id, Score: c.lower})
+					}
+					delete(cands, id)
+					continue
+				}
+				if !sim.Meets(upper, tau) {
+					delete(cands, id)
+					continue
+				}
+				// Early termination at the first viable candidate.
+				break
+			}
+			if len(cands) == 0 {
+				return out, listsErr(lists)
+			}
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/collection"
+	"repro/internal/sim"
+)
+
+// Parallel processing is the second extension the paper's conclusion
+// plans (§X). Two forms are provided: inter-query parallelism — a worker
+// pool draining a batch of selection queries, the deployment shape of a
+// data-cleaning pipeline — and intra-query parallelism for the oracle
+// scan, which shards the collection across cores.
+//
+// All engine indexes are safe for concurrent readers, so workers share
+// the engine without copying.
+
+// BatchResult pairs one query's results with its access statistics.
+type BatchResult struct {
+	Results []Result
+	Stats   Stats
+	Err     error
+}
+
+// SelectBatch runs every query with the same τ, algorithm and options on
+// a pool of workers (≤ 0 selects GOMAXPROCS). The i-th output corresponds
+// to the i-th query.
+func (e *Engine) SelectBatch(queries []Query, tau float64, alg Algorithm, opts *Options, workers int) []BatchResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	out := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(queries) {
+					return
+				}
+				res, st, err := e.Select(queries[i], tau, alg, opts)
+				out[i] = BatchResult{Results: res, Stats: st, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// SelectSortByIDParallel is an intra-query parallel version of the
+// sort-by-id merge baseline: the query's inverted lists are partitioned
+// across workers, each worker heap-merges its share into a partial score
+// map, and the partials are summed before the threshold filter. This is
+// the natural parallelization of §III-B's algorithm — every worker's
+// reads are sequential within its own lists.
+func (e *Engine) SelectSortByIDParallel(q Query, tau float64, workers int) ([]Result, Stats, error) {
+	var stats Stats
+	if len(q.Tokens) == 0 {
+		return nil, stats, ErrEmptyQuery
+	}
+	if tau <= 0 || tau > 1+sim.ScoreEpsilon {
+		return nil, stats, ErrBadThreshold
+	}
+	for _, qt := range q.Tokens {
+		stats.ListTotal += e.store.ListLen(qt.Token)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(q.Tokens) {
+		workers = len(q.Tokens)
+	}
+
+	partials := make([]map[collection.SetID]float64, workers)
+	reads := make([]int, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			local := make(map[collection.SetID]float64)
+			for i := w; i < len(q.Tokens); i += workers {
+				qt := q.Tokens[i]
+				for cur := e.store.IDCursor(qt.Token); cur.Valid(); cur.Next() {
+					p := cur.Posting()
+					local[p.ID] += qt.IDFSq / (q.Len * p.Len)
+					reads[w]++
+				}
+			}
+			partials[w] = local
+		}(w)
+	}
+	wg.Wait()
+
+	total := partials[0]
+	for _, m := range partials[1:] {
+		for id, s := range m {
+			total[id] += s
+		}
+	}
+	for _, r := range reads {
+		stats.ElementsRead += r
+	}
+	var out []Result
+	for id, score := range total {
+		if sim.Meets(score, tau) {
+			out = append(out, Result{ID: id, Score: score})
+		}
+	}
+	sortResults(out)
+	return out, stats, nil
+}
+
+// SelectNaiveParallel shards the full-scan oracle across workers. It
+// exists for verifying large experiments quickly and as the simplest
+// illustration of intra-query parallelism.
+func (e *Engine) SelectNaiveParallel(q Query, tau float64, workers int) []Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := e.c.NumSets()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return e.selectNaive(q, tau, &Stats{})
+	}
+	idfSq := make(map[uint32]float64, len(q.Tokens))
+	for _, qt := range q.Tokens {
+		idfSq[uint32(qt.Token)] = qt.IDFSq
+	}
+	parts := make([][]Result, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo := n * w / workers
+			hi := n * (w + 1) / workers
+			var local []Result
+			for id := lo; id < hi; id++ {
+				sid := collection.SetID(id)
+				var dot float64
+				for _, cnt := range e.c.Set(sid) {
+					if v, ok := idfSq[uint32(cnt.Token)]; ok {
+						dot += v
+					}
+				}
+				if dot == 0 {
+					continue
+				}
+				score := dot / (q.Len * e.c.Length(sid))
+				if sim.Meets(score, tau) {
+					local = append(local, Result{ID: sid, Score: score})
+				}
+			}
+			parts[w] = local
+		}(w)
+	}
+	wg.Wait()
+	var out []Result
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	sortResults(out)
+	return out
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/collection"
+)
+
+func TestSelectBatchMatchesSequential(t *testing.T) {
+	e := buildEngine(t, 600, 51, 7, Config{})
+	rng := rand.New(rand.NewSource(52))
+	queries := make([]Query, 40)
+	for i := range queries {
+		queries[i] = e.PrepareCounts(e.c.Set(collection.SetID(rng.Intn(e.c.NumSets()))))
+	}
+	for _, alg := range []Algorithm{SF, INRA, TA, SortByID} {
+		batch := e.SelectBatch(queries, 0.7, alg, nil, 8)
+		for i, q := range queries {
+			if batch[i].Err != nil {
+				t.Fatalf("%v query %d: %v", alg, i, batch[i].Err)
+			}
+			want, _, err := e.Select(q, 0.7, alg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := batch[i].Results
+			if len(got) != len(want) {
+				t.Fatalf("%v query %d: %d results, want %d", alg, i, len(got), len(want))
+			}
+			for j := range got {
+				if got[j].ID != want[j].ID || math.Abs(got[j].Score-want[j].Score) > 1e-9 {
+					t.Fatalf("%v query %d result %d mismatch", alg, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestSelectBatchEmpty(t *testing.T) {
+	e := buildEngine(t, 50, 53, 6, Config{})
+	if out := e.SelectBatch(nil, 0.8, SF, nil, 4); len(out) != 0 {
+		t.Errorf("empty batch returned %d entries", len(out))
+	}
+}
+
+func TestSelectBatchPropagatesErrors(t *testing.T) {
+	e := buildEngine(t, 50, 54, 6, Config{NoHashes: true})
+	queries := []Query{e.PrepareCounts(e.c.Set(0))}
+	out := e.SelectBatch(queries, 0.8, TA, nil, 2)
+	if out[0].Err != ErrNoHashIndex {
+		t.Errorf("err = %v, want ErrNoHashIndex", out[0].Err)
+	}
+}
+
+func TestSelectNaiveParallelMatches(t *testing.T) {
+	e := buildEngine(t, 900, 55, 7, Config{NoHashes: true, NoRelational: true})
+	rng := rand.New(rand.NewSource(56))
+	for trial := 0; trial < 8; trial++ {
+		q := e.PrepareCounts(e.c.Set(collection.SetID(rng.Intn(e.c.NumSets()))))
+		tau := 0.4 + 0.1*float64(trial%5)
+		want, _, err := e.Select(q, tau, Naive, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 7, 64} {
+			got := e.SelectNaiveParallel(q, tau, workers)
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].ID != want[i].ID || math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+					t.Fatalf("workers=%d result %d mismatch", workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSortByIDParallelMatches(t *testing.T) {
+	e := buildEngine(t, 800, 61, 7, Config{NoHashes: true, NoRelational: true})
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 10; trial++ {
+		q := e.PrepareCounts(e.c.Set(collection.SetID(rng.Intn(e.c.NumSets()))))
+		tau := 0.4 + 0.1*float64(trial%5)
+		want, wantSt, err := e.Select(q, tau, SortByID, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 3, 16} {
+			got, st, err := e.SelectSortByIDParallel(q, tau, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].ID != want[i].ID || math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+					t.Fatalf("workers=%d result %d mismatch", workers, i)
+				}
+			}
+			if st.ElementsRead != wantSt.ListTotal {
+				t.Fatalf("workers=%d read %d, want full volume %d", workers, st.ElementsRead, wantSt.ListTotal)
+			}
+		}
+	}
+}
+
+func TestSortByIDParallelValidation(t *testing.T) {
+	e := buildEngine(t, 60, 63, 6, Config{NoHashes: true, NoRelational: true})
+	if _, _, err := e.SelectSortByIDParallel(Query{}, 0.5, 2); err != ErrEmptyQuery {
+		t.Errorf("empty query err = %v", err)
+	}
+	q := e.PrepareCounts(e.c.Set(0))
+	if _, _, err := e.SelectSortByIDParallel(q, 0, 2); err != ErrBadThreshold {
+		t.Errorf("bad tau err = %v", err)
+	}
+}

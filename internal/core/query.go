@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/tokenize"
+)
+
+// QueryToken is one distinct query token with its precomputed weights.
+type QueryToken struct {
+	Token tokenize.Token
+	IDF   float64
+	IDFSq float64
+}
+
+// Query is a preprocessed query set. Tokens are distinct (IDF has set
+// semantics) and sorted by decreasing idf — the processing order SF and
+// Hybrid require; Len is the normalized length of Eq. 1, which includes
+// tokens unknown to the corpus (they are smoothed by sim.IDF, keeping
+// Theorem 1 valid for queries with out-of-vocabulary grams).
+type Query struct {
+	Tokens []QueryToken
+	Len    float64
+	// Raw retains the token-frequency vector for measure-based scoring
+	// (Naive oracle, Table I quality experiments).
+	Raw []tokenize.Count
+}
+
+// Prepare tokenizes s against the engine's collection and returns the
+// preprocessed query. Unknown tokens are interned transiently: they
+// receive ids beyond the corpus range, empty lists and smoothed idf.
+func (e *Engine) Prepare(s string) Query {
+	counts, _ := tokenize.LookupCounts(e.c.Dict(), e.c.Tokenizer(), s, nil)
+	// LookupCounts drops unknown tokens; count the distinct ones so that
+	// len(q) stays faithful to Eq. 1.
+	all := e.c.Tokenizer().Tokens(nil, s)
+	return e.prepare(counts, countUnknownDistinct(e, all))
+}
+
+// countUnknownDistinct counts distinct tokens of the query string that the
+// corpus has never seen.
+func countUnknownDistinct(e *Engine, tokens []string) int {
+	seen := map[string]bool{}
+	n := 0
+	for _, t := range tokens {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		if _, ok := e.c.Dict().Lookup(t); !ok {
+			n++
+		}
+	}
+	return n
+}
+
+// PrepareCounts builds a Query from an already tokenized vector whose
+// tokens are all known to the corpus dictionary.
+func (e *Engine) PrepareCounts(counts []tokenize.Count) Query {
+	return e.prepare(counts, 0)
+}
+
+func (e *Engine) prepare(counts []tokenize.Count, unknownDistinct int) Query {
+	n := e.c.NumSets()
+	q := Query{Raw: counts}
+	var len2 float64
+	for _, c := range counts {
+		w := sim.IDF(e.c.DF(c.Token), n)
+		q.Tokens = append(q.Tokens, QueryToken{Token: c.Token, IDF: w, IDFSq: w * w})
+		len2 += w * w
+	}
+	// Unknown tokens have empty lists — they cannot contribute matches,
+	// but they lengthen the query exactly as Eq. 1 prescribes.
+	if unknownDistinct > 0 {
+		w := sim.IDF(0, n)
+		len2 += float64(unknownDistinct) * w * w
+	}
+	q.Len = math.Sqrt(len2)
+	sort.SliceStable(q.Tokens, func(i, j int) bool {
+		if q.Tokens[i].IDF != q.Tokens[j].IDF {
+			return q.Tokens[i].IDF > q.Tokens[j].IDF
+		}
+		return q.Tokens[i].Token < q.Tokens[j].Token
+	})
+	return q
+}
+
+// lengthWindow returns the Theorem 1 pruning interval for this query,
+// padded by the score epsilon so no boundary answer is lost. With
+// Options.NoLengthBound the window is the whole positive axis.
+func lengthWindow(q Query, tau float64, o *Options) (lo, hi float64) {
+	if o != nil && o.NoLengthBound {
+		return 0, math.MaxFloat64
+	}
+	lo, hi = sim.LengthBounds(q.Len, tau-sim.ScoreEpsilon)
+	lo -= lo * 1e-12
+	hi += hi * 1e-12
+	return lo, hi
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"repro/internal/collection"
+	"repro/internal/invlist"
+	"repro/internal/sim"
+)
+
+// sfCand is a Shortest-First candidate. Because SF consumes lists one at
+// a time in decreasing idf order, every candidate has the same set of
+// unresolved lists — the unprocessed suffix — so its upper bound is the
+// uniform lower + suffixIdfSq/(len(q)·len) and no per-list bit vector is
+// needed. That uniformity is what makes SF's bookkeeping so cheap (§VI).
+type sfCand struct {
+	id      collection.SetID
+	len     float64
+	lower   float64
+	seenCur bool // surfaced in the list currently being scanned
+	dead    bool
+}
+
+// selectSF is Algorithm 3. Lists are processed in decreasing idf order
+// (Prepare already sorts the query tokens that way). For list i the
+// cutoff λᵢ = Σ_{j≥i} idf² / (τ·len(q)) (Eq. 2) bounds the length of any
+// *new* viable candidate, and the scan extends past min(λᵢ, len(q)/τ)
+// only as far as the longest still-viable candidate, whose score must be
+// completed. Candidates live in a single (len, id)-sorted slice that is
+// merged with each list's new arrivals — one cheap sweep per list.
+func (e *Engine) selectSF(q Query, tau float64, o *Options, stats *Stats) ([]Result, error) {
+	lo, hi := lengthWindow(q, tau, o)
+	lists := e.openLists(q, lo, o, stats)
+	n := len(lists)
+
+	// suffix[i] = Σ_{j ≥ i} idf²; suffix[n] = 0.
+	suffix := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + q.Tokens[i].IDFSq
+	}
+	tauP := tau - sim.ScoreEpsilon
+	lambda := make([]float64, n)
+	for i := range lambda {
+		lambda[i] = suffix[i] / (tauP * q.Len)
+	}
+
+	var c []*sfCand // sorted by (len, id); the paper's candidate list C
+	byID := make(map[collection.SetID]*sfCand)
+
+	for i, l := range lists {
+		if len(c) == 0 && lambda[i] < lo {
+			// No candidates to complete and the admission window
+			// [lo, λᵢ] is empty for this and — λ being non-increasing —
+			// every remaining list.
+			break
+		}
+		mu := lambda[i]
+		if hi < mu {
+			mu = hi
+		}
+
+		var news []*sfCand
+		mergePtr := 0            // first old candidate not yet passed
+		lastViable := len(c) - 1 // last alive old candidate
+		for lastViable >= 0 && c[lastViable].dead {
+			lastViable--
+		}
+
+		for !l.done && l.cur.Valid() {
+			p := l.cur.Posting()
+
+			// Resolve old candidates the scan has passed: unseen ones
+			// are absent from this list (Order Preservation), and any
+			// candidate's continued viability is lower + remaining
+			// suffix mass.
+			for mergePtr < len(c) && before(c[mergePtr], p) {
+				cc := c[mergePtr]
+				mergePtr++
+				if cc.dead {
+					continue
+				}
+				if !sim.Meets(cc.lower+suffix[i+1]/(q.Len*cc.len), tau) {
+					cc.dead = true
+					for lastViable >= 0 && c[lastViable].dead {
+						lastViable--
+					}
+				}
+			}
+
+			// Stop rule: nothing new past µᵢ can qualify, and nothing
+			// old past maxLen(C) needs completing.
+			bound := mu
+			if lastViable >= 0 && c[lastViable].len > bound {
+				bound = c[lastViable].len
+			}
+			if p.Len > bound {
+				break
+			}
+
+			stats.ElementsRead++
+			l.cur.Next()
+
+			if cc := byID[p.ID]; cc != nil {
+				if !cc.dead && !cc.seenCur {
+					cc.lower += l.w(q.Len, p.Len)
+					cc.seenCur = true
+				}
+				continue
+			}
+			// New candidate: best case is appearing in every remaining
+			// list, Σ_{j≥i} idf²/(len(q)·len) — the λᵢ test of line 9.
+			if sim.Meets(suffix[i]/(q.Len*p.Len), tau) {
+				cc := &sfCand{id: p.ID, len: p.Len, lower: l.w(q.Len, p.Len), seenCur: true}
+				news = append(news, cc)
+				byID[p.ID] = cc
+				stats.CandidatesInserted++
+			}
+		}
+
+		// End-of-list sweep (the paper's single candidate scan per
+		// list): resolve candidates the scan never reached, decide
+		// viability with the remaining suffix, merge in the new
+		// arrivals, and reset the seen flags.
+		stats.CandidateScans++
+		merged := make([]*sfCand, 0, len(c)+len(news))
+		oi, ni := 0, 0
+		for oi < len(c) || ni < len(news) {
+			var take *sfCand
+			if oi < len(c) && (ni >= len(news) || candBefore(c[oi], news[ni])) {
+				take = c[oi]
+				oi++
+				if take.dead {
+					delete(byID, take.id)
+					continue
+				}
+				if !sim.Meets(take.lower+suffix[i+1]/(q.Len*take.len), tau) {
+					take.dead = true
+					delete(byID, take.id)
+					continue
+				}
+			} else {
+				take = news[ni]
+				ni++
+			}
+			take.seenCur = false
+			merged = append(merged, take)
+		}
+		c = merged
+	}
+
+	var out []Result
+	for _, cc := range c {
+		if !cc.dead && sim.Meets(cc.lower, tau) {
+			out = append(out, Result{ID: cc.id, Score: cc.lower})
+		}
+	}
+	return out, listsErr(lists)
+}
+
+// before reports whether candidate cc precedes posting position p in
+// weight-list order (strictly).
+func before(cc *sfCand, p invlist.Posting) bool {
+	if cc.len != p.Len {
+		return cc.len < p.Len
+	}
+	return cc.id < p.ID
+}
+
+func candBefore(a, b *sfCand) bool {
+	if a.len != b.len {
+		return a.len < b.len
+	}
+	return a.id < b.id
+}

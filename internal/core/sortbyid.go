@@ -1,0 +1,82 @@
+package core
+
+import (
+	"container/heap"
+
+	"repro/internal/invlist"
+	"repro/internal/sim"
+)
+
+// selectSortByID is the multiway-merge baseline of §III-B: the id-sorted
+// list of every query token is scanned in full; a heap over the list
+// heads aggregates each id's complete score as it surfaces. It performs
+// no pruning — its cost is the total volume of the query lists — but
+// touches only sets that share at least one token with the query.
+func (e *Engine) selectSortByID(q Query, tau float64, stats *Stats) ([]Result, error) {
+	h := make(mergeHeap, 0, len(q.Tokens))
+	cursors := make([]invlist.Cursor, 0, len(q.Tokens))
+	for _, qt := range q.Tokens {
+		cur := e.store.IDCursor(qt.Token)
+		cursors = append(cursors, cur)
+		if cur.Valid() {
+			stats.ElementsRead++
+			h = append(h, mergeEntry{cur: cur, idfSq: qt.IDFSq})
+		}
+	}
+	heap.Init(&h)
+
+	var out []Result
+	for len(h) > 0 {
+		top := h[0]
+		p := top.cur.Posting()
+		score := top.idfSq / (q.Len * p.Len)
+		advance(&h, stats)
+		// Aggregate every list positioned at the same id; each pop has
+		// a complete score once no head carries that id anymore.
+		for len(h) > 0 && h[0].cur.Posting().ID == p.ID {
+			score += h[0].idfSq / (q.Len * p.Len)
+			advance(&h, stats)
+		}
+		if sim.Meets(score, tau) {
+			out = append(out, Result{ID: p.ID, Score: score})
+		}
+	}
+	for _, cur := range cursors {
+		if err := invlist.Err(cur); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func advance(h *mergeHeap, stats *Stats) {
+	cur := (*h)[0].cur
+	cur.Next()
+	if cur.Valid() {
+		stats.ElementsRead++
+		heap.Fix(h, 0)
+	} else {
+		heap.Pop(h)
+	}
+}
+
+type mergeEntry struct {
+	cur   invlist.Cursor
+	idfSq float64
+}
+
+type mergeHeap []mergeEntry
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	return h[i].cur.Posting().ID < h[j].cur.Posting().ID
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeEntry)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,23 @@
+package core
+
+import "repro/internal/relational"
+
+// selectSQL runs the relational baseline of §III-A: clustered-index range
+// scans per query gram feeding a hash group-by. Length Bounding becomes a
+// SARGable length predicate on the composite index.
+func (e *Engine) selectSQL(q Query, tau float64, o *Options, stats *Stats) ([]Result, error) {
+	if e.rel == nil {
+		return nil, ErrNoRelational
+	}
+	toks := make([]relational.QueryToken, len(q.Tokens))
+	for i, qt := range q.Tokens {
+		toks[i] = relational.QueryToken{Gram: qt.Token, IDFSq: qt.IDFSq}
+	}
+	matches, scan := e.rel.Select(toks, q.Len, tau, !o.NoLengthBound)
+	stats.ElementsRead += scan.RowsScanned
+	out := make([]Result, len(matches))
+	for i, m := range matches {
+		out[i] = Result{ID: m.ID, Score: m.Score}
+	}
+	return out, nil
+}

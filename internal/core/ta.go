@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/collection"
+	"repro/internal/invlist"
+	"repro/internal/sim"
+)
+
+// listState is the per-list scan state shared by the sorted-access
+// algorithms: a weight-sorted cursor plus liveness bookkeeping.
+type listState struct {
+	cur   invlist.Cursor
+	idfSq float64
+	// done means no further postings will be read: the list is exhausted
+	// or its frontier crossed the Theorem 1 upper length bound.
+	done bool
+}
+
+// frontier returns the next unread posting. ok is false when the list is
+// done or exhausted.
+func (l *listState) frontier() (invlist.Posting, bool) {
+	if l.done || !l.cur.Valid() {
+		return invlist.Posting{}, false
+	}
+	return l.cur.Posting(), true
+}
+
+// w returns the contribution a set of length len would receive from this
+// list: idf²/(len(q)·len(s)).
+func (l *listState) w(lenQ, setLen float64) float64 {
+	return l.idfSq / (lenQ * setLen)
+}
+
+// listsErr surfaces any deferred I/O error from the lists' cursors (disk
+// stores report read failures through invlist.Err rather than panicking;
+// without this check a failed read would masquerade as list exhaustion).
+func listsErr(lists []*listState) error {
+	for _, l := range lists {
+		if err := invlist.Err(l.cur); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// openLists opens the weight-sorted cursors and, unless length bounding
+// is disabled, positions each at the first entry with length ≥ lo —
+// via the skip index, or by counted sequential reads when NoSkipIndex is
+// set (the paper's "no index on lengths" mode, which reads and discards).
+func (e *Engine) openLists(q Query, lo float64, o *Options, stats *Stats) []*listState {
+	lists := make([]*listState, len(q.Tokens))
+	for i, qt := range q.Tokens {
+		l := &listState{cur: e.store.WeightCursor(qt.Token), idfSq: qt.IDFSq}
+		if lo > 0 {
+			if o.NoSkipIndex {
+				for l.cur.Valid() && l.cur.Posting().Len < lo {
+					stats.ElementsRead++
+					l.cur.Next()
+				}
+			} else {
+				skipped, walked := l.cur.SeekLen(lo)
+				stats.ElementsSkipped += skipped
+				stats.ElementsRead += walked
+			}
+		}
+		l.done = !l.cur.Valid()
+		lists[i] = l
+	}
+	return lists
+}
+
+// beforeOrAt reports whether posting a precedes or equals position
+// (len, id) in weight-list order.
+func beforeOrAt(a invlist.Posting, len float64, id collection.SetID) bool {
+	if a.Len != len {
+		return a.Len < len
+	}
+	return a.ID <= id
+}
+
+// selectTA implements the Threshold Algorithm with random accesses: on
+// every new id surfaced by sorted access, the extendible-hash index of
+// every other list is probed to complete the score immediately. The scan
+// stops when the frontier bound F = Σ wᵢ(fᵢ) falls below τ. With
+// improved=true this is iTA (§V): Theorem 1 bounds the scanned length
+// range and Magnitude Boundedness skips the probes for sets whose
+// best-case score cannot reach τ.
+func (e *Engine) selectTA(q Query, tau float64, improved bool, o *Options, stats *Stats) ([]Result, error) {
+	if e.hashes == nil {
+		return nil, ErrNoHashIndex
+	}
+	lo, hi := 0.0, math.MaxFloat64
+	if improved {
+		lo, hi = lengthWindow(q, tau, o)
+	}
+	opts := *o
+	if !improved {
+		opts = Options{NoLengthBound: true}
+	}
+	lists := e.openLists(q, lo, &opts, stats)
+
+	var allIdfSq float64
+	for _, qt := range q.Tokens {
+		allIdfSq += qt.IDFSq
+	}
+
+	seen := make(map[collection.SetID]struct{})
+	var out []Result
+	for {
+		alive := false
+		for i, l := range lists {
+			if l.done {
+				continue
+			}
+			p, ok := l.frontier()
+			if !ok {
+				l.done = true
+				continue
+			}
+			stats.ElementsRead++
+			l.cur.Next()
+			if p.Len > hi {
+				// Theorem 1: nothing below this point can qualify.
+				l.done = true
+				continue
+			}
+			alive = true
+			if _, dup := seen[p.ID]; dup {
+				continue
+			}
+			seen[p.ID] = struct{}{}
+			if improved {
+				// Magnitude Boundedness: the best case assumes p
+				// appears in every list; if even that misses τ, skip
+				// the random accesses entirely.
+				if !sim.Meets(allIdfSq/(q.Len*p.Len), tau) {
+					continue
+				}
+			}
+			score := l.w(q.Len, p.Len)
+			for j, lj := range lists {
+				if j == i {
+					continue
+				}
+				stats.RandomProbes++
+				if _, found := e.hashes[q.Tokens[j].Token].Get(uint64(p.ID)); found {
+					score += lj.w(q.Len, p.Len)
+				}
+			}
+			if sim.Meets(score, tau) {
+				out = append(out, Result{ID: p.ID, Score: score})
+			}
+		}
+		stats.Rounds++
+		if !alive {
+			return out, listsErr(lists)
+		}
+		// Unseen-element bound: an id surfacing after every frontier has
+		// score at most F.
+		var f float64
+		for _, l := range lists {
+			if p, ok := l.frontier(); ok && p.Len <= hi {
+				f += l.w(q.Len, p.Len)
+			}
+		}
+		if !sim.Meets(f, tau) {
+			return out, listsErr(lists)
+		}
+	}
+}

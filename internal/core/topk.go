@@ -1,0 +1,360 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/collection"
+	"repro/internal/sim"
+)
+
+// Top-k processing is the first extension the paper's conclusion plans
+// (§X). Both variants below turn the selection threshold τ into a rising
+// bound: the k-th largest score lower bound seen so far. Lower bounds
+// only grow, so every pruning rule of the selection algorithms stays
+// sound with the dynamic τ substituted in.
+
+// SelectTopK returns the k highest-scoring sets for q, using alg ∈
+// {Naive, INRA, SF}. Ties at the k-th position are broken by ascending
+// id. Results are sorted by descending score.
+func (e *Engine) SelectTopK(q Query, k int, alg Algorithm, opts *Options) ([]Result, Stats, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	var stats Stats
+	if len(q.Tokens) == 0 {
+		return nil, stats, ErrEmptyQuery
+	}
+	if k <= 0 {
+		return nil, stats, nil
+	}
+	for _, qt := range q.Tokens {
+		stats.ListTotal += e.store.ListLen(qt.Token)
+	}
+	var res []Result
+	var err error
+	switch alg {
+	case Naive:
+		res = e.topkNaive(q, k)
+	case SF:
+		res = e.topkSF(q, k, &o, &stats)
+	case INRA:
+		res = e.topkINRA(q, k, &o, &stats)
+	default:
+		err = ErrUnknownAlg
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	sortTopK(res)
+	if len(res) > k {
+		res = res[:k]
+	}
+	return res, stats, nil
+}
+
+func sortTopK(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Score != rs[j].Score {
+			return rs[i].Score > rs[j].Score
+		}
+		return rs[i].ID < rs[j].ID
+	})
+}
+
+// topkNaive is the oracle: full scan, exact top-k.
+func (e *Engine) topkNaive(q Query, k int) []Result {
+	all := e.selectNaive(q, minPositiveTau, nil)
+	sortTopK(all)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// minPositiveTau admits any set sharing at least one token with the
+// query (every real score exceeds it).
+const minPositiveTau = 1e-30
+
+// effTau converts a dynamic threshold into the slack-adjusted value used
+// for geometric bounds, floored so the bounds stay positive while the
+// result heap is still filling.
+func effTau(tau float64) float64 {
+	t := tau - sim.ScoreEpsilon
+	if t < minPositiveTau {
+		t = minPositiveTau
+	}
+	return t
+}
+
+// kthBound tracks the k-th largest score lower bound across *distinct*
+// candidates — the dynamic τ. A candidate whose lower bound grows updates
+// its existing entry (increase-key) rather than occupying several heap
+// slots, which would inflate τ and prune true answers. It is an indexed
+// min-heap of at most k entries.
+type kthBound struct {
+	k      int
+	ids    []collection.SetID
+	scores []float64
+	pos    map[collection.SetID]int
+}
+
+func newKthBound(k int) *kthBound {
+	return &kthBound{k: k, pos: make(map[collection.SetID]int, k)}
+}
+
+func (b *kthBound) swap(i, j int) {
+	b.ids[i], b.ids[j] = b.ids[j], b.ids[i]
+	b.scores[i], b.scores[j] = b.scores[j], b.scores[i]
+	b.pos[b.ids[i]] = i
+	b.pos[b.ids[j]] = j
+}
+
+func (b *kthBound) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if b.scores[parent] <= b.scores[i] {
+			return
+		}
+		b.swap(i, parent)
+		i = parent
+	}
+}
+
+func (b *kthBound) siftDown(i int) {
+	n := len(b.scores)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && b.scores[l] < b.scores[min] {
+			min = l
+		}
+		if r < n && b.scores[r] < b.scores[min] {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		b.swap(i, min)
+		i = min
+	}
+}
+
+// offer records candidate id's current lower bound.
+func (b *kthBound) offer(id collection.SetID, score float64) {
+	if i, ok := b.pos[id]; ok {
+		if score > b.scores[i] {
+			b.scores[i] = score
+			b.siftDown(i)
+		}
+		return
+	}
+	if len(b.scores) < b.k {
+		b.ids = append(b.ids, id)
+		b.scores = append(b.scores, score)
+		b.pos[id] = len(b.scores) - 1
+		b.siftUp(len(b.scores) - 1)
+		return
+	}
+	if score > b.scores[0] {
+		delete(b.pos, b.ids[0])
+		b.ids[0], b.scores[0] = id, score
+		b.pos[id] = 0
+		b.siftDown(0)
+	}
+}
+
+// tau is the current pruning threshold: the k-th best lower bound across
+// distinct candidates, or a tiny positive floor while fewer than k exist.
+func (b *kthBound) tau() float64 {
+	if len(b.scores) < b.k {
+		return minPositiveTau
+	}
+	return b.scores[0]
+}
+
+// topkSF runs Shortest-First with the rising bound: per-list cutoffs λᵢ
+// and viability tests are re-evaluated against the current τ, which
+// tightens as candidate lower bounds accumulate.
+func (e *Engine) topkSF(q Query, k int, o *Options, stats *Stats) []Result {
+	lists := e.openLists(q, 0, o, stats) // no static Theorem 1 window: τ starts at ~0
+	n := len(lists)
+	suffix := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + q.Tokens[i].IDFSq
+	}
+
+	bound := newKthBound(k)
+	var c []*sfCand
+	byID := make(map[collection.SetID]*sfCand)
+
+	for i, l := range lists {
+		var news []*sfCand
+		mergePtr := 0
+		lastViable := len(c) - 1
+		for lastViable >= 0 && c[lastViable].dead {
+			lastViable--
+		}
+		for !l.done && l.cur.Valid() {
+			p := l.cur.Posting()
+			tau := bound.tau()
+			hi := q.Len / effTau(tau)
+			for mergePtr < len(c) && before(c[mergePtr], p) {
+				cc := c[mergePtr]
+				mergePtr++
+				if cc.dead {
+					continue
+				}
+				if !sim.Meets(cc.lower+suffix[i+1]/(q.Len*cc.len), tau) {
+					cc.dead = true
+					for lastViable >= 0 && c[lastViable].dead {
+						lastViable--
+					}
+				}
+			}
+			mu := suffix[i] / (effTau(tau) * q.Len)
+			if hi < mu {
+				mu = hi
+			}
+			stop := mu
+			if lastViable >= 0 && c[lastViable].len > stop {
+				stop = c[lastViable].len
+			}
+			if p.Len > stop {
+				break
+			}
+			stats.ElementsRead++
+			l.cur.Next()
+			if cc := byID[p.ID]; cc != nil {
+				if !cc.dead && !cc.seenCur {
+					cc.lower += l.w(q.Len, p.Len)
+					cc.seenCur = true
+					bound.offer(cc.id, cc.lower)
+				}
+				continue
+			}
+			if sim.Meets(suffix[i]/(q.Len*p.Len), tau) {
+				cc := &sfCand{id: p.ID, len: p.Len, lower: l.w(q.Len, p.Len), seenCur: true}
+				news = append(news, cc)
+				byID[p.ID] = cc
+				bound.offer(cc.id, cc.lower)
+				stats.CandidatesInserted++
+			}
+		}
+
+		stats.CandidateScans++
+		tau := bound.tau()
+		merged := make([]*sfCand, 0, len(c)+len(news))
+		oi, ni := 0, 0
+		for oi < len(c) || ni < len(news) {
+			var take *sfCand
+			if oi < len(c) && (ni >= len(news) || candBefore(c[oi], news[ni])) {
+				take = c[oi]
+				oi++
+				if take.dead || !sim.Meets(take.lower+suffix[i+1]/(q.Len*take.len), tau) {
+					delete(byID, take.id)
+					continue
+				}
+			} else {
+				take = news[ni]
+				ni++
+			}
+			take.seenCur = false
+			merged = append(merged, take)
+		}
+		c = merged
+	}
+
+	tau := bound.tau()
+	var out []Result
+	for _, cc := range c {
+		if !cc.dead && sim.Meets(cc.lower, tau) {
+			out = append(out, Result{ID: cc.id, Score: cc.lower})
+		}
+	}
+	return out
+}
+
+// topkINRA runs iNRA's round-robin with the rising bound.
+func (e *Engine) topkINRA(q Query, k int, o *Options, stats *Stats) []Result {
+	lists := e.openLists(q, 0, o, stats)
+	n := len(lists)
+	cands := make(map[collection.SetID]*impCand)
+	bound := newKthBound(k)
+	var done []Result
+
+	for {
+		tau := bound.tau()
+		hi := q.Len / effTau(tau)
+		alive := false
+		for i, l := range lists {
+			if l.done {
+				continue
+			}
+			p, ok := l.frontier()
+			if !ok {
+				l.done = true
+				continue
+			}
+			stats.ElementsRead++
+			l.cur.Next()
+			if p.Len > hi {
+				l.done = true
+				continue
+			}
+			alive = true
+			if c := cands[p.ID]; c != nil {
+				c.resolveSeen(i, l.idfSq, l.w(q.Len, p.Len))
+				bound.offer(c.id, c.lower)
+				if c.nResolved == n {
+					done = append(done, Result{ID: c.id, Score: c.lower})
+					delete(cands, p.ID)
+				}
+				continue
+			}
+			if c := admit(lists, i, p, q, tau); c != nil {
+				cands[p.ID] = c
+				bound.offer(c.id, c.lower)
+				stats.CandidatesInserted++
+			}
+		}
+		stats.Rounds++
+
+		if !alive {
+			for _, c := range cands {
+				done = append(done, Result{ID: c.id, Score: c.lower})
+			}
+			return done
+		}
+
+		tau = bound.tau()
+		var f float64
+		for _, l := range lists {
+			if p, ok := l.frontier(); ok && p.Len <= hi {
+				f += l.w(q.Len, p.Len)
+			}
+		}
+		if sim.Meets(f, tau) {
+			continue
+		}
+		stats.CandidateScans++
+		for id, c := range cands {
+			for j, lj := range lists {
+				if !c.resolved.has(j) && ruledOut(lj, c.len, c.id) {
+					c.resolveAbsent(j, lj.idfSq)
+				}
+			}
+			if c.nResolved == n {
+				done = append(done, Result{ID: c.id, Score: c.lower})
+				delete(cands, id)
+				continue
+			}
+			if !sim.Meets(c.upper(q.Len), tau) {
+				delete(cands, id)
+			}
+		}
+		if len(cands) == 0 {
+			return done
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/collection"
+)
+
+func scoreMap(e *Engine, q Query) map[collection.SetID]float64 {
+	all := e.selectNaive(q, minPositiveTau, nil)
+	m := make(map[collection.SetID]float64, len(all))
+	for _, r := range all {
+		m[r.ID] = r.Score
+	}
+	return m
+}
+
+// assertTopK verifies got against the oracle: the score sequence must
+// match the true top-k sequence (ties at the boundary may swap ids), and
+// every reported score must be the set's true score.
+func assertTopK(t *testing.T, e *Engine, q Query, k int, alg Algorithm, got []Result) {
+	t.Helper()
+	truth := scoreMap(e, q)
+	want := e.topkNaive(q, k)
+	if len(got) != len(want) {
+		t.Fatalf("%v k=%d: got %d results, want %d", alg, k, len(got), len(want))
+	}
+	for i := range got {
+		if math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+			t.Fatalf("%v k=%d rank %d: score %.12f, oracle %.12f",
+				alg, k, i, got[i].Score, want[i].Score)
+		}
+		ts, ok := truth[got[i].ID]
+		if !ok || math.Abs(got[i].Score-ts) > 1e-9 {
+			t.Fatalf("%v k=%d: id %d reported %.12f, true %.12f",
+				alg, k, got[i].ID, got[i].Score, ts)
+		}
+	}
+	// Descending order.
+	for i := 1; i < len(got); i++ {
+		if got[i].Score > got[i-1].Score+1e-12 {
+			t.Fatalf("%v: results not sorted by score", alg)
+		}
+	}
+}
+
+func TestTopKMatchesOracle(t *testing.T) {
+	e := buildEngine(t, 700, 31, 7, Config{})
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 15; trial++ {
+		qid := collection.SetID(rng.Intn(e.c.NumSets()))
+		q := e.PrepareCounts(e.c.Set(qid))
+		for _, k := range []int{1, 3, 10, 50} {
+			for _, alg := range []Algorithm{SF, INRA} {
+				got, _, err := e.SelectTopK(q, k, alg, nil)
+				if err != nil {
+					t.Fatalf("%v: %v", alg, err)
+				}
+				assertTopK(t, e, q, k, alg, got)
+			}
+		}
+	}
+}
+
+func TestTopKModifiedQueries(t *testing.T) {
+	e := buildEngine(t, 500, 33, 6, Config{})
+	rng := rand.New(rand.NewSource(34))
+	for trial := 0; trial < 10; trial++ {
+		src := e.c.Source(collection.SetID(rng.Intn(e.c.NumSets())))
+		q := e.Prepare(mutate(rng, src, 2))
+		if len(q.Tokens) == 0 {
+			continue
+		}
+		for _, alg := range []Algorithm{SF, INRA} {
+			got, _, err := e.SelectTopK(q, 5, alg, nil)
+			if err != nil {
+				t.Fatalf("%v: %v", alg, err)
+			}
+			assertTopK(t, e, q, 5, alg, got)
+		}
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	e := buildEngine(t, 200, 35, 6, Config{})
+	q := e.PrepareCounts(e.c.Set(0))
+	// k = 0 returns nothing.
+	if got, _, err := e.SelectTopK(q, 0, SF, nil); err != nil || len(got) != 0 {
+		t.Errorf("k=0: %v, %v", got, err)
+	}
+	// k larger than any candidate pool returns everything overlapping.
+	got, _, err := e.SelectTopK(q, 1<<20, SF, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTopK(t, e, q, 1<<20, SF, got)
+	// Empty query errors.
+	if _, _, err := e.SelectTopK(Query{}, 5, SF, nil); err != ErrEmptyQuery {
+		t.Errorf("empty query err = %v", err)
+	}
+	// Unsupported algorithm errors.
+	if _, _, err := e.SelectTopK(q, 5, SortByID, nil); err != ErrUnknownAlg {
+		t.Errorf("unsupported alg err = %v", err)
+	}
+	// k=1 must return the exact match for a self-query.
+	one, _, err := e.SelectTopK(q, 1, SF, nil)
+	if err != nil || len(one) != 1 {
+		t.Fatalf("k=1: %v %v", one, err)
+	}
+	if one[0].ID != 0 || math.Abs(one[0].Score-1) > 1e-9 {
+		t.Errorf("k=1 self query: %+v", one[0])
+	}
+}
+
+func TestTopKPrunesAgainstFullScan(t *testing.T) {
+	e := buildEngine(t, 4000, 37, 8, Config{})
+	q := e.PrepareCounts(e.c.Set(10))
+	_, st, err := e.SelectTopK(q, 5, SF, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ElementsRead >= st.ListTotal {
+		t.Errorf("SF top-k read everything: %d of %d", st.ElementsRead, st.ListTotal)
+	}
+	t.Logf("SF top-5 read %d of %d (%.1f%% pruned)", st.ElementsRead, st.ListTotal, st.PruningPower())
+}

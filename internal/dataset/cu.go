@@ -1,0 +1,105 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// CUDataset is a stand-in for one of the cu1…cu8 benchmark datasets of
+// Chandel et al. [10] used in Table I: clusters of dirty duplicates
+// derived from clean records, with ground truth for precision
+// measurement. cu1 carries the heaviest errors, cu8 the lightest.
+type CUDataset struct {
+	Name      string
+	ErrorRate float64 // expected edits per character in a duplicate
+	Records   []string
+	Cluster   []int // ground-truth cluster of each record
+	// Queries are fresh dirty strings (not present in Records), one per
+	// sampled cluster, paired with the cluster they were derived from.
+	Queries        []string
+	QueryClusters  []int
+	DupsPerCluster int
+}
+
+// cuErrorRates grades cu1 (worst) … cu8 (cleanest), chosen so that the
+// resulting average-precision range brackets the paper's Table I
+// (≈0.69 … ≈0.99).
+var cuErrorRates = []float64{0.22, 0.17, 0.13, 0.09, 0.07, 0.05, 0.03, 0.015}
+
+// CUDatasets builds the eight datasets over a shared clean-record
+// generator: nClusters clean records, dups dirty copies each, and
+// queries fresh dirty probes per dataset.
+func CUDatasets(rng *rand.Rand, nClusters, dups, queries int) []CUDataset {
+	// Clean records: person-name-like rows, 2-3 words.
+	v := NewVocabulary(rng, nClusters/2+500, 1.05)
+	clean := make([]string, nClusters)
+	seen := map[string]bool{}
+	for i := 0; i < nClusters; {
+		k := 2 + rng.Intn(2)
+		parts := make([]string, k)
+		for j := range parts {
+			parts[j] = v.Sample()
+		}
+		s := strings.Join(parts, " ")
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		clean[i] = s
+		i++
+	}
+
+	out := make([]CUDataset, len(cuErrorRates))
+	for d, rate := range cuErrorRates {
+		ds := CUDataset{
+			Name:           fmt.Sprintf("cu%d", d+1),
+			ErrorRate:      rate,
+			DupsPerCluster: dups,
+		}
+		for c, s := range clean {
+			// The clean record plus its dirty duplicates.
+			ds.Records = append(ds.Records, s)
+			ds.Cluster = append(ds.Cluster, c)
+			for j := 0; j < dups; j++ {
+				ds.Records = append(ds.Records, dirty(rng, s, rate))
+				ds.Cluster = append(ds.Cluster, c)
+			}
+		}
+		for qi := 0; qi < queries; qi++ {
+			c := rng.Intn(nClusters)
+			ds.Queries = append(ds.Queries, dirty(rng, clean[c], rate))
+			ds.QueryClusters = append(ds.QueryClusters, c)
+		}
+		out[d] = ds
+	}
+	return out
+}
+
+// dirty applies rate·len expected single-character edits (at least one
+// when rate > 0, so duplicates are never byte-identical in the heavy
+// datasets) plus occasional word-level noise: token duplication or drop,
+// the errors that distinguish tf-sensitive measures.
+func dirty(rng *rand.Rand, s string, rate float64) string {
+	words := strings.Fields(s)
+	if len(words) > 1 {
+		switch {
+		case rng.Float64() < rate/2: // duplicate a word
+			i := rng.Intn(len(words))
+			words = append(words[:i+1], words[i:]...)
+		case rng.Float64() < rate/2 && len(words) > 2: // drop a word
+			i := rng.Intn(len(words))
+			words = append(words[:i], words[i+1:]...)
+		}
+	}
+	t := strings.Join(words, " ")
+	n := int(rate * float64(len(t)))
+	if rate > 0 && n == 0 {
+		n = 1
+	}
+	// Poisson-ish jitter around the expectation.
+	if n > 1 && rng.Intn(2) == 0 {
+		n += rng.Intn(3) - 1
+	}
+	return Modify(rng, t, n)
+}

@@ -1,0 +1,190 @@
+// Package dataset synthesizes the corpora and query workloads of the
+// paper's evaluation (§VIII, Table I). The real inputs — the IMDB
+// actor/movie table, DBLP citations, and the cu1…cu8 benchmark datasets
+// of Chandel et al. [10] — are not redistributable, so this package
+// builds statistical stand-ins: Zipf-distributed vocabularies with
+// realistic word-length profiles, dirty-duplicate generation with
+// per-character error models, and the paper's query workloads (words of
+// 1–5 / 6–10 / 11–15 / 16–20 3-grams with 0–3 modifications).
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Zipf samples ranks 1..n with P(r) ∝ 1/r^s, the token frequency shape
+// of both IMDB and DBLP vocabularies. (math/rand's Zipf generates an
+// unbounded tail; this one is bounded and deterministic per seed.)
+type Zipf struct {
+	cdf []float64
+	rng *rand.Rand
+}
+
+// NewZipf builds a bounded Zipf sampler over n ranks with exponent s.
+func NewZipf(rng *rand.Rand, n int, s float64) *Zipf {
+	cdf := make([]float64, n)
+	var total float64
+	for r := 1; r <= n; r++ {
+		total += 1 / math.Pow(float64(r), s)
+		cdf[r-1] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Next returns a rank in [0, n).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(z.cdf) {
+		lo = len(z.cdf) - 1
+	}
+	return lo
+}
+
+// syllables compose pronounceable word shapes, giving the vocabulary a
+// realistic character(3-gram) distribution rather than uniform noise.
+var (
+	onsets  = []string{"b", "br", "c", "ch", "d", "f", "g", "gr", "h", "j", "k", "l", "m", "n", "p", "pr", "r", "s", "st", "t", "th", "v", "w", "z", ""}
+	vowels  = []string{"a", "e", "i", "o", "u", "ai", "ea", "ou", "io"}
+	codas   = []string{"", "n", "r", "s", "t", "l", "ll", "rd", "ng", "ck"}
+	suffixe = []string{"", "", "", "son", "man", "ton", "ez", "ski", "wood", "field"}
+)
+
+// Vocabulary is a generated word list with Zipfian usage frequencies.
+type Vocabulary struct {
+	Words []string
+	zipf  *Zipf
+}
+
+// NewVocabulary generates n distinct pronounceable words of 3..maxSyll
+// syllables with a Zipf(s) usage distribution.
+func NewVocabulary(rng *rand.Rand, n int, s float64) *Vocabulary {
+	seen := make(map[string]bool, n)
+	words := make([]string, 0, n)
+	for len(words) < n {
+		var sb strings.Builder
+		syll := 1 + rng.Intn(3)
+		if rng.Intn(8) == 0 {
+			// A long-word tail (compound surnames, titles) so the
+			// paper's 16–20-gram query bucket is populated.
+			syll = 4 + rng.Intn(3)
+		}
+		for i := 0; i < syll; i++ {
+			sb.WriteString(onsets[rng.Intn(len(onsets))])
+			sb.WriteString(vowels[rng.Intn(len(vowels))])
+			sb.WriteString(codas[rng.Intn(len(codas))])
+		}
+		if rng.Intn(4) == 0 {
+			sb.WriteString(suffixe[rng.Intn(len(suffixe))])
+		}
+		w := sb.String()
+		if len(w) < 3 || seen[w] {
+			continue
+		}
+		seen[w] = true
+		words = append(words, w)
+	}
+	return &Vocabulary{Words: words, zipf: NewZipf(rng, n, s)}
+}
+
+// Sample draws one word by Zipfian rank.
+func (v *Vocabulary) Sample() string { return v.Words[v.zipf.Next()] }
+
+// IMDBLike generates rows shaped like the paper's 7M-row Actor/Movie
+// table scaled down to n rows: each row is "actor-name / movie-title"
+// with 2-4 words per field drawn from a shared Zipfian vocabulary.
+func IMDBLike(rng *rand.Rand, n int) []string {
+	vocabSize := n / 4
+	if vocabSize < 500 {
+		vocabSize = 500
+	}
+	v := NewVocabulary(rng, vocabSize, 1.07)
+	rows := make([]string, n)
+	for i := range rows {
+		var parts []string
+		for j := 0; j < 2+rng.Intn(2); j++ { // actor words
+			parts = append(parts, v.Sample())
+		}
+		for j := 0; j < 1+rng.Intn(3); j++ { // movie words
+			parts = append(parts, v.Sample())
+		}
+		rows[i] = strings.Join(parts, " ")
+	}
+	return rows
+}
+
+// DBLPLike generates citation-title-shaped rows: longer word sequences
+// from a larger vocabulary.
+func DBLPLike(rng *rand.Rand, n int) []string {
+	vocabSize := n / 2
+	if vocabSize < 800 {
+		vocabSize = 800
+	}
+	v := NewVocabulary(rng, vocabSize, 1.0)
+	rows := make([]string, n)
+	for i := range rows {
+		k := 4 + rng.Intn(8)
+		parts := make([]string, k)
+		for j := range parts {
+			parts[j] = v.Sample()
+		}
+		rows[i] = strings.Join(parts, " ")
+	}
+	return rows
+}
+
+// Words extracts the distinct words of a row corpus — the unit the
+// paper's experiments index ("we tokenize tuples into words, and convert
+// each word into a set using 3-grams").
+func Words(rows []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range rows {
+		for _, w := range strings.Fields(r) {
+			if !seen[w] {
+				seen[w] = true
+				out = append(out, w)
+			}
+		}
+	}
+	return out
+}
+
+// Modify applies n random single-character edits — insertions, deletions
+// and adjacent swaps, the paper's "modifications" — to s.
+func Modify(rng *rand.Rand, s string, n int) string {
+	b := []byte(s)
+	for i := 0; i < n; i++ {
+		if len(b) == 0 {
+			b = append(b, byte('a'+rng.Intn(26)))
+			continue
+		}
+		switch rng.Intn(3) {
+		case 0:
+			pos := rng.Intn(len(b) + 1)
+			b = append(b[:pos], append([]byte{byte('a' + rng.Intn(26))}, b[pos:]...)...)
+		case 1:
+			pos := rng.Intn(len(b))
+			b = append(b[:pos], b[pos+1:]...)
+		case 2:
+			if len(b) >= 2 {
+				pos := rng.Intn(len(b) - 1)
+				b[pos], b[pos+1] = b[pos+1], b[pos]
+			}
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,241 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := NewZipf(rng, 1000, 1.1)
+	counts := make([]int, 1000)
+	for i := 0; i < 200000; i++ {
+		counts[z.Next()]++
+	}
+	// Rank 0 must dominate rank 99 by roughly the power-law ratio.
+	if counts[0] < counts[99]*10 {
+		t.Errorf("no Zipf skew: rank0=%d rank99=%d", counts[0], counts[99])
+	}
+	// All ranks reachable in principle; at least the head must be dense.
+	for r := 0; r < 10; r++ {
+		if counts[r] == 0 {
+			t.Errorf("head rank %d never sampled", r)
+		}
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	z := NewZipf(rng, 10, 1.0)
+	for i := 0; i < 10000; i++ {
+		if r := z.Next(); r < 0 || r >= 10 {
+			t.Fatalf("rank %d out of bounds", r)
+		}
+	}
+}
+
+func TestVocabulary(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	v := NewVocabulary(rng, 2000, 1.05)
+	if len(v.Words) != 2000 {
+		t.Fatalf("vocab size %d", len(v.Words))
+	}
+	seen := map[string]bool{}
+	long := 0
+	for _, w := range v.Words {
+		if seen[w] {
+			t.Fatalf("duplicate word %q", w)
+		}
+		seen[w] = true
+		if len(w) < 3 {
+			t.Fatalf("too-short word %q", w)
+		}
+		if GramCount(w) >= 16 {
+			long++
+		}
+	}
+	if long == 0 {
+		t.Error("no words in the 16-20 gram bucket")
+	}
+}
+
+func TestIMDBLikeShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rows := IMDBLike(rng, 5000)
+	if len(rows) != 5000 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows[:100] {
+		k := len(strings.Fields(r))
+		if k < 3 || k > 7 {
+			t.Errorf("row %q has %d words", r, k)
+		}
+	}
+	words := Words(rows)
+	if len(words) < 500 {
+		t.Errorf("only %d distinct words", len(words))
+	}
+	// Zipf reuse: distinct words must be far fewer than occurrences.
+	occurrences := 0
+	for _, r := range rows {
+		occurrences += len(strings.Fields(r))
+	}
+	if len(words)*2 > occurrences {
+		t.Errorf("vocabulary not reused: %d distinct of %d occurrences", len(words), occurrences)
+	}
+}
+
+func TestDBLPLikeShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rows := DBLPLike(rng, 1000)
+	sum := 0
+	for _, r := range rows {
+		sum += len(strings.Fields(r))
+	}
+	if avg := float64(sum) / 1000; avg < 5 || avg > 10 {
+		t.Errorf("DBLP-like avg words %g", avg)
+	}
+}
+
+func TestModify(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if got := Modify(rng, "hello", 0); got != "hello" {
+		t.Errorf("0 mods changed string: %q", got)
+	}
+	changed := 0
+	for i := 0; i < 100; i++ {
+		if Modify(rng, "hello world", 2) != "hello world" {
+			changed++
+		}
+	}
+	if changed < 90 {
+		t.Errorf("2 mods left string unchanged %d/100 times", 100-changed)
+	}
+	// Length can only change by at most n edits.
+	for i := 0; i < 200; i++ {
+		out := Modify(rng, "abcdefgh", 3)
+		if math.Abs(float64(len(out)-8)) > 3 {
+			t.Fatalf("3 edits changed length by %d", len(out)-8)
+		}
+	}
+	// Modifying an empty string must not panic and yields something.
+	if out := Modify(rng, "", 2); len(out) == 0 {
+		t.Error("modify of empty string produced empty output")
+	}
+}
+
+func TestGramCount(t *testing.T) {
+	tests := []struct {
+		w    string
+		want int
+	}{
+		{"", 0}, {"a", 1}, {"ab", 1}, {"abc", 1}, {"abcd", 2}, {"abcdefg", 5},
+	}
+	for _, tc := range tests {
+		if got := GramCount(tc.w); got != tc.want {
+			t.Errorf("GramCount(%q) = %d, want %d", tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestMakeWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rows := IMDBLike(rng, 20000)
+	words := Words(rows)
+	for _, b := range SizeBuckets {
+		wl, ok := MakeWorkload(rng, words, b, 50, 0)
+		if !ok {
+			t.Fatalf("bucket %s empty", b.Name)
+		}
+		if len(wl.Queries) != 50 {
+			t.Fatalf("bucket %s: %d queries", b.Name, len(wl.Queries))
+		}
+		for _, q := range wl.Queries {
+			if g := GramCount(q); g < b.Min || g > b.Max {
+				t.Errorf("bucket %s: query %q has %d grams", b.Name, q, g)
+			}
+		}
+	}
+	// Modified workloads differ from pure corpus words.
+	wl, _ := MakeWorkload(rng, words, SizeBuckets[2], 50, 2)
+	wordSet := map[string]bool{}
+	for _, w := range words {
+		wordSet[w] = true
+	}
+	hits := 0
+	for _, q := range wl.Queries {
+		if wordSet[q] {
+			hits++
+		}
+	}
+	if hits > 25 {
+		t.Errorf("modified workload still matches corpus %d/50 times", hits)
+	}
+	// Empty bucket reports ok=false.
+	if _, ok := MakeWorkload(rng, []string{"abc"}, SizeBuckets[3], 5, 0); ok {
+		t.Error("impossible bucket reported ok")
+	}
+}
+
+func TestCUDatasets(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	sets := CUDatasets(rng, 100, 4, 30)
+	if len(sets) != 8 {
+		t.Fatalf("%d datasets", len(sets))
+	}
+	prevRate := math.Inf(1)
+	for i, ds := range sets {
+		if ds.Name != "cu"+string(rune('1'+i)) {
+			t.Errorf("name %q", ds.Name)
+		}
+		if ds.ErrorRate >= prevRate {
+			t.Errorf("%s error rate %g not decreasing", ds.Name, ds.ErrorRate)
+		}
+		prevRate = ds.ErrorRate
+		if len(ds.Records) != 100*5 {
+			t.Errorf("%s: %d records", ds.Name, len(ds.Records))
+		}
+		if len(ds.Queries) != 30 || len(ds.QueryClusters) != 30 {
+			t.Errorf("%s: %d queries", ds.Name, len(ds.Queries))
+		}
+		for r := 1; r < len(ds.Records); r++ {
+			if ds.Cluster[r] < 0 || ds.Cluster[r] >= 100 {
+				t.Fatalf("%s: bad cluster %d", ds.Name, ds.Cluster[r])
+			}
+		}
+	}
+	// Heavier error rates must produce more distorted duplicates: count
+	// exact matches between duplicates and their clean record.
+	exact := func(ds CUDataset) int {
+		n := 0
+		for i := 0; i < len(ds.Records); i += 5 {
+			for j := 1; j < 5; j++ {
+				if ds.Records[i+j] == ds.Records[i] {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if exact(sets[0]) > exact(sets[7]) {
+		t.Errorf("cu1 has more exact duplicates (%d) than cu8 (%d)",
+			exact(sets[0]), exact(sets[7]))
+	}
+}
+
+func TestCUDeterminism(t *testing.T) {
+	a := CUDatasets(rand.New(rand.NewSource(9)), 20, 2, 5)
+	b := CUDatasets(rand.New(rand.NewSource(9)), 20, 2, 5)
+	for i := range a {
+		if len(a[i].Records) != len(b[i].Records) {
+			t.Fatal("nondeterministic sizes")
+		}
+		for j := range a[i].Records {
+			if a[i].Records[j] != b[i].Records[j] {
+				t.Fatal("nondeterministic records")
+			}
+		}
+	}
+}

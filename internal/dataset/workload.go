@@ -1,0 +1,62 @@
+package dataset
+
+import "math/rand"
+
+// SizeBucket is one of the paper's query-size classes, measured in
+// unpadded 3-grams per word (a word of c characters has c-2 grams).
+type SizeBucket struct {
+	Name     string
+	Min, Max int // gram count bounds, inclusive
+}
+
+// SizeBuckets are the four classes of Fig. 6(b)/7(b)/8.
+var SizeBuckets = []SizeBucket{
+	{"1-5", 1, 5},
+	{"6-10", 6, 10},
+	{"11-15", 11, 15},
+	{"16-20", 16, 20},
+}
+
+// GramCount is the number of unpadded 3-grams of w.
+func GramCount(w string) int {
+	n := len([]rune(w)) - 2
+	if n < 1 {
+		if len(w) == 0 {
+			return 0
+		}
+		return 1
+	}
+	return n
+}
+
+// Workload is a set of query words plus the generation parameters.
+type Workload struct {
+	Bucket        SizeBucket
+	Modifications int
+	Queries       []string
+}
+
+// MakeWorkload extracts n random words of the requested size class from
+// the corpus words and applies the fixed number of modifications to each
+// (§VIII-A: "every word has at least one exact match" when mods == 0).
+// It returns false when the corpus has no words in the bucket.
+func MakeWorkload(rng *rand.Rand, words []string, b SizeBucket, n, mods int) (Workload, bool) {
+	var pool []string
+	for _, w := range words {
+		if g := GramCount(w); g >= b.Min && g <= b.Max {
+			pool = append(pool, w)
+		}
+	}
+	if len(pool) == 0 {
+		return Workload{}, false
+	}
+	wl := Workload{Bucket: b, Modifications: mods, Queries: make([]string, n)}
+	for i := range wl.Queries {
+		w := pool[rng.Intn(len(pool))]
+		if mods > 0 {
+			w = Modify(rng, w, mods)
+		}
+		wl.Queries[i] = w
+	}
+	return wl, true
+}

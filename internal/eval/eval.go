@@ -1,0 +1,157 @@
+// Package eval provides the evaluation metrics and report formatting the
+// experiments use: average precision for Table I, and fixed-width table
+// rendering that mirrors the layout of the paper's tables and figures.
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AveragePrecision computes AP over a ranked relevance list: the mean of
+// precision@i taken at each relevant position, divided by the total
+// number of relevant items (totalRelevant ≥ hits in the ranking; items
+// the ranking never retrieved count as misses). Returns 0 when
+// totalRelevant is 0.
+func AveragePrecision(ranked []bool, totalRelevant int) float64 {
+	if totalRelevant <= 0 {
+		return 0
+	}
+	var sum float64
+	hits := 0
+	for i, rel := range ranked {
+		if rel {
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	return sum / float64(totalRelevant)
+}
+
+// MeanAveragePrecision averages per-query APs.
+func MeanAveragePrecision(aps []float64) float64 {
+	if len(aps) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, ap := range aps {
+		sum += ap
+	}
+	return sum / float64(len(aps))
+}
+
+// Table renders aligned-column reports.
+type Table struct {
+	title  string
+	header []string
+	rows   [][]string
+}
+
+// NewTable starts a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{title: title, header: header}
+}
+
+// AddRow appends one row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+			if v >= 1000 {
+				row[i] = fmt.Sprintf("%.1f", v)
+			}
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.title != "" {
+		sb.WriteString(t.title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Bytes renders a byte count in a human unit (MB with one decimal).
+func Bytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of samples using linear
+// interpolation between order statistics. The input is not modified.
+func Quantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), samples...)
+	sortFloats(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+func sortFloats(a []float64) {
+	// Insertion sort is adequate for the ≤ a-few-hundred samples the
+	// experiment cells collect; avoids the sort import for one call site.
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAveragePrecision(t *testing.T) {
+	tests := []struct {
+		name   string
+		ranked []bool
+		total  int
+		want   float64
+	}{
+		{"perfect", []bool{true, true}, 2, 1.0},
+		{"single miss first", []bool{false, true}, 1, 0.5},
+		{"interleaved", []bool{true, false, true}, 2, (1.0 + 2.0/3.0) / 2},
+		{"unretrieved relevant", []bool{true}, 2, 0.5},
+		{"nothing relevant", []bool{false, false}, 0, 0},
+		{"empty ranking", nil, 3, 0},
+	}
+	for _, tc := range tests {
+		if got := AveragePrecision(tc.ranked, tc.total); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: AP = %g, want %g", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestMeanAveragePrecision(t *testing.T) {
+	if got := MeanAveragePrecision(nil); got != 0 {
+		t.Errorf("empty MAP = %g", got)
+	}
+	if got := MeanAveragePrecision([]float64{0.5, 1.0}); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("MAP = %g", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "alg", "time", "notes")
+	tb.AddRow("sf", 0.17, "fast")
+	tb.AddRow("sort-by-id", 12.5, "flat")
+	out := tb.String()
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "sort-by-id") {
+		t.Errorf("table missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("table has %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: each data line at least as long as the header line.
+	if len(lines[3]) < len(strings.TrimRight(lines[1], " ")) {
+		t.Errorf("misaligned table:\n%s", out)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	tests := []struct {
+		n    int64
+		want string
+	}{
+		{512, "512 B"},
+		{2048, "2.0 KB"},
+		{5 << 20, "5.0 MB"},
+		{3 << 30, "3.00 GB"},
+	}
+	for _, tc := range tests {
+		if got := Bytes(tc.n); got != tc.want {
+			t.Errorf("Bytes(%d) = %q, want %q", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty quantile = %g", got)
+	}
+	s := []float64{5, 1, 3, 2, 4}
+	if got := Quantile(s, 0); got != 1 {
+		t.Errorf("q0 = %g", got)
+	}
+	if got := Quantile(s, 1); got != 5 {
+		t.Errorf("q1 = %g", got)
+	}
+	if got := Quantile(s, 0.5); got != 3 {
+		t.Errorf("median = %g", got)
+	}
+	if got := Quantile(s, 0.25); got != 2 {
+		t.Errorf("q25 = %g", got)
+	}
+	// Input not mutated.
+	if s[0] != 5 {
+		t.Error("Quantile mutated input")
+	}
+	// Interpolation between order statistics.
+	if got := Quantile([]float64{0, 10}, 0.75); math.Abs(got-7.5) > 1e-12 {
+		t.Errorf("interpolated = %g", got)
+	}
+}

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// smallEnv builds a fast environment for driver smoke tests.
+func smallEnv(tb testing.TB) *Env {
+	tb.Helper()
+	return BuildEnv(Setup{Seed: 3, Rows: 4000, Queries: 12, SkipInterval: 8})
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows := Table1(7, 60, 4, 40)
+	if len(rows) != 8 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		for _, ap := range []float64{r.TFIDF, r.IDF, r.BM25, r.BM25P} {
+			if ap <= 0 || ap > 1 {
+				t.Fatalf("%s: AP %g out of range", r.Dataset, ap)
+			}
+		}
+		// The paper's central quality claim: dropping tf is harmless.
+		if math.Abs(r.TFIDF-r.IDF) > 0.06 {
+			t.Errorf("%s: TFIDF %0.3f vs IDF %0.3f differ too much", r.Dataset, r.TFIDF, r.IDF)
+		}
+		if math.Abs(r.BM25-r.BM25P) > 0.06 {
+			t.Errorf("%s: BM25 %0.3f vs BM25' %0.3f differ too much", r.Dataset, r.BM25, r.BM25P)
+		}
+	}
+	// Precision improves from cu1 (heavy errors) to cu8 (light errors).
+	if rows[7].IDF <= rows[0].IDF {
+		t.Errorf("cu8 IDF %0.3f not above cu1 %0.3f", rows[7].IDF, rows[0].IDF)
+	}
+	if rows[7].IDF < 0.85 {
+		t.Errorf("cu8 IDF %0.3f unexpectedly low", rows[7].IDF)
+	}
+	t.Logf("Table I: cu1 IDF=%.3f … cu8 IDF=%.3f", rows[0].IDF, rows[7].IDF)
+}
+
+func TestFig5Shape(t *testing.T) {
+	env := smallEnv(t)
+	z := Fig5(env)
+	if z.Relational.QGramTable <= 0 || z.Lists.WeightLists <= 0 || z.ExtHash <= 0 {
+		t.Fatalf("sizes not populated: %+v", z)
+	}
+	// The paper's Fig. 5 shape: every index dwarfs the base table; the
+	// SQL side (gram table + B-tree) is the largest; skip lists are tiny.
+	if z.Relational.QGramTable+z.Relational.BTree <= z.Relational.BaseTable {
+		t.Error("SQL indexes not larger than base table")
+	}
+	if z.Lists.SkipIndexes >= z.Lists.WeightLists/4 {
+		t.Errorf("skip indexes too large: %d vs %d", z.Lists.SkipIndexes, z.Lists.WeightLists)
+	}
+	if z.ExtHash <= z.Lists.SkipIndexes {
+		t.Error("extendible hashing should far exceed skip lists")
+	}
+}
+
+func TestFig6aShape(t *testing.T) {
+	env := smallEnv(t)
+	cells := Fig6a(env)
+	if len(cells) != len(Fig6Taus)*8 {
+		t.Fatalf("%d cells", len(cells))
+	}
+	// Mean results must not increase with τ.
+	byTau := map[float64]float64{}
+	for _, c := range cells {
+		if c.Alg == core.SF {
+			byTau[c.Tau] = c.MeanRes
+		}
+	}
+	if byTau[0.9] > byTau[0.6] {
+		t.Errorf("results grow with τ: %v", byTau)
+	}
+	// sort-by-id reads everything: pruning 0.
+	for _, c := range cells {
+		if c.Alg == core.SortByID && c.Pruning > 1e-9 {
+			t.Errorf("sort-by-id pruned %0.1f%%", c.Pruning)
+		}
+	}
+}
+
+func TestFig7PruningOrder(t *testing.T) {
+	env := smallEnv(t)
+	cells := Fig7a(env)
+	// At τ = 0.9 the improved algorithms must beat NRA's pruning.
+	var nra, sf float64
+	for _, c := range cells {
+		if c.Tau == 0.9 {
+			switch c.Alg {
+			case core.NRA:
+				nra = c.Pruning
+			case core.SF:
+				sf = c.Pruning
+			}
+		}
+	}
+	if sf <= nra {
+		t.Errorf("SF pruning %0.1f%% not above NRA %0.1f%% at τ=0.9", sf, nra)
+	}
+}
+
+func TestFig8LengthBoundingHelps(t *testing.T) {
+	env := smallEnv(t)
+	cells := Fig8a(env)
+	// Aggregate reads with and without LB across the sweep.
+	var with, without float64
+	for _, c := range cells {
+		if c.Alg == core.SQL {
+			continue // SQL reads counted in rows, same comparison below
+		}
+		if len(c.Label) > 4 && c.Label[len(c.Label)-3:] == "NLB" {
+			without += c.Reads
+		} else {
+			with += c.Reads
+		}
+	}
+	if with >= without {
+		t.Errorf("LB did not reduce reads: %g vs %g", with, without)
+	}
+}
+
+func TestFig9SkipListsHelp(t *testing.T) {
+	env := smallEnv(t)
+	cells := Fig9(env)
+	var with, without float64
+	for _, c := range cells {
+		if len(c.Label) > 4 && c.Label[len(c.Label)-3:] == "NSL" {
+			without += c.Reads
+		} else {
+			with += c.Reads
+		}
+	}
+	if with > without {
+		t.Errorf("skip index increased reads: %g vs %g", with, without)
+	}
+}
+
+func TestWorkloadEmptyBucketSafe(t *testing.T) {
+	env := BuildEnv(Setup{Seed: 5, Rows: 300, Queries: 4})
+	wl := env.Workload(struct {
+		Name     string
+		Min, Max int
+	}{"none", 500, 600}, 0)
+	if len(wl.Queries) != 0 {
+		t.Error("impossible bucket produced queries")
+	}
+	cell := env.runCell(wl, 0.8, core.SF, "sf", nil)
+	if cell.MeanRes != 0 || cell.MeanTime != 0 {
+		t.Error("empty workload produced non-zero cell")
+	}
+}
+
+func TestPageTuning(t *testing.T) {
+	env := smallEnv(t)
+	rows := PageTuning(env, []int{256, 1024, 4096})
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.IndexBytes <= 0 || r.ProbesPerQuery <= 0 {
+			t.Fatalf("row not populated: %+v", r)
+		}
+	}
+	// Larger pages: fewer pages but more bytes per probe; index sizes
+	// should not decrease monotonically with page size (page slack grows).
+	if rows[2].ProbeBytesPerQuery <= rows[0].ProbeBytesPerQuery {
+		t.Errorf("4KB pages should cost more probe bytes than 256B: %g vs %g",
+			rows[2].ProbeBytesPerQuery, rows[0].ProbeBytesPerQuery)
+	}
+}
+
+func TestSkipTuning(t *testing.T) {
+	rows := SkipTuning(Setup{Seed: 5, Rows: 6000, Queries: 15}, []int{4, 64, 1024})
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Denser skip index (smaller interval) must cost more bytes and skip
+	// at least as much as a very coarse one.
+	if rows[0].IndexBytes <= rows[2].IndexBytes {
+		t.Errorf("interval 4 bytes %d not above interval 1024 bytes %d",
+			rows[0].IndexBytes, rows[2].IndexBytes)
+	}
+	if rows[0].SkippedPerQuery < rows[2].SkippedPerQuery {
+		t.Errorf("dense skip index skipped less: %g vs %g",
+			rows[0].SkippedPerQuery, rows[2].SkippedPerQuery)
+	}
+	// Reads shrink (or stay equal) as the skip index gets denser.
+	if rows[0].ReadsPerQuery > rows[2].ReadsPerQuery+1 {
+		t.Errorf("dense skip index reads %g above coarse %g",
+			rows[0].ReadsPerQuery, rows[2].ReadsPerQuery)
+	}
+}
+
+// TestAllFigureDriversProduceCells smoke-tests every remaining driver:
+// each must yield the documented number of well-formed cells.
+func TestAllFigureDriversProduceCells(t *testing.T) {
+	env := smallEnv(t)
+	cases := []struct {
+		name  string
+		cells []Cell
+		want  int
+	}{
+		{"fig6b", Fig6b(env), 4 * 8},
+		{"fig6c", Fig6c(env), 4 * 8},
+		{"fig7b", Fig7b(env), 4 * 7},
+		{"fig7c", Fig7c(env), 4 * 7},
+		{"fig8b", Fig8b(env), 4 * 5 * 2},
+	}
+	for _, tc := range cases {
+		if len(tc.cells) != tc.want {
+			t.Errorf("%s: %d cells, want %d", tc.name, len(tc.cells), tc.want)
+		}
+		for _, c := range tc.cells {
+			if c.Label == "" {
+				t.Errorf("%s: unlabeled cell", tc.name)
+			}
+			if c.Pruning < 0 || c.Pruning > 100 {
+				t.Errorf("%s %s: pruning %g out of range", tc.name, c.Label, c.Pruning)
+			}
+			if c.MeanTime < 0 || c.P99Time < c.MeanTime/100 && c.MeanTime > 0 && c.P99Time == 0 {
+				t.Errorf("%s %s: implausible latency stats", tc.name, c.Label)
+			}
+		}
+	}
+	// Every figure driver must produce identical result counts per
+	// parameter across algorithms (they answer the same queries).
+	byParam := map[string]map[float64]bool{}
+	for _, c := range Fig6b(env) {
+		key := c.Bucket
+		if byParam[key] == nil {
+			byParam[key] = map[float64]bool{}
+		}
+		byParam[key][c.MeanRes] = true
+	}
+	for param, set := range byParam {
+		if len(set) != 1 {
+			t.Errorf("bucket %s: algorithms disagree on result counts: %v", param, set)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/collection"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/sim"
+	"repro/internal/tokenize"
+)
+
+// Table1Row is one line of Table I: mean average precision of the four
+// weighted measures on one cu dataset.
+type Table1Row struct {
+	Dataset string
+	TFIDF   float64
+	IDF     float64
+	BM25    float64
+	BM25P   float64
+}
+
+// Table1 reproduces the paper's quality study: on eight datasets of
+// decreasing error rate, rank every record against each dirty query with
+// TF/IDF, IDF, BM25 and BM25', and report mean average precision against
+// the duplicate-cluster ground truth. The paper's finding to reproduce:
+// dropping the tf component (IDF vs TF/IDF, BM25' vs BM25) does not
+// affect quality, and precision rises from cu1 to cu8.
+func Table1(seed int64, clusters, dups, queries int) []Table1Row {
+	rng := rand.New(rand.NewSource(seed))
+	sets := dataset.CUDatasets(rng, clusters, dups, queries)
+	rows := make([]Table1Row, 0, len(sets))
+	for _, ds := range sets {
+		rows = append(rows, table1Dataset(ds))
+	}
+	return rows
+}
+
+func table1Dataset(ds dataset.CUDataset) Table1Row {
+	tk := tokenize.QGramTokenizer{Q: 3}
+	b := collection.NewBuilder(tk, false)
+	kept := make([]int, 0, len(ds.Records)) // cluster of each added set
+	for i, r := range ds.Records {
+		if b.Add(r) {
+			kept = append(kept, ds.Cluster[i])
+		}
+	}
+	c := b.Build()
+
+	measures := []sim.Measure{
+		sim.TFIDFMeasure{Stats: c},
+		sim.IDFMeasure{Stats: c},
+		sim.BM25Measure{Stats: c, Params: sim.DefaultBM25},
+		sim.BM25PrimeMeasure{Stats: c, Params: sim.DefaultBM25},
+	}
+	aps := make([][]float64, len(measures))
+
+	relevant := make(map[int]int) // cluster → member count
+	for _, cl := range kept {
+		relevant[cl]++
+	}
+
+	type scored struct {
+		idx   int
+		score float64
+	}
+	for qi, qs := range ds.Queries {
+		qCounts, _ := tokenize.LookupCounts(c.Dict(), tk, qs, nil)
+		if len(qCounts) == 0 {
+			continue
+		}
+		qCluster := ds.QueryClusters[qi]
+		for mi, m := range measures {
+			ranked := make([]scored, 0, 64)
+			for id := 0; id < c.NumSets(); id++ {
+				s := m.Score(qCounts, c.Set(collection.SetID(id)))
+				if s > 0 {
+					ranked = append(ranked, scored{idx: id, score: s})
+				}
+			}
+			sort.Slice(ranked, func(i, j int) bool {
+				if ranked[i].score != ranked[j].score {
+					return ranked[i].score > ranked[j].score
+				}
+				return ranked[i].idx < ranked[j].idx
+			})
+			rel := make([]bool, len(ranked))
+			for i, r := range ranked {
+				rel[i] = kept[r.idx] == qCluster
+			}
+			aps[mi] = append(aps[mi], eval.AveragePrecision(rel, relevant[qCluster]))
+		}
+	}
+	return Table1Row{
+		Dataset: ds.Name,
+		TFIDF:   eval.MeanAveragePrecision(aps[0]),
+		IDF:     eval.MeanAveragePrecision(aps[1]),
+		BM25:    eval.MeanAveragePrecision(aps[2]),
+		BM25P:   eval.MeanAveragePrecision(aps[3]),
+	}
+}

@@ -1,0 +1,160 @@
+// Package exthash implements extendible hashing: a dynamic, paged hash
+// table whose directory doubles as buckets split. The paper builds one
+// such index per inverted list, keyed by set id, so that TA-style
+// algorithms can answer "does set s appear in list i, and with what
+// length?" with at most one random page access (§VIII; tuned 1KB pages).
+package exthash
+
+import "sync/atomic"
+
+// Entry is one key/value pair: a set id mapped to its normalized length.
+type Entry struct {
+	Key uint64
+	Val float64
+}
+
+const entrySize = 16 // bytes per entry on a page
+
+// Table is an extendible hash table. The zero value is not usable; call
+// New. Not safe for concurrent mutation; safe for concurrent Get after
+// all Puts complete.
+type Table struct {
+	dir        []*bucket
+	globalBits uint
+	pageCap    int
+	pageSize   int
+	length     int
+	buckets    int
+	probes     atomic.Uint64 // page fetches, the paper's random-I/O unit
+}
+
+type bucket struct {
+	localBits uint
+	entries   []Entry
+}
+
+// New returns a table with the given page size in bytes (≤ 0 selects the
+// paper's tuned 1KB pages).
+func New(pageSize int) *Table {
+	if pageSize <= 0 {
+		pageSize = 1024
+	}
+	cap := pageSize / entrySize
+	if cap < 1 {
+		cap = 1
+	}
+	b := &bucket{localBits: 0, entries: make([]Entry, 0, cap)}
+	return &Table{
+		dir:        []*bucket{b},
+		globalBits: 0,
+		pageCap:    cap,
+		pageSize:   pageSize,
+		buckets:    1,
+	}
+}
+
+// splitmix64 is a bijective mixer: distinct keys yield distinct hashes,
+// which guarantees bucket splits always make progress.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (t *Table) slot(h uint64) int {
+	if t.globalBits == 0 {
+		return 0
+	}
+	return int(h & ((1 << t.globalBits) - 1))
+}
+
+// Put inserts or replaces key → val.
+func (t *Table) Put(key uint64, val float64) {
+	h := splitmix64(key)
+	for {
+		b := t.dir[t.slot(h)]
+		for i := range b.entries {
+			if b.entries[i].Key == key {
+				b.entries[i].Val = val
+				return
+			}
+		}
+		if len(b.entries) < t.pageCap {
+			b.entries = append(b.entries, Entry{Key: key, Val: val})
+			t.length++
+			return
+		}
+		t.split(b)
+	}
+}
+
+func (t *Table) split(b *bucket) {
+	if b.localBits == t.globalBits {
+		// Double the directory.
+		nd := make([]*bucket, len(t.dir)*2)
+		copy(nd, t.dir)
+		copy(nd[len(t.dir):], t.dir)
+		t.dir = nd
+		t.globalBits++
+	}
+	bit := uint64(1) << b.localBits
+	zero := &bucket{localBits: b.localBits + 1, entries: make([]Entry, 0, t.pageCap)}
+	one := &bucket{localBits: b.localBits + 1, entries: make([]Entry, 0, t.pageCap)}
+	for _, e := range b.entries {
+		if splitmix64(e.Key)&bit != 0 {
+			one.entries = append(one.entries, e)
+		} else {
+			zero.entries = append(zero.entries, e)
+		}
+	}
+	// Rewire every directory slot that pointed at b.
+	for i := range t.dir {
+		if t.dir[i] == b {
+			if uint64(i)&bit != 0 {
+				t.dir[i] = one
+			} else {
+				t.dir[i] = zero
+			}
+		}
+	}
+	t.buckets++
+}
+
+// Get returns the value stored under key. Each call counts one page
+// probe, the random-I/O unit reported by Probes. Get is safe for
+// concurrent use once all Puts have completed.
+func (t *Table) Get(key uint64) (float64, bool) {
+	t.probes.Add(1)
+	b := t.dir[t.slot(splitmix64(key))]
+	for i := range b.entries {
+		if b.entries[i].Key == key {
+			return b.entries[i].Val, true
+		}
+	}
+	return 0, false
+}
+
+// Len reports the number of stored entries.
+func (t *Table) Len() int { return t.length }
+
+// Probes returns the number of page fetches performed by Get since
+// construction or the last ResetProbes.
+func (t *Table) Probes() uint64 { return t.probes.Load() }
+
+// ResetProbes zeroes the probe counter.
+func (t *Table) ResetProbes() { t.probes.Store(0) }
+
+// SizeBytes reports the storage footprint: one pointer-sized directory
+// slot per entry plus one full page per bucket (pages are fixed-size on
+// disk whether or not they are full — this is the overhead Fig. 5 shows
+// for extendible hashing).
+func (t *Table) SizeBytes() int64 {
+	return int64(len(t.dir))*8 + int64(t.buckets)*int64(t.pageSize)
+}
+
+// GlobalBits exposes the directory depth (for tests and diagnostics).
+func (t *Table) GlobalBits() uint { return t.globalBits }
+
+// Buckets reports the number of allocated pages.
+func (t *Table) Buckets() int { return t.buckets }

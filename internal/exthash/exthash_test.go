@@ -1,0 +1,171 @@
+package exthash
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetBasics(t *testing.T) {
+	h := New(64) // 4 entries per page: forces early splits
+	if _, ok := h.Get(1); ok {
+		t.Fatal("empty table Get found a key")
+	}
+	h.Put(1, 1.5)
+	h.Put(2, 2.5)
+	if v, ok := h.Get(1); !ok || v != 1.5 {
+		t.Fatalf("Get(1) = %g,%v", v, ok)
+	}
+	h.Put(1, 9.5) // replace
+	if v, _ := h.Get(1); v != 9.5 {
+		t.Fatalf("replace failed: %g", v)
+	}
+	if h.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", h.Len())
+	}
+}
+
+func TestManyKeysForceSplits(t *testing.T) {
+	h := New(64)
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		h.Put(i, float64(i)*0.5)
+	}
+	if h.Len() != n {
+		t.Fatalf("Len = %d, want %d", h.Len(), n)
+	}
+	if h.GlobalBits() == 0 || h.Buckets() < n/8 {
+		t.Fatalf("no splitting happened: bits=%d buckets=%d", h.GlobalBits(), h.Buckets())
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := h.Get(i); !ok || v != float64(i)*0.5 {
+			t.Fatalf("Get(%d) = %g,%v", i, v, ok)
+		}
+	}
+	if _, ok := h.Get(n + 123); ok {
+		t.Fatal("found a never-inserted key")
+	}
+}
+
+func TestSparseKeys(t *testing.T) {
+	// High, scattered key values (the paper's 8-byte location-encoding ids).
+	h := New(0)
+	rng := rand.New(rand.NewSource(5))
+	ref := map[uint64]float64{}
+	for i := 0; i < 5000; i++ {
+		k := rng.Uint64()
+		v := rng.Float64()
+		h.Put(k, v)
+		ref[k] = v
+	}
+	for k, v := range ref {
+		got, ok := h.Get(k)
+		if !ok || got != v {
+			t.Fatalf("Get(%d) = %g,%v want %g", k, got, ok, v)
+		}
+	}
+}
+
+func TestProbeCounting(t *testing.T) {
+	h := New(0)
+	h.Put(1, 1)
+	h.ResetProbes()
+	for i := 0; i < 7; i++ {
+		h.Get(uint64(i))
+	}
+	if h.Probes() != 7 {
+		t.Fatalf("Probes = %d, want 7", h.Probes())
+	}
+	h.ResetProbes()
+	if h.Probes() != 0 {
+		t.Fatal("ResetProbes did not zero")
+	}
+}
+
+func TestSizeGrowsWithEntries(t *testing.T) {
+	h := New(1024)
+	small := h.SizeBytes()
+	for i := uint64(0); i < 20000; i++ {
+		h.Put(i, 1)
+	}
+	if h.SizeBytes() <= small {
+		t.Fatalf("size did not grow: %d -> %d", small, h.SizeBytes())
+	}
+	// Each 1KB page holds 64 entries; expect at least n/64 pages.
+	if h.Buckets() < 20000/64 {
+		t.Fatalf("too few buckets: %d", h.Buckets())
+	}
+}
+
+func TestDirectoryInvariant(t *testing.T) {
+	// Every bucket's localBits ≤ globalBits, and each bucket is referenced
+	// by exactly 2^(global-local) directory slots.
+	h := New(64)
+	for i := uint64(0); i < 3000; i++ {
+		h.Put(i*2654435761, float64(i))
+	}
+	refs := map[*bucket]int{}
+	for _, b := range h.dir {
+		refs[b]++
+		if b.localBits > h.globalBits {
+			t.Fatalf("bucket localBits %d > global %d", b.localBits, h.globalBits)
+		}
+	}
+	for b, n := range refs {
+		want := 1 << (h.globalBits - b.localBits)
+		if n != want {
+			t.Fatalf("bucket with localBits=%d referenced %d times, want %d",
+				b.localBits, n, want)
+		}
+		if len(b.entries) > h.pageCap {
+			t.Fatalf("bucket over capacity: %d > %d", len(b.entries), h.pageCap)
+		}
+	}
+}
+
+func TestQuickGetAfterPut(t *testing.T) {
+	f := func(keys []uint64, vals []float64) bool {
+		h := New(128)
+		ref := map[uint64]float64{}
+		for i, k := range keys {
+			v := float64(i)
+			if i < len(vals) {
+				v = vals[i]
+			}
+			h.Put(k, v)
+			ref[k] = v
+		}
+		if h.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := h.Get(k)
+			if !ok || (got != v && !(got != got && v != v)) { // NaN-safe
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	h := New(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Put(uint64(i), float64(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	h := New(0)
+	for i := uint64(0); i < 1<<16; i++ {
+		h.Put(i, float64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Get(uint64(i) & 0xffff)
+	}
+}

@@ -1,0 +1,92 @@
+package invlist
+
+import (
+	"container/list"
+	"sync"
+)
+
+// blockCache is a thread-safe LRU cache of decoded posting blocks, shared
+// by all cursors of one FileStore. The paper ran with OS page caching and
+// disabled software buffers (§VIII-A); an explicit cache makes the
+// hit/miss behaviour observable and keeps hot list prefixes decoded.
+type blockCache struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // front = most recent; values are *cacheEntry
+	items    map[blockKey]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+type blockKey struct {
+	token uint32
+	start int // index of the block's first posting
+}
+
+type cacheEntry struct {
+	key   blockKey
+	block []Posting
+}
+
+// newBlockCache returns a cache holding up to capacity blocks; capacity
+// ≤ 0 disables caching (every lookup misses).
+func newBlockCache(capacity int) *blockCache {
+	return &blockCache{
+		capacity: capacity,
+		lru:      list.New(),
+		items:    make(map[blockKey]*list.Element),
+	}
+}
+
+// get returns the cached block for key, if present.
+func (c *blockCache) get(key blockKey) ([]Posting, bool) {
+	if c == nil || c.capacity <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).block, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// put inserts a decoded block, evicting the least recently used entry
+// when full. The block must not be mutated after insertion.
+func (c *blockCache) put(key blockKey, block []Posting) {
+	if c == nil || c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*cacheEntry).block = block
+		return
+	}
+	el := c.lru.PushFront(&cacheEntry{key: key, block: block})
+	c.items[key] = el
+	for c.lru.Len() > c.capacity {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).key)
+	}
+}
+
+// CacheStats reports block-cache effectiveness.
+type CacheStats struct {
+	Hits, Misses uint64
+	Blocks       int
+}
+
+func (c *blockCache) stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Blocks: c.lru.Len()}
+}

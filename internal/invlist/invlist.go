@@ -1,0 +1,84 @@
+// Package invlist implements the paper's inverted-list indexes (§III-B,
+// §VIII): for every token, a list of (set id, normalized length) postings
+// stored in two sort orders — by ascending id for the multiway-merge
+// baseline, and by ascending length (equivalently, descending per-token
+// contribution wᵢ) for TA/NRA-style algorithms — plus a skip list per
+// weight-sorted list so that Length Boundedness can jump directly to the
+// first entry of a given length.
+//
+// Two stores are provided: MemStore keeps the lists in memory; FileStore
+// is the disk-resident binary format (one file, varint-compressed
+// id-sorted lists, fixed-width weight-sorted lists, serialized skip
+// entries) with sequential block reads.
+package invlist
+
+import (
+	"repro/internal/collection"
+	"repro/internal/tokenize"
+)
+
+// Posting is one inverted-list entry: a set and its normalized length.
+// The length is all an algorithm needs to compute the set's contribution
+// wᵢ = idf(qⁱ)²/(len(q)·len(s)) for any list i.
+type Posting struct {
+	ID  collection.SetID
+	Len float64
+}
+
+// A Cursor iterates one inverted list in its stored order. Cursors are
+// single-use and not safe for concurrent use.
+type Cursor interface {
+	// Valid reports whether the cursor is positioned at a posting.
+	Valid() bool
+	// Posting returns the current entry; the cursor must be Valid.
+	Posting() Posting
+	// Next advances to the following entry.
+	Next()
+	// SeekLen positions the cursor at the first posting with
+	// Len ≥ min. skipped counts postings jumped over via the skip
+	// index without being materialized; walked counts postings the
+	// cursor had to read and discard inside the final skip block —
+	// callers charge those as element reads. Only forward seeks are
+	// supported. On id-sorted cursors SeekLen is a no-op (those lists
+	// are not length-ordered).
+	SeekLen(min float64) (skipped, walked int)
+	// Count returns the total number of postings in the list.
+	Count() int
+}
+
+// Store provides the inverted lists of a corpus.
+type Store interface {
+	// WeightCursor opens the (len, id)-sorted list of token t.
+	// Unknown tokens yield an empty cursor.
+	WeightCursor(t tokenize.Token) Cursor
+	// IDCursor opens the id-sorted list of token t.
+	IDCursor(t tokenize.Token) Cursor
+	// ListLen reports the number of postings for token t.
+	ListLen(t tokenize.Token) int
+	// Sizes reports storage accounting for the Fig. 5 experiment.
+	Sizes() Sizes
+	// Close releases resources (no-op for memory stores).
+	Close() error
+}
+
+// Sizes itemizes index storage in bytes, mirroring the bars of Fig. 5.
+type Sizes struct {
+	WeightLists int64 // weight-sorted postings
+	IDLists     int64 // id-sorted postings (varint-compressed on disk)
+	SkipIndexes int64 // skip entries over weight-sorted lists
+}
+
+// Total returns the sum of all components.
+func (s Sizes) Total() int64 { return s.WeightLists + s.IDLists + s.SkipIndexes }
+
+// emptyCursor is the cursor over a non-existent list.
+type emptyCursor struct{}
+
+func (emptyCursor) Valid() bool                { return false }
+func (emptyCursor) Posting() Posting           { panic("invlist: Posting on invalid cursor") }
+func (emptyCursor) Next()                      {}
+func (emptyCursor) SeekLen(float64) (int, int) { return 0, 0 }
+func (emptyCursor) Count() int                 { return 0 }
+
+// Empty returns a cursor over an empty list.
+func Empty() Cursor { return emptyCursor{} }

@@ -1,0 +1,471 @@
+package invlist
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/collection"
+	"repro/internal/tokenize"
+)
+
+func buildCollection(t testing.TB, n int, seed int64) *collection.Collection {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := collection.NewBuilder(tokenize.QGramTokenizer{Q: 3}, false)
+	for i := 0; i < n; i++ {
+		ln := 3 + rng.Intn(12)
+		var sb strings.Builder
+		for j := 0; j < ln; j++ {
+			sb.WriteByte(byte('a' + rng.Intn(8)))
+		}
+		b.Add(sb.String())
+	}
+	return b.Build()
+}
+
+func drain(c Cursor) []Posting {
+	var out []Posting
+	for ; c.Valid(); c.Next() {
+		out = append(out, c.Posting())
+	}
+	return out
+}
+
+func TestMemStoreOrders(t *testing.T) {
+	c := buildCollection(t, 300, 1)
+	st := BuildMem(c, 0)
+	defer st.Close()
+	for tok := 0; tok < c.NumTokens(); tok++ {
+		tk := tokenize.Token(tok)
+		w := drain(st.WeightCursor(tk))
+		ids := drain(st.IDCursor(tk))
+		if len(w) != len(ids) || len(w) != st.ListLen(tk) || len(w) != c.DF(tk) {
+			t.Fatalf("token %d list length mismatch: %d %d %d %d",
+				tok, len(w), len(ids), st.ListLen(tk), c.DF(tk))
+		}
+		for i := 1; i < len(w); i++ {
+			if w[i-1].Len > w[i].Len ||
+				(w[i-1].Len == w[i].Len && w[i-1].ID >= w[i].ID) {
+				t.Fatalf("token %d weight list not (len,id)-sorted at %d", tok, i)
+			}
+		}
+		for i := 1; i < len(ids); i++ {
+			if ids[i-1].ID >= ids[i].ID {
+				t.Fatalf("token %d id list not sorted at %d", tok, i)
+			}
+		}
+		for _, p := range w {
+			if p.Len != c.Length(p.ID) {
+				t.Fatalf("posting length %g != collection length %g", p.Len, c.Length(p.ID))
+			}
+		}
+	}
+}
+
+func TestMemSeekLen(t *testing.T) {
+	c := buildCollection(t, 500, 2)
+	st := BuildMem(c, 4) // small skip interval to exercise jumps
+	for tok := 0; tok < c.NumTokens(); tok++ {
+		tk := tokenize.Token(tok)
+		full := drain(st.WeightCursor(tk))
+		if len(full) == 0 {
+			continue
+		}
+		for _, frac := range []float64{0, 0.5, 1.0, 1.5} {
+			min := full[0].Len + frac*(full[len(full)-1].Len-full[0].Len)
+			cur := st.WeightCursor(tk)
+			skipped, walked := cur.SeekLen(min)
+			if skipped < 0 || walked < 0 {
+				t.Fatal("negative seek accounting")
+			}
+			got := drain(cur)
+			var want []Posting
+			for _, p := range full {
+				if p.Len >= min {
+					want = append(want, p)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("token %d SeekLen(%g): got %d postings, want %d",
+					tok, min, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("token %d SeekLen(%g): posting %d mismatch", tok, min, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSeekLenSkipsAreReal(t *testing.T) {
+	c := buildCollection(t, 2000, 3)
+	st := BuildMem(c, 8)
+	anySkip := false
+	longLists := 0
+	for tok := 0; tok < c.NumTokens(); tok++ {
+		tk := tokenize.Token(tok)
+		if st.ListLen(tk) < 20 {
+			continue
+		}
+		longLists++
+		full := drain(st.WeightCursor(tk))
+		mid := full[len(full)/2].Len
+		cur := st.WeightCursor(tk)
+		if skipped, _ := cur.SeekLen(mid); skipped > 0 {
+			anySkip = true
+		}
+	}
+	if longLists == 0 {
+		t.Fatal("test corpus produced no long lists")
+	}
+	if !anySkip {
+		t.Error("SeekLen never skipped via the skip index on long lists")
+	}
+}
+
+func TestSeekLenForwardOnly(t *testing.T) {
+	c := buildCollection(t, 200, 4)
+	st := BuildMem(c, 4)
+	for tok := 0; tok < c.NumTokens(); tok++ {
+		tk := tokenize.Token(tok)
+		if st.ListLen(tk) < 10 {
+			continue
+		}
+		cur := st.WeightCursor(tk)
+		full := drain(st.WeightCursor(tk))
+		cur.SeekLen(full[7].Len)
+		before := cur.Posting()
+		cur.SeekLen(0) // backward seek must not move the cursor
+		if cur.Posting() != before {
+			t.Fatal("backward SeekLen moved the cursor")
+		}
+		break
+	}
+}
+
+func TestEmptyCursor(t *testing.T) {
+	c := buildCollection(t, 10, 5)
+	st := BuildMem(c, 0)
+	cur := st.WeightCursor(tokenize.Token(c.NumTokens() + 5))
+	sk, wk := cur.SeekLen(1)
+	if cur.Valid() || cur.Count() != 0 || sk != 0 || wk != 0 {
+		t.Error("unknown token cursor not empty")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Posting on empty cursor did not panic")
+		}
+	}()
+	cur.Posting()
+}
+
+func TestSizesPopulated(t *testing.T) {
+	c := buildCollection(t, 300, 6)
+	st := BuildMem(c, 2)
+	z := st.Sizes()
+	if z.WeightLists <= 0 || z.IDLists <= 0 || z.SkipIndexes <= 0 {
+		t.Errorf("sizes not populated: %+v", z)
+	}
+	if z.Total() != z.WeightLists+z.IDLists+z.SkipIndexes {
+		t.Errorf("Total mismatch")
+	}
+	if z.SkipIndexes >= z.WeightLists {
+		t.Errorf("skip index %d should be far smaller than lists %d",
+			z.SkipIndexes, z.WeightLists)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	c := buildCollection(t, 400, 7)
+	path := filepath.Join(t.TempDir(), "idx.bin")
+	if err := WriteFile(path, c, 4); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	ms := BuildMem(c, 4)
+	for tok := 0; tok < c.NumTokens(); tok++ {
+		tk := tokenize.Token(tok)
+		if fs.ListLen(tk) != ms.ListLen(tk) {
+			t.Fatalf("token %d ListLen: file %d mem %d", tok, fs.ListLen(tk), ms.ListLen(tk))
+		}
+		fw, mw := drain(fs.WeightCursor(tk)), drain(ms.WeightCursor(tk))
+		if len(fw) != len(mw) {
+			t.Fatalf("token %d weight list sizes differ", tok)
+		}
+		for i := range fw {
+			if fw[i] != mw[i] {
+				t.Fatalf("token %d weight posting %d: file %+v mem %+v", tok, i, fw[i], mw[i])
+			}
+		}
+		fi, mi := drain(fs.IDCursor(tk)), drain(ms.IDCursor(tk))
+		if len(fi) != len(mi) {
+			t.Fatalf("token %d id list sizes differ", tok)
+		}
+		for i := range fi {
+			if fi[i] != mi[i] {
+				t.Fatalf("token %d id posting %d mismatch", tok, i)
+			}
+		}
+	}
+}
+
+func TestFileSeekLenMatchesMem(t *testing.T) {
+	c := buildCollection(t, 600, 8)
+	path := filepath.Join(t.TempDir(), "idx.bin")
+	if err := WriteFile(path, c, 8); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	ms := BuildMem(c, 8)
+	for tok := 0; tok < c.NumTokens(); tok += 3 {
+		tk := tokenize.Token(tok)
+		full := drain(ms.WeightCursor(tk))
+		if len(full) < 5 {
+			continue
+		}
+		min := full[len(full)/3].Len
+		fc, mc := fs.WeightCursor(tk), ms.WeightCursor(tk)
+		fc.SeekLen(min)
+		mc.SeekLen(min)
+		fgot, mgot := drain(fc), drain(mc)
+		if len(fgot) != len(mgot) {
+			t.Fatalf("token %d: file %d postings, mem %d after seek", tok, len(fgot), len(mgot))
+		}
+		for i := range fgot {
+			if fgot[i] != mgot[i] {
+				t.Fatalf("token %d seek posting %d mismatch", tok, i)
+			}
+		}
+		if err := Err(fc); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFileSizes(t *testing.T) {
+	c := buildCollection(t, 300, 9)
+	path := filepath.Join(t.TempDir(), "idx.bin")
+	if err := WriteFile(path, c, 0); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	z := fs.Sizes()
+	if z.WeightLists <= 0 || z.IDLists <= 0 {
+		t.Errorf("file sizes not populated: %+v", z)
+	}
+	// Varint id lists must compress better than fixed-width weight lists.
+	if z.IDLists >= z.WeightLists {
+		t.Errorf("id lists (%d) should be smaller than weight lists (%d)",
+			z.IDLists, z.WeightLists)
+	}
+}
+
+func TestOpenFileCorruption(t *testing.T) {
+	c := buildCollection(t, 100, 10)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "idx.bin")
+	if err := WriteFile(path, c, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, mutate func([]byte) []byte) {
+		t.Helper()
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := filepath.Join(dir, name)
+		if err := os.WriteFile(bad, mutate(raw), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenFile(bad); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: OpenFile error = %v, want ErrCorrupt", name, err)
+		}
+	}
+
+	check("badmagic", func(b []byte) []byte { b[0] ^= 0xff; return b })
+	check("badtoc", func(b []byte) []byte { b[headerSize+3] ^= 0xff; return b })
+	check("truncated", func(b []byte) []byte { return b[:headerSize/2] })
+	check("shorttoc", func(b []byte) []byte { return b[:headerSize+4] })
+}
+
+func TestFileTruncatedData(t *testing.T) {
+	c := buildCollection(t, 200, 11)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "idx.bin")
+	if err := WriteFile(path, c, 0); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the last 40% of the data region; the TOC stays intact, so Open
+	// must fail its bounds check.
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "cut.bin")
+	if err := os.WriteFile(bad, raw[:len(raw)*6/10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(bad); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated data: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "nope.bin")); err == nil {
+		t.Error("OpenFile on missing file succeeded")
+	}
+}
+
+func BenchmarkMemCursorScan(b *testing.B) {
+	c := buildCollection(b, 3000, 12)
+	st := BuildMem(c, 0)
+	// Find the longest list.
+	var best tokenize.Token
+	for tok := 0; tok < c.NumTokens(); tok++ {
+		if st.ListLen(tokenize.Token(tok)) > st.ListLen(best) {
+			best = tokenize.Token(tok)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for cur := st.WeightCursor(best); cur.Valid(); cur.Next() {
+			_ = cur.Posting()
+		}
+	}
+}
+
+func BenchmarkFileCursorScan(b *testing.B) {
+	c := buildCollection(b, 3000, 12)
+	path := filepath.Join(b.TempDir(), "idx.bin")
+	if err := WriteFile(path, c, 0); err != nil {
+		b.Fatal(err)
+	}
+	fs, err := OpenFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fs.Close()
+	var best tokenize.Token
+	for tok := 0; tok < c.NumTokens(); tok++ {
+		if fs.ListLen(tokenize.Token(tok)) > fs.ListLen(best) {
+			best = tokenize.Token(tok)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for cur := fs.WeightCursor(best); cur.Valid(); cur.Next() {
+			_ = cur.Posting()
+		}
+	}
+}
+
+func TestBlockCacheBehaviour(t *testing.T) {
+	c := newBlockCache(2)
+	k1 := blockKey{token: 1, start: 0}
+	k2 := blockKey{token: 2, start: 0}
+	k3 := blockKey{token: 3, start: 0}
+	if _, ok := c.get(k1); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.put(k1, []Posting{{ID: 1}})
+	c.put(k2, []Posting{{ID: 2}})
+	if blk, ok := c.get(k1); !ok || blk[0].ID != 1 {
+		t.Fatal("k1 missing")
+	}
+	// k1 is now most recent; inserting k3 must evict k2.
+	c.put(k3, []Posting{{ID: 3}})
+	if _, ok := c.get(k2); ok {
+		t.Fatal("LRU did not evict k2")
+	}
+	if _, ok := c.get(k1); !ok {
+		t.Fatal("k1 evicted despite recency")
+	}
+	st := c.stats()
+	if st.Blocks != 2 || st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Disabled cache never stores.
+	d := newBlockCache(0)
+	d.put(k1, nil)
+	if _, ok := d.get(k1); ok {
+		t.Fatal("disabled cache stored")
+	}
+	// nil cache is inert.
+	var nc *blockCache
+	nc.put(k1, nil)
+	if _, ok := nc.get(k1); ok {
+		t.Fatal("nil cache hit")
+	}
+	if nc.stats() != (CacheStats{}) {
+		t.Fatal("nil cache stats")
+	}
+}
+
+func TestFileStoreCacheHits(t *testing.T) {
+	c := buildCollection(t, 800, 13)
+	path := filepath.Join(t.TempDir(), "idx.bin")
+	if err := WriteFile(path, c, 8); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := OpenFileCached(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	var longest tokenize.Token
+	for tok := 0; tok < c.NumTokens(); tok++ {
+		if fs.ListLen(tokenize.Token(tok)) > fs.ListLen(longest) {
+			longest = tokenize.Token(tok)
+		}
+	}
+	// First scan: misses; second scan of the same list: hits.
+	drain(fs.WeightCursor(longest))
+	after1 := fs.CacheStats()
+	drain(fs.WeightCursor(longest))
+	after2 := fs.CacheStats()
+	if after1.Misses == 0 {
+		t.Fatal("first scan produced no misses")
+	}
+	if after2.Hits <= after1.Hits {
+		t.Fatalf("second scan produced no hits: %+v -> %+v", after1, after2)
+	}
+	if after2.Misses != after1.Misses {
+		t.Fatalf("second scan missed: %+v -> %+v", after1, after2)
+	}
+	// Cached and uncached stores must agree.
+	raw, err := OpenFileCached(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	a, b := drain(fs.WeightCursor(longest)), drain(raw.WeightCursor(longest))
+	if len(a) != len(b) {
+		t.Fatal("cached and uncached scans differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("cached and uncached postings differ")
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package invlist
+
+import (
+	"sort"
+
+	"repro/internal/collection"
+	"repro/internal/skiplist"
+	"repro/internal/tokenize"
+)
+
+// SkipInterval is the default spacing of skip-index entries: one skip
+// entry per this many postings. The paper caps skip lists at 10MB per
+// inverted list; with 64-posting spacing our skip indexes stay below 1%
+// of list volume.
+const SkipInterval = 64
+
+// skipBytesPerEntry approximates the storage cost of one skip entry
+// (length key + position + amortized tower pointers).
+const skipBytesPerEntry = 24
+
+// MemStore keeps all inverted lists in memory. It is safe for concurrent
+// readers once built.
+type MemStore struct {
+	weight [][]Posting // per token, sorted by (Len, ID)
+	byID   [][]Posting // per token, sorted by ID
+	skips  []*skiplist.List[float64, int]
+	sizes  Sizes
+}
+
+// BuildMem constructs a MemStore over every token of c. skipInterval ≤ 0
+// selects SkipInterval.
+func BuildMem(c *collection.Collection, skipInterval int) *MemStore {
+	if skipInterval <= 0 {
+		skipInterval = SkipInterval
+	}
+	n := c.NumTokens()
+	st := &MemStore{
+		weight: make([][]Posting, n),
+		byID:   make([][]Posting, n),
+		skips:  make([]*skiplist.List[float64, int], n),
+	}
+	c.TokenSets(func(t tokenize.Token, ids []collection.SetID) {
+		ps := make([]Posting, len(ids))
+		for i, id := range ids {
+			ps[i] = Posting{ID: id, Len: c.Length(id)}
+		}
+		st.byID[t] = ps // TokenSets yields ascending ids
+
+		w := make([]Posting, len(ps))
+		copy(w, ps)
+		sort.Slice(w, func(i, j int) bool {
+			if w[i].Len != w[j].Len {
+				return w[i].Len < w[j].Len
+			}
+			return w[i].ID < w[j].ID
+		})
+		st.weight[t] = w
+
+		sk := skiplist.New[float64, int](func(a, b float64) bool { return a < b }, int64(t)+1)
+		// The first entry sits one interval in: a skip entry at position
+		// 0 can never shorten a seek, and for the many short lists it
+		// would dominate the index size.
+		for i := skipInterval; i < len(w); i += skipInterval {
+			// On duplicate lengths the last writer wins, storing the
+			// largest indexed position for each length. Seeks use
+			// SeekLT (strictly less than the target), so landing on any
+			// position whose length is below the target is safe — the
+			// list is length-sorted, so nothing ≥ target lies before it.
+			sk.Set(w[i].Len, i)
+		}
+		st.skips[t] = sk
+		st.sizes.WeightLists += int64(len(w)) * 16
+		st.sizes.IDLists += int64(len(ps)) * 16
+		st.sizes.SkipIndexes += int64(sk.Len()) * skipBytesPerEntry
+	})
+	return st
+}
+
+// WeightCursor implements Store.
+func (s *MemStore) WeightCursor(t tokenize.Token) Cursor {
+	if int(t) >= len(s.weight) || len(s.weight[t]) == 0 {
+		return Empty()
+	}
+	return &memCursor{list: s.weight[t], skip: s.skips[t]}
+}
+
+// IDCursor implements Store.
+func (s *MemStore) IDCursor(t tokenize.Token) Cursor {
+	if int(t) >= len(s.byID) || len(s.byID[t]) == 0 {
+		return Empty()
+	}
+	return &memCursor{list: s.byID[t]} // no skip index: not length-sorted
+}
+
+// ListLen implements Store.
+func (s *MemStore) ListLen(t tokenize.Token) int {
+	if int(t) >= len(s.weight) {
+		return 0
+	}
+	return len(s.weight[t])
+}
+
+// Sizes implements Store.
+func (s *MemStore) Sizes() Sizes { return s.sizes }
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }
+
+type memCursor struct {
+	list []Posting
+	skip *skiplist.List[float64, int]
+	pos  int
+}
+
+func (c *memCursor) Valid() bool      { return c.pos < len(c.list) }
+func (c *memCursor) Posting() Posting { return c.list[c.pos] }
+func (c *memCursor) Next()            { c.pos++ }
+func (c *memCursor) Count() int       { return len(c.list) }
+
+// SeekLen jumps via the skip index to the first posting with Len ≥ min.
+// Entries between the skip landing point and the target are walked (they
+// are inside the same skip block), but entries before the landing point
+// are skipped without being touched — those are the savings Fig. 9
+// measures.
+func (c *memCursor) SeekLen(min float64) (skipped, walked int) {
+	if c.skip == nil || !c.Valid() || c.list[c.pos].Len >= min {
+		return 0, 0
+	}
+	start := c.pos
+	if _, pos, ok := c.skip.SeekLT(min); ok && pos > c.pos {
+		// w[pos].Len < min and the list is length-sorted, so no posting
+		// with Len ≥ min can precede pos: the jump skips only prunable
+		// entries.
+		c.pos = pos
+	}
+	skipped = c.pos - start
+	for c.pos < len(c.list) && c.list[c.pos].Len < min {
+		c.pos++ // intra-block walk: these are materialized reads
+		walked++
+	}
+	return skipped, walked
+}

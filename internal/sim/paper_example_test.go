@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// The paper works two numeric examples in §VI that pin down Eq. 2 and the
+// length computations exactly. These tests encode them as golden values.
+
+// Figure 3 example: idf(q¹)² = 225, idf(q²)² = 180, idf(q³)² = 45;
+// len(q) = 21.21; λ₁ = 21.21, λ₂ = 10.6, λ₃ = 2.12 (τ = 1).
+func TestPaperFigure3Lambdas(t *testing.T) {
+	idfSq := []float64{225, 180, 45}
+	lenQ := math.Sqrt(225 + 180 + 45)
+	if math.Abs(lenQ-21.21) > 0.01 {
+		t.Fatalf("len(q) = %.4f, paper says 21.21", lenQ)
+	}
+	lam := Lambda(idfSq, lenQ, 1.0)
+	want := []float64{21.21, 10.61, 2.12}
+	for i := range want {
+		if math.Abs(lam[i]-want[i]) > 0.01 {
+			t.Errorf("λ%d = %.4f, paper says %.2f", i+1, lam[i], want[i])
+		}
+	}
+	// λ₁ equals len(q) at τ=1 — the paper's observation that nothing
+	// longer than the query itself can be an exact match.
+	if math.Abs(lam[0]-lenQ) > 1e-9 {
+		t.Errorf("λ₁ = %g should equal len(q) = %g at τ=1", lam[0], lenQ)
+	}
+}
+
+// Figure 4 example: idf(q¹)² = 225, idf(q²)² = 135, idf(q³)² = 45;
+// len(q) = 20.12; λ₁ = 20.12, λ₂ = 8.94, λ₃ = 2.23 (τ = 1).
+func TestPaperFigure4Lambdas(t *testing.T) {
+	idfSq := []float64{225, 135, 45}
+	lenQ := math.Sqrt(225 + 135 + 45)
+	if math.Abs(lenQ-20.12) > 0.01 {
+		t.Fatalf("len(q) = %.4f, paper says 20.12", lenQ)
+	}
+	lam := Lambda(idfSq, lenQ, 1.0)
+	want := []float64{20.12, 8.94, 2.23}
+	for i := range want {
+		if math.Abs(lam[i]-want[i]) > 0.01 {
+			t.Errorf("λ%d = %.4f, paper says %.2f", i+1, lam[i], want[i])
+		}
+	}
+}
+
+// The Figure 4 set lengths: len(1) = 15.97, len(2..4) = 22.36 follow from
+// the partial contributions in the lists (w₁(1) = idf₁²/(len(q)·len(1)) =
+// 0.7 with idf₁² = 225 and len(q) = 20.12).
+func TestPaperFigure4SetLengths(t *testing.T) {
+	lenQ := math.Sqrt(225 + 135 + 45)
+	len1 := 225 / (lenQ * 0.7) // from w₁(1) = .7
+	if math.Abs(len1-15.97) > 0.01 {
+		t.Errorf("len(1) = %.4f, paper says 15.97", len1)
+	}
+	len2 := 225 / (lenQ * 0.5) // from w₁(2) = .5
+	if math.Abs(len2-22.36) > 0.01 {
+		t.Errorf("len(2) = %.4f, paper says 22.36", len2)
+	}
+	// Cross-check against list q²: w₂(2) = .3 with idf₂² = 135.
+	if alt := 135 / (lenQ * 0.3); math.Abs(alt-len2) > 0.01 {
+		t.Errorf("len(2) inconsistent across lists: %.4f vs %.4f", alt, len2)
+	}
+}
+
+// Theorem 1 at τ=1 pins len(s) = len(q) exactly — the paper's special
+// case where "the Length Boundedness property will restrict the search
+// space to only one set".
+func TestTheorem1TauOneDegenerate(t *testing.T) {
+	lo, hi := LengthBounds(21.21, 1.0)
+	if lo != hi || lo != 21.21 {
+		t.Errorf("bounds at τ=1: [%g, %g], want degenerate [21.21, 21.21]", lo, hi)
+	}
+}

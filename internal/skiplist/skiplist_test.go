@@ -1,0 +1,254 @@
+package skiplist
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func TestSetGetDelete(t *testing.T) {
+	l := New[int, string](intLess, 1)
+	if _, ok := l.Get(5); ok {
+		t.Fatal("empty list Get found something")
+	}
+	if !l.Set(5, "five") {
+		t.Fatal("first Set reported replace")
+	}
+	if l.Set(5, "FIVE") {
+		t.Fatal("second Set reported insert")
+	}
+	if v, ok := l.Get(5); !ok || v != "FIVE" {
+		t.Fatalf("Get(5) = %q,%v", v, ok)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if !l.Delete(5) {
+		t.Fatal("Delete missed existing key")
+	}
+	if l.Delete(5) {
+		t.Fatal("Delete found deleted key")
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len after delete = %d", l.Len())
+	}
+}
+
+func TestOrderedIteration(t *testing.T) {
+	l := New[int, int](intLess, 2)
+	rng := rand.New(rand.NewSource(7))
+	keys := rng.Perm(500)
+	for _, k := range keys {
+		l.Set(k, k*10)
+	}
+	var got []int
+	for it := l.First(); it.Valid(); it.Next() {
+		got = append(got, it.Key())
+		if it.Value() != it.Key()*10 {
+			t.Fatalf("value mismatch at %d", it.Key())
+		}
+	}
+	if len(got) != 500 || !sort.IntsAreSorted(got) {
+		t.Fatalf("iteration not sorted or wrong size: %d", len(got))
+	}
+}
+
+func TestSeek(t *testing.T) {
+	l := New[int, int](intLess, 3)
+	for _, k := range []int{10, 20, 30, 40} {
+		l.Set(k, k)
+	}
+	tests := []struct {
+		seek  int
+		want  int
+		valid bool
+	}{
+		{5, 10, true}, {10, 10, true}, {11, 20, true},
+		{40, 40, true}, {41, 0, false},
+	}
+	for _, tc := range tests {
+		it := l.Seek(tc.seek)
+		if it.Valid() != tc.valid {
+			t.Fatalf("Seek(%d).Valid = %v", tc.seek, it.Valid())
+		}
+		if tc.valid && it.Key() != tc.want {
+			t.Fatalf("Seek(%d) = %d, want %d", tc.seek, it.Key(), tc.want)
+		}
+	}
+}
+
+func TestChurn(t *testing.T) {
+	l := New[int, int](intLess, 4)
+	ref := map[int]int{}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 20000; i++ {
+		k := rng.Intn(300)
+		switch rng.Intn(3) {
+		case 0, 1:
+			l.Set(k, i)
+			ref[k] = i
+		case 2:
+			delete(ref, k)
+			l.Delete(k)
+		}
+	}
+	if l.Len() != len(ref) {
+		t.Fatalf("Len = %d, ref = %d", l.Len(), len(ref))
+	}
+	for k, v := range ref {
+		got, ok := l.Get(k)
+		if !ok || got != v {
+			t.Fatalf("Get(%d) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+	prev := -1
+	for it := l.First(); it.Valid(); it.Next() {
+		if it.Key() <= prev {
+			t.Fatal("order violated after churn")
+		}
+		prev = it.Key()
+	}
+}
+
+func TestQuickModelCheck(t *testing.T) {
+	type op struct {
+		Key    uint8
+		Del    bool
+		Seeked uint8
+	}
+	f := func(ops []op) bool {
+		l := New[int, int](intLess, 11)
+		ref := map[int]int{}
+		for i, o := range ops {
+			k := int(o.Key)
+			if o.Del {
+				delOK := l.Delete(k)
+				_, inRef := ref[k]
+				if delOK != inRef {
+					return false
+				}
+				delete(ref, k)
+			} else {
+				l.Set(k, i)
+				ref[k] = i
+			}
+			// Seek must land on the smallest ref key ≥ Seeked.
+			want, found := 0, false
+			for rk := range ref {
+				if rk >= int(o.Seeked) && (!found || rk < want) {
+					want, found = rk, true
+				}
+			}
+			it := l.Seek(int(o.Seeked))
+			if it.Valid() != found {
+				return false
+			}
+			if found && it.Key() != want {
+				return false
+			}
+		}
+		return l.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeekLE(t *testing.T) {
+	l := New[int, int](intLess, 8)
+	if _, _, ok := l.SeekLE(10); ok {
+		t.Fatal("SeekLE on empty list returned ok")
+	}
+	for _, k := range []int{10, 20, 30} {
+		l.Set(k, k*2)
+	}
+	tests := []struct {
+		seek, wantK int
+		ok          bool
+	}{
+		{5, 0, false}, {10, 10, true}, {15, 10, true},
+		{30, 30, true}, {99, 30, true},
+	}
+	for _, tc := range tests {
+		k, v, ok := l.SeekLE(tc.seek)
+		if ok != tc.ok || (ok && (k != tc.wantK || v != tc.wantK*2)) {
+			t.Fatalf("SeekLE(%d) = %d,%d,%v", tc.seek, k, v, ok)
+		}
+	}
+}
+
+func TestSeekLEQuick(t *testing.T) {
+	f := func(keys []uint8, target uint8) bool {
+		l := New[int, int](intLess, 13)
+		ref := map[int]bool{}
+		for _, k := range keys {
+			l.Set(int(k), int(k))
+			ref[int(k)] = true
+		}
+		want, found := -1, false
+		for k := range ref {
+			if k <= int(target) && k > want {
+				want, found = k, true
+			}
+		}
+		k, _, ok := l.SeekLE(int(target))
+		if ok != found {
+			return false
+		}
+		return !ok || k == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatKeys(t *testing.T) {
+	type key struct {
+		len float64
+		id  uint64
+	}
+	less := func(a, b key) bool {
+		if a.len != b.len {
+			return a.len < b.len
+		}
+		return a.id < b.id
+	}
+	l := New[key, int](less, 5)
+	l.Set(key{1.5, 2}, 0)
+	l.Set(key{1.5, 1}, 1)
+	l.Set(key{0.5, 9}, 2)
+	it := l.First()
+	order := []key{{0.5, 9}, {1.5, 1}, {1.5, 2}}
+	for _, want := range order {
+		if !it.Valid() || it.Key() != want {
+			t.Fatalf("composite order wrong")
+		}
+		it.Next()
+	}
+	// Seek with id 0 finds the first entry at that length.
+	if it := l.Seek(key{1.5, 0}); !it.Valid() || it.Key().id != 1 {
+		t.Fatal("Seek by length prefix failed")
+	}
+}
+
+func BenchmarkSkipListSet(b *testing.B) {
+	l := New[int, int](intLess, 6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Set(i&0xffff, i)
+	}
+}
+
+func BenchmarkSkipListSeek(b *testing.B) {
+	l := New[int, int](intLess, 6)
+	for i := 0; i < 1<<16; i++ {
+		l.Set(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Seek(i & 0xffff)
+	}
+}

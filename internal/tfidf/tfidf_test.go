@@ -1,0 +1,179 @@
+package tfidf
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/collection"
+	"repro/internal/tokenize"
+)
+
+// buildCorpus synthesizes strings with deliberately repeated characters
+// so q-gram term frequencies exceed 1 (the regime where TF/IDF differs
+// from IDF and the boosted bounds matter).
+func buildCorpus(t testing.TB, n int, seed int64) *collection.Collection {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := collection.NewBuilder(tokenize.QGramTokenizer{Q: 3}, true)
+	for i := 0; i < n; i++ {
+		ln := 3 + rng.Intn(10)
+		var sb strings.Builder
+		for j := 0; j < ln; j++ {
+			sb.WriteByte(byte('a' + rng.Intn(5)))
+		}
+		s := sb.String()
+		if rng.Intn(3) == 0 {
+			s = s + s[:len(s)/2] // force repeated grams
+		}
+		b.Add(s)
+	}
+	return b.Build()
+}
+
+func TestSFTFIDFMatchesOracle(t *testing.T) {
+	c := buildCorpus(t, 700, 1)
+	x := Build(c)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		qid := collection.SetID(rng.Intn(c.NumSets()))
+		q := c.Set(qid)
+		tau := 0.3 + 0.7*rng.Float64()
+		want := x.SelectNaive(q, tau)
+		got, _ := x.SelectSF(q, tau)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d τ=%g: got %d results, want %d", trial, tau, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID || math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+				t.Fatalf("trial %d τ=%g result %d: %+v vs %+v", trial, tau, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSelfQueryScoresOne(t *testing.T) {
+	c := buildCorpus(t, 300, 3)
+	x := Build(c)
+	for id := 0; id < 20; id++ {
+		got, _ := x.SelectSF(c.Set(collection.SetID(id)), 1.0)
+		found := false
+		for _, r := range got {
+			if r.ID == collection.SetID(id) {
+				found = true
+				if math.Abs(r.Score-1) > 1e-9 {
+					t.Errorf("self score %g", r.Score)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("set %d did not match itself at τ=1", id)
+		}
+	}
+}
+
+// TestBoostedBoundsSound verifies the derived window: every pair with
+// I(q,s) ≥ τ must fall inside [τ·len(q)/MQ, B(q)/τ].
+func TestBoostedBoundsSound(t *testing.T) {
+	c := buildCorpus(t, 500, 4)
+	x := Build(c)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		qid := collection.SetID(rng.Intn(c.NumSets()))
+		q := c.Set(qid)
+		for _, tau := range []float64{0.4, 0.6, 0.8, 0.95} {
+			lo, hi := x.BoostedBounds(q, tau)
+			for _, r := range x.SelectNaive(q, tau) {
+				l := x.Length(r.ID)
+				if l < lo-1e-9 || l > hi+1e-9 {
+					t.Fatalf("boosted bounds violated: τ=%g len=%g not in [%g, %g] (score %g)",
+						tau, l, lo, hi, r.Score)
+				}
+			}
+		}
+	}
+}
+
+// TestBoostedBoundsLooser: with tf present the window must contain the
+// tf=1 window (the bounds are "looser versions", §IV).
+func TestBoostedBoundsLooser(t *testing.T) {
+	c := buildCorpus(t, 300, 6)
+	x := Build(c)
+	q := c.Set(0)
+	lo, hi := x.BoostedBounds(q, 0.8)
+	if lo <= 0 || hi <= lo {
+		t.Fatalf("degenerate window [%g, %g]", lo, hi)
+	}
+	// MQ ≥ 1 and M_t ≥ 1 imply lo ≤ τ·len(q) and hi ≥ len(q)/τ.
+	var lenQ float64
+	for _, cnt := range q {
+		w := float64(cnt.TF) * c.IDFWeight(cnt.Token)
+		lenQ += w * w
+	}
+	lenQ = math.Sqrt(lenQ)
+	if lo > 0.8*lenQ+1e-9 {
+		t.Errorf("boosted lower bound %g above unboosted %g", lo, 0.8*lenQ)
+	}
+	if hi < lenQ/0.8-1e-9 {
+		t.Errorf("boosted upper bound %g below unboosted %g", hi, lenQ/0.8)
+	}
+}
+
+func TestSFPrunes(t *testing.T) {
+	c := buildCorpus(t, 3000, 7)
+	x := Build(c)
+	rng := rand.New(rand.NewSource(8))
+	var read, total int
+	for trial := 0; trial < 15; trial++ {
+		q := c.Set(collection.SetID(rng.Intn(c.NumSets())))
+		_, st := x.SelectSF(q, 0.85)
+		read += st.ElementsRead
+		total += st.ListTotal
+	}
+	if total == 0 || read >= total {
+		t.Fatalf("no pruning: read %d of %d", read, total)
+	}
+	t.Logf("TF/IDF SF pruned %.1f%% at τ=0.85", 100*(1-float64(read)/float64(total)))
+}
+
+func TestTFMattersInScores(t *testing.T) {
+	// Two sets sharing grams with different tf must score differently
+	// against a tf-heavy query, confirming tf is not being ignored.
+	b := collection.NewBuilder(tokenize.QGramTokenizer{Q: 3}, false)
+	b.Add("abcabcabc") // grams abc(×3? overlapping: abc,bca,cab,abc,bca,cab,abc) high tf
+	b.Add("abcxyzpqr") // abc tf=1
+	b.Add("zzzzzz")
+	c := b.Build()
+	x := Build(c)
+	q := c.Set(0) // the tf-heavy set as query
+	res := x.SelectNaive(q, 0.01)
+	scores := map[collection.SetID]float64{}
+	for _, r := range res {
+		scores[r.ID] = r.Score
+	}
+	if !(scores[0] > scores[1]) {
+		t.Errorf("tf-heavy self match %g not above tf-1 match %g", scores[0], scores[1])
+	}
+}
+
+func TestEmptyAndDegenerateQueries(t *testing.T) {
+	c := buildCorpus(t, 100, 9)
+	x := Build(c)
+	if got, _ := x.SelectSF(nil, 0.5); got != nil {
+		t.Errorf("nil query returned %v", got)
+	}
+	if got, _ := x.SelectSF(c.Set(0), 0); got != nil {
+		t.Errorf("τ=0 returned %v", got)
+	}
+}
+
+func BenchmarkSFTFIDF(b *testing.B) {
+	c := buildCorpus(b, 3000, 10)
+	x := Build(c)
+	q := c.Set(17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.SelectSF(q, 0.8)
+	}
+}

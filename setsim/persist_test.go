@@ -1,0 +1,99 @@
+package setsim_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/setsim"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "corpus.sscol")
+	orig := setsim.Build(corpus, setsim.QGramTokenizer{Q: 3}, setsim.ListsOnly())
+	if err := setsim.Save(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := setsim.Load(path, setsim.ListsOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1 := orig.Prepare("maine stret")
+	q2 := loaded.Prepare("maine stret")
+	want, _, err := orig.Select(q1, 0.5, setsim.SF, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := loaded.Select(q2, 0.5, setsim.SF, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("loaded engine: %d results, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID || math.Abs(got[i].Score-want[i].Score) > 1e-12 {
+			t.Fatalf("result %d mismatch after reload", i)
+		}
+		if loaded.Collection().Source(got[i].ID) != orig.Collection().Source(want[i].ID) {
+			t.Fatalf("source %d mismatch after reload", i)
+		}
+	}
+}
+
+func TestLoadWithLists(t *testing.T) {
+	dir := t.TempDir()
+	colPath := filepath.Join(dir, "corpus.sscol")
+	listPath := filepath.Join(dir, "corpus.ssidx")
+	orig := setsim.Build(corpus, setsim.QGramTokenizer{Q: 3}, setsim.ListsOnly())
+	if err := setsim.Save(colPath, orig); err != nil {
+		t.Fatal(err)
+	}
+	if err := setsim.SaveLists(listPath, orig); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := setsim.LoadWithLists(colPath, listPath, setsim.ListsOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := disk.Prepare("main street")
+	// Run every list-based algorithm against the on-disk lists and check
+	// against the in-memory oracle.
+	want, _, err := orig.Select(orig.Prepare("main street"), 0.6, setsim.Naive, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []setsim.Algorithm{setsim.SortByID, setsim.NRA, setsim.INRA, setsim.SF, setsim.Hybrid} {
+		got, _, err := disk.Select(q, 0.6, alg, nil)
+		if err != nil {
+			t.Fatalf("%v on disk lists: %v", alg, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v on disk lists: %d results, want %d", alg, len(got), len(want))
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := setsim.Load(filepath.Join(t.TempDir(), "missing"), setsim.ListsOnly()); err == nil {
+		t.Error("Load of missing file succeeded")
+	}
+	// A lists file is not a collection file.
+	dir := t.TempDir()
+	colPath := filepath.Join(dir, "c")
+	listPath := filepath.Join(dir, "l")
+	e := setsim.Build(corpus, setsim.QGramTokenizer{Q: 3}, setsim.ListsOnly())
+	if err := setsim.Save(colPath, e); err != nil {
+		t.Fatal(err)
+	}
+	if err := setsim.SaveLists(listPath, e); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := setsim.Load(listPath, setsim.ListsOnly()); err == nil {
+		t.Error("Load of a lists file succeeded")
+	}
+	if _, err := setsim.LoadWithLists(listPath, colPath, setsim.ListsOnly()); err == nil {
+		t.Error("LoadWithLists with swapped files succeeded")
+	}
+}

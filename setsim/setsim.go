@@ -1,0 +1,133 @@
+// Package setsim is the public API of the set-similarity selection
+// library: a Go implementation of "Fast Indexes and Algorithms for Set
+// Similarity Selection Queries" (Hadjieleftheriou, Chandel, Koudas,
+// Srivastava; ICDE 2008).
+//
+// A selection query asks: given a query string decomposed into a token
+// set, which strings in an indexed corpus have IDF similarity at least τ?
+// The library indexes a corpus once (inverted lists in two sort orders,
+// skip lists, optional extendible hashing and a relational baseline) and
+// answers queries with any of the paper's algorithms — the Shortest-First
+// (SF) algorithm is the recommended default.
+//
+// Basic usage:
+//
+//	idx := setsim.Build(corpus, setsim.QGramTokenizer{Q: 3}, setsim.ListsOnly())
+//	q := idx.Prepare("query string")
+//	results, stats, err := idx.Select(q, 0.8, setsim.SF, nil)
+//
+// The concrete types live in internal packages; this package re-exports
+// them through aliases, so the documented surface is exactly what a
+// downstream module can reach.
+package setsim
+
+import (
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/tokenize"
+)
+
+// Core query types.
+type (
+	// Engine indexes one corpus and answers selection queries.
+	Engine = core.Engine
+	// Config selects which indexes Build constructs.
+	Config = core.Config
+	// Query is a preprocessed query set (see Engine.Prepare).
+	Query = core.Query
+	// Options toggles Length Bounding and skip-index use per query.
+	Options = core.Options
+	// Result is one qualifying set and its IDF score in [0, 1].
+	Result = core.Result
+	// Stats reports the work a query performed.
+	Stats = core.Stats
+	// Algorithm selects a query-processing strategy.
+	Algorithm = core.Algorithm
+	// BatchResult is one query's outcome in Engine.SelectBatch.
+	BatchResult = core.BatchResult
+	// Pair is one matching pair of Engine.SelfJoin (A < B).
+	Pair = core.Pair
+)
+
+// Collection types.
+type (
+	// SetID identifies an indexed set; Engine.Collection().Source(id)
+	// recovers the original string when sources are retained.
+	SetID = collection.SetID
+	// Collection is the indexed corpus with its statistics.
+	Collection = collection.Collection
+	// Builder accumulates strings into a Collection.
+	Builder = collection.Builder
+)
+
+// Tokenizers.
+type (
+	// Tokenizer decomposes strings into tokens.
+	Tokenizer = tokenize.Tokenizer
+	// WordTokenizer splits on non-alphanumeric runs, lowercased.
+	WordTokenizer = tokenize.WordTokenizer
+	// QGramTokenizer emits overlapping q-grams (set Q; Pad optionally).
+	QGramTokenizer = tokenize.QGramTokenizer
+)
+
+// The available algorithms (§III, §V–§VII of the paper).
+const (
+	// Naive scans the whole collection; the correctness oracle.
+	Naive = core.Naive
+	// SortByID merges id-sorted inverted lists (no pruning).
+	SortByID = core.SortByID
+	// SQL runs the relational baseline plan.
+	SQL = core.SQL
+	// TA is the Threshold Algorithm with random accesses.
+	TA = core.TA
+	// NRA is the no-random-access Threshold Algorithm.
+	NRA = core.NRA
+	// ITA is TA improved with the IDF semantic properties.
+	ITA = core.ITA
+	// INRA is NRA improved with the IDF semantic properties.
+	INRA = core.INRA
+	// SF is the Shortest-First algorithm — the paper's overall winner
+	// and the recommended default.
+	SF = core.SF
+	// Hybrid combines iNRA's breadth-first scan with SF's cutoffs.
+	Hybrid = core.Hybrid
+)
+
+// Errors returned by Select and SelectTopK.
+var (
+	ErrEmptyQuery   = core.ErrEmptyQuery
+	ErrBadThreshold = core.ErrBadThreshold
+	ErrNoHashIndex  = core.ErrNoHashIndex
+	ErrNoRelational = core.ErrNoRelational
+	ErrUnknownAlg   = core.ErrUnknownAlg
+)
+
+// Algorithms lists every selectable algorithm in presentation order.
+func Algorithms() []Algorithm { return core.Algorithms() }
+
+// NewBuilder starts an incremental corpus builder. keepSource retains
+// the original strings for Result → string recovery.
+func NewBuilder(tk Tokenizer, keepSource bool) *Builder {
+	return collection.NewBuilder(tk, keepSource)
+}
+
+// NewEngine indexes a built collection.
+func NewEngine(c *Collection, cfg Config) *Engine { return core.NewEngine(c, cfg) }
+
+// Build tokenizes and indexes a corpus in one step. Strings that produce
+// no tokens are skipped; ids are assigned in input order among the kept
+// strings.
+func Build(corpus []string, tk Tokenizer, cfg Config) *Engine {
+	b := collection.NewBuilder(tk, true)
+	for _, s := range corpus {
+		b.Add(s)
+	}
+	return core.NewEngine(b.Build(), cfg)
+}
+
+// ListsOnly is the lightest index configuration: inverted lists and skip
+// lists only. TA/iTA (which need extendible hashing) and the SQL
+// baseline are unavailable; SF, Hybrid, iNRA, NRA and SortByID all work.
+func ListsOnly() Config {
+	return Config{NoHashes: true, NoRelational: true}
+}
