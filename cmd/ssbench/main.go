@@ -88,6 +88,11 @@ func main() {
 	if run["tuning"] {
 		runTuning(env, setup)
 	}
+
+	// Every query the experiments ran fed the engine's metrics registry;
+	// the aggregate distributions summarize the whole bench run.
+	fmt.Println("engine metrics across all experiment queries:")
+	fmt.Println(env.E.Metrics().Snapshot())
 }
 
 func runTuning(env *experiments.Env, setup experiments.Setup) {

@@ -14,6 +14,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -40,7 +41,8 @@ func main() {
 	tau := flag.Float64("tau", 0.8, "similarity threshold")
 	algName := flag.String("alg", "sf", "algorithm: naive|sort-by-id|sql|ta|nra|ita|inra|sf|hybrid")
 	k := flag.Int("k", 0, "top-k mode when > 0 (sf or inra only)")
-	verbose := flag.Bool("v", false, "print access statistics")
+	timeout := flag.Duration("timeout", 0, "per-query deadline (0 disables); expired queries abort mid-scan")
+	verbose := flag.Bool("v", false, "print access statistics and a final metrics summary")
 	flag.Parse()
 	if *in == "" && *load == "" {
 		fmt.Fprintln(os.Stderr, "usage: ssquery -in strings.txt | -load corpus.sscol [-tau 0.8] [-alg sf] [query ...]")
@@ -116,14 +118,20 @@ func main() {
 
 	answer := func(line string) {
 		query := engine.Prepare(line)
+		ctx := context.Background()
+		cancel := func() {}
+		if *timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+		}
 		var res []core.Result
 		var st core.Stats
 		var err error
 		if *k > 0 {
-			res, st, err = engine.SelectTopK(query, *k, alg, nil)
+			res, st, err = engine.SelectTopKCtx(ctx, query, *k, alg, nil)
 		} else {
-			res, st, err = engine.Select(query, *tau, alg, nil)
+			res, st, err = engine.SelectCtx(ctx, query, *tau, alg, nil)
 		}
+		cancel()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "query %q: %v\n", line, err)
 			return
@@ -139,11 +147,14 @@ func main() {
 
 	if flag.NArg() > 0 {
 		answer(strings.Join(flag.Args(), " "))
-		return
+	} else {
+		stdin := bufio.NewScanner(os.Stdin)
+		for stdin.Scan() {
+			answer(stdin.Text())
+		}
 	}
-	stdin := bufio.NewScanner(os.Stdin)
-	for stdin.Scan() {
-		answer(stdin.Text())
+	if *verbose {
+		fmt.Fprintln(os.Stderr, engine.Metrics().Snapshot())
 	}
 }
 

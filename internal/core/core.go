@@ -12,13 +12,16 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/collection"
 	"repro/internal/exthash"
 	"repro/internal/invlist"
+	"repro/internal/metrics"
 	"repro/internal/relational"
 	"repro/internal/sim"
 	"repro/internal/tokenize"
@@ -55,7 +58,7 @@ var algorithmNames = [...]string{
 
 // String returns the name used in experiment reports.
 func (a Algorithm) String() string {
-	if int(a) < len(algorithmNames) {
+	if 0 <= int(a) && int(a) < len(algorithmNames) {
 		return algorithmNames[a]
 	}
 	return fmt.Sprintf("algorithm(%d)", int(a))
@@ -124,6 +127,9 @@ type Engine struct {
 	// the random-access path of TA/iTA; nil when disabled.
 	hashes []*exthash.Table
 	rel    *relational.Engine
+	// m aggregates per-query latency/read/outcome metrics across every
+	// selection entry point (Select, SelectTopK, the parallel variants).
+	m *metrics.Registry
 }
 
 // Config controls which indexes NewEngine builds.
@@ -144,7 +150,7 @@ type Config struct {
 
 // NewEngine builds the indexes for c per cfg.
 func NewEngine(c *collection.Collection, cfg Config) *Engine {
-	e := &Engine{c: c, store: cfg.Store}
+	e := &Engine{c: c, store: cfg.Store, m: metrics.NewRegistry()}
 	if e.store == nil {
 		e.store = invlist.BuildMem(c, cfg.SkipInterval)
 	}
@@ -168,7 +174,18 @@ func NewEngine(c *collection.Collection, cfg Config) *Engine {
 // tuning ablations use it to swap one index (e.g. extendible hashing at a
 // different page size) without rebuilding the rest.
 func NewEngineWithHashes(c *collection.Collection, store invlist.Store, hashes []*exthash.Table) *Engine {
-	return &Engine{c: c, store: store, hashes: hashes}
+	return &Engine{c: c, store: store, hashes: hashes, m: metrics.NewRegistry()}
+}
+
+// Metrics exposes the engine's query metrics registry.
+func (e *Engine) Metrics() *metrics.Registry { return e.m }
+
+// observe feeds one completed query into the metrics layer. Every entry
+// point calls it exactly once per query, after Stats.Elapsed is stamped.
+func (e *Engine) observe(st Stats, err error) {
+	if e.m != nil {
+		e.m.ObserveQuery(st.Elapsed, st.ElementsRead, err)
+	}
 }
 
 // Collection exposes the underlying corpus.
@@ -206,8 +223,56 @@ var (
 	ErrUnknownAlg   = errors.New("core: unknown algorithm")
 )
 
+// cancelInterval is the guaranteed granularity of context polls in the
+// scan loops: a canceller asks ctx.Err() on its first stop() call and at
+// least once every cancelInterval calls after that, so a cancelled query
+// stops within ~1024 postings (or candidates) of the cancellation. Must
+// be a power of two.
+const cancelInterval = 1024
+
+// canceller rations ctx.Err() polls for the hot scan loops. Each query
+// (and each worker goroutine of the parallel variants) owns its own
+// canceller; a nil canceller never stops, which lets internal helpers be
+// driven directly by tests without a context.
+type canceller struct {
+	ctx context.Context
+	n   uint32
+	err error
+}
+
+// stop reports whether the query must abort; after a true return err
+// holds the context's error. The poll happens on call 0 and every
+// cancelInterval-th call, so the common path is one increment and mask.
+func (cc *canceller) stop() bool {
+	if cc == nil {
+		return false
+	}
+	if cc.err != nil {
+		return true
+	}
+	if cc.n&(cancelInterval-1) == 0 {
+		if err := cc.ctx.Err(); err != nil {
+			cc.err = err
+			return true
+		}
+	}
+	cc.n++
+	return false
+}
+
 // Select runs one selection query. Results are sorted by ascending id.
+// It is SelectCtx with a background context.
 func (e *Engine) Select(q Query, tau float64, alg Algorithm, opts *Options) ([]Result, Stats, error) {
+	return e.SelectCtx(context.Background(), q, tau, alg, opts)
+}
+
+// SelectCtx runs one selection query under a context. Cancellation or
+// deadline expiry is noticed inside every algorithm's list-scan loops
+// (at least once every cancelInterval postings): the query
+// returns ctx.Err() promptly with the Stats of the work performed so
+// far, instead of running to completion. Results are sorted by
+// ascending id.
+func (e *Engine) SelectCtx(ctx context.Context, q Query, tau float64, alg Algorithm, opts *Options) ([]Result, Stats, error) {
 	var o Options
 	if opts != nil {
 		o = *opts
@@ -223,31 +288,33 @@ func (e *Engine) Select(q Query, tau float64, alg Algorithm, opts *Options) ([]R
 		stats.ListTotal += e.store.ListLen(qt.Token)
 	}
 	start := time.Now()
+	cc := &canceller{ctx: ctx}
 	var res []Result
 	var err error
 	switch alg {
 	case Naive:
-		res = e.selectNaive(q, tau, &stats)
+		res, err = e.selectNaive(cc, q, tau, &stats)
 	case SortByID:
-		res, err = e.selectSortByID(q, tau, &stats)
+		res, err = e.selectSortByID(cc, q, tau, &stats)
 	case SQL:
-		res, err = e.selectSQL(q, tau, &o, &stats)
+		res, err = e.selectSQL(cc, q, tau, &o, &stats)
 	case TA:
-		res, err = e.selectTA(q, tau, false, &o, &stats)
+		res, err = e.selectTA(cc, q, tau, false, &o, &stats)
 	case ITA:
-		res, err = e.selectTA(q, tau, true, &o, &stats)
+		res, err = e.selectTA(cc, q, tau, true, &o, &stats)
 	case NRA:
-		res, err = e.selectNRA(q, tau, &stats)
+		res, err = e.selectNRA(cc, q, tau, &stats)
 	case INRA:
-		res, err = e.selectINRA(q, tau, &o, &stats)
+		res, err = e.selectINRA(cc, q, tau, &o, &stats)
 	case SF:
-		res, err = e.selectSF(q, tau, &o, &stats)
+		res, err = e.selectSF(cc, q, tau, &o, &stats)
 	case Hybrid:
-		res, err = e.selectHybrid(q, tau, &o, &stats)
+		res, err = e.selectHybrid(cc, q, tau, &o, &stats)
 	default:
 		err = ErrUnknownAlg
 	}
 	stats.Elapsed = time.Since(start)
+	e.observe(stats, err)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -255,9 +322,17 @@ func (e *Engine) Select(q Query, tau float64, alg Algorithm, opts *Options) ([]R
 	return res, stats, nil
 }
 
+// sortResultsInsertionMax bounds the insertion sort: typical selective
+// queries return a handful of results, where insertion sort beats
+// sort.Slice by avoiding the closure and reflection setup; low-τ queries
+// can match tens of thousands of sets, where O(n²) is catastrophic.
+const sortResultsInsertionMax = 32
+
 func sortResults(rs []Result) {
-	// Insertion sort: result sets are small; avoids sort.Slice closure
-	// allocation on the hot path.
+	if len(rs) > sortResultsInsertionMax {
+		sort.Slice(rs, func(i, j int) bool { return rs[i].ID < rs[j].ID })
+		return
+	}
 	for i := 1; i < len(rs); i++ {
 		for j := i; j > 0 && rs[j-1].ID > rs[j].ID; j-- {
 			rs[j-1], rs[j] = rs[j], rs[j-1]

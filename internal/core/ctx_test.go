@@ -1,0 +1,272 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/collection"
+)
+
+// lowTauQuery prepares a query whose lists carry enough volume that a
+// completed run reads far more than the cancellation granularity.
+func lowTauQuery(e *Engine, seed int64) Query {
+	rng := rand.New(rand.NewSource(seed))
+	return e.PrepareCounts(e.c.Set(collection.SetID(rng.Intn(e.c.NumSets()))))
+}
+
+// longestQuery prepares the corpus's longest set as a query, maximizing
+// the combined list volume behind it.
+func longestQuery(e *Engine) Query {
+	var best collection.SetID
+	for id := 1; id < e.c.NumSets(); id++ {
+		if e.c.Length(collection.SetID(id)) > e.c.Length(best) {
+			best = collection.SetID(id)
+		}
+	}
+	return e.PrepareCounts(e.c.Set(best))
+}
+
+// TestSelectCtxPreCancelled: with an already-cancelled context every
+// algorithm must return context.Canceled promptly, having read only a
+// small prefix of the total list volume.
+func TestSelectCtxPreCancelled(t *testing.T) {
+	e := buildEngine(t, 4000, 71, 4, Config{})
+	q := longestQuery(e)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	// Establish that the workload is big enough for the assertion to
+	// mean something: a full run reads much more than the granularity.
+	_, full, err := e.Select(q, 0.3, SortByID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.ListTotal < 4*cancelInterval {
+		t.Fatalf("corpus too small for a meaningful test: ListTotal=%d", full.ListTotal)
+	}
+
+	for _, alg := range []Algorithm{Naive, SortByID, SQL, TA, NRA, ITA, INRA, SF, Hybrid} {
+		res, st, err := e.SelectCtx(ctx, q, 0.3, alg, nil)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: err = %v, want context.Canceled", alg, err)
+		}
+		if res != nil {
+			t.Errorf("%v: returned %d results on cancellation", alg, len(res))
+		}
+		if st.ElementsRead > st.ListTotal/2 {
+			t.Errorf("%v: read %d of %d postings despite pre-cancelled ctx",
+				alg, st.ElementsRead, st.ListTotal)
+		}
+		if st.Elapsed <= 0 {
+			t.Errorf("%v: Elapsed not stamped on cancelled query", alg)
+		}
+	}
+}
+
+// TestSelectCtxDeadline: an expired deadline behaves like cancellation
+// but surfaces context.DeadlineExceeded.
+func TestSelectCtxDeadline(t *testing.T) {
+	e := buildEngine(t, 1000, 73, 6, Config{NoHashes: true, NoRelational: true})
+	q := lowTauQuery(e, 74)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	for _, alg := range []Algorithm{SortByID, SF, Hybrid} {
+		_, _, err := e.SelectCtx(ctx, q, 0.5, alg, nil)
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("%v: err = %v, want context.DeadlineExceeded", alg, err)
+		}
+	}
+}
+
+// TestSelectCtxBackground: a background context must not change results.
+func TestSelectCtxBackground(t *testing.T) {
+	e := buildEngine(t, 500, 75, 6, Config{})
+	q := lowTauQuery(e, 76)
+	for _, alg := range []Algorithm{Naive, SortByID, SQL, TA, NRA, ITA, INRA, SF, Hybrid} {
+		want, _, err := e.Select(q, 0.6, alg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := e.SelectCtx(context.Background(), q, 0.6, alg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Errorf("%v: ctx variant returned %d results, plain %d", alg, len(got), len(want))
+		}
+	}
+}
+
+// TestSelectCtxNoSkipIndexCancel: the NoSkipIndex sequential seek is an
+// unbounded read loop and must also notice cancellation.
+func TestSelectCtxNoSkipIndexCancel(t *testing.T) {
+	e := buildEngine(t, 3000, 77, 6, Config{NoHashes: true, NoRelational: true})
+	q := lowTauQuery(e, 78)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, st, err := e.SelectCtx(ctx, q, 0.8, SF, &Options{NoSkipIndex: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st.ElementsRead > st.ListTotal/2 {
+		t.Errorf("read %d of %d during cancelled seek", st.ElementsRead, st.ListTotal)
+	}
+}
+
+// TestSelectTopKCtxCancelled covers the top-k variants.
+func TestSelectTopKCtxCancelled(t *testing.T) {
+	e := buildEngine(t, 2000, 79, 6, Config{NoHashes: true, NoRelational: true})
+	q := lowTauQuery(e, 80)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, alg := range []Algorithm{Naive, SF, INRA} {
+		res, st, err := e.SelectTopKCtx(ctx, q, 10, alg, nil)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: err = %v, want context.Canceled", alg, err)
+		}
+		if res != nil {
+			t.Errorf("%v: returned results on cancellation", alg)
+		}
+		if st.ElementsRead > st.ListTotal/2 {
+			t.Errorf("%v: read %d of %d", alg, st.ElementsRead, st.ListTotal)
+		}
+	}
+}
+
+// TestSelectBatchCtxCancelled: every entry of a cancelled batch carries
+// the context error; none report silently-empty success.
+func TestSelectBatchCtxCancelled(t *testing.T) {
+	e := buildEngine(t, 800, 81, 6, Config{NoHashes: true, NoRelational: true})
+	queries := make([]Query, 20)
+	for i := range queries {
+		queries[i] = lowTauQuery(e, int64(82+i))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out := e.SelectBatchCtx(ctx, queries, 0.5, SF, nil, 4)
+	for i, r := range out {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("entry %d: err = %v, want context.Canceled", i, r.Err)
+		}
+	}
+}
+
+// TestParallelCtxCancelled covers the intra-query parallel variants.
+func TestParallelCtxCancelled(t *testing.T) {
+	e := buildEngine(t, 2000, 83, 6, Config{NoHashes: true, NoRelational: true})
+	q := lowTauQuery(e, 84)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	res, st, err := e.SelectSortByIDParallelCtx(ctx, q, 0.5, 4)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("sort-by-id: err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Error("sort-by-id: results returned on cancellation")
+	}
+	if st.ElementsRead > st.ListTotal/2 {
+		t.Errorf("sort-by-id: read %d of %d", st.ElementsRead, st.ListTotal)
+	}
+
+	for _, workers := range []int{1, 4} {
+		res, _, err = e.SelectNaiveParallelCtx(ctx, q, 0.5, workers)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("naive workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if res != nil {
+			t.Errorf("naive workers=%d: results returned on cancellation", workers)
+		}
+	}
+}
+
+// TestElapsedPopulated: Stats.Elapsed must be set by every entry point —
+// Select, SelectTopK, SelectSortByIDParallel, SelectNaiveParallel, and
+// the per-query stats of SelectBatch.
+func TestElapsedPopulated(t *testing.T) {
+	e := buildEngine(t, 400, 85, 6, Config{NoHashes: true, NoRelational: true})
+	q := lowTauQuery(e, 86)
+
+	if _, st, err := e.Select(q, 0.6, SF, nil); err != nil || st.Elapsed <= 0 {
+		t.Errorf("Select: elapsed=%v err=%v", st.Elapsed, err)
+	}
+	if _, st, err := e.SelectTopK(q, 5, SF, nil); err != nil || st.Elapsed <= 0 {
+		t.Errorf("SelectTopK(SF): elapsed=%v err=%v", st.Elapsed, err)
+	}
+	if _, st, err := e.SelectTopK(q, 5, INRA, nil); err != nil || st.Elapsed <= 0 {
+		t.Errorf("SelectTopK(INRA): elapsed=%v err=%v", st.Elapsed, err)
+	}
+	if _, st, err := e.SelectSortByIDParallel(q, 0.6, 3); err != nil || st.Elapsed <= 0 {
+		t.Errorf("SelectSortByIDParallel: elapsed=%v err=%v", st.Elapsed, err)
+	}
+	if _, st, err := e.SelectNaiveParallel(q, 0.6, 3); err != nil || st.Elapsed <= 0 {
+		t.Errorf("SelectNaiveParallel: elapsed=%v err=%v", st.Elapsed, err)
+	}
+	for i, r := range e.SelectBatch([]Query{q, q}, 0.6, SF, nil, 2) {
+		if r.Err != nil || r.Stats.Elapsed <= 0 {
+			t.Errorf("SelectBatch[%d]: elapsed=%v err=%v", i, r.Stats.Elapsed, r.Err)
+		}
+	}
+}
+
+// TestSelectNaiveParallelValidation: the former signature skipped the
+// validation every sibling performs; bad input must now error instead of
+// silently returning wrong results.
+func TestSelectNaiveParallelValidation(t *testing.T) {
+	e := buildEngine(t, 60, 87, 6, Config{NoHashes: true, NoRelational: true})
+	if _, _, err := e.SelectNaiveParallel(Query{}, 0.5, 2); err != ErrEmptyQuery {
+		t.Errorf("empty query err = %v, want ErrEmptyQuery", err)
+	}
+	q := e.PrepareCounts(e.c.Set(0))
+	if _, _, err := e.SelectNaiveParallel(q, 0, 2); err != ErrBadThreshold {
+		t.Errorf("tau=0 err = %v, want ErrBadThreshold", err)
+	}
+	if _, _, err := e.SelectNaiveParallel(q, 1.5, 2); err != ErrBadThreshold {
+		t.Errorf("tau=1.5 err = %v, want ErrBadThreshold", err)
+	}
+	if _, st, err := e.SelectNaiveParallel(q, 0.5, 2); err != nil || st.ListTotal == 0 {
+		t.Errorf("valid query: err=%v ListTotal=%d", err, st.ListTotal)
+	}
+}
+
+// TestEngineMetrics: the engine's registry sees every entry point and
+// classifies outcomes.
+func TestEngineMetrics(t *testing.T) {
+	e := buildEngine(t, 400, 88, 6, Config{NoHashes: true, NoRelational: true})
+	q := lowTauQuery(e, 89)
+
+	if _, _, err := e.Select(q, 0.6, SF, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.SelectTopK(q, 3, SF, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.SelectSortByIDParallel(q, 0.6, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Select(q, 0.6, TA, nil); err != ErrNoHashIndex {
+		t.Fatalf("TA err = %v, want ErrNoHashIndex", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := e.SelectCtx(ctx, q, 0.6, SF, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled err = %v", err)
+	}
+
+	s := e.Metrics().Snapshot()
+	if s.OK != 3 {
+		t.Errorf("OK = %d, want 3", s.OK)
+	}
+	if s.Failed != 1 {
+		t.Errorf("Failed = %d, want 1", s.Failed)
+	}
+	if s.Canceled != 1 {
+		t.Errorf("Canceled = %d, want 1", s.Canceled)
+	}
+	if s.Latency.Count != 5 || s.Reads.Count != 5 {
+		t.Errorf("histogram counts = %d, %d, want 5, 5", s.Latency.Count, s.Reads.Count)
+	}
+}

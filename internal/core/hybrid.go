@@ -19,9 +19,9 @@ import (
 // discovery-ordered list per inverted list — ascending (len, id) by
 // construction — plus a hash table on ids, so maxLen(C) is found by
 // peeking at the partition tails and pruning pops dead tails only.
-func (e *Engine) selectHybrid(q Query, tau float64, o *Options, stats *Stats) ([]Result, error) {
+func (e *Engine) selectHybrid(cc *canceller, q Query, tau float64, o *Options, stats *Stats) ([]Result, error) {
 	lo, hi := lengthWindow(q, tau, o)
-	lists := e.openLists(q, lo, o, stats)
+	lists := e.openLists(cc, q, lo, o, stats)
 	n := len(lists)
 
 	suffix := make([]float64, n+1)
@@ -98,6 +98,9 @@ func (e *Engine) selectHybrid(q Query, tau float64, o *Options, stats *Stats) ([
 			if l.done {
 				continue
 			}
+			if cc.stop() {
+				return nil, cc.err
+			}
 			p, ok := l.frontier()
 			if !ok {
 				l.done = true
@@ -165,6 +168,9 @@ func (e *Engine) selectHybrid(q Query, tau float64, o *Options, stats *Stats) ([
 
 		stats.CandidateScans++
 		for _, c := range cands {
+			if cc.stop() {
+				return nil, cc.err
+			}
 			for j, lj := range lists {
 				if !c.resolved.has(j) && ruledOut(lj, c.len, c.id) {
 					c.resolveAbsent(j, lj.idfSq)

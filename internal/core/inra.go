@@ -105,9 +105,9 @@ func admit(lists []*listState, seenIn int, p invlist.Posting, q Query, tau float
 // absences from frontiers, and Magnitude Boundedness for tight upper
 // bounds — plus the F < τ gate before admitting new candidates and
 // before scanning the candidate set.
-func (e *Engine) selectINRA(q Query, tau float64, o *Options, stats *Stats) ([]Result, error) {
+func (e *Engine) selectINRA(cc *canceller, q Query, tau float64, o *Options, stats *Stats) ([]Result, error) {
 	lo, hi := lengthWindow(q, tau, o)
-	lists := e.openLists(q, lo, o, stats)
+	lists := e.openLists(cc, q, lo, o, stats)
 	cands := make(map[collection.SetID]*impCand)
 	var out []Result
 	n := len(lists)
@@ -118,6 +118,9 @@ func (e *Engine) selectINRA(q Query, tau float64, o *Options, stats *Stats) ([]R
 		for i, l := range lists {
 			if l.done {
 				continue
+			}
+			if cc.stop() {
+				return nil, cc.err
 			}
 			p, ok := l.frontier()
 			if !ok {
@@ -175,6 +178,9 @@ func (e *Engine) selectINRA(q Query, tau float64, o *Options, stats *Stats) ([]R
 
 		stats.CandidateScans++
 		for id, c := range cands {
+			if cc.stop() {
+				return nil, cc.err
+			}
 			for j, lj := range lists {
 				if !c.resolved.has(j) && ruledOut(lj, c.len, c.id) {
 					c.resolveAbsent(j, lj.idfSq)

@@ -99,7 +99,45 @@ func TestSortResults(t *testing.T) {
 		}
 	}
 	sortResults(nil) // must not panic
+
+	// Exercise both sides of the insertion/sort.Slice crossover.
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{sortResultsInsertionMax, sortResultsInsertionMax + 1, 1000} {
+		rs := make([]Result, n)
+		for i := range rs {
+			rs[i] = Result{ID: collection.SetID(rng.Intn(1 << 20))}
+		}
+		sortResults(rs)
+		for i := 1; i < len(rs); i++ {
+			if rs[i-1].ID > rs[i].ID {
+				t.Fatalf("n=%d: not sorted at %d", n, i)
+			}
+		}
+	}
 }
+
+// benchSortResults measures sortResults on shuffled inputs of size n; the
+// small sizes guard the insertion-sort fast path that motivated keeping a
+// crossover instead of calling sort.Slice unconditionally.
+func benchSortResults(b *testing.B, n int) {
+	rng := rand.New(rand.NewSource(13))
+	src := make([]Result, n)
+	for i := range src {
+		src[i] = Result{ID: collection.SetID(rng.Intn(1 << 30))}
+	}
+	buf := make([]Result, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, src)
+		sortResults(buf)
+	}
+}
+
+func BenchmarkSortResults4(b *testing.B)     { benchSortResults(b, 4) }
+func BenchmarkSortResults16(b *testing.B)    { benchSortResults(b, 16) }
+func BenchmarkSortResults32(b *testing.B)    { benchSortResults(b, 32) }
+func BenchmarkSortResults1000(b *testing.B)  { benchSortResults(b, 1000) }
+func BenchmarkSortResults20000(b *testing.B) { benchSortResults(b, 20000) }
 
 func TestLengthWindow(t *testing.T) {
 	q := Query{Len: 10}
@@ -140,7 +178,7 @@ func TestBeforeOrAt(t *testing.T) {
 func TestAdmitRejectsHopeless(t *testing.T) {
 	e := buildEngine(t, 300, 92, 6, Config{NoHashes: true, NoRelational: true})
 	q := e.PrepareCounts(e.c.Set(0))
-	lists := e.openLists(q, 0, &Options{}, &Stats{})
+	lists := e.openLists(nil, q, 0, &Options{}, &Stats{})
 	// A posting so long that even appearing in every list cannot reach a
 	// high threshold must be rejected.
 	long := invlist.Posting{ID: 999999, Len: q.Len * 100}

@@ -12,13 +12,16 @@ import (
 // carry in q.Len). It is the correctness oracle for all indexed
 // algorithms and the "no index available" case of §III-A, where a linear
 // scan of the base table is unavoidable.
-func (e *Engine) selectNaive(q Query, tau float64, stats *Stats) []Result {
+func (e *Engine) selectNaive(cc *canceller, q Query, tau float64, stats *Stats) ([]Result, error) {
 	idfSq := make(map[tokenize.Token]float64, len(q.Tokens))
 	for _, qt := range q.Tokens {
 		idfSq[qt.Token] = qt.IDFSq
 	}
 	var out []Result
 	for id := 0; id < e.c.NumSets(); id++ {
+		if cc.stop() {
+			return nil, cc.err
+		}
 		sid := collection.SetID(id)
 		var dot float64
 		for _, cnt := range e.c.Set(sid) {
@@ -34,5 +37,5 @@ func (e *Engine) selectNaive(q Query, tau float64, stats *Stats) []Result {
 			out = append(out, Result{ID: sid, Score: score})
 		}
 	}
-	return out
+	return out, nil
 }

@@ -22,8 +22,8 @@ type nraCand struct {
 // itself applied to make it terminate at all (§VIII-A): candidate-set
 // scans are skipped while the unseen-element bound F still reaches τ, and
 // a scan stops early at the first still-viable candidate.
-func (e *Engine) selectNRA(q Query, tau float64, stats *Stats) ([]Result, error) {
-	lists := e.openLists(q, 0, &Options{NoLengthBound: true}, stats)
+func (e *Engine) selectNRA(cc *canceller, q Query, tau float64, stats *Stats) ([]Result, error) {
+	lists := e.openLists(cc, q, 0, &Options{NoLengthBound: true}, stats)
 	n := len(lists)
 	cands := make(map[collection.SetID]*nraCand)
 	var out []Result
@@ -31,6 +31,9 @@ func (e *Engine) selectNRA(q Query, tau float64, stats *Stats) ([]Result, error)
 	for {
 		alive := false
 		for i, l := range lists {
+			if cc.stop() {
+				return nil, cc.err
+			}
 			p, ok := l.frontier()
 			if !ok {
 				l.done = true
@@ -77,6 +80,9 @@ func (e *Engine) selectNRA(q Query, tau float64, stats *Stats) ([]Result, error)
 			// Scan the candidate set (mitigation: only once F < τ).
 			stats.CandidateScans++
 			for id, c := range cands {
+				if cc.stop() {
+					return nil, cc.err
+				}
 				upper := c.lower
 				complete := true
 				for i := range lists {

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/collection"
 	"repro/internal/sim"
@@ -11,11 +13,14 @@ import (
 // Parallel processing is the second extension the paper's conclusion
 // plans (§X). Two forms are provided: inter-query parallelism — a worker
 // pool draining a batch of selection queries, the deployment shape of a
-// data-cleaning pipeline — and intra-query parallelism for the oracle
-// scan, which shards the collection across cores.
+// data-cleaning pipeline — and intra-query parallelism for the sort-by-id
+// merge and the oracle scan, which shard the query lists (respectively
+// the collection) across cores.
 //
 // All engine indexes are safe for concurrent readers, so workers share
-// the engine without copying.
+// the engine without copying. Every variant has a Ctx form; cancellation
+// is cooperative with the same granularity guarantee as SelectCtx — each
+// worker polls the context from its own scan loop.
 
 // BatchResult pairs one query's results with its access statistics.
 type BatchResult struct {
@@ -26,8 +31,16 @@ type BatchResult struct {
 
 // SelectBatch runs every query with the same τ, algorithm and options on
 // a pool of workers (≤ 0 selects GOMAXPROCS). The i-th output corresponds
-// to the i-th query.
+// to the i-th query. It is SelectBatchCtx with a background context.
 func (e *Engine) SelectBatch(queries []Query, tau float64, alg Algorithm, opts *Options, workers int) []BatchResult {
+	return e.SelectBatchCtx(context.Background(), queries, tau, alg, opts, workers)
+}
+
+// SelectBatchCtx is SelectBatch under a context. Each query runs through
+// SelectCtx, so cancellation stops in-flight queries mid-scan and fails
+// the not-yet-started remainder immediately; every affected entry carries
+// ctx.Err() in its Err field.
+func (e *Engine) SelectBatchCtx(ctx context.Context, queries []Query, tau float64, alg Algorithm, opts *Options, workers int) []BatchResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -53,7 +66,7 @@ func (e *Engine) SelectBatch(queries []Query, tau float64, alg Algorithm, opts *
 				if i >= len(queries) {
 					return
 				}
-				res, st, err := e.Select(queries[i], tau, alg, opts)
+				res, st, err := e.SelectCtx(ctx, queries[i], tau, alg, opts)
 				out[i] = BatchResult{Results: res, Stats: st, Err: err}
 			}
 		}()
@@ -67,8 +80,17 @@ func (e *Engine) SelectBatch(queries []Query, tau float64, alg Algorithm, opts *
 // across workers, each worker heap-merges its share into a partial score
 // map, and the partials are summed before the threshold filter. This is
 // the natural parallelization of §III-B's algorithm — every worker's
-// reads are sequential within its own lists.
+// reads are sequential within its own lists. It is
+// SelectSortByIDParallelCtx with a background context.
 func (e *Engine) SelectSortByIDParallel(q Query, tau float64, workers int) ([]Result, Stats, error) {
+	return e.SelectSortByIDParallelCtx(context.Background(), q, tau, workers)
+}
+
+// SelectSortByIDParallelCtx is SelectSortByIDParallel under a context.
+// Each worker polls the context from its own list scan; on cancellation
+// the call returns ctx.Err() with the Stats of the postings read before
+// the workers stopped.
+func (e *Engine) SelectSortByIDParallelCtx(ctx context.Context, q Query, tau float64, workers int) ([]Result, Stats, error) {
 	var stats Stats
 	if len(q.Tokens) == 0 {
 		return nil, stats, ErrEmptyQuery
@@ -85,6 +107,7 @@ func (e *Engine) SelectSortByIDParallel(q Query, tau float64, workers int) ([]Re
 	if workers > len(q.Tokens) {
 		workers = len(q.Tokens)
 	}
+	start := time.Now()
 
 	partials := make([]map[collection.SetID]float64, workers)
 	reads := make([]int, workers)
@@ -93,10 +116,15 @@ func (e *Engine) SelectSortByIDParallel(q Query, tau float64, workers int) ([]Re
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
+			cc := &canceller{ctx: ctx}
 			local := make(map[collection.SetID]float64)
 			for i := w; i < len(q.Tokens); i += workers {
 				qt := q.Tokens[i]
 				for cur := e.store.IDCursor(qt.Token); cur.Valid(); cur.Next() {
+					if cc.stop() {
+						partials[w] = local
+						return
+					}
 					p := cur.Posting()
 					local[p.ID] += qt.IDFSq / (q.Len * p.Len)
 					reads[w]++
@@ -107,14 +135,19 @@ func (e *Engine) SelectSortByIDParallel(q Query, tau float64, workers int) ([]Re
 	}
 	wg.Wait()
 
+	for _, r := range reads {
+		stats.ElementsRead += r
+	}
+	if err := ctx.Err(); err != nil {
+		stats.Elapsed = time.Since(start)
+		e.observe(stats, err)
+		return nil, stats, err
+	}
 	total := partials[0]
 	for _, m := range partials[1:] {
 		for id, s := range m {
 			total[id] += s
 		}
-	}
-	for _, r := range reads {
-		stats.ElementsRead += r
 	}
 	var out []Result
 	for id, score := range total {
@@ -123,13 +156,34 @@ func (e *Engine) SelectSortByIDParallel(q Query, tau float64, workers int) ([]Re
 		}
 	}
 	sortResults(out)
+	stats.Elapsed = time.Since(start)
+	e.observe(stats, nil)
 	return out, stats, nil
 }
 
 // SelectNaiveParallel shards the full-scan oracle across workers. It
 // exists for verifying large experiments quickly and as the simplest
-// illustration of intra-query parallelism.
-func (e *Engine) SelectNaiveParallel(q Query, tau float64, workers int) []Result {
+// illustration of intra-query parallelism. It validates its inputs and
+// reports Stats exactly like its siblings. It is SelectNaiveParallelCtx
+// with a background context.
+func (e *Engine) SelectNaiveParallel(q Query, tau float64, workers int) ([]Result, Stats, error) {
+	return e.SelectNaiveParallelCtx(context.Background(), q, tau, workers)
+}
+
+// SelectNaiveParallelCtx is SelectNaiveParallel under a context. Each
+// worker polls the context from its shard scan; on cancellation the call
+// returns ctx.Err().
+func (e *Engine) SelectNaiveParallelCtx(ctx context.Context, q Query, tau float64, workers int) ([]Result, Stats, error) {
+	var stats Stats
+	if len(q.Tokens) == 0 {
+		return nil, stats, ErrEmptyQuery
+	}
+	if tau <= 0 || tau > 1+sim.ScoreEpsilon {
+		return nil, stats, ErrBadThreshold
+	}
+	for _, qt := range q.Tokens {
+		stats.ListTotal += e.store.ListLen(qt.Token)
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -137,8 +191,16 @@ func (e *Engine) SelectNaiveParallel(q Query, tau float64, workers int) []Result
 	if workers > n {
 		workers = n
 	}
+	start := time.Now()
 	if workers <= 1 {
-		return e.selectNaive(q, tau, &Stats{})
+		cc := &canceller{ctx: ctx}
+		out, err := e.selectNaive(cc, q, tau, &stats)
+		stats.Elapsed = time.Since(start)
+		e.observe(stats, err)
+		if err != nil {
+			return nil, stats, err
+		}
+		return out, stats, nil
 	}
 	idfSq := make(map[uint32]float64, len(q.Tokens))
 	for _, qt := range q.Tokens {
@@ -150,10 +212,14 @@ func (e *Engine) SelectNaiveParallel(q Query, tau float64, workers int) []Result
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
+			cc := &canceller{ctx: ctx}
 			lo := n * w / workers
 			hi := n * (w + 1) / workers
 			var local []Result
 			for id := lo; id < hi; id++ {
+				if cc.stop() {
+					return
+				}
 				sid := collection.SetID(id)
 				var dot float64
 				for _, cnt := range e.c.Set(sid) {
@@ -173,10 +239,17 @@ func (e *Engine) SelectNaiveParallel(q Query, tau float64, workers int) []Result
 		}(w)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		stats.Elapsed = time.Since(start)
+		e.observe(stats, err)
+		return nil, stats, err
+	}
 	var out []Result
 	for _, p := range parts {
 		out = append(out, p...)
 	}
 	sortResults(out)
-	return out
+	stats.Elapsed = time.Since(start)
+	e.observe(stats, nil)
+	return out, stats, nil
 }

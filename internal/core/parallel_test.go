@@ -65,7 +65,13 @@ func TestSelectNaiveParallelMatches(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{1, 2, 7, 64} {
-			got := e.SelectNaiveParallel(q, tau, workers)
+			got, st, err := e.SelectNaiveParallel(q, tau, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Elapsed <= 0 {
+				t.Fatalf("workers=%d: Stats.Elapsed not set", workers)
+			}
 			if len(got) != len(want) {
 				t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
 			}

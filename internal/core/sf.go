@@ -26,9 +26,9 @@ type sfCand struct {
 // only as far as the longest still-viable candidate, whose score must be
 // completed. Candidates live in a single (len, id)-sorted slice that is
 // merged with each list's new arrivals — one cheap sweep per list.
-func (e *Engine) selectSF(q Query, tau float64, o *Options, stats *Stats) ([]Result, error) {
+func (e *Engine) selectSF(cc *canceller, q Query, tau float64, o *Options, stats *Stats) ([]Result, error) {
 	lo, hi := lengthWindow(q, tau, o)
-	lists := e.openLists(q, lo, o, stats)
+	lists := e.openLists(cc, q, lo, o, stats)
 	n := len(lists)
 
 	// suffix[i] = Σ_{j ≥ i} idf²; suffix[n] = 0.
@@ -65,6 +65,9 @@ func (e *Engine) selectSF(q Query, tau float64, o *Options, stats *Stats) ([]Res
 		}
 
 		for !l.done && l.cur.Valid() {
+			if cc.stop() {
+				return nil, cc.err
+			}
 			p := l.cur.Posting()
 
 			// Resolve old candidates the scan has passed: unseen ones
@@ -72,13 +75,13 @@ func (e *Engine) selectSF(q Query, tau float64, o *Options, stats *Stats) ([]Res
 			// candidate's continued viability is lower + remaining
 			// suffix mass.
 			for mergePtr < len(c) && before(c[mergePtr], p) {
-				cc := c[mergePtr]
+				cand := c[mergePtr]
 				mergePtr++
-				if cc.dead {
+				if cand.dead {
 					continue
 				}
-				if !sim.Meets(cc.lower+suffix[i+1]/(q.Len*cc.len), tau) {
-					cc.dead = true
+				if !sim.Meets(cand.lower+suffix[i+1]/(q.Len*cand.len), tau) {
+					cand.dead = true
 					for lastViable >= 0 && c[lastViable].dead {
 						lastViable--
 					}
@@ -98,19 +101,19 @@ func (e *Engine) selectSF(q Query, tau float64, o *Options, stats *Stats) ([]Res
 			stats.ElementsRead++
 			l.cur.Next()
 
-			if cc := byID[p.ID]; cc != nil {
-				if !cc.dead && !cc.seenCur {
-					cc.lower += l.w(q.Len, p.Len)
-					cc.seenCur = true
+			if cand := byID[p.ID]; cand != nil {
+				if !cand.dead && !cand.seenCur {
+					cand.lower += l.w(q.Len, p.Len)
+					cand.seenCur = true
 				}
 				continue
 			}
 			// New candidate: best case is appearing in every remaining
 			// list, Σ_{j≥i} idf²/(len(q)·len) — the λᵢ test of line 9.
 			if sim.Meets(suffix[i]/(q.Len*p.Len), tau) {
-				cc := &sfCand{id: p.ID, len: p.Len, lower: l.w(q.Len, p.Len), seenCur: true}
-				news = append(news, cc)
-				byID[p.ID] = cc
+				cand := &sfCand{id: p.ID, len: p.Len, lower: l.w(q.Len, p.Len), seenCur: true}
+				news = append(news, cand)
+				byID[p.ID] = cand
 				stats.CandidatesInserted++
 			}
 		}
@@ -123,6 +126,9 @@ func (e *Engine) selectSF(q Query, tau float64, o *Options, stats *Stats) ([]Res
 		merged := make([]*sfCand, 0, len(c)+len(news))
 		oi, ni := 0, 0
 		for oi < len(c) || ni < len(news) {
+			if cc.stop() {
+				return nil, cc.err
+			}
 			var take *sfCand
 			if oi < len(c) && (ni >= len(news) || candBefore(c[oi], news[ni])) {
 				take = c[oi]
@@ -147,21 +153,21 @@ func (e *Engine) selectSF(q Query, tau float64, o *Options, stats *Stats) ([]Res
 	}
 
 	var out []Result
-	for _, cc := range c {
-		if !cc.dead && sim.Meets(cc.lower, tau) {
-			out = append(out, Result{ID: cc.id, Score: cc.lower})
+	for _, cand := range c {
+		if !cand.dead && sim.Meets(cand.lower, tau) {
+			out = append(out, Result{ID: cand.id, Score: cand.lower})
 		}
 	}
 	return out, listsErr(lists)
 }
 
-// before reports whether candidate cc precedes posting position p in
+// before reports whether candidate cand precedes posting position p in
 // weight-list order (strictly).
-func before(cc *sfCand, p invlist.Posting) bool {
-	if cc.len != p.Len {
-		return cc.len < p.Len
+func before(cand *sfCand, p invlist.Posting) bool {
+	if cand.len != p.Len {
+		return cand.len < p.Len
 	}
-	return cc.id < p.ID
+	return cand.id < p.ID
 }
 
 func candBefore(a, b *sfCand) bool {

@@ -12,7 +12,7 @@ import (
 // heads aggregates each id's complete score as it surfaces. It performs
 // no pruning — its cost is the total volume of the query lists — but
 // touches only sets that share at least one token with the query.
-func (e *Engine) selectSortByID(q Query, tau float64, stats *Stats) ([]Result, error) {
+func (e *Engine) selectSortByID(cc *canceller, q Query, tau float64, stats *Stats) ([]Result, error) {
 	h := make(mergeHeap, 0, len(q.Tokens))
 	cursors := make([]invlist.Cursor, 0, len(q.Tokens))
 	for _, qt := range q.Tokens {
@@ -27,6 +27,9 @@ func (e *Engine) selectSortByID(q Query, tau float64, stats *Stats) ([]Result, e
 
 	var out []Result
 	for len(h) > 0 {
+		if cc.stop() {
+			return nil, cc.err
+		}
 		top := h[0]
 		p := top.cur.Posting()
 		score := top.idfSq / (q.Len * p.Len)

@@ -4,8 +4,10 @@ import "repro/internal/relational"
 
 // selectSQL runs the relational baseline of §III-A: clustered-index range
 // scans per query gram feeding a hash group-by. Length Bounding becomes a
-// SARGable length predicate on the composite index.
-func (e *Engine) selectSQL(q Query, tau float64, o *Options, stats *Stats) ([]Result, error) {
+// SARGable length predicate on the composite index. The canceller is
+// threaded into the plan's row loop as a stop callback, so a cancelled
+// query abandons the range scans mid-stream.
+func (e *Engine) selectSQL(cc *canceller, q Query, tau float64, o *Options, stats *Stats) ([]Result, error) {
 	if e.rel == nil {
 		return nil, ErrNoRelational
 	}
@@ -13,8 +15,11 @@ func (e *Engine) selectSQL(q Query, tau float64, o *Options, stats *Stats) ([]Re
 	for i, qt := range q.Tokens {
 		toks[i] = relational.QueryToken{Gram: qt.Token, IDFSq: qt.IDFSq}
 	}
-	matches, scan := e.rel.Select(toks, q.Len, tau, !o.NoLengthBound)
+	matches, scan, stopped := e.rel.SelectStop(toks, q.Len, tau, !o.NoLengthBound, cc.stop)
 	stats.ElementsRead += scan.RowsScanned
+	if stopped {
+		return nil, cc.err
+	}
 	out := make([]Result, len(matches))
 	for i, m := range matches {
 		out[i] = Result{ID: m.ID, Score: m.Score}

@@ -208,6 +208,10 @@ func TestAlgorithmString(t *testing.T) {
 	if Algorithm(42).String() == "" {
 		t.Error("unknown algorithm name empty")
 	}
+	// Negative values used to index algorithmNames directly and panic.
+	if got := Algorithm(-1).String(); got != "algorithm(-1)" {
+		t.Errorf("Algorithm(-1).String() = %q", got)
+	}
 	if len(Algorithms()) != 8 {
 		t.Errorf("Algorithms() = %d entries", len(Algorithms()))
 	}

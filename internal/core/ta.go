@@ -49,13 +49,19 @@ func listsErr(lists []*listState) error {
 // is disabled, positions each at the first entry with length ≥ lo —
 // via the skip index, or by counted sequential reads when NoSkipIndex is
 // set (the paper's "no index on lengths" mode, which reads and discards).
-func (e *Engine) openLists(q Query, lo float64, o *Options, stats *Stats) []*listState {
+// The NoSkipIndex walk polls the canceller: it is an unbounded sequential
+// scan, so it must be interruptible like every other read loop. Callers
+// must check cc.err after openLists returns.
+func (e *Engine) openLists(cc *canceller, q Query, lo float64, o *Options, stats *Stats) []*listState {
 	lists := make([]*listState, len(q.Tokens))
 	for i, qt := range q.Tokens {
 		l := &listState{cur: e.store.WeightCursor(qt.Token), idfSq: qt.IDFSq}
 		if lo > 0 {
 			if o.NoSkipIndex {
 				for l.cur.Valid() && l.cur.Posting().Len < lo {
+					if cc.stop() {
+						break
+					}
 					stats.ElementsRead++
 					l.cur.Next()
 				}
@@ -87,7 +93,7 @@ func beforeOrAt(a invlist.Posting, len float64, id collection.SetID) bool {
 // improved=true this is iTA (§V): Theorem 1 bounds the scanned length
 // range and Magnitude Boundedness skips the probes for sets whose
 // best-case score cannot reach τ.
-func (e *Engine) selectTA(q Query, tau float64, improved bool, o *Options, stats *Stats) ([]Result, error) {
+func (e *Engine) selectTA(cc *canceller, q Query, tau float64, improved bool, o *Options, stats *Stats) ([]Result, error) {
 	if e.hashes == nil {
 		return nil, ErrNoHashIndex
 	}
@@ -99,7 +105,10 @@ func (e *Engine) selectTA(q Query, tau float64, improved bool, o *Options, stats
 	if !improved {
 		opts = Options{NoLengthBound: true}
 	}
-	lists := e.openLists(q, lo, &opts, stats)
+	lists := e.openLists(cc, q, lo, &opts, stats)
+	if cc.stop() {
+		return nil, cc.err
+	}
 
 	var allIdfSq float64
 	for _, qt := range q.Tokens {
@@ -113,6 +122,9 @@ func (e *Engine) selectTA(q Query, tau float64, improved bool, o *Options, stats
 		for i, l := range lists {
 			if l.done {
 				continue
+			}
+			if cc.stop() {
+				return nil, cc.err
 			}
 			p, ok := l.frontier()
 			if !ok {

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"sort"
+	"time"
 
 	"repro/internal/collection"
 	"repro/internal/sim"
@@ -15,8 +17,16 @@ import (
 
 // SelectTopK returns the k highest-scoring sets for q, using alg ∈
 // {Naive, INRA, SF}. Ties at the k-th position are broken by ascending
-// id. Results are sorted by descending score.
+// id. Results are sorted by descending score. It is SelectTopKCtx with a
+// background context.
 func (e *Engine) SelectTopK(q Query, k int, alg Algorithm, opts *Options) ([]Result, Stats, error) {
+	return e.SelectTopKCtx(context.Background(), q, k, alg, opts)
+}
+
+// SelectTopKCtx is SelectTopK under a context: cancellation or deadline
+// expiry stops the scan mid-list and returns ctx.Err() with the Stats
+// accumulated so far (same granularity guarantee as SelectCtx).
+func (e *Engine) SelectTopKCtx(ctx context.Context, q Query, k int, alg Algorithm, opts *Options) ([]Result, Stats, error) {
 	var o Options
 	if opts != nil {
 		o = *opts
@@ -31,18 +41,22 @@ func (e *Engine) SelectTopK(q Query, k int, alg Algorithm, opts *Options) ([]Res
 	for _, qt := range q.Tokens {
 		stats.ListTotal += e.store.ListLen(qt.Token)
 	}
+	start := time.Now()
+	cc := &canceller{ctx: ctx}
 	var res []Result
 	var err error
 	switch alg {
 	case Naive:
-		res = e.topkNaive(q, k)
+		res, err = e.topkNaive(cc, q, k)
 	case SF:
-		res = e.topkSF(q, k, &o, &stats)
+		res, err = e.topkSF(cc, q, k, &o, &stats)
 	case INRA:
-		res = e.topkINRA(q, k, &o, &stats)
+		res, err = e.topkINRA(cc, q, k, &o, &stats)
 	default:
 		err = ErrUnknownAlg
 	}
+	stats.Elapsed = time.Since(start)
+	e.observe(stats, err)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -63,13 +77,16 @@ func sortTopK(rs []Result) {
 }
 
 // topkNaive is the oracle: full scan, exact top-k.
-func (e *Engine) topkNaive(q Query, k int) []Result {
-	all := e.selectNaive(q, minPositiveTau, nil)
+func (e *Engine) topkNaive(cc *canceller, q Query, k int) ([]Result, error) {
+	all, err := e.selectNaive(cc, q, minPositiveTau, nil)
+	if err != nil {
+		return nil, err
+	}
 	sortTopK(all)
 	if len(all) > k {
 		all = all[:k]
 	}
-	return all
+	return all, nil
 }
 
 // minPositiveTau admits any set sharing at least one token with the
@@ -176,8 +193,8 @@ func (b *kthBound) tau() float64 {
 // topkSF runs Shortest-First with the rising bound: per-list cutoffs λᵢ
 // and viability tests are re-evaluated against the current τ, which
 // tightens as candidate lower bounds accumulate.
-func (e *Engine) topkSF(q Query, k int, o *Options, stats *Stats) []Result {
-	lists := e.openLists(q, 0, o, stats) // no static Theorem 1 window: τ starts at ~0
+func (e *Engine) topkSF(cc *canceller, q Query, k int, o *Options, stats *Stats) ([]Result, error) {
+	lists := e.openLists(cc, q, 0, o, stats) // no static Theorem 1 window: τ starts at ~0
 	n := len(lists)
 	suffix := make([]float64, n+1)
 	for i := n - 1; i >= 0; i-- {
@@ -196,17 +213,20 @@ func (e *Engine) topkSF(q Query, k int, o *Options, stats *Stats) []Result {
 			lastViable--
 		}
 		for !l.done && l.cur.Valid() {
+			if cc.stop() {
+				return nil, cc.err
+			}
 			p := l.cur.Posting()
 			tau := bound.tau()
 			hi := q.Len / effTau(tau)
 			for mergePtr < len(c) && before(c[mergePtr], p) {
-				cc := c[mergePtr]
+				cand := c[mergePtr]
 				mergePtr++
-				if cc.dead {
+				if cand.dead {
 					continue
 				}
-				if !sim.Meets(cc.lower+suffix[i+1]/(q.Len*cc.len), tau) {
-					cc.dead = true
+				if !sim.Meets(cand.lower+suffix[i+1]/(q.Len*cand.len), tau) {
+					cand.dead = true
 					for lastViable >= 0 && c[lastViable].dead {
 						lastViable--
 					}
@@ -225,19 +245,19 @@ func (e *Engine) topkSF(q Query, k int, o *Options, stats *Stats) []Result {
 			}
 			stats.ElementsRead++
 			l.cur.Next()
-			if cc := byID[p.ID]; cc != nil {
-				if !cc.dead && !cc.seenCur {
-					cc.lower += l.w(q.Len, p.Len)
-					cc.seenCur = true
-					bound.offer(cc.id, cc.lower)
+			if cand := byID[p.ID]; cand != nil {
+				if !cand.dead && !cand.seenCur {
+					cand.lower += l.w(q.Len, p.Len)
+					cand.seenCur = true
+					bound.offer(cand.id, cand.lower)
 				}
 				continue
 			}
 			if sim.Meets(suffix[i]/(q.Len*p.Len), tau) {
-				cc := &sfCand{id: p.ID, len: p.Len, lower: l.w(q.Len, p.Len), seenCur: true}
-				news = append(news, cc)
-				byID[p.ID] = cc
-				bound.offer(cc.id, cc.lower)
+				cand := &sfCand{id: p.ID, len: p.Len, lower: l.w(q.Len, p.Len), seenCur: true}
+				news = append(news, cand)
+				byID[p.ID] = cand
+				bound.offer(cand.id, cand.lower)
 				stats.CandidatesInserted++
 			}
 		}
@@ -267,17 +287,17 @@ func (e *Engine) topkSF(q Query, k int, o *Options, stats *Stats) []Result {
 
 	tau := bound.tau()
 	var out []Result
-	for _, cc := range c {
-		if !cc.dead && sim.Meets(cc.lower, tau) {
-			out = append(out, Result{ID: cc.id, Score: cc.lower})
+	for _, cand := range c {
+		if !cand.dead && sim.Meets(cand.lower, tau) {
+			out = append(out, Result{ID: cand.id, Score: cand.lower})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // topkINRA runs iNRA's round-robin with the rising bound.
-func (e *Engine) topkINRA(q Query, k int, o *Options, stats *Stats) []Result {
-	lists := e.openLists(q, 0, o, stats)
+func (e *Engine) topkINRA(cc *canceller, q Query, k int, o *Options, stats *Stats) ([]Result, error) {
+	lists := e.openLists(cc, q, 0, o, stats)
 	n := len(lists)
 	cands := make(map[collection.SetID]*impCand)
 	bound := newKthBound(k)
@@ -290,6 +310,9 @@ func (e *Engine) topkINRA(q Query, k int, o *Options, stats *Stats) []Result {
 		for i, l := range lists {
 			if l.done {
 				continue
+			}
+			if cc.stop() {
+				return nil, cc.err
 			}
 			p, ok := l.frontier()
 			if !ok {
@@ -324,7 +347,7 @@ func (e *Engine) topkINRA(q Query, k int, o *Options, stats *Stats) []Result {
 			for _, c := range cands {
 				done = append(done, Result{ID: c.id, Score: c.lower})
 			}
-			return done
+			return done, nil
 		}
 
 		tau = bound.tau()
@@ -339,6 +362,9 @@ func (e *Engine) topkINRA(q Query, k int, o *Options, stats *Stats) []Result {
 		}
 		stats.CandidateScans++
 		for id, c := range cands {
+			if cc.stop() {
+				return nil, cc.err
+			}
 			for j, lj := range lists {
 				if !c.resolved.has(j) && ruledOut(lj, c.len, c.id) {
 					c.resolveAbsent(j, lj.idfSq)
@@ -354,7 +380,7 @@ func (e *Engine) topkINRA(q Query, k int, o *Options, stats *Stats) []Result {
 			}
 		}
 		if len(cands) == 0 {
-			return done
+			return done, nil
 		}
 	}
 }

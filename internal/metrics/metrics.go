@@ -1,0 +1,233 @@
+// Package metrics is a stdlib-only engine instrumentation layer: atomic
+// counters and fixed-bucket histograms an Engine feeds from every
+// completed query's Stats. It is the accounting substrate the evaluation
+// tooling (cmd/ssbench, cmd/ssquery) reports from, and the reason the
+// per-query Stats must be trustworthy — a production service tuning the
+// hot path needs latency and read-volume distributions, not means.
+//
+// All methods are safe for concurrent use; Observe on the hot path is a
+// handful of atomic adds with no locks and no allocation.
+package metrics
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket histogram with atomic counters. Bucket i
+// counts observations v with uppers[i-1] < v ≤ uppers[i]; one implicit
+// overflow bucket counts v > uppers[len-1]. Boundaries are fixed at
+// construction, so Observe is a binary search plus one atomic add.
+type Histogram struct {
+	uppers []float64
+	counts []atomic.Uint64 // len(uppers)+1; last is the overflow bucket
+	n      atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+func NewHistogram(uppers []float64) *Histogram {
+	for i := 1; i < len(uppers); i++ {
+		if uppers[i] <= uppers[i-1] {
+			panic("metrics: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		uppers: append([]float64(nil), uppers...),
+		counts: make([]atomic.Uint64, len(uppers)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	lo, hi := 0, len(h.uppers)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.uppers[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Snapshot captures a consistent-enough view for reporting. Individual
+// fields are read atomically; a snapshot taken during concurrent observes
+// may be off by in-flight observations, which reporting tolerates.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Uppers: append([]float64(nil), h.uppers...),
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.n.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram. Counts has one
+// entry per upper bound plus a final overflow bucket.
+type HistogramSnapshot struct {
+	Uppers []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Mean is the exact mean of all observed values.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q ≤ 1): the
+// smallest bucket boundary at or above it. Observations in the overflow
+// bucket report +Inf.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			if i < len(s.Uppers) {
+				return s.Uppers[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// Default bucket boundaries. Latency buckets span 50µs to 10s in roughly
+// 1-2.5-5 decades (query latencies in seconds); read buckets are powers
+// of 4 covering one posting to 64M postings per query.
+var (
+	DefaultLatencyBuckets = []float64{
+		50e-6, 100e-6, 250e-6, 500e-6,
+		1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+		1, 2.5, 5, 10,
+	}
+	DefaultReadBuckets = []float64{
+		1, 4, 16, 64, 256, 1024, 4096, 16384, 65536,
+		262144, 1048576, 4194304, 16777216, 67108864,
+	}
+)
+
+// Registry aggregates the query metrics of one Engine: outcome counters
+// plus latency and read-volume histograms.
+type Registry struct {
+	ok       atomic.Uint64
+	canceled atomic.Uint64
+	failed   atomic.Uint64
+	latency  *Histogram
+	reads    *Histogram
+}
+
+// NewRegistry builds a registry with the default buckets.
+func NewRegistry() *Registry {
+	return &Registry{
+		latency: NewHistogram(DefaultLatencyBuckets),
+		reads:   NewHistogram(DefaultReadBuckets),
+	}
+}
+
+// ObserveQuery records one completed query: its wall-clock time, the
+// postings it read, and its outcome. Context cancellation and deadline
+// expiry count as canceled; any other non-nil error as failed. Latency
+// and read volume are recorded for every outcome — a canceled query's
+// partial work is real work the service performed.
+func (r *Registry) ObserveQuery(elapsed time.Duration, elementsRead int, err error) {
+	switch {
+	case err == nil:
+		r.ok.Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		r.canceled.Add(1)
+	default:
+		r.failed.Add(1)
+	}
+	r.latency.Observe(elapsed.Seconds())
+	r.reads.Observe(float64(elementsRead))
+}
+
+// Snapshot captures the registry for reporting.
+func (r *Registry) Snapshot() Snapshot {
+	return Snapshot{
+		OK:       r.ok.Load(),
+		Canceled: r.canceled.Load(),
+		Failed:   r.failed.Load(),
+		Latency:  r.latency.Snapshot(),
+		Reads:    r.reads.Snapshot(),
+	}
+}
+
+// Snapshot is a point-in-time copy of a Registry.
+type Snapshot struct {
+	OK       uint64
+	Canceled uint64
+	Failed   uint64
+	Latency  HistogramSnapshot
+	Reads    HistogramSnapshot
+}
+
+// Total is the number of queries observed.
+func (s Snapshot) Total() uint64 { return s.OK + s.Canceled + s.Failed }
+
+// String renders the snapshot as the three-line block the cmd tools print:
+//
+//	queries: 120 ok, 2 canceled, 0 failed
+//	latency: mean 1.2ms  p50 ≤2.5ms  p90 ≤5ms  p99 ≤10ms
+//	reads:   mean 5321  p50 ≤4096  p90 ≤16384  p99 ≤65536
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "queries: %d ok, %d canceled, %d failed\n",
+		s.OK, s.Canceled, s.Failed)
+	fmt.Fprintf(&b, "latency: mean %v  p50 %s  p90 %s  p99 %s\n",
+		time.Duration(s.Latency.Mean()*float64(time.Second)).Round(time.Microsecond),
+		fmtLatency(s.Latency.Quantile(0.50)),
+		fmtLatency(s.Latency.Quantile(0.90)),
+		fmtLatency(s.Latency.Quantile(0.99)))
+	fmt.Fprintf(&b, "reads:   mean %.0f  p50 %s  p90 %s  p99 %s",
+		s.Reads.Mean(),
+		fmtCount(s.Reads.Quantile(0.50)),
+		fmtCount(s.Reads.Quantile(0.90)),
+		fmtCount(s.Reads.Quantile(0.99)))
+	return b.String()
+}
+
+func fmtLatency(seconds float64) string {
+	if math.IsInf(seconds, 1) {
+		return ">10s"
+	}
+	return "≤" + time.Duration(seconds*float64(time.Second)).String()
+}
+
+func fmtCount(v float64) string {
+	if math.IsInf(v, 1) {
+		return ">67108864"
+	}
+	return fmt.Sprintf("≤%.0f", v)
+}

@@ -188,9 +188,19 @@ func (c *concat) next() (Row, bool) {
 // to the corpus scan nothing (their range is empty) exactly as the SQL
 // join would produce no tuples for them.
 func (e *Engine) Select(tokens []QueryToken, lenQ, tau float64, lengthBound bool) ([]Match, ScanStats) {
+	m, stats, _ := e.SelectStop(tokens, lenQ, tau, lengthBound, nil)
+	return m, stats
+}
+
+// SelectStop is Select with a cooperative stop hook: when non-nil, stop
+// is polled once per row produced by the range scans, and a true return
+// abandons the plan. The caller gets stopped=true, the stats of the rows
+// scanned so far, and no matches — a stopped query has no answer, only
+// an accounting of the work it burned.
+func (e *Engine) SelectStop(tokens []QueryToken, lenQ, tau float64, lengthBound bool, stop func() bool) ([]Match, ScanStats, bool) {
 	var stats ScanStats
 	if lenQ <= 0 || len(tokens) == 0 {
-		return nil, stats
+		return nil, stats, false
 	}
 	lo, hi := 0.0, 1.7976931348623157e308
 	if lengthBound {
@@ -211,6 +221,9 @@ func (e *Engine) Select(tokens []QueryToken, lenQ, tau float64, lengthBound bool
 	// idf², so the aggregate is Σ partial / len(q).
 	acc := make(map[collection.SetID]float64)
 	for {
+		if stop != nil && stop() {
+			return nil, stats, true
+		}
 		r, ok := plan.next()
 		if !ok {
 			break
@@ -226,7 +239,7 @@ func (e *Engine) Select(tokens []QueryToken, lenQ, tau float64, lengthBound bool
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out, stats
+	return out, stats, false
 }
 
 // gramRows counts the tuples of one gram (full partition size).

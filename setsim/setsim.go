@@ -16,6 +16,12 @@
 //	q := idx.Prepare("query string")
 //	results, stats, err := idx.Select(q, 0.8, setsim.SF, nil)
 //
+// Every entry point has a context-aware variant (Engine.SelectCtx,
+// Engine.SelectTopKCtx, ...) that aborts mid-scan when the context is
+// cancelled or its deadline expires, returning ctx.Err(). The engine also
+// aggregates per-query latency/read/outcome metrics, exposed via
+// Engine.Metrics().Snapshot().
+//
 // The concrete types live in internal packages; this package re-exports
 // them through aliases, so the documented surface is exactly what a
 // downstream module can reach.
@@ -24,6 +30,7 @@ package setsim
 import (
 	"repro/internal/collection"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/tokenize"
 )
 
@@ -47,6 +54,15 @@ type (
 	BatchResult = core.BatchResult
 	// Pair is one matching pair of Engine.SelfJoin (A < B).
 	Pair = core.Pair
+)
+
+// Metrics types (see Engine.Metrics).
+type (
+	// MetricsRegistry aggregates an engine's per-query metrics.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry: outcome
+	// counters plus latency and read-volume histograms.
+	MetricsSnapshot = metrics.Snapshot
 )
 
 // Collection types.
