@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// CoreBenchResult is one benchmark case of the `ssbench core` run, in the
+// machine-readable shape BENCH_core.json records: wall time, allocation
+// counts and posting reads per operation. CI and the PR workflow diff
+// these numbers against a committed baseline.
+type CoreBenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	ElemsPerOp  float64 `json:"elems_per_op,omitempty"`
+}
+
+// CoreBenchReport is the top-level BENCH_core.json document.
+type CoreBenchReport struct {
+	Rows      int               `json:"rows"`
+	Queries   int               `json:"queries"`
+	Seed      int64             `json:"seed"`
+	Timestamp string            `json:"timestamp"`
+	Results   []CoreBenchResult `json:"results"`
+}
+
+// runCore measures the steady-state query path — the allocation-free warm
+// loop of every algorithm — plus the cold, top-k and batch-parallel
+// paths, and writes BENCH_core.json next to printing a table.
+func runCore(setup experiments.Setup, outPath string) {
+	fmt.Printf("building environment: %d rows, seed %d ... ", setup.Rows, setup.Seed)
+	start := time.Now()
+	env := experiments.BuildEnv(setup)
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	e := env.E
+	rng := rand.New(rand.NewSource(setup.Seed + 10))
+	nq := setup.Queries
+	if nq <= 0 {
+		nq = 16
+	}
+	queries := make([]core.Query, nq)
+	for i := range queries {
+		id := collection.SetID(rng.Intn(env.C.NumSets()))
+		queries[i] = e.PrepareCounts(env.C.Set(id))
+	}
+
+	warm := func(alg core.Algorithm, tau float64) func(b *testing.B) {
+		return func(b *testing.B) {
+			// Prime the scratch pool so the measurement is steady-state.
+			for _, q := range queries {
+				if _, _, err := e.Select(q, tau, alg, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var elems int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st, err := e.Select(queries[i%len(queries)], tau, alg, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				elems += st.ElementsRead
+			}
+			b.ReportMetric(float64(elems)/float64(b.N), "elems/op")
+		}
+	}
+
+	cases := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"warm/sort-by-id/tau=0.8", warm(core.SortByID, 0.8)},
+		{"warm/ta/tau=0.8", warm(core.TA, 0.8)},
+		{"warm/nra/tau=0.8", warm(core.NRA, 0.8)},
+		{"warm/ita/tau=0.8", warm(core.ITA, 0.8)},
+		{"warm/inra/tau=0.8", warm(core.INRA, 0.8)},
+		{"warm/sf/tau=0.8", warm(core.SF, 0.8)},
+		{"warm/hybrid/tau=0.8", warm(core.Hybrid, 0.8)},
+		{"warm/inra/tau=0.5", warm(core.INRA, 0.5)},
+		{"warm/sf/tau=0.5", warm(core.SF, 0.5)},
+		{"cold/sf/tau=0.8", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// A fresh engine has an empty scratch pool: this measures
+				// the first-query allocation cost the pool amortizes away.
+				fresh := core.NewEngineWithHashes(env.C, e.Store(), nil)
+				if _, _, err := fresh.Select(queries[i%len(queries)], 0.8, core.SF, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"topk/sf/k=10", func(b *testing.B) {
+			for _, q := range queries {
+				if _, _, err := e.SelectTopK(q, 10, core.SF, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := e.SelectTopK(queries[i%len(queries)], 10, core.SF, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"batch/sf/tau=0.8", func(b *testing.B) {
+			e.SelectBatch(queries, 0.8, core.SF, nil, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, br := range e.SelectBatch(queries, 0.8, core.SF, nil, 0) {
+					if br.Err != nil {
+						b.Fatal(br.Err)
+					}
+				}
+			}
+		}},
+	}
+
+	report := CoreBenchReport{
+		Rows:      setup.Rows,
+		Queries:   nq,
+		Seed:      setup.Seed,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	fmt.Printf("\n%-28s %14s %12s %12s %12s\n", "case", "ns/op", "allocs/op", "B/op", "elems/op")
+	for _, c := range cases {
+		r := testing.Benchmark(c.fn)
+		res := CoreBenchResult{
+			Name:        c.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			ElemsPerOp:  r.Extra["elems/op"],
+		}
+		report.Results = append(report.Results, res)
+		fmt.Printf("%-28s %14.0f %12d %12d %12.0f\n",
+			res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, res.ElemsPerOp)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "ssbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s\n", outPath)
+}

@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	ssbench [flags] [table1|fig5|fig6|fig7|fig8|fig9|all]
+//	ssbench [flags] [table1|fig5|fig6|fig7|fig8|fig9|core|all]
+//
+// The core experiment benchmarks the engine's steady-state query path
+// (warm, cold, top-k and batch-parallel) and writes the machine-readable
+// BENCH_core.json used to track ns/op and allocs/op across changes; it is
+// not part of "all".
 //
 // Flags:
 //
@@ -13,6 +18,7 @@
 //	-seed N      RNG seed (default 1)
 //	-clusters N  Table I clusters per dataset (default 150)
 //	-dups N      Table I duplicates per cluster (default 4)
+//	-out FILE    core: output path for BENCH_core.json
 package main
 
 import (
@@ -31,6 +37,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "RNG seed")
 	clusters := flag.Int("clusters", 150, "Table I clusters per dataset")
 	dups := flag.Int("dups", 4, "Table I duplicates per cluster")
+	out := flag.String("out", "BENCH_core.json", "core: output path for the benchmark report")
 	flag.Parse()
 
 	which := "all"
@@ -38,6 +45,11 @@ func main() {
 		which = flag.Arg(0)
 	}
 	setup := experiments.Setup{Seed: *seed, Rows: *rows, Queries: *queries}
+
+	if which == "core" {
+		runCore(setup, *out)
+		return
+	}
 
 	run := map[string]bool{}
 	switch which {

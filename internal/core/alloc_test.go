@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/collection"
+)
+
+// warmAllocBudget is the steady-state allocation budget of one warm
+// MemStore query: exactly the copy that moves results out of the pooled
+// scratch into caller-owned memory (zero when the result set is empty).
+// Everything else — candidate tables, slabs, masks, cursors, float
+// buffers — must come from the scratch.
+const warmAllocBudget = 1.0
+
+// TestWarmQueryAllocations is the tentpole's regression proof: after a
+// warm-up pass that sizes the pooled scratch, every algorithm must answer
+// MemStore selection queries within warmAllocBudget allocations.
+func TestWarmQueryAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; counts are meaningless")
+	}
+	e := buildEngine(t, 5000, 3, 8, Config{NoRelational: true})
+	rng := rand.New(rand.NewSource(17))
+	queries := make([]Query, 8)
+	for i := range queries {
+		queries[i] = e.PrepareCounts(e.c.Set(collection.SetID(rng.Intn(e.c.NumSets()))))
+	}
+
+	for _, alg := range []Algorithm{Naive, SortByID, TA, NRA, ITA, INRA, SF, Hybrid} {
+		for _, tau := range []float64{0.8, 0.5} {
+			// Warm-up: grow every scratch buffer to its high-water mark.
+			for _, q := range queries {
+				if _, _, err := e.Select(q, tau, alg, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			i := 0
+			avg := testing.AllocsPerRun(4*len(queries), func() {
+				q := queries[i%len(queries)]
+				i++
+				if _, _, err := e.Select(q, tau, alg, nil); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg > warmAllocBudget {
+				t.Errorf("%v tau=%.1f: %.2f allocs per warm query, budget %.0f",
+					alg, tau, avg, warmAllocBudget)
+			}
+		}
+	}
+}
+
+// TestWarmTopKAllocations bounds the warm top-k path. Its budget is
+// slightly larger than selection's: the final descending sort runs
+// through sort.Slice, whose reflection setup allocates a small constant.
+func TestWarmTopKAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; counts are meaningless")
+	}
+	e := buildEngine(t, 5000, 3, 8, Config{NoHashes: true, NoRelational: true})
+	rng := rand.New(rand.NewSource(18))
+	queries := make([]Query, 8)
+	for i := range queries {
+		queries[i] = e.PrepareCounts(e.c.Set(collection.SetID(rng.Intn(e.c.NumSets()))))
+	}
+	for _, alg := range []Algorithm{INRA, SF} {
+		for _, q := range queries {
+			if _, _, err := e.SelectTopK(q, 10, alg, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		i := 0
+		avg := testing.AllocsPerRun(4*len(queries), func() {
+			q := queries[i%len(queries)]
+			i++
+			if _, _, err := e.SelectTopK(q, 10, alg, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+		// 1 result copy + sort.Slice's constant (closure + reflect header).
+		if avg > 4 {
+			t.Errorf("topk %v: %.2f allocs per warm query, budget 4", alg, avg)
+		}
+	}
+}

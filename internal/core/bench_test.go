@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/collection"
+)
+
+// Core-path benchmarks: cold (first query on a fresh engine, pools
+// empty), warm (steady state, the zero-allocation target), and parallel
+// (batch throughput, per-worker scratch). Run with -benchmem; the CI
+// smoke job executes them once per build, and cmd/ssbench core emits the
+// same measurements as BENCH_core.json.
+
+// benchCorpus is shared across benchmarks in this package (built once).
+var benchEngine *Engine
+
+func getBenchEngine(b *testing.B) *Engine {
+	b.Helper()
+	if benchEngine == nil {
+		benchEngine = buildEngine(b, 20000, 7, 8, Config{NoRelational: true})
+	}
+	return benchEngine
+}
+
+// benchQueries prepares a deterministic member-query workload.
+func benchQueries(b *testing.B, e *Engine, n int) []Query {
+	b.Helper()
+	rng := rand.New(rand.NewSource(11))
+	qs := make([]Query, n)
+	for i := range qs {
+		qs[i] = e.PrepareCounts(e.c.Set(collection.SetID(rng.Intn(e.c.NumSets()))))
+	}
+	return qs
+}
+
+func benchSelectWarm(b *testing.B, alg Algorithm, tau float64) {
+	e := getBenchEngine(b)
+	qs := benchQueries(b, e, 16)
+	// Warm the scratch pool and any cursor state before measuring.
+	for _, q := range qs {
+		if _, _, err := e.Select(q, tau, alg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var reads int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st, err := e.Select(qs[i%len(qs)], tau, alg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reads += st.ElementsRead
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(reads)/float64(b.N), "elems/op")
+}
+
+func BenchmarkSelectWarmSortByID(b *testing.B) { benchSelectWarm(b, SortByID, 0.8) }
+func BenchmarkSelectWarmTA(b *testing.B)       { benchSelectWarm(b, TA, 0.8) }
+func BenchmarkSelectWarmNRA(b *testing.B)      { benchSelectWarm(b, NRA, 0.8) }
+func BenchmarkSelectWarmITA(b *testing.B)      { benchSelectWarm(b, ITA, 0.8) }
+func BenchmarkSelectWarmINRA(b *testing.B)     { benchSelectWarm(b, INRA, 0.8) }
+func BenchmarkSelectWarmSF(b *testing.B)       { benchSelectWarm(b, SF, 0.8) }
+func BenchmarkSelectWarmHybrid(b *testing.B)   { benchSelectWarm(b, Hybrid, 0.8) }
+
+func BenchmarkSelectWarmINRALowTau(b *testing.B) { benchSelectWarm(b, INRA, 0.5) }
+func BenchmarkSelectWarmSFLowTau(b *testing.B)   { benchSelectWarm(b, SF, 0.5) }
+
+// BenchmarkSelectCold measures the first query on a fresh engine: index
+// build excluded, but no warm pools or caches.
+func BenchmarkSelectCold(b *testing.B) {
+	e := getBenchEngine(b)
+	qs := benchQueries(b, e, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fresh := NewEngineWithHashes(e.c, e.store, e.hashes)
+		b.StartTimer()
+		if _, _, err := fresh.Select(qs[i%len(qs)], 0.8, SF, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelectTopKWarm measures the steady-state top-k path.
+func BenchmarkSelectTopKWarm(b *testing.B) {
+	e := getBenchEngine(b)
+	qs := benchQueries(b, e, 16)
+	for _, q := range qs {
+		if _, _, err := e.SelectTopK(q, 10, SF, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.SelectTopK(qs[i%len(qs)], 10, SF, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelectBatchParallel measures batch throughput with per-worker
+// scratch (one op = a 64-query batch).
+func BenchmarkSelectBatchParallel(b *testing.B) {
+	e := getBenchEngine(b)
+	qs := benchQueries(b, e, 64)
+	e.SelectBatch(qs, 0.8, SF, nil, 0) // warm every worker's pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := e.SelectBatch(qs, 0.8, SF, nil, 0)
+		for j := range out {
+			if out[j].Err != nil {
+				b.Fatal(out[j].Err)
+			}
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/collection"
@@ -130,6 +131,9 @@ type Engine struct {
 	// m aggregates per-query latency/read/outcome metrics across every
 	// selection entry point (Select, SelectTopK, the parallel variants).
 	m *metrics.Registry
+	// scratch pools queryScratch values so warm queries run without
+	// allocating; each in-flight query owns one scratch exclusively.
+	scratch sync.Pool
 }
 
 // Config controls which indexes NewEngine builds.
@@ -167,14 +171,35 @@ func NewEngine(c *collection.Collection, cfg Config) *Engine {
 	if !cfg.NoRelational {
 		e.rel = relational.Build(c)
 	}
+	e.wireCacheMetrics()
 	return e
+}
+
+// cacheStatser is implemented by stores with a block cache (FileStore).
+type cacheStatser interface {
+	CacheStats() invlist.CacheStats
+}
+
+// wireCacheMetrics connects the store's block-cache counters to the
+// metrics registry, so snapshots report hit rates alongside latency.
+func (e *Engine) wireCacheMetrics() {
+	cs, ok := e.store.(cacheStatser)
+	if !ok || e.m == nil {
+		return
+	}
+	e.m.SetCacheStatsFunc(func() (uint64, uint64) {
+		st := cs.CacheStats()
+		return st.Hits, st.Misses
+	})
 }
 
 // NewEngineWithHashes assembles an engine from prebuilt components. The
 // tuning ablations use it to swap one index (e.g. extendible hashing at a
 // different page size) without rebuilding the rest.
 func NewEngineWithHashes(c *collection.Collection, store invlist.Store, hashes []*exthash.Table) *Engine {
-	return &Engine{c: c, store: store, hashes: hashes, m: metrics.NewRegistry()}
+	e := &Engine{c: c, store: store, hashes: hashes, m: metrics.NewRegistry()}
+	e.wireCacheMetrics()
+	return e
 }
 
 // Metrics exposes the engine's query metrics registry.
@@ -289,30 +314,38 @@ func (e *Engine) SelectCtx(ctx context.Context, q Query, tau float64, alg Algori
 	}
 	start := time.Now()
 	cc := &canceller{ctx: ctx}
+	s := e.getScratch()
 	var res []Result
 	var err error
 	switch alg {
 	case Naive:
-		res, err = e.selectNaive(cc, q, tau, &stats)
+		res, err = e.selectNaive(s, cc, q, tau, &stats)
 	case SortByID:
-		res, err = e.selectSortByID(cc, q, tau, &stats)
+		res, err = e.selectSortByID(s, cc, q, tau, &stats)
 	case SQL:
-		res, err = e.selectSQL(cc, q, tau, &o, &stats)
+		res, err = e.selectSQL(s, cc, q, tau, &o, &stats)
 	case TA:
-		res, err = e.selectTA(cc, q, tau, false, &o, &stats)
+		res, err = e.selectTA(s, cc, q, tau, false, &o, &stats)
 	case ITA:
-		res, err = e.selectTA(cc, q, tau, true, &o, &stats)
+		res, err = e.selectTA(s, cc, q, tau, true, &o, &stats)
 	case NRA:
-		res, err = e.selectNRA(cc, q, tau, &stats)
+		res, err = e.selectNRA(s, cc, q, tau, &stats)
 	case INRA:
-		res, err = e.selectINRA(cc, q, tau, &o, &stats)
+		res, err = e.selectINRA(s, cc, q, tau, &o, &stats)
 	case SF:
-		res, err = e.selectSF(cc, q, tau, &o, &stats)
+		res, err = e.selectSF(s, cc, q, tau, &o, &stats)
 	case Hybrid:
-		res, err = e.selectHybrid(cc, q, tau, &o, &stats)
+		res, err = e.selectHybrid(s, cc, q, tau, &o, &stats)
 	default:
 		err = ErrUnknownAlg
 	}
+	// The algorithms accumulate into the scratch's result buffer; copy
+	// out before pooling so the returned slice survives the next query.
+	// This copy is the one steady-state allocation of a warm non-empty
+	// query (see DESIGN.md, "Performance model and allocation
+	// discipline").
+	res = copyResults(res)
+	e.putScratch(s)
 	stats.Elapsed = time.Since(start)
 	e.observe(stats, err)
 	if err != nil {
@@ -320,6 +353,17 @@ func (e *Engine) SelectCtx(ctx context.Context, q Query, tau float64, alg Algori
 	}
 	sortResults(res)
 	return res, stats, nil
+}
+
+// copyResults moves a scratch-backed result slice to caller-owned memory.
+// Empty results become nil, preserving the historical API shape.
+func copyResults(rs []Result) []Result {
+	if len(rs) == 0 {
+		return nil
+	}
+	out := make([]Result, len(rs))
+	copy(out, rs)
+	return out
 }
 
 // sortResultsInsertionMax bounds the insertion sort: typical selective

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"repro/internal/collection"
 	"repro/internal/sim"
 )
 
@@ -18,18 +17,22 @@ import (
 // Candidates use the partitioned organization the paper describes: one
 // discovery-ordered list per inverted list — ascending (len, id) by
 // construction — plus a hash table on ids, so maxLen(C) is found by
-// peeking at the partition tails and pruning pops dead tails only.
-func (e *Engine) selectHybrid(cc *canceller, q Query, tau float64, o *Options, stats *Stats) ([]Result, error) {
+// peeking at the partition tails and pruning pops dead tails only. The
+// partitions are slices of scratch-slab indexes; the dead flag plays the
+// role of the old removed-candidate set.
+func (e *Engine) selectHybrid(s *queryScratch, cc *canceller, q Query, tau float64, o *Options, stats *Stats) ([]Result, error) {
 	lo, hi := lengthWindow(q, tau, o)
-	lists := e.openLists(cc, q, lo, o, stats)
+	lists := e.openLists(s, cc, q, lo, o, stats)
 	n := len(lists)
 
-	suffix := make([]float64, n+1)
+	suffix := resliceFloats(s.f0, n+1)
+	s.f0 = suffix
 	for i := n - 1; i >= 0; i-- {
 		suffix[i] = suffix[i+1] + q.Tokens[i].IDFSq
 	}
 	tauP := tau - sim.ScoreEpsilon
-	mu := make([]float64, n)
+	mu := resliceFloats(s.f1, n)
+	s.f1 = mu
 	for i := range mu {
 		mu[i] = suffix[i] / (tauP * q.Len)
 		if hi < mu[i] {
@@ -37,15 +40,20 @@ func (e *Engine) selectHybrid(cc *canceller, q Query, tau float64, o *Options, s
 		}
 	}
 
-	cands := make(map[collection.SetID]*impCand)
-	parts := make([][]*impCand, n) // §VII partitioned candidate lists
-	gone := make(map[*impCand]bool)
-
-	var out []Result
-	remove := func(c *impCand) {
-		delete(cands, c.id)
-		gone[c] = true
+	s.tbl.reset()
+	s.imp = s.imp[:0]
+	s.arena = s.arena[:0]
+	live := 0
+	for len(s.parts) < n {
+		s.parts = append(s.parts, nil)
 	}
+	parts := s.parts[:n] // §VII partitioned candidate lists
+	for i := range parts {
+		parts[i] = parts[i][:0]
+	}
+
+	out := s.results[:0]
+	defer func() { s.results = out }()
 
 	// maxLenC peeks at the partition tails, eagerly re-evaluating each
 	// tail candidate with Order Preservation before trusting its length:
@@ -58,34 +66,36 @@ func (e *Engine) selectHybrid(cc *canceller, q Query, tau float64, o *Options, s
 		for i := range parts {
 			tail := parts[i]
 			for len(tail) > 0 {
-				c := tail[len(tail)-1]
-				if gone[c] {
+				c := &s.imp[tail[len(tail)-1]]
+				if c.dead {
 					tail = tail[:len(tail)-1]
 					continue
 				}
-				for j, lj := range lists {
-					if !c.resolved.has(j) && ruledOut(lj, c.len, c.id) {
-						c.resolveAbsent(j, lj.idfSq)
+				for j := range lists {
+					if !c.resolved.has(j) && ruledOut(&lists[j], c.len, c.id) {
+						c.resolveAbsent(j, lists[j].idfSq)
 					}
 				}
 				if c.nResolved == n {
 					if sim.Meets(c.lower, tau) {
 						out = append(out, Result{ID: c.id, Score: c.lower})
 					}
-					remove(c)
+					c.dead = true
+					live--
 					tail = tail[:len(tail)-1]
 					continue
 				}
 				if !sim.Meets(c.upper(q.Len), tau) {
-					remove(c)
+					c.dead = true
+					live--
 					tail = tail[:len(tail)-1]
 					continue
 				}
 				break
 			}
 			parts[i] = tail
-			if len(tail) > 0 && tail[len(tail)-1].len > m {
-				m = tail[len(tail)-1].len
+			if len(tail) > 0 && s.imp[tail[len(tail)-1]].len > m {
+				m = s.imp[tail[len(tail)-1]].len
 			}
 		}
 		return m
@@ -94,7 +104,8 @@ func (e *Engine) selectHybrid(cc *canceller, q Query, tau float64, o *Options, s
 	admitNew := true
 	for {
 		popped := false
-		for i, l := range lists {
+		for i := range lists {
+			l := &lists[i]
 			if l.done {
 				continue
 			}
@@ -118,26 +129,27 @@ func (e *Engine) selectHybrid(cc *canceller, q Query, tau float64, o *Options, s
 				continue // paused; may resume when maxLen(C) grows
 			}
 			stats.ElementsRead++
-			l.cur.Next()
+			l.next()
 			popped = true
 
-			if c := cands[p.ID]; c != nil {
+			if slot := s.tbl.get(p.ID); slot >= 0 && !s.imp[slot].dead {
+				c := &s.imp[slot]
 				c.resolveSeen(i, l.idfSq, l.w(q.Len, p.Len))
 				if c.nResolved == n {
 					if sim.Meets(c.lower, tau) {
 						out = append(out, Result{ID: c.id, Score: c.lower})
 					}
-					remove(c)
+					c.dead = true
+					live--
 				}
 				continue
 			}
 			if !admitNew {
 				continue
 			}
-			if c := admit(lists, i, p, q, tau); c != nil {
-				c.listIdx = i
-				cands[p.ID] = c
-				parts[i] = append(parts[i], c)
+			if slot := admit(s, lists, i, p, q, tau); slot >= 0 {
+				parts[i] = append(parts[i], slot)
+				live++
 				stats.CandidatesInserted++
 			}
 		}
@@ -147,8 +159,9 @@ func (e *Engine) selectHybrid(cc *canceller, q Query, tau float64, o *Options, s
 			// Every list is done or paused beyond maxLen(C): all
 			// candidate memberships are resolved (Order Preservation)
 			// and no unseen element can qualify (the λ argument).
-			for _, c := range cands {
-				if sim.Meets(c.lower, tau) {
+			for ci := range s.imp {
+				c := &s.imp[ci]
+				if !c.dead && sim.Meets(c.lower, tau) {
 					out = append(out, Result{ID: c.id, Score: c.lower})
 				}
 			}
@@ -156,9 +169,9 @@ func (e *Engine) selectHybrid(cc *canceller, q Query, tau float64, o *Options, s
 		}
 
 		var f float64
-		for _, l := range lists {
-			if p, ok := l.frontier(); ok && p.Len <= hi {
-				f += l.w(q.Len, p.Len)
+		for i := range lists {
+			if p, ok := lists[i].frontier(); ok && p.Len <= hi {
+				f += lists[i].w(q.Len, p.Len)
 			}
 		}
 		if sim.Meets(f, tau) {
@@ -167,27 +180,33 @@ func (e *Engine) selectHybrid(cc *canceller, q Query, tau float64, o *Options, s
 		admitNew = false
 
 		stats.CandidateScans++
-		for _, c := range cands {
+		for ci := range s.imp {
+			c := &s.imp[ci]
+			if c.dead {
+				continue
+			}
 			if cc.stop() {
 				return nil, cc.err
 			}
-			for j, lj := range lists {
-				if !c.resolved.has(j) && ruledOut(lj, c.len, c.id) {
-					c.resolveAbsent(j, lj.idfSq)
+			for j := range lists {
+				if !c.resolved.has(j) && ruledOut(&lists[j], c.len, c.id) {
+					c.resolveAbsent(j, lists[j].idfSq)
 				}
 			}
 			if c.nResolved == n {
 				if sim.Meets(c.lower, tau) {
 					out = append(out, Result{ID: c.id, Score: c.lower})
 				}
-				remove(c)
+				c.dead = true
+				live--
 				continue
 			}
 			if !sim.Meets(c.upper(q.Len), tau) {
-				remove(c)
+				c.dead = true
+				live--
 			}
 		}
-		if len(cands) == 0 && !sim.Meets(f, tau) {
+		if live == 0 && !sim.Meets(f, tau) {
 			return out, listsErr(lists)
 		}
 	}

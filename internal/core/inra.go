@@ -11,6 +11,8 @@ import (
 // seen, or ruled out by Order Preservation / list completion — and the
 // idf² mass of the still-unresolved lists, so the Magnitude Boundedness
 // upper bound lower + remIdfSq/(len(q)·len(s)) is available at any time.
+// Candidates live in the scratch slab; dead marks entries that were
+// emitted or pruned (the slab version of map deletion).
 type impCand struct {
 	id        collection.SetID
 	len       float64
@@ -18,9 +20,7 @@ type impCand struct {
 	resolved  listMask
 	nResolved int
 	remIdfSq  float64
-	// node links the candidate into the Hybrid per-list partitioned
-	// candidate lists (§VII); unused by iNRA.
-	listIdx int
+	dead      bool
 }
 
 func (c *impCand) upper(lenQ float64) float64 {
@@ -69,34 +69,38 @@ func ruledOut(l *listState, len float64, id collection.SetID) bool {
 // admit evaluates a newly surfaced posting for candidacy: it combines
 // Order Preservation (exclude lists whose frontier already passed the
 // posting) with Magnitude Boundedness (best-case score from the remaining
-// lists). It returns the candidate, or nil when the best case misses τ.
-func admit(lists []*listState, seenIn int, p invlist.Posting, q Query, tau float64) *impCand {
-	c := &impCand{
+// lists). When the best case reaches τ the candidate is appended to the
+// scratch's impCand slab, indexed in the scratch id-table, and its slab
+// slot returned; a hopeless posting returns -1 with nothing retained.
+func admit(s *queryScratch, lists []listState, seenIn int, p invlist.Posting, q Query, tau float64) int32 {
+	c := impCand{
 		id:       p.ID,
 		len:      p.Len,
-		resolved: newMask(len(lists)),
+		resolved: s.newMask(len(lists)),
 	}
 	var possible float64
-	for j, lj := range lists {
+	for j := range lists {
 		if j == seenIn {
 			continue
 		}
-		if ruledOut(lj, p.Len, p.ID) {
+		if ruledOut(&lists[j], p.Len, p.ID) {
 			c.resolved.set(j)
 			c.nResolved++
 			continue
 		}
-		possible += lj.idfSq
+		possible += lists[j].idfSq
 	}
 	c.remIdfSq = possible
 	c.resolved.set(seenIn)
 	c.nResolved++
-	w := lists[seenIn].w(q.Len, p.Len)
-	c.lower = w
+	c.lower = lists[seenIn].w(q.Len, p.Len)
 	if !sim.Meets(c.upper(q.Len), tau) {
-		return nil
+		return -1
 	}
-	return c
+	s.imp = append(s.imp, c)
+	slot := int32(len(s.imp) - 1)
+	s.tbl.put(p.ID, slot)
+	return slot
 }
 
 // selectINRA is Algorithm 2: NRA's round-robin sorted access augmented
@@ -105,17 +109,22 @@ func admit(lists []*listState, seenIn int, p invlist.Posting, q Query, tau float
 // absences from frontiers, and Magnitude Boundedness for tight upper
 // bounds — plus the F < τ gate before admitting new candidates and
 // before scanning the candidate set.
-func (e *Engine) selectINRA(cc *canceller, q Query, tau float64, o *Options, stats *Stats) ([]Result, error) {
+func (e *Engine) selectINRA(s *queryScratch, cc *canceller, q Query, tau float64, o *Options, stats *Stats) ([]Result, error) {
 	lo, hi := lengthWindow(q, tau, o)
-	lists := e.openLists(cc, q, lo, o, stats)
-	cands := make(map[collection.SetID]*impCand)
-	var out []Result
+	lists := e.openLists(s, cc, q, lo, o, stats)
 	n := len(lists)
+	s.tbl.reset()
+	s.imp = s.imp[:0]
+	s.arena = s.arena[:0]
+	live := 0
+	out := s.results[:0]
+	defer func() { s.results = out }()
 
 	admitNew := true // true while F ≥ τ
 	for {
 		alive := false
-		for i, l := range lists {
+		for i := range lists {
+			l := &lists[i]
 			if l.done {
 				continue
 			}
@@ -128,27 +137,29 @@ func (e *Engine) selectINRA(cc *canceller, q Query, tau float64, o *Options, sta
 				continue
 			}
 			stats.ElementsRead++
-			l.cur.Next()
+			l.next()
 			if p.Len > hi {
 				l.done = true
 				continue
 			}
 			alive = true
-			if c := cands[p.ID]; c != nil {
+			if slot := s.tbl.get(p.ID); slot >= 0 && !s.imp[slot].dead {
+				c := &s.imp[slot]
 				c.resolveSeen(i, l.idfSq, l.w(q.Len, p.Len))
 				if c.nResolved == n {
 					if sim.Meets(c.lower, tau) {
 						out = append(out, Result{ID: c.id, Score: c.lower})
 					}
-					delete(cands, p.ID)
+					c.dead = true
+					live--
 				}
 				continue
 			}
 			if !admitNew {
 				continue
 			}
-			if c := admit(lists, i, p, q, tau); c != nil {
-				cands[p.ID] = c
+			if admit(s, lists, i, p, q, tau) >= 0 {
+				live++
 				stats.CandidatesInserted++
 			}
 		}
@@ -157,8 +168,9 @@ func (e *Engine) selectINRA(cc *canceller, q Query, tau float64, o *Options, sta
 		if !alive {
 			// All lists done: every unresolved list is ruled out, so
 			// scores are complete.
-			for _, c := range cands {
-				if sim.Meets(c.lower, tau) {
+			for ci := range s.imp {
+				c := &s.imp[ci]
+				if !c.dead && sim.Meets(c.lower, tau) {
 					out = append(out, Result{ID: c.id, Score: c.lower})
 				}
 			}
@@ -166,9 +178,9 @@ func (e *Engine) selectINRA(cc *canceller, q Query, tau float64, o *Options, sta
 		}
 
 		var f float64
-		for _, l := range lists {
-			if p, ok := l.frontier(); ok && p.Len <= hi {
-				f += l.w(q.Len, p.Len)
+		for i := range lists {
+			if p, ok := lists[i].frontier(); ok && p.Len <= hi {
+				f += lists[i].w(q.Len, p.Len)
 			}
 		}
 		if sim.Meets(f, tau) {
@@ -177,27 +189,33 @@ func (e *Engine) selectINRA(cc *canceller, q Query, tau float64, o *Options, sta
 		admitNew = false
 
 		stats.CandidateScans++
-		for id, c := range cands {
+		for ci := range s.imp {
+			c := &s.imp[ci]
+			if c.dead {
+				continue
+			}
 			if cc.stop() {
 				return nil, cc.err
 			}
-			for j, lj := range lists {
-				if !c.resolved.has(j) && ruledOut(lj, c.len, c.id) {
-					c.resolveAbsent(j, lj.idfSq)
+			for j := range lists {
+				if !c.resolved.has(j) && ruledOut(&lists[j], c.len, c.id) {
+					c.resolveAbsent(j, lists[j].idfSq)
 				}
 			}
 			if c.nResolved == n {
 				if sim.Meets(c.lower, tau) {
-					out = append(out, Result{ID: id, Score: c.lower})
+					out = append(out, Result{ID: c.id, Score: c.lower})
 				}
-				delete(cands, id)
+				c.dead = true
+				live--
 				continue
 			}
 			if !sim.Meets(c.upper(q.Len), tau) {
-				delete(cands, id)
+				c.dead = true
+				live--
 			}
 		}
-		if len(cands) == 0 {
+		if live == 0 {
 			return out, listsErr(lists)
 		}
 	}

@@ -31,7 +31,8 @@ func TestListMask(t *testing.T) {
 }
 
 func TestKthBound(t *testing.T) {
-	b := newKthBound(3)
+	b := &kthBound{}
+	b.reset(3)
 	if b.tau() != minPositiveTau {
 		t.Fatal("empty bound not at floor")
 	}
@@ -65,7 +66,8 @@ func TestKthBoundRandomized(t *testing.T) {
 	rng := rand.New(rand.NewSource(91))
 	for trial := 0; trial < 50; trial++ {
 		k := 1 + rng.Intn(6)
-		b := newKthBound(k)
+		b := &kthBound{}
+		b.reset(k)
 		best := map[collection.SetID]float64{}
 		for op := 0; op < 200; op++ {
 			id := collection.SetID(rng.Intn(20))
@@ -178,17 +180,19 @@ func TestBeforeOrAt(t *testing.T) {
 func TestAdmitRejectsHopeless(t *testing.T) {
 	e := buildEngine(t, 300, 92, 6, Config{NoHashes: true, NoRelational: true})
 	q := e.PrepareCounts(e.c.Set(0))
-	lists := e.openLists(nil, q, 0, &Options{}, &Stats{})
+	s := &queryScratch{}
+	s.tbl.reset()
+	lists := e.openLists(s, nil, q, 0, &Options{}, &Stats{})
 	// A posting so long that even appearing in every list cannot reach a
 	// high threshold must be rejected.
 	long := invlist.Posting{ID: 999999, Len: q.Len * 100}
-	if c := admit(lists, 0, long, q, 0.9); c != nil {
+	if slot := admit(s, lists, 0, long, q, 0.9); slot >= 0 {
 		t.Error("admit accepted a hopeless candidate")
 	}
 	// A posting identical to the query's own length is always admissible
 	// at any threshold.
 	self := invlist.Posting{ID: 999998, Len: q.Len}
-	if c := admit(lists, 0, self, q, sim.ScoreEpsilon*2); c == nil {
+	if slot := admit(s, lists, 0, self, q, sim.ScoreEpsilon*2); slot < 0 {
 		t.Error("admit rejected a viable candidate")
 	}
 }

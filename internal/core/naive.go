@@ -11,13 +11,19 @@ import (
 // of out-of-vocabulary tokens, which the inverted-list algorithms also
 // carry in q.Len). It is the correctness oracle for all indexed
 // algorithms and the "no index available" case of §III-A, where a linear
-// scan of the base table is unavoidable.
-func (e *Engine) selectNaive(cc *canceller, q Query, tau float64, stats *Stats) ([]Result, error) {
-	idfSq := make(map[tokenize.Token]float64, len(q.Tokens))
-	for _, qt := range q.Tokens {
-		idfSq[qt.Token] = qt.IDFSq
+// scan of the base table is unavoidable. The token-weight lookup map is
+// scratch state, cleared (not reallocated) per query.
+func (e *Engine) selectNaive(s *queryScratch, cc *canceller, q Query, tau float64, stats *Stats) ([]Result, error) {
+	if s.idfSq == nil {
+		s.idfSq = make(map[tokenize.Token]float64, len(q.Tokens))
+	} else {
+		clear(s.idfSq)
 	}
-	var out []Result
+	for _, qt := range q.Tokens {
+		s.idfSq[qt.Token] = qt.IDFSq
+	}
+	out := s.results[:0]
+	defer func() { s.results = out }()
 	for id := 0; id < e.c.NumSets(); id++ {
 		if cc.stop() {
 			return nil, cc.err
@@ -25,7 +31,7 @@ func (e *Engine) selectNaive(cc *canceller, q Query, tau float64, stats *Stats) 
 		sid := collection.SetID(id)
 		var dot float64
 		for _, cnt := range e.c.Set(sid) {
-			if w, ok := idfSq[cnt.Token]; ok {
+			if w, ok := s.idfSq[cnt.Token]; ok {
 				dot += w
 			}
 		}

@@ -9,28 +9,35 @@ import (
 // accumulated from sorted accesses plus a bit vector of the lists it has
 // been seen in. Upper bounds come from the list frontiers, not from the
 // candidate's own length — plain NRA does not exploit the semantic
-// properties of IDF.
+// properties of IDF. Candidates live in the scratch slab; dead marks
+// entries that were emitted or pruned (the slab version of map deletion).
 type nraCand struct {
 	id    collection.SetID
 	len   float64
 	lower float64
 	seen  listMask
 	nSeen int
+	dead  bool
 }
 
 // selectNRA implements Algorithm 1 with the two mitigations the paper
 // itself applied to make it terminate at all (§VIII-A): candidate-set
 // scans are skipped while the unseen-element bound F still reaches τ, and
 // a scan stops early at the first still-viable candidate.
-func (e *Engine) selectNRA(cc *canceller, q Query, tau float64, stats *Stats) ([]Result, error) {
-	lists := e.openLists(cc, q, 0, &Options{NoLengthBound: true}, stats)
+func (e *Engine) selectNRA(s *queryScratch, cc *canceller, q Query, tau float64, stats *Stats) ([]Result, error) {
+	lists := e.openLists(s, cc, q, 0, &Options{NoLengthBound: true}, stats)
 	n := len(lists)
-	cands := make(map[collection.SetID]*nraCand)
-	var out []Result
+	s.tbl.reset()
+	s.nra = s.nra[:0]
+	s.arena = s.arena[:0]
+	live := 0
+	out := s.results[:0]
+	defer func() { s.results = out }()
 
 	for {
 		alive := false
-		for i, l := range lists {
+		for i := range lists {
+			l := &lists[i]
 			if cc.stop() {
 				return nil, cc.err
 			}
@@ -41,13 +48,16 @@ func (e *Engine) selectNRA(cc *canceller, q Query, tau float64, stats *Stats) ([
 			}
 			alive = true
 			stats.ElementsRead++
-			l.cur.Next()
-			c := cands[p.ID]
-			if c == nil {
-				c = &nraCand{id: p.ID, len: p.Len, seen: newMask(n)}
-				cands[p.ID] = c
+			l.next()
+			slot := s.tbl.get(p.ID)
+			if slot < 0 || s.nra[slot].dead {
+				s.nra = append(s.nra, nraCand{id: p.ID, len: p.Len, seen: s.newMask(n)})
+				slot = int32(len(s.nra) - 1)
+				s.tbl.put(p.ID, slot)
+				live++
 				stats.CandidatesInserted++
 			}
+			c := &s.nra[slot]
 			if !c.seen.has(i) {
 				c.seen.set(i)
 				c.nSeen++
@@ -57,11 +67,12 @@ func (e *Engine) selectNRA(cc *canceller, q Query, tau float64, stats *Stats) ([
 		stats.Rounds++
 
 		// Frontier contributions for upper bounds and the F gate.
-		fw := make([]float64, n)
+		fw := resliceFloats(s.f1, n)
+		s.f1 = fw
 		var f float64
-		for i, l := range lists {
-			if p, ok := l.frontier(); ok {
-				fw[i] = l.w(q.Len, p.Len)
+		for i := range lists {
+			if p, ok := lists[i].frontier(); ok {
+				fw[i] = lists[i].w(q.Len, p.Len)
 				f += fw[i]
 			}
 		}
@@ -69,8 +80,9 @@ func (e *Engine) selectNRA(cc *canceller, q Query, tau float64, stats *Stats) ([
 		switch {
 		case !alive:
 			// Every list exhausted: all scores are complete.
-			for _, c := range cands {
-				if sim.Meets(c.lower, tau) {
+			for ci := range s.nra {
+				c := &s.nra[ci]
+				if !c.dead && sim.Meets(c.lower, tau) {
 					out = append(out, Result{ID: c.id, Score: c.lower})
 				}
 			}
@@ -79,13 +91,17 @@ func (e *Engine) selectNRA(cc *canceller, q Query, tau float64, stats *Stats) ([
 		case !sim.Meets(f, tau):
 			// Scan the candidate set (mitigation: only once F < τ).
 			stats.CandidateScans++
-			for id, c := range cands {
+			for ci := range s.nra {
+				c := &s.nra[ci]
+				if c.dead {
+					continue
+				}
 				if cc.stop() {
 					return nil, cc.err
 				}
 				upper := c.lower
 				complete := true
-				for i := range lists {
+				for i := 0; i < n; i++ {
 					if c.seen.has(i) {
 						continue
 					}
@@ -98,19 +114,21 @@ func (e *Engine) selectNRA(cc *canceller, q Query, tau float64, stats *Stats) ([
 				}
 				if complete {
 					if sim.Meets(c.lower, tau) {
-						out = append(out, Result{ID: id, Score: c.lower})
+						out = append(out, Result{ID: c.id, Score: c.lower})
 					}
-					delete(cands, id)
+					c.dead = true
+					live--
 					continue
 				}
 				if !sim.Meets(upper, tau) {
-					delete(cands, id)
+					c.dead = true
+					live--
 					continue
 				}
 				// Early termination at the first viable candidate.
 				break
 			}
-			if len(cands) == 0 {
+			if live == 0 {
 				return out, listsErr(lists)
 			}
 		}

@@ -7,7 +7,9 @@ import (
 	"time"
 
 	"repro/internal/collection"
+	"repro/internal/invlist"
 	"repro/internal/sim"
+	"repro/internal/tokenize"
 )
 
 // Parallel processing is the second extension the paper's conclusion
@@ -109,20 +111,48 @@ func (e *Engine) SelectSortByIDParallelCtx(ctx context.Context, q Query, tau flo
 	}
 	start := time.Now()
 
-	partials := make([]map[collection.SetID]float64, workers)
+	// Each worker draws its own scratch from the engine pool: a reusable
+	// partial-score map plus an id cursor that is re-pointed (not
+	// reallocated) at each of the worker's lists. The scratches are
+	// returned only after the partials have been merged.
+	scratches := make([]*queryScratch, workers)
 	reads := make([]int, workers)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		scratches[w] = e.getScratch()
 		go func(w int) {
 			defer wg.Done()
 			cc := &canceller{ctx: ctx}
-			local := make(map[collection.SetID]float64)
+			s := scratches[w]
+			if s.scores == nil {
+				s.scores = make(map[collection.SetID]float64)
+			} else {
+				clear(s.scores)
+			}
+			local := s.scores
+			reuser, _ := e.store.(invlist.CursorReuser)
+			var cur invlist.Cursor
 			for i := w; i < len(q.Tokens); i += workers {
 				qt := q.Tokens[i]
-				for cur := e.store.IDCursor(qt.Token); cur.Valid(); cur.Next() {
+				if reuser != nil {
+					cur = reuser.IDCursorReuse(qt.Token, cur)
+				} else {
+					cur = e.store.IDCursor(qt.Token)
+				}
+				if list, pos, ok := invlist.RawPostings(cur); ok {
+					for ; pos < len(list); pos++ {
+						if cc.stop() {
+							return
+						}
+						p := list[pos]
+						local[p.ID] += qt.IDFSq / (q.Len * p.Len)
+						reads[w]++
+					}
+					continue
+				}
+				for ; cur.Valid(); cur.Next() {
 					if cc.stop() {
-						partials[w] = local
 						return
 					}
 					p := cur.Posting()
@@ -130,7 +160,6 @@ func (e *Engine) SelectSortByIDParallelCtx(ctx context.Context, q Query, tau flo
 					reads[w]++
 				}
 			}
-			partials[w] = local
 		}(w)
 	}
 	wg.Wait()
@@ -139,14 +168,17 @@ func (e *Engine) SelectSortByIDParallelCtx(ctx context.Context, q Query, tau flo
 		stats.ElementsRead += r
 	}
 	if err := ctx.Err(); err != nil {
+		for _, s := range scratches {
+			e.putScratch(s)
+		}
 		stats.Elapsed = time.Since(start)
 		e.observe(stats, err)
 		return nil, stats, err
 	}
-	total := partials[0]
-	for _, m := range partials[1:] {
-		for id, s := range m {
-			total[id] += s
+	total := scratches[0].scores
+	for _, s := range scratches[1:] {
+		for id, v := range s.scores {
+			total[id] += v
 		}
 	}
 	var out []Result
@@ -154,6 +186,9 @@ func (e *Engine) SelectSortByIDParallelCtx(ctx context.Context, q Query, tau flo
 		if sim.Meets(score, tau) {
 			out = append(out, Result{ID: id, Score: score})
 		}
+	}
+	for _, s := range scratches {
+		e.putScratch(s)
 	}
 	sortResults(out)
 	stats.Elapsed = time.Since(start)
@@ -194,7 +229,10 @@ func (e *Engine) SelectNaiveParallelCtx(ctx context.Context, q Query, tau float6
 	start := time.Now()
 	if workers <= 1 {
 		cc := &canceller{ctx: ctx}
-		out, err := e.selectNaive(cc, q, tau, &stats)
+		s := e.getScratch()
+		out, err := e.selectNaive(s, cc, q, tau, &stats)
+		out = copyResults(out)
+		e.putScratch(s)
 		stats.Elapsed = time.Since(start)
 		e.observe(stats, err)
 		if err != nil {
@@ -202,9 +240,17 @@ func (e *Engine) SelectNaiveParallelCtx(ctx context.Context, q Query, tau float6
 		}
 		return out, stats, nil
 	}
-	idfSq := make(map[uint32]float64, len(q.Tokens))
+	// One scratch supplies the token-weight map; the workers share it
+	// read-only and it returns to the pool after they join.
+	s := e.getScratch()
+	if s.idfSq == nil {
+		s.idfSq = make(map[tokenize.Token]float64, len(q.Tokens))
+	} else {
+		clear(s.idfSq)
+	}
+	idfSq := s.idfSq
 	for _, qt := range q.Tokens {
-		idfSq[uint32(qt.Token)] = qt.IDFSq
+		idfSq[qt.Token] = qt.IDFSq
 	}
 	parts := make([][]Result, workers)
 	var wg sync.WaitGroup
@@ -223,7 +269,7 @@ func (e *Engine) SelectNaiveParallelCtx(ctx context.Context, q Query, tau float6
 				sid := collection.SetID(id)
 				var dot float64
 				for _, cnt := range e.c.Set(sid) {
-					if v, ok := idfSq[uint32(cnt.Token)]; ok {
+					if v, ok := idfSq[cnt.Token]; ok {
 						dot += v
 					}
 				}
@@ -239,6 +285,7 @@ func (e *Engine) SelectNaiveParallelCtx(ctx context.Context, q Query, tau float6
 		}(w)
 	}
 	wg.Wait()
+	e.putScratch(s)
 	if err := ctx.Err(); err != nil {
 		stats.Elapsed = time.Since(start)
 		e.observe(stats, err)

@@ -40,15 +40,15 @@ func (e *Engine) Prepare(s string) Query {
 }
 
 // countUnknownDistinct counts distinct tokens of the query string that the
-// corpus has never seen.
+// corpus has never seen. The slice is sorted in place and deduplicated by
+// adjacency — Prepare owns it — so no per-call set needs allocating.
 func countUnknownDistinct(e *Engine, tokens []string) int {
-	seen := map[string]bool{}
+	sort.Strings(tokens)
 	n := 0
-	for _, t := range tokens {
-		if seen[t] {
+	for i, t := range tokens {
+		if i > 0 && t == tokens[i-1] {
 			continue
 		}
-		seen[t] = true
 		if _, ok := e.c.Dict().Lookup(t); !ok {
 			n++
 		}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/collection"
+)
+
+// freshReference runs q on a brand-new engine sharing the same indexes.
+// Its scratch pool is empty, so the query executes on zero-valued scratch
+// state — the fresh-allocation reference the pooled path must match.
+func freshReference(e *Engine, q Query, tau float64, alg Algorithm) ([]Result, error) {
+	fresh := NewEngineWithHashes(e.c, e.store, e.hashes)
+	fresh.rel = e.rel // share the SQL baseline too
+	res, _, err := fresh.Select(q, tau, alg, nil)
+	return res, err
+}
+
+// sameResults demands bitwise-identical output: the pooled and fresh
+// paths execute the same arithmetic in the same order, so even the
+// float64 scores must agree exactly.
+func sameResults(t *testing.T, label string, got, want []Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, reference %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID || got[i].Score != want[i].Score {
+			t.Fatalf("%s: result %d = {%d %.17g}, reference {%d %.17g}",
+				label, i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+		}
+	}
+}
+
+// TestScratchReuseEquivalence reuses one engine's scratch pool across
+// hundreds of queries over every algorithm and threshold mix, comparing
+// each answer against the fresh-allocation reference. Any state leaking
+// between queries through the pooled candidate tables, slabs, masks,
+// cursors or result buffers shows up as a mismatch.
+func TestScratchReuseEquivalence(t *testing.T) {
+	e := buildEngine(t, 3000, 21, 7, Config{})
+	algs := []Algorithm{Naive, SortByID, SQL, TA, NRA, ITA, INRA, SF, Hybrid}
+	rng := rand.New(rand.NewSource(22))
+	for qi := 0; qi < 120; qi++ {
+		q := e.PrepareCounts(e.c.Set(collection.SetID(rng.Intn(e.c.NumSets()))))
+		tau := 0.4 + 0.55*rng.Float64()
+		alg := algs[qi%len(algs)]
+		got, _, err := e.Select(q, tau, alg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := freshReference(e, q, tau, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, alg.String(), got, want)
+	}
+}
+
+// TestScratchReuseEquivalenceTopK is the same property for the top-k
+// path, whose rising-bound state (kthBound heap and position map) is also
+// pooled.
+func TestScratchReuseEquivalenceTopK(t *testing.T) {
+	e := buildEngine(t, 3000, 23, 7, Config{NoHashes: true, NoRelational: true})
+	rng := rand.New(rand.NewSource(24))
+	for qi := 0; qi < 60; qi++ {
+		q := e.PrepareCounts(e.c.Set(collection.SetID(rng.Intn(e.c.NumSets()))))
+		k := 1 + rng.Intn(20)
+		for _, alg := range []Algorithm{INRA, SF} {
+			got, _, err := e.SelectTopK(q, k, alg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh := NewEngineWithHashes(e.c, e.store, e.hashes)
+			want, _, err := fresh.SelectTopK(q, k, alg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResults(t, alg.String(), got, want)
+		}
+	}
+}
+
+// TestScratchConcurrentBatchEquivalence drives the pool from many
+// goroutines at once (run with -race): a batch of queries across workers,
+// repeated so scratches migrate between goroutines, each answer checked
+// against the fresh-allocation reference.
+func TestScratchConcurrentBatchEquivalence(t *testing.T) {
+	e := buildEngine(t, 2000, 25, 7, Config{NoHashes: true, NoRelational: true})
+	rng := rand.New(rand.NewSource(26))
+	queries := make([]Query, 48)
+	for i := range queries {
+		queries[i] = e.PrepareCounts(e.c.Set(collection.SetID(rng.Intn(e.c.NumSets()))))
+	}
+	for _, alg := range []Algorithm{SortByID, INRA, SF, Hybrid} {
+		for round := 0; round < 3; round++ {
+			out := e.SelectBatch(queries, 0.7, alg, nil, 8)
+			for i, br := range out {
+				if br.Err != nil {
+					t.Fatalf("%v query %d: %v", alg, i, br.Err)
+				}
+				want, err := freshReference(e, queries[i], 0.7, alg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResults(t, alg.String(), br.Results, want)
+			}
+		}
+	}
+}
+
+// TestIDTable exercises the open-addressing candidate index directly:
+// insert, lookup, overwrite, growth past the load factor, and reset.
+func TestIDTable(t *testing.T) {
+	var tbl idTable
+	tbl.reset()
+	if got := tbl.get(42); got != -1 {
+		t.Fatalf("empty table returned %d", got)
+	}
+	// Insert enough keys to force several growth cycles.
+	const n = 1000
+	for i := 0; i < n; i++ {
+		tbl.put(collection.SetID(i*7), int32(i))
+	}
+	for i := 0; i < n; i++ {
+		if got := tbl.get(collection.SetID(i * 7)); got != int32(i) {
+			t.Fatalf("get(%d) = %d, want %d", i*7, got, i)
+		}
+	}
+	if got := tbl.get(collection.SetID(n*7 + 1)); got != -1 {
+		t.Fatalf("absent key returned %d", got)
+	}
+	// Overwrite must replace, not duplicate.
+	tbl.put(collection.SetID(7), 9999)
+	if got := tbl.get(collection.SetID(7)); got != 9999 {
+		t.Fatalf("overwrite: get = %d, want 9999", got)
+	}
+	// Reset keeps capacity but drops every mapping.
+	capBefore := len(tbl.vals)
+	tbl.reset()
+	if len(tbl.vals) != capBefore {
+		t.Fatalf("reset changed capacity %d -> %d", capBefore, len(tbl.vals))
+	}
+	for i := 0; i < n; i++ {
+		if got := tbl.get(collection.SetID(i * 7)); got != -1 {
+			t.Fatalf("after reset get(%d) = %d", i*7, got)
+		}
+	}
+}
+
+// TestScratchMaskArena verifies that masks handed out before an arena
+// growth stay valid: growth must abandon the old backing array, never
+// copy over it.
+func TestScratchMaskArena(t *testing.T) {
+	s := &queryScratch{}
+	first := s.newMask(64)
+	first.set(3)
+	// Force many growths.
+	for i := 0; i < 100; i++ {
+		m := s.newMask(256)
+		m.set(i % 256)
+	}
+	if !first.has(3) || first.has(4) {
+		t.Fatal("early mask corrupted by arena growth")
+	}
+}

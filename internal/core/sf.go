@@ -11,6 +11,8 @@ import (
 // unresolved lists — the unprocessed suffix — so its upper bound is the
 // uniform lower + suffixIdfSq/(len(q)·len) and no per-list bit vector is
 // needed. That uniformity is what makes SF's bookkeeping so cheap (§VI).
+// Candidates live in the scratch slab; the paper's candidate list C and
+// its per-list new arrivals are slices of slab indexes.
 type sfCand struct {
 	id      collection.SetID
 	len     float64
@@ -24,28 +26,33 @@ type sfCand struct {
 // cutoff λᵢ = Σ_{j≥i} idf² / (τ·len(q)) (Eq. 2) bounds the length of any
 // *new* viable candidate, and the scan extends past min(λᵢ, len(q)/τ)
 // only as far as the longest still-viable candidate, whose score must be
-// completed. Candidates live in a single (len, id)-sorted slice that is
-// merged with each list's new arrivals — one cheap sweep per list.
-func (e *Engine) selectSF(cc *canceller, q Query, tau float64, o *Options, stats *Stats) ([]Result, error) {
+// completed. Candidates live in a single (len, id)-sorted index slice
+// that is merged with each list's new arrivals — one cheap sweep per
+// list.
+func (e *Engine) selectSF(s *queryScratch, cc *canceller, q Query, tau float64, o *Options, stats *Stats) ([]Result, error) {
 	lo, hi := lengthWindow(q, tau, o)
-	lists := e.openLists(cc, q, lo, o, stats)
+	lists := e.openLists(s, cc, q, lo, o, stats)
 	n := len(lists)
 
 	// suffix[i] = Σ_{j ≥ i} idf²; suffix[n] = 0.
-	suffix := make([]float64, n+1)
+	suffix := resliceFloats(s.f0, n+1)
+	s.f0 = suffix
 	for i := n - 1; i >= 0; i-- {
 		suffix[i] = suffix[i+1] + q.Tokens[i].IDFSq
 	}
 	tauP := tau - sim.ScoreEpsilon
-	lambda := make([]float64, n)
+	lambda := resliceFloats(s.f1, n)
+	s.f1 = lambda
 	for i := range lambda {
 		lambda[i] = suffix[i] / (tauP * q.Len)
 	}
 
-	var c []*sfCand // sorted by (len, id); the paper's candidate list C
-	byID := make(map[collection.SetID]*sfCand)
+	s.sf = s.sf[:0]
+	s.tbl.reset()
+	c := s.i0[:0] // sorted by (len, id); the paper's candidate list C
 
-	for i, l := range lists {
+	for i := range lists {
+		l := &lists[i]
 		if len(c) == 0 && lambda[i] < lo {
 			// No candidates to complete and the admission window
 			// [lo, λᵢ] is empty for this and — λ being non-increasing —
@@ -57,32 +64,33 @@ func (e *Engine) selectSF(cc *canceller, q Query, tau float64, o *Options, stats
 			mu = hi
 		}
 
-		var news []*sfCand
+		news := s.i1[:0]
 		mergePtr := 0            // first old candidate not yet passed
 		lastViable := len(c) - 1 // last alive old candidate
-		for lastViable >= 0 && c[lastViable].dead {
+		for lastViable >= 0 && s.sf[c[lastViable]].dead {
 			lastViable--
 		}
 
-		for !l.done && l.cur.Valid() {
+		for !l.done && l.valid() {
 			if cc.stop() {
+				s.i0, s.i1 = c, news
 				return nil, cc.err
 			}
-			p := l.cur.Posting()
+			p := l.posting()
 
 			// Resolve old candidates the scan has passed: unseen ones
 			// are absent from this list (Order Preservation), and any
 			// candidate's continued viability is lower + remaining
 			// suffix mass.
-			for mergePtr < len(c) && before(c[mergePtr], p) {
-				cand := c[mergePtr]
+			for mergePtr < len(c) && sfBefore(&s.sf[c[mergePtr]], p) {
+				cand := &s.sf[c[mergePtr]]
 				mergePtr++
 				if cand.dead {
 					continue
 				}
 				if !sim.Meets(cand.lower+suffix[i+1]/(q.Len*cand.len), tau) {
 					cand.dead = true
-					for lastViable >= 0 && c[lastViable].dead {
+					for lastViable >= 0 && s.sf[c[lastViable]].dead {
 						lastViable--
 					}
 				}
@@ -91,17 +99,18 @@ func (e *Engine) selectSF(cc *canceller, q Query, tau float64, o *Options, stats
 			// Stop rule: nothing new past µᵢ can qualify, and nothing
 			// old past maxLen(C) needs completing.
 			bound := mu
-			if lastViable >= 0 && c[lastViable].len > bound {
-				bound = c[lastViable].len
+			if lastViable >= 0 && s.sf[c[lastViable]].len > bound {
+				bound = s.sf[c[lastViable]].len
 			}
 			if p.Len > bound {
 				break
 			}
 
 			stats.ElementsRead++
-			l.cur.Next()
+			l.next()
 
-			if cand := byID[p.ID]; cand != nil {
+			if slot := s.tbl.get(p.ID); slot >= 0 {
+				cand := &s.sf[slot]
 				if !cand.dead && !cand.seenCur {
 					cand.lower += l.w(q.Len, p.Len)
 					cand.seenCur = true
@@ -111,9 +120,10 @@ func (e *Engine) selectSF(cc *canceller, q Query, tau float64, o *Options, stats
 			// New candidate: best case is appearing in every remaining
 			// list, Σ_{j≥i} idf²/(len(q)·len) — the λᵢ test of line 9.
 			if sim.Meets(suffix[i]/(q.Len*p.Len), tau) {
-				cand := &sfCand{id: p.ID, len: p.Len, lower: l.w(q.Len, p.Len), seenCur: true}
-				news = append(news, cand)
-				byID[p.ID] = cand
+				s.sf = append(s.sf, sfCand{id: p.ID, len: p.Len, lower: l.w(q.Len, p.Len), seenCur: true})
+				slot := int32(len(s.sf) - 1)
+				s.tbl.put(p.ID, slot)
+				news = append(news, slot)
 				stats.CandidatesInserted++
 			}
 		}
@@ -123,54 +133,62 @@ func (e *Engine) selectSF(cc *canceller, q Query, tau float64, o *Options, stats
 		// viability with the remaining suffix, merge in the new
 		// arrivals, and reset the seen flags.
 		stats.CandidateScans++
-		merged := make([]*sfCand, 0, len(c)+len(news))
+		merged := s.i2[:0]
 		oi, ni := 0, 0
 		for oi < len(c) || ni < len(news) {
 			if cc.stop() {
+				s.i0, s.i1, s.i2 = c, news, merged
 				return nil, cc.err
 			}
-			var take *sfCand
-			if oi < len(c) && (ni >= len(news) || candBefore(c[oi], news[ni])) {
-				take = c[oi]
+			var slot int32
+			if oi < len(c) && (ni >= len(news) || sfCandBefore(&s.sf[c[oi]], &s.sf[news[ni]])) {
+				slot = c[oi]
 				oi++
+				take := &s.sf[slot]
 				if take.dead {
-					delete(byID, take.id)
 					continue
 				}
 				if !sim.Meets(take.lower+suffix[i+1]/(q.Len*take.len), tau) {
 					take.dead = true
-					delete(byID, take.id)
 					continue
 				}
 			} else {
-				take = news[ni]
+				slot = news[ni]
 				ni++
 			}
-			take.seenCur = false
-			merged = append(merged, take)
+			s.sf[slot].seenCur = false
+			merged = append(merged, slot)
 		}
+		// Rotate the index buffers: merged becomes C; the old C's
+		// backing array is reused for the next merge target.
+		old := c
 		c = merged
+		s.i1 = news
+		s.i2 = old[:0]
 	}
 
-	var out []Result
-	for _, cand := range c {
+	out := s.results[:0]
+	for _, slot := range c {
+		cand := &s.sf[slot]
 		if !cand.dead && sim.Meets(cand.lower, tau) {
 			out = append(out, Result{ID: cand.id, Score: cand.lower})
 		}
 	}
+	s.i0 = c
+	s.results = out
 	return out, listsErr(lists)
 }
 
-// before reports whether candidate cand precedes posting position p in
+// sfBefore reports whether candidate cand precedes posting position p in
 // weight-list order (strictly).
-func before(cand *sfCand, p invlist.Posting) bool {
+func sfBefore(cand *sfCand, p invlist.Posting) bool {
 	if cand.len != p.Len {
 		return cand.len < p.Len
 	}
 	return cand.id < p.ID
 }
 
-func candBefore(a, b *sfCand) bool {
+func sfCandBefore(a, b *sfCand) bool {
 	if a.len != b.len {
 		return a.len < b.len
 	}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"container/heap"
-
 	"repro/internal/invlist"
 	"repro/internal/sim"
 )
@@ -12,39 +10,59 @@ import (
 // heads aggregates each id's complete score as it surfaces. It performs
 // no pruning — its cost is the total volume of the query lists — but
 // touches only sets that share at least one token with the query.
-func (e *Engine) selectSortByID(cc *canceller, q Query, tau float64, stats *Stats) ([]Result, error) {
-	h := make(mergeHeap, 0, len(q.Tokens))
-	cursors := make([]invlist.Cursor, 0, len(q.Tokens))
-	for _, qt := range q.Tokens {
-		cur := e.store.IDCursor(qt.Token)
-		cursors = append(cursors, cur)
-		if cur.Valid() {
+//
+// The heap is hand-rolled over the scratch's mergeEntry slab (container/
+// heap boxes every Push/Pop through interface{}), each entry caches its
+// head posting, and MemStore lists are iterated as raw slices.
+func (e *Engine) selectSortByID(s *queryScratch, cc *canceller, q Query, tau float64, stats *Stats) ([]Result, error) {
+	reuser, _ := e.store.(invlist.CursorReuser)
+	for len(s.idcurs) < len(q.Tokens) {
+		s.idcurs = append(s.idcurs, nil)
+	}
+	h := s.merge[:0]
+	defer func() { s.merge = h[:0] }()
+	for i, qt := range q.Tokens {
+		var cur invlist.Cursor
+		if reuser != nil {
+			cur = reuser.IDCursorReuse(qt.Token, s.idcurs[i])
+		} else {
+			cur = e.store.IDCursor(qt.Token)
+		}
+		s.idcurs[i] = cur
+		ent := mergeEntry{cur: cur, idfSq: qt.IDFSq}
+		if list, pos, ok := invlist.RawPostings(cur); ok {
+			ent.mem, ent.pos = list, pos
+		}
+		if ent.valid() {
+			ent.head = ent.posting()
 			stats.ElementsRead++
-			h = append(h, mergeEntry{cur: cur, idfSq: qt.IDFSq})
+			h = append(h, ent)
 		}
 	}
-	heap.Init(&h)
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		mergeSiftDown(h, i)
+	}
 
-	var out []Result
+	out := s.results[:0]
+	defer func() { s.results = out }()
 	for len(h) > 0 {
 		if cc.stop() {
 			return nil, cc.err
 		}
-		top := h[0]
-		p := top.cur.Posting()
-		score := top.idfSq / (q.Len * p.Len)
-		advance(&h, stats)
+		p := h[0].head
+		score := h[0].idfSq / (q.Len * p.Len)
+		h = mergeAdvance(h, stats)
 		// Aggregate every list positioned at the same id; each pop has
 		// a complete score once no head carries that id anymore.
-		for len(h) > 0 && h[0].cur.Posting().ID == p.ID {
+		for len(h) > 0 && h[0].head.ID == p.ID {
 			score += h[0].idfSq / (q.Len * p.Len)
-			advance(&h, stats)
+			h = mergeAdvance(h, stats)
 		}
 		if sim.Meets(score, tau) {
 			out = append(out, Result{ID: p.ID, Score: score})
 		}
 	}
-	for _, cur := range cursors {
+	for _, cur := range s.idcurs[:len(q.Tokens)] {
 		if err := invlist.Err(cur); err != nil {
 			return nil, err
 		}
@@ -52,34 +70,70 @@ func (e *Engine) selectSortByID(cc *canceller, q Query, tau float64, stats *Stat
 	return out, nil
 }
 
-func advance(h *mergeHeap, stats *Stats) {
-	cur := (*h)[0].cur
-	cur.Next()
-	if cur.Valid() {
-		stats.ElementsRead++
-		heap.Fix(h, 0)
-	} else {
-		heap.Pop(h)
-	}
-}
-
+// mergeEntry is one list head in the multiway merge. For MemStore lists
+// mem/pos iterate the raw posting slice; head caches the current posting
+// so heap comparisons never touch the cursor interface.
 type mergeEntry struct {
 	cur   invlist.Cursor
+	mem   []invlist.Posting
+	pos   int
+	head  invlist.Posting
 	idfSq float64
 }
 
-type mergeHeap []mergeEntry
-
-func (h mergeHeap) Len() int { return len(h) }
-func (h mergeHeap) Less(i, j int) bool {
-	return h[i].cur.Posting().ID < h[j].cur.Posting().ID
+func (ent *mergeEntry) valid() bool {
+	if ent.mem != nil {
+		return ent.pos < len(ent.mem)
+	}
+	return ent.cur.Valid()
 }
-func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeEntry)) }
-func (h *mergeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (ent *mergeEntry) posting() invlist.Posting {
+	if ent.mem != nil {
+		return ent.mem[ent.pos]
+	}
+	return ent.cur.Posting()
+}
+
+func (ent *mergeEntry) next() {
+	if ent.mem != nil {
+		ent.pos++
+		return
+	}
+	ent.cur.Next()
+}
+
+// mergeAdvance advances the root list, pops it if exhausted, and restores
+// the heap order. It returns the (possibly shortened) heap slice.
+func mergeAdvance(h []mergeEntry, stats *Stats) []mergeEntry {
+	ent := &h[0]
+	ent.next()
+	if ent.valid() {
+		ent.head = ent.posting()
+		stats.ElementsRead++
+	} else {
+		n := len(h) - 1
+		h[0] = h[n]
+		h = h[:n]
+	}
+	mergeSiftDown(h, 0)
+	return h
+}
+
+func mergeSiftDown(h []mergeEntry, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && h[r].head.ID < h[l].head.ID {
+			m = r
+		}
+		if h[i].head.ID <= h[m].head.ID {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }

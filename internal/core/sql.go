@@ -6,12 +6,17 @@ import "repro/internal/relational"
 // scans per query gram feeding a hash group-by. Length Bounding becomes a
 // SARGable length predicate on the composite index. The canceller is
 // threaded into the plan's row loop as a stop callback, so a cancelled
-// query abandons the range scans mid-stream.
-func (e *Engine) selectSQL(cc *canceller, q Query, tau float64, o *Options, stats *Stats) ([]Result, error) {
+// query abandons the range scans mid-stream. The token and result buffers
+// come from the query scratch; the relational engine's own group-by state
+// is outside this layer's allocation discipline.
+func (e *Engine) selectSQL(s *queryScratch, cc *canceller, q Query, tau float64, o *Options, stats *Stats) ([]Result, error) {
 	if e.rel == nil {
 		return nil, ErrNoRelational
 	}
-	toks := make([]relational.QueryToken, len(q.Tokens))
+	if cap(s.relToks) < len(q.Tokens) {
+		s.relToks = make([]relational.QueryToken, len(q.Tokens))
+	}
+	toks := s.relToks[:len(q.Tokens)]
 	for i, qt := range q.Tokens {
 		toks[i] = relational.QueryToken{Gram: qt.Token, IDFSq: qt.IDFSq}
 	}
@@ -20,9 +25,10 @@ func (e *Engine) selectSQL(cc *canceller, q Query, tau float64, o *Options, stat
 	if stopped {
 		return nil, cc.err
 	}
-	out := make([]Result, len(matches))
-	for i, m := range matches {
-		out[i] = Result{ID: m.ID, Score: m.Score}
+	out := s.results[:0]
+	for _, m := range matches {
+		out = append(out, Result{ID: m.ID, Score: m.Score})
 	}
+	s.results = out
 	return out, nil
 }

@@ -9,19 +9,59 @@ import (
 )
 
 // listState is the per-list scan state shared by the sorted-access
-// algorithms: a weight-sorted cursor plus liveness bookkeeping.
+// algorithms: a weight-sorted cursor plus liveness bookkeeping. For
+// MemStore cursors the raw posting slice is captured once at open time
+// (mem/pos), so the per-posting hot loop is an indexed slice read with
+// no interface dispatch; disk-backed cursors fall back to the Cursor
+// interface.
 type listState struct {
 	cur   invlist.Cursor
+	mem   []invlist.Posting // raw in-memory list; nil → interface path
+	pos   int               // current index into mem
 	idfSq float64
 	// done means no further postings will be read: the list is exhausted
 	// or its frontier crossed the Theorem 1 upper length bound.
 	done bool
 }
 
+// valid reports whether an unread posting remains.
+func (l *listState) valid() bool {
+	if l.mem != nil {
+		return l.pos < len(l.mem)
+	}
+	return l.cur.Valid()
+}
+
+// posting returns the current entry; the list must be valid.
+func (l *listState) posting() invlist.Posting {
+	if l.mem != nil {
+		return l.mem[l.pos]
+	}
+	return l.cur.Posting()
+}
+
+// next advances to the following entry.
+func (l *listState) next() {
+	if l.mem != nil {
+		l.pos++
+		return
+	}
+	l.cur.Next()
+}
+
 // frontier returns the next unread posting. ok is false when the list is
 // done or exhausted.
 func (l *listState) frontier() (invlist.Posting, bool) {
-	if l.done || !l.cur.Valid() {
+	if l.done {
+		return invlist.Posting{}, false
+	}
+	if l.mem != nil {
+		if l.pos < len(l.mem) {
+			return l.mem[l.pos], true
+		}
+		return invlist.Posting{}, false
+	}
+	if !l.cur.Valid() {
 		return invlist.Posting{}, false
 	}
 	return l.cur.Posting(), true
@@ -36,45 +76,63 @@ func (l *listState) w(lenQ, setLen float64) float64 {
 // listsErr surfaces any deferred I/O error from the lists' cursors (disk
 // stores report read failures through invlist.Err rather than panicking;
 // without this check a failed read would masquerade as list exhaustion).
-func listsErr(lists []*listState) error {
-	for _, l := range lists {
-		if err := invlist.Err(l.cur); err != nil {
+func listsErr(lists []listState) error {
+	for i := range lists {
+		if err := invlist.Err(lists[i].cur); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// openLists opens the weight-sorted cursors and, unless length bounding
-// is disabled, positions each at the first entry with length ≥ lo —
-// via the skip index, or by counted sequential reads when NoSkipIndex is
-// set (the paper's "no index on lengths" mode, which reads and discards).
-// The NoSkipIndex walk polls the canceller: it is an unbounded sequential
-// scan, so it must be interruptible like every other read loop. Callers
-// must check cc.err after openLists returns.
-func (e *Engine) openLists(cc *canceller, q Query, lo float64, o *Options, stats *Stats) []*listState {
-	lists := make([]*listState, len(q.Tokens))
+// openLists opens the weight-sorted cursors into the scratch's list slab
+// and, unless length bounding is disabled, positions each at the first
+// entry with length ≥ lo — via the skip index, or by counted sequential
+// reads when NoSkipIndex is set (the paper's "no index on lengths" mode,
+// which reads and discards). Cursors are reused from the scratch's
+// cursor slots when the store supports it, so warm queries open lists
+// without allocating. The NoSkipIndex walk polls the canceller: it is an
+// unbounded sequential scan, so it must be interruptible like every
+// other read loop. Callers must check cc.err after openLists returns.
+func (e *Engine) openLists(s *queryScratch, cc *canceller, q Query, lo float64, o *Options, stats *Stats) []listState {
+	reuser, _ := e.store.(invlist.CursorReuser)
+	for len(s.wcurs) < len(q.Tokens) {
+		s.wcurs = append(s.wcurs, nil)
+	}
+	s.lists = s.lists[:0]
 	for i, qt := range q.Tokens {
-		l := &listState{cur: e.store.WeightCursor(qt.Token), idfSq: qt.IDFSq}
+		var cur invlist.Cursor
+		if reuser != nil {
+			cur = reuser.WeightCursorReuse(qt.Token, s.wcurs[i])
+		} else {
+			cur = e.store.WeightCursor(qt.Token)
+		}
+		s.wcurs[i] = cur
+		l := listState{cur: cur, idfSq: qt.IDFSq}
 		if lo > 0 {
 			if o.NoSkipIndex {
-				for l.cur.Valid() && l.cur.Posting().Len < lo {
+				for cur.Valid() && cur.Posting().Len < lo {
 					if cc.stop() {
 						break
 					}
 					stats.ElementsRead++
-					l.cur.Next()
+					cur.Next()
 				}
 			} else {
-				skipped, walked := l.cur.SeekLen(lo)
+				skipped, walked := cur.SeekLen(lo)
 				stats.ElementsSkipped += skipped
 				stats.ElementsRead += walked
 			}
 		}
-		l.done = !l.cur.Valid()
-		lists[i] = l
+		// Capture the raw slice after seeking so mem/pos reflect the
+		// cursor's final position.
+		if list, pos, ok := invlist.RawPostings(cur); ok {
+			l.mem, l.pos = list, pos
+		}
+		l.done = !l.valid()
+		s.lists = append(s.lists, l)
 	}
-	return lists
+	return s.lists
 }
 
 // beforeOrAt reports whether posting a precedes or equals position
@@ -93,7 +151,7 @@ func beforeOrAt(a invlist.Posting, len float64, id collection.SetID) bool {
 // improved=true this is iTA (§V): Theorem 1 bounds the scanned length
 // range and Magnitude Boundedness skips the probes for sets whose
 // best-case score cannot reach τ.
-func (e *Engine) selectTA(cc *canceller, q Query, tau float64, improved bool, o *Options, stats *Stats) ([]Result, error) {
+func (e *Engine) selectTA(s *queryScratch, cc *canceller, q Query, tau float64, improved bool, o *Options, stats *Stats) ([]Result, error) {
 	if e.hashes == nil {
 		return nil, ErrNoHashIndex
 	}
@@ -105,7 +163,7 @@ func (e *Engine) selectTA(cc *canceller, q Query, tau float64, improved bool, o 
 	if !improved {
 		opts = Options{NoLengthBound: true}
 	}
-	lists := e.openLists(cc, q, lo, &opts, stats)
+	lists := e.openLists(s, cc, q, lo, &opts, stats)
 	if cc.stop() {
 		return nil, cc.err
 	}
@@ -115,15 +173,19 @@ func (e *Engine) selectTA(cc *canceller, q Query, tau float64, improved bool, o 
 		allIdfSq += qt.IDFSq
 	}
 
-	seen := make(map[collection.SetID]struct{})
-	var out []Result
+	// The scratch id-table doubles as TA's seen-set (slot value unused).
+	seen := &s.tbl
+	seen.reset()
+	out := s.results[:0]
 	for {
 		alive := false
-		for i, l := range lists {
+		for i := range lists {
+			l := &lists[i]
 			if l.done {
 				continue
 			}
 			if cc.stop() {
+				s.results = out
 				return nil, cc.err
 			}
 			p, ok := l.frontier()
@@ -132,17 +194,17 @@ func (e *Engine) selectTA(cc *canceller, q Query, tau float64, improved bool, o 
 				continue
 			}
 			stats.ElementsRead++
-			l.cur.Next()
+			l.next()
 			if p.Len > hi {
 				// Theorem 1: nothing below this point can qualify.
 				l.done = true
 				continue
 			}
 			alive = true
-			if _, dup := seen[p.ID]; dup {
+			if seen.get(p.ID) >= 0 {
 				continue
 			}
-			seen[p.ID] = struct{}{}
+			seen.put(p.ID, 0)
 			if improved {
 				// Magnitude Boundedness: the best case assumes p
 				// appears in every list; if even that misses τ, skip
@@ -152,13 +214,13 @@ func (e *Engine) selectTA(cc *canceller, q Query, tau float64, improved bool, o 
 				}
 			}
 			score := l.w(q.Len, p.Len)
-			for j, lj := range lists {
+			for j := range lists {
 				if j == i {
 					continue
 				}
 				stats.RandomProbes++
 				if _, found := e.hashes[q.Tokens[j].Token].Get(uint64(p.ID)); found {
-					score += lj.w(q.Len, p.Len)
+					score += lists[j].w(q.Len, p.Len)
 				}
 			}
 			if sim.Meets(score, tau) {
@@ -167,17 +229,19 @@ func (e *Engine) selectTA(cc *canceller, q Query, tau float64, improved bool, o 
 		}
 		stats.Rounds++
 		if !alive {
+			s.results = out
 			return out, listsErr(lists)
 		}
 		// Unseen-element bound: an id surfacing after every frontier has
 		// score at most F.
 		var f float64
-		for _, l := range lists {
-			if p, ok := l.frontier(); ok && p.Len <= hi {
-				f += l.w(q.Len, p.Len)
+		for i := range lists {
+			if p, ok := lists[i].frontier(); ok && p.Len <= hi {
+				f += lists[i].w(q.Len, p.Len)
 			}
 		}
 		if !sim.Meets(f, tau) {
+			s.results = out
 			return out, listsErr(lists)
 		}
 	}

@@ -43,26 +43,31 @@ func (e *Engine) SelectTopKCtx(ctx context.Context, q Query, k int, alg Algorith
 	}
 	start := time.Now()
 	cc := &canceller{ctx: ctx}
+	s := e.getScratch()
 	var res []Result
 	var err error
 	switch alg {
 	case Naive:
-		res, err = e.topkNaive(cc, q, k)
+		res, err = e.topkNaive(s, cc, q, k)
 	case SF:
-		res, err = e.topkSF(cc, q, k, &o, &stats)
+		res, err = e.topkSF(s, cc, q, k, &o, &stats)
 	case INRA:
-		res, err = e.topkINRA(cc, q, k, &o, &stats)
+		res, err = e.topkINRA(s, cc, q, k, &o, &stats)
 	default:
 		err = ErrUnknownAlg
 	}
+	if err == nil {
+		sortTopK(res)
+		if len(res) > k {
+			res = res[:k]
+		}
+	}
+	res = copyResults(res)
+	e.putScratch(s)
 	stats.Elapsed = time.Since(start)
 	e.observe(stats, err)
 	if err != nil {
 		return nil, stats, err
-	}
-	sortTopK(res)
-	if len(res) > k {
-		res = res[:k]
 	}
 	return res, stats, nil
 }
@@ -77,8 +82,8 @@ func sortTopK(rs []Result) {
 }
 
 // topkNaive is the oracle: full scan, exact top-k.
-func (e *Engine) topkNaive(cc *canceller, q Query, k int) ([]Result, error) {
-	all, err := e.selectNaive(cc, q, minPositiveTau, nil)
+func (e *Engine) topkNaive(s *queryScratch, cc *canceller, q Query, k int) ([]Result, error) {
+	all, err := e.selectNaive(s, cc, q, minPositiveTau, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -108,7 +113,8 @@ func effTau(tau float64) float64 {
 // candidates — the dynamic τ. A candidate whose lower bound grows updates
 // its existing entry (increase-key) rather than occupying several heap
 // slots, which would inflate τ and prune true answers. It is an indexed
-// min-heap of at most k entries.
+// min-heap of at most k entries. The heap arrays and position map live in
+// the query scratch and are reset, not reallocated, per query.
 type kthBound struct {
 	k      int
 	ids    []collection.SetID
@@ -116,8 +122,16 @@ type kthBound struct {
 	pos    map[collection.SetID]int
 }
 
-func newKthBound(k int) *kthBound {
-	return &kthBound{k: k, pos: make(map[collection.SetID]int, k)}
+// reset readies the bound for a new query with capacity k.
+func (b *kthBound) reset(k int) {
+	b.k = k
+	b.ids = b.ids[:0]
+	b.scores = b.scores[:0]
+	if b.pos == nil {
+		b.pos = make(map[collection.SetID]int, k)
+	} else {
+		clear(b.pos)
+	}
 }
 
 func (b *kthBound) swap(i, j int) {
@@ -192,42 +206,48 @@ func (b *kthBound) tau() float64 {
 
 // topkSF runs Shortest-First with the rising bound: per-list cutoffs λᵢ
 // and viability tests are re-evaluated against the current τ, which
-// tightens as candidate lower bounds accumulate.
-func (e *Engine) topkSF(cc *canceller, q Query, k int, o *Options, stats *Stats) ([]Result, error) {
-	lists := e.openLists(cc, q, 0, o, stats) // no static Theorem 1 window: τ starts at ~0
+// tightens as candidate lower bounds accumulate. The candidate machinery
+// is the same slab-and-index-slice layout as selectSF.
+func (e *Engine) topkSF(s *queryScratch, cc *canceller, q Query, k int, o *Options, stats *Stats) ([]Result, error) {
+	lists := e.openLists(s, cc, q, 0, o, stats) // no static Theorem 1 window: τ starts at ~0
 	n := len(lists)
-	suffix := make([]float64, n+1)
+	suffix := resliceFloats(s.f0, n+1)
+	s.f0 = suffix
 	for i := n - 1; i >= 0; i-- {
 		suffix[i] = suffix[i+1] + q.Tokens[i].IDFSq
 	}
 
-	bound := newKthBound(k)
-	var c []*sfCand
-	byID := make(map[collection.SetID]*sfCand)
+	bound := &s.kth
+	bound.reset(k)
+	s.sf = s.sf[:0]
+	s.tbl.reset()
+	c := s.i0[:0]
 
-	for i, l := range lists {
-		var news []*sfCand
+	for i := range lists {
+		l := &lists[i]
+		news := s.i1[:0]
 		mergePtr := 0
 		lastViable := len(c) - 1
-		for lastViable >= 0 && c[lastViable].dead {
+		for lastViable >= 0 && s.sf[c[lastViable]].dead {
 			lastViable--
 		}
-		for !l.done && l.cur.Valid() {
+		for !l.done && l.valid() {
 			if cc.stop() {
+				s.i0, s.i1 = c, news
 				return nil, cc.err
 			}
-			p := l.cur.Posting()
+			p := l.posting()
 			tau := bound.tau()
 			hi := q.Len / effTau(tau)
-			for mergePtr < len(c) && before(c[mergePtr], p) {
-				cand := c[mergePtr]
+			for mergePtr < len(c) && sfBefore(&s.sf[c[mergePtr]], p) {
+				cand := &s.sf[c[mergePtr]]
 				mergePtr++
 				if cand.dead {
 					continue
 				}
 				if !sim.Meets(cand.lower+suffix[i+1]/(q.Len*cand.len), tau) {
 					cand.dead = true
-					for lastViable >= 0 && c[lastViable].dead {
+					for lastViable >= 0 && s.sf[c[lastViable]].dead {
 						lastViable--
 					}
 				}
@@ -237,15 +257,16 @@ func (e *Engine) topkSF(cc *canceller, q Query, k int, o *Options, stats *Stats)
 				mu = hi
 			}
 			stop := mu
-			if lastViable >= 0 && c[lastViable].len > stop {
-				stop = c[lastViable].len
+			if lastViable >= 0 && s.sf[c[lastViable]].len > stop {
+				stop = s.sf[c[lastViable]].len
 			}
 			if p.Len > stop {
 				break
 			}
 			stats.ElementsRead++
-			l.cur.Next()
-			if cand := byID[p.ID]; cand != nil {
+			l.next()
+			if slot := s.tbl.get(p.ID); slot >= 0 {
+				cand := &s.sf[slot]
 				if !cand.dead && !cand.seenCur {
 					cand.lower += l.w(q.Len, p.Len)
 					cand.seenCur = true
@@ -254,60 +275,82 @@ func (e *Engine) topkSF(cc *canceller, q Query, k int, o *Options, stats *Stats)
 				continue
 			}
 			if sim.Meets(suffix[i]/(q.Len*p.Len), tau) {
-				cand := &sfCand{id: p.ID, len: p.Len, lower: l.w(q.Len, p.Len), seenCur: true}
-				news = append(news, cand)
-				byID[p.ID] = cand
-				bound.offer(cand.id, cand.lower)
+				s.sf = append(s.sf, sfCand{id: p.ID, len: p.Len, lower: l.w(q.Len, p.Len), seenCur: true})
+				slot := int32(len(s.sf) - 1)
+				s.tbl.put(p.ID, slot)
+				news = append(news, slot)
+				bound.offer(p.ID, s.sf[slot].lower)
 				stats.CandidatesInserted++
 			}
 		}
 
 		stats.CandidateScans++
 		tau := bound.tau()
-		merged := make([]*sfCand, 0, len(c)+len(news))
+		merged := s.i2[:0]
 		oi, ni := 0, 0
 		for oi < len(c) || ni < len(news) {
-			var take *sfCand
-			if oi < len(c) && (ni >= len(news) || candBefore(c[oi], news[ni])) {
-				take = c[oi]
+			if cc.stop() {
+				s.i0, s.i1, s.i2 = c, news, merged
+				return nil, cc.err
+			}
+			var slot int32
+			if oi < len(c) && (ni >= len(news) || sfCandBefore(&s.sf[c[oi]], &s.sf[news[ni]])) {
+				slot = c[oi]
 				oi++
-				if take.dead || !sim.Meets(take.lower+suffix[i+1]/(q.Len*take.len), tau) {
-					delete(byID, take.id)
+				take := &s.sf[slot]
+				if take.dead {
+					continue
+				}
+				if !sim.Meets(take.lower+suffix[i+1]/(q.Len*take.len), tau) {
+					take.dead = true
 					continue
 				}
 			} else {
-				take = news[ni]
+				slot = news[ni]
 				ni++
 			}
-			take.seenCur = false
-			merged = append(merged, take)
+			s.sf[slot].seenCur = false
+			merged = append(merged, slot)
 		}
+		old := c
 		c = merged
+		s.i1 = news
+		s.i2 = old[:0]
 	}
 
 	tau := bound.tau()
-	var out []Result
-	for _, cand := range c {
+	out := s.results[:0]
+	for _, slot := range c {
+		cand := &s.sf[slot]
 		if !cand.dead && sim.Meets(cand.lower, tau) {
 			out = append(out, Result{ID: cand.id, Score: cand.lower})
 		}
 	}
-	return out, nil
+	s.i0 = c
+	s.results = out
+	return out, listsErr(lists)
 }
 
-// topkINRA runs iNRA's round-robin with the rising bound.
-func (e *Engine) topkINRA(cc *canceller, q Query, k int, o *Options, stats *Stats) ([]Result, error) {
-	lists := e.openLists(cc, q, 0, o, stats)
+// topkINRA runs iNRA's round-robin with the rising bound, over the same
+// candidate slab and id-table as selectINRA.
+func (e *Engine) topkINRA(s *queryScratch, cc *canceller, q Query, k int, o *Options, stats *Stats) ([]Result, error) {
+	lists := e.openLists(s, cc, q, 0, o, stats)
 	n := len(lists)
-	cands := make(map[collection.SetID]*impCand)
-	bound := newKthBound(k)
-	var done []Result
+	s.tbl.reset()
+	s.imp = s.imp[:0]
+	s.arena = s.arena[:0]
+	live := 0
+	bound := &s.kth
+	bound.reset(k)
+	out := s.results[:0]
+	defer func() { s.results = out }()
 
 	for {
 		tau := bound.tau()
 		hi := q.Len / effTau(tau)
 		alive := false
-		for i, l := range lists {
+		for i := range lists {
+			l := &lists[i]
 			if l.done {
 				continue
 			}
@@ -320,67 +363,78 @@ func (e *Engine) topkINRA(cc *canceller, q Query, k int, o *Options, stats *Stat
 				continue
 			}
 			stats.ElementsRead++
-			l.cur.Next()
+			l.next()
 			if p.Len > hi {
 				l.done = true
 				continue
 			}
 			alive = true
-			if c := cands[p.ID]; c != nil {
+			if slot := s.tbl.get(p.ID); slot >= 0 && !s.imp[slot].dead {
+				c := &s.imp[slot]
 				c.resolveSeen(i, l.idfSq, l.w(q.Len, p.Len))
 				bound.offer(c.id, c.lower)
 				if c.nResolved == n {
-					done = append(done, Result{ID: c.id, Score: c.lower})
-					delete(cands, p.ID)
+					out = append(out, Result{ID: c.id, Score: c.lower})
+					c.dead = true
+					live--
 				}
 				continue
 			}
-			if c := admit(lists, i, p, q, tau); c != nil {
-				cands[p.ID] = c
-				bound.offer(c.id, c.lower)
+			if slot := admit(s, lists, i, p, q, tau); slot >= 0 {
+				live++
+				bound.offer(p.ID, s.imp[slot].lower)
 				stats.CandidatesInserted++
 			}
 		}
 		stats.Rounds++
 
 		if !alive {
-			for _, c := range cands {
-				done = append(done, Result{ID: c.id, Score: c.lower})
+			for ci := range s.imp {
+				c := &s.imp[ci]
+				if !c.dead {
+					out = append(out, Result{ID: c.id, Score: c.lower})
+				}
 			}
-			return done, nil
+			return out, listsErr(lists)
 		}
 
 		tau = bound.tau()
 		var f float64
-		for _, l := range lists {
-			if p, ok := l.frontier(); ok && p.Len <= hi {
-				f += l.w(q.Len, p.Len)
+		for i := range lists {
+			if p, ok := lists[i].frontier(); ok && p.Len <= hi {
+				f += lists[i].w(q.Len, p.Len)
 			}
 		}
 		if sim.Meets(f, tau) {
 			continue
 		}
 		stats.CandidateScans++
-		for id, c := range cands {
+		for ci := range s.imp {
+			c := &s.imp[ci]
+			if c.dead {
+				continue
+			}
 			if cc.stop() {
 				return nil, cc.err
 			}
-			for j, lj := range lists {
-				if !c.resolved.has(j) && ruledOut(lj, c.len, c.id) {
-					c.resolveAbsent(j, lj.idfSq)
+			for j := range lists {
+				if !c.resolved.has(j) && ruledOut(&lists[j], c.len, c.id) {
+					c.resolveAbsent(j, lists[j].idfSq)
 				}
 			}
 			if c.nResolved == n {
-				done = append(done, Result{ID: c.id, Score: c.lower})
-				delete(cands, id)
+				out = append(out, Result{ID: c.id, Score: c.lower})
+				c.dead = true
+				live--
 				continue
 			}
 			if !sim.Meets(c.upper(q.Len), tau) {
-				delete(cands, id)
+				c.dead = true
+				live--
 			}
 		}
-		if len(cands) == 0 {
-			return done, nil
+		if live == 0 {
+			return out, listsErr(lists)
 		}
 	}
 }

@@ -9,7 +9,7 @@ import (
 )
 
 func scoreMap(e *Engine, q Query) map[collection.SetID]float64 {
-	all, _ := e.selectNaive(nil, q, minPositiveTau, nil)
+	all, _ := e.selectNaive(&queryScratch{}, nil, q, minPositiveTau, nil)
 	m := make(map[collection.SetID]float64, len(all))
 	for _, r := range all {
 		m[r.ID] = r.Score
@@ -23,7 +23,7 @@ func scoreMap(e *Engine, q Query) map[collection.SetID]float64 {
 func assertTopK(t *testing.T, e *Engine, q Query, k int, alg Algorithm, got []Result) {
 	t.Helper()
 	truth := scoreMap(e, q)
-	want, err := e.topkNaive(nil, q, k)
+	want, err := e.topkNaive(&queryScratch{}, nil, q, k)
 	if err != nil {
 		t.Fatal(err)
 	}

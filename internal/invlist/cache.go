@@ -5,11 +5,25 @@ import (
 	"sync"
 )
 
+// cacheShardCount is the number of independently locked LRU shards in a
+// blockCache. Concurrent FileStore queries touch disjoint (token, block)
+// keys almost always, so spreading them over per-shard mutexes removes
+// the single global lock the cache used to serialize on. Must be a power
+// of two.
+const cacheShardCount = 16
+
 // blockCache is a thread-safe LRU cache of decoded posting blocks, shared
 // by all cursors of one FileStore. The paper ran with OS page caching and
 // disabled software buffers (§VIII-A); an explicit cache makes the
-// hit/miss behaviour observable and keeps hot list prefixes decoded.
+// hit/miss behaviour observable and keeps hot list prefixes decoded. It
+// is sharded by key hash: each shard owns its own mutex, LRU list and
+// capacity slice, so readers of different blocks do not contend.
 type blockCache struct {
+	capacity int // total across shards; ≤ 0 disables caching
+	shards   [cacheShardCount]cacheShard
+}
+
+type cacheShard struct {
 	mu       sync.Mutex
 	capacity int
 	lru      *list.List // front = most recent; values are *cacheEntry
@@ -23,19 +37,34 @@ type blockKey struct {
 	start int // index of the block's first posting
 }
 
+// shardFor hashes a key to its shard. Block starts are aligned multiples
+// of readBlockCount, so both fields are mixed to avoid aliasing.
+func (c *blockCache) shardFor(key blockKey) *cacheShard {
+	h := uint64(key.token)*0x9E3779B97F4A7C15 + uint64(uint(key.start))*0xBF58476D1CE4E5B9
+	return &c.shards[(h>>32)&(cacheShardCount-1)]
+}
+
 type cacheEntry struct {
 	key   blockKey
 	block []Posting
 }
 
-// newBlockCache returns a cache holding up to capacity blocks; capacity
-// ≤ 0 disables caching (every lookup misses).
+// newBlockCache returns a cache holding up to capacity blocks in total;
+// capacity ≤ 0 disables caching (every lookup misses). Per-shard
+// capacity is rounded up, so small caches still admit at least one block
+// per shard.
 func newBlockCache(capacity int) *blockCache {
-	return &blockCache{
-		capacity: capacity,
-		lru:      list.New(),
-		items:    make(map[blockKey]*list.Element),
+	c := &blockCache{capacity: capacity}
+	if capacity <= 0 {
+		return c
 	}
+	per := (capacity + cacheShardCount - 1) / cacheShardCount
+	for i := range c.shards {
+		c.shards[i].capacity = per
+		c.shards[i].lru = list.New()
+		c.shards[i].items = make(map[blockKey]*list.Element)
+	}
+	return c
 }
 
 // get returns the cached block for key, if present.
@@ -43,36 +72,38 @@ func (c *blockCache) get(key blockKey) ([]Posting, bool) {
 	if c == nil || c.capacity <= 0 {
 		return nil, false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		c.lru.MoveToFront(el)
-		c.hits++
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		s.lru.MoveToFront(el)
+		s.hits++
 		return el.Value.(*cacheEntry).block, true
 	}
-	c.misses++
+	s.misses++
 	return nil, false
 }
 
-// put inserts a decoded block, evicting the least recently used entry
-// when full. The block must not be mutated after insertion.
+// put inserts a decoded block, evicting the shard's least recently used
+// entry when full. The block must not be mutated after insertion.
 func (c *blockCache) put(key blockKey, block []Posting) {
 	if c == nil || c.capacity <= 0 {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		c.lru.MoveToFront(el)
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		s.lru.MoveToFront(el)
 		el.Value.(*cacheEntry).block = block
 		return
 	}
-	el := c.lru.PushFront(&cacheEntry{key: key, block: block})
-	c.items[key] = el
-	for c.lru.Len() > c.capacity {
-		back := c.lru.Back()
-		c.lru.Remove(back)
-		delete(c.items, back.Value.(*cacheEntry).key)
+	el := s.lru.PushFront(&cacheEntry{key: key, block: block})
+	s.items[key] = el
+	for s.lru.Len() > s.capacity {
+		back := s.lru.Back()
+		s.lru.Remove(back)
+		delete(s.items, back.Value.(*cacheEntry).key)
 	}
 }
 
@@ -83,10 +114,17 @@ type CacheStats struct {
 }
 
 func (c *blockCache) stats() CacheStats {
-	if c == nil {
+	if c == nil || c.capacity <= 0 {
 		return CacheStats{}
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Blocks: c.lru.Len()}
+	var z CacheStats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		z.Hits += s.hits
+		z.Misses += s.misses
+		z.Blocks += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return z
 }

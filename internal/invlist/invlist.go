@@ -46,6 +46,31 @@ type Cursor interface {
 	Count() int
 }
 
+// CursorReuser is implemented by stores whose cursors can be reset and
+// handed out again. Query engines keep one cursor per query-list slot
+// alive across queries and pass it back as prev, making the steady-state
+// cursor-open path allocation-free. prev must be a cursor previously
+// returned by the same store (or nil); cursors obtained this way are
+// invalidated by the next reuse call that receives them.
+type CursorReuser interface {
+	// WeightCursorReuse is WeightCursor, reusing prev when possible.
+	WeightCursorReuse(t tokenize.Token, prev Cursor) Cursor
+	// IDCursorReuse is IDCursor, reusing prev when possible.
+	IDCursorReuse(t tokenize.Token, prev Cursor) Cursor
+}
+
+// RawPostings exposes the backing slice and current position of a cursor
+// that wraps a plain in-memory posting slice (MemStore cursors). Hot
+// loops use it to iterate postings by index, without one interface
+// dispatch per posting. ok is false for disk-backed cursors; callers
+// must fall back to the Cursor interface.
+func RawPostings(c Cursor) (list []Posting, pos int, ok bool) {
+	if mc, isMem := c.(*memCursor); isMem {
+		return mc.list, mc.pos, true
+	}
+	return nil, 0, false
+}
+
 // Store provides the inverted lists of a corpus.
 type Store interface {
 	// WeightCursor opens the (len, id)-sorted list of token t.

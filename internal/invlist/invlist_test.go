@@ -381,10 +381,18 @@ func BenchmarkFileCursorScan(b *testing.B) {
 }
 
 func TestBlockCacheBehaviour(t *testing.T) {
-	c := newBlockCache(2)
-	k1 := blockKey{token: 1, start: 0}
-	k2 := blockKey{token: 2, start: 0}
-	k3 := blockKey{token: 3, start: 0}
+	// Eviction is per shard; collect three keys that hash to the same
+	// shard so the capacity-2 LRU behaviour is deterministic.
+	c := newBlockCache(2 * cacheShardCount) // per-shard capacity 2
+	var keys []blockKey
+	want := c.shardFor(blockKey{token: 1})
+	for tok := uint32(1); len(keys) < 3; tok++ {
+		k := blockKey{token: tok}
+		if c.shardFor(k) == want {
+			keys = append(keys, k)
+		}
+	}
+	k1, k2, k3 := keys[0], keys[1], keys[2]
 	if _, ok := c.get(k1); ok {
 		t.Fatal("empty cache hit")
 	}
@@ -419,6 +427,24 @@ func TestBlockCacheBehaviour(t *testing.T) {
 	}
 	if nc.stats() != (CacheStats{}) {
 		t.Fatal("nil cache stats")
+	}
+}
+
+func TestBlockCacheSharding(t *testing.T) {
+	// Keys spread over shards; total stats aggregate across them.
+	c := newBlockCache(64)
+	for tok := uint32(0); tok < 32; tok++ {
+		c.put(blockKey{token: tok}, []Posting{{ID: collection.SetID(tok)}})
+	}
+	for tok := uint32(0); tok < 32; tok++ {
+		blk, ok := c.get(blockKey{token: tok})
+		if !ok || blk[0].ID != collection.SetID(tok) {
+			t.Fatalf("token %d missing after spread insert", tok)
+		}
+	}
+	st := c.stats()
+	if st.Hits != 32 || st.Misses != 0 || st.Blocks != 32 {
+		t.Fatalf("stats = %+v", st)
 	}
 }
 

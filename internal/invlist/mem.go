@@ -92,6 +92,37 @@ func (s *MemStore) IDCursor(t tokenize.Token) Cursor {
 	return &memCursor{list: s.byID[t]} // no skip index: not length-sorted
 }
 
+// WeightCursorReuse implements CursorReuser: when prev is a cursor this
+// store handed out earlier, it is rewound onto token t's weight list in
+// place. Unknown or empty tokens reset prev to an exhausted cursor, so
+// the caller's cursor slot stays reusable either way.
+func (s *MemStore) WeightCursorReuse(t tokenize.Token, prev Cursor) Cursor {
+	mc, ok := prev.(*memCursor)
+	if !ok {
+		return s.WeightCursor(t)
+	}
+	if int(t) >= len(s.weight) || len(s.weight[t]) == 0 {
+		mc.list, mc.skip, mc.pos = nil, nil, 0
+		return mc
+	}
+	mc.list, mc.skip, mc.pos = s.weight[t], s.skips[t], 0
+	return mc
+}
+
+// IDCursorReuse implements CursorReuser for the id-sorted lists.
+func (s *MemStore) IDCursorReuse(t tokenize.Token, prev Cursor) Cursor {
+	mc, ok := prev.(*memCursor)
+	if !ok {
+		return s.IDCursor(t)
+	}
+	if int(t) >= len(s.byID) || len(s.byID[t]) == 0 {
+		mc.list, mc.skip, mc.pos = nil, nil, 0
+		return mc
+	}
+	mc.list, mc.skip, mc.pos = s.byID[t], nil, 0
+	return mc
+}
+
 // ListLen implements Store.
 func (s *MemStore) ListLen(t tokenize.Token) int {
 	if int(t) >= len(s.weight) {

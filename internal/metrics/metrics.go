@@ -138,13 +138,19 @@ var (
 )
 
 // Registry aggregates the query metrics of one Engine: outcome counters
-// plus latency and read-volume histograms.
+// plus latency and read-volume histograms, and optionally the block-cache
+// counters of the engine's store.
 type Registry struct {
 	ok       atomic.Uint64
 	canceled atomic.Uint64
 	failed   atomic.Uint64
 	latency  *Histogram
 	reads    *Histogram
+	// cacheFn, when set, supplies cumulative block-cache hits and misses
+	// at snapshot time. The registry pulls rather than counts: cache
+	// traffic happens inside the store's read path, far below the
+	// per-query observation point.
+	cacheFn atomic.Pointer[func() (hits, misses uint64)]
 }
 
 // NewRegistry builds a registry with the default buckets.
@@ -173,15 +179,30 @@ func (r *Registry) ObserveQuery(elapsed time.Duration, elementsRead int, err err
 	r.reads.Observe(float64(elementsRead))
 }
 
+// SetCacheStatsFunc connects the registry to a store's block-cache
+// counters; fn must be safe for concurrent use. A nil fn disconnects.
+func (r *Registry) SetCacheStatsFunc(fn func() (hits, misses uint64)) {
+	if fn == nil {
+		r.cacheFn.Store(nil)
+		return
+	}
+	r.cacheFn.Store(&fn)
+}
+
 // Snapshot captures the registry for reporting.
 func (r *Registry) Snapshot() Snapshot {
-	return Snapshot{
+	s := Snapshot{
 		OK:       r.ok.Load(),
 		Canceled: r.canceled.Load(),
 		Failed:   r.failed.Load(),
 		Latency:  r.latency.Snapshot(),
 		Reads:    r.reads.Snapshot(),
 	}
+	if fn := r.cacheFn.Load(); fn != nil {
+		s.CacheHits, s.CacheMisses = (*fn)()
+		s.HasCache = true
+	}
+	return s
 }
 
 // Snapshot is a point-in-time copy of a Registry.
@@ -191,6 +212,11 @@ type Snapshot struct {
 	Failed   uint64
 	Latency  HistogramSnapshot
 	Reads    HistogramSnapshot
+	// HasCache reports whether the engine's store exposes a block cache;
+	// the hit/miss counters are only meaningful when it is true.
+	HasCache    bool
+	CacheHits   uint64
+	CacheMisses uint64
 }
 
 // Total is the number of queries observed.
@@ -215,6 +241,14 @@ func (s Snapshot) String() string {
 		fmtCount(s.Reads.Quantile(0.50)),
 		fmtCount(s.Reads.Quantile(0.90)),
 		fmtCount(s.Reads.Quantile(0.99)))
+	if s.HasCache {
+		ratio := 0.0
+		if total := s.CacheHits + s.CacheMisses; total > 0 {
+			ratio = 100 * float64(s.CacheHits) / float64(total)
+		}
+		fmt.Fprintf(&b, "\ncache:   %d hits, %d misses (%.1f%% hit rate)",
+			s.CacheHits, s.CacheMisses, ratio)
+	}
 	return b.String()
 }
 

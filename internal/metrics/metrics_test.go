@@ -101,6 +101,34 @@ func TestSnapshotString(t *testing.T) {
 	}
 }
 
+func TestCacheStats(t *testing.T) {
+	r := NewRegistry()
+	s := r.Snapshot()
+	if s.HasCache || s.CacheHits != 0 || s.CacheMisses != 0 {
+		t.Fatalf("unconnected registry reported cache stats: %+v", s)
+	}
+	if strings.Contains(s.String(), "cache:") {
+		t.Error("String() printed a cache line without a cache")
+	}
+
+	hits, misses := uint64(0), uint64(0)
+	r.SetCacheStatsFunc(func() (uint64, uint64) { return hits, misses })
+	hits, misses = 75, 25
+	s = r.Snapshot()
+	if !s.HasCache || s.CacheHits != 75 || s.CacheMisses != 25 {
+		t.Fatalf("cache snapshot = %+v, want 75/25", s)
+	}
+	out := s.String()
+	if !strings.Contains(out, "75 hits") || !strings.Contains(out, "75.0% hit rate") {
+		t.Errorf("String() cache line wrong:\n%s", out)
+	}
+
+	r.SetCacheStatsFunc(nil)
+	if s = r.Snapshot(); s.HasCache {
+		t.Error("disconnect did not clear HasCache")
+	}
+}
+
 func TestRegistryConcurrent(t *testing.T) {
 	r := NewRegistry()
 	const workers, per = 8, 1000
