@@ -1,0 +1,69 @@
+// Command ssvet runs the repository's custom static-analysis suite
+// (internal/analysis) over every package in the module and exits
+// non-zero on any diagnostic. It is the CI gate for the engine's
+// hot-path invariants: scratch check-out/check-in pairing, canceller
+// polling in scan loops, allocation-free warm paths, epsilon float
+// comparison, lock hygiene, and the stdlib-only import constraint.
+//
+// Usage:
+//
+//	go run ./cmd/ssvet ./...
+//	go run ./cmd/ssvet -list
+//
+// The ./... argument is accepted for familiarity; ssvet always analyzes
+// the whole module enclosing the working directory. -list prints the
+// analyzer roster and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssvet:", err)
+		os.Exit(2)
+	}
+
+	var diags []analysis.Diagnostic
+	// The stdlib-only rule extends to go.mod itself: a require directive
+	// means a dependency slipped in even if no file imports it yet.
+	if lines, err := loader.GoModRequires(); err == nil {
+		for _, ln := range lines {
+			diags = append(diags, analysis.Diagnostic{
+				Analyzer: "stdlibonly",
+				Message:  fmt.Sprintf("go.mod line %d: require directive in a stdlib-only module", ln),
+			})
+		}
+	}
+
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssvet:", err)
+		os.Exit(2)
+	}
+	diags = append(diags, analysis.RunAll(pkgs, analysis.Analyzers())...)
+
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ssvet: %d diagnostic(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,369 @@
+// Package analysis is the engine behind ssvet: a custom static-analysis
+// suite, written only against the standard library (go/parser, go/ast,
+// go/token, go/types, go/importer — no golang.org/x/tools), that
+// mechanically enforces the repository's hot-path invariants.
+//
+// PR 2 made the warm query path allocation-free; the conventions that
+// keep it that way — scratch check-out/check-in discipline,
+// copy-out-before-release, canceller polling in every scan loop, lock
+// hygiene in the sharded block cache — were enforced only by code review
+// and a handful of runtime tests. The analyzers in this package encode
+// each convention as a machine-checked rule, so a missed putScratch or
+// an unpolled posting loop fails CI instead of silently reintroducing
+// leaks, hangs past deadlines, or aliased-result corruption
+// (DESIGN.md §10, "Enforced invariants").
+//
+// Analyzers match repository conventions by name (a type named
+// "queryScratch", a method named "putScratch", a canceller method named
+// "stop"), not by import path. This keeps every analyzer testable
+// against small self-contained corpora under testdata/ and keeps the
+// rules robust to package moves.
+//
+// Escape hatches are explicit annotations, each requiring a reason:
+//
+//	//ssvet:nopoll <reason>     — this loop is exempt from ctxpoll
+//	//ssvet:floatexact <reason> — this ==/!= on floats is intentional
+//	//ssvet:coldalloc <reason>  — this allocation in a hot function is
+//	                              a guarded cold path
+//	//ssvet:hot                 — (in a function's doc comment) opt the
+//	                              function into the hotalloc rules
+//
+// An annotation with a missing reason is itself a diagnostic: the tool
+// enforces that every exemption documents why it is safe.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one rule violation at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named rule set run over every package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// SyntaxOnly analyzers run on parsed files without type information
+	// (they also see _test.go files); the rest receive a fully
+	// type-checked package.
+	SyntaxOnly bool
+	Run        func(*Pass)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	PkgPath  string
+	// Files are the package's non-test files (type-checked unless the
+	// analyzer is SyntaxOnly).
+	Files []*ast.File
+	// TestFiles are the package's _test.go files, parse-only. They are
+	// nil for analyzers that are not SyntaxOnly.
+	TestFiles []*ast.File
+	// TypesInfo and Pkg are nil for SyntaxOnly analyzers.
+	TypesInfo *types.Info
+	Pkg       *types.Package
+
+	ann   *annotations
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Annotated reports whether node carries the //ssvet:<verb> annotation,
+// either at the end of its first line or on the line directly above it.
+// An annotation whose verb requires a reason but has none is reported as
+// its own diagnostic (once) and still honoured, so a rule violation is
+// never double-reported.
+func (p *Pass) Annotated(node ast.Node, verb string) bool {
+	if p.ann == nil {
+		return false
+	}
+	pos := p.Fset.Position(node.Pos())
+	for _, l := range []int{pos.Line, pos.Line - 1} {
+		if a, ok := p.ann.at(pos.Filename, l, verb); ok {
+			if a.reason == "" && verb != "hot" && !a.reported {
+				a.reported = true
+				p.Reportf(node.Pos(), "//ssvet:%s annotation is missing its reason", verb)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// annotation is one parsed //ssvet: comment.
+type annotation struct {
+	verb     string
+	reason   string
+	reported bool
+}
+
+// annotations indexes every //ssvet: comment of a package by file and
+// line, so analyzers can look exemptions up at node positions.
+type annotations struct {
+	byLine map[string]map[int][]*annotation
+}
+
+func (a *annotations) at(file string, line int, verb string) (*annotation, bool) {
+	for _, ann := range a.byLine[file][line] {
+		if ann.verb == verb {
+			return ann, true
+		}
+	}
+	return nil, false
+}
+
+const annPrefix = "//ssvet:"
+
+func collectAnnotations(fset *token.FileSet, files []*ast.File) *annotations {
+	a := &annotations{byLine: map[string]map[int][]*annotation{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, annPrefix) {
+					continue
+				}
+				body := strings.TrimPrefix(c.Text, annPrefix)
+				verb, reason, _ := strings.Cut(body, " ")
+				pos := fset.Position(c.Pos())
+				m := a.byLine[pos.Filename]
+				if m == nil {
+					m = map[int][]*annotation{}
+					a.byLine[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], &annotation{
+					verb:   verb,
+					reason: strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	return a
+}
+
+// docAnnotated reports whether a function declaration's doc comment
+// carries //ssvet:<verb> (used for function-scoped annotations such as
+// //ssvet:hot, which live in the doc block rather than on a statement).
+func docAnnotated(fd *ast.FuncDecl, verb string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, annPrefix+verb) {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzers returns the full suite in presentation order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		ScratchPair,
+		CtxPoll,
+		HotAlloc,
+		FloatEq,
+		LockScope,
+		StdlibOnly,
+	}
+}
+
+// RunPackage runs one analyzer over one loaded package and returns its
+// diagnostics. Type-dependent analyzers skip test-only packages, which
+// carry no type information.
+func RunPackage(a *Analyzer, pkg *Package) []Diagnostic {
+	if !a.SyntaxOnly && pkg.Info == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		PkgPath:  pkg.Path,
+		Files:    pkg.Files,
+		ann:      collectAnnotations(pkg.Fset, pkg.Files),
+		diags:    &diags,
+	}
+	if a.SyntaxOnly {
+		pass.TestFiles = pkg.TestFiles
+	} else {
+		pass.TypesInfo = pkg.Info
+		pass.Pkg = pkg.Types
+	}
+	a.Run(pass)
+	return diags
+}
+
+// RunAll runs every analyzer over every package and returns the combined
+// diagnostics sorted by position.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags = append(diags, RunPackage(a, pkg)...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// --- shared type/AST helpers used by several analyzers ---
+
+// namedTypeName returns the bare name of t's core named type, stripping
+// one level of pointer: *core.queryScratch → "queryScratch".
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// isFuncBool reports whether t is func() bool (the relational stop hook).
+func isFuncBool(t types.Type) bool {
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	b, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+// calleeName returns the bare called name of a call: f(...) → "f",
+// x.m(...) → "m". Empty for indirect calls through non-selector exprs.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := ast.Unparen(fn.X).(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+// rootIdent returns the leftmost identifier of an lvalue-ish expression:
+// s.results[:0] → s, parts[i] → parts, (x) → x. nil when the expression
+// is not rooted in an identifier (calls, literals, ...).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// useObj resolves an identifier to its object via Uses then Defs.
+func useObj(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// funcsOf yields every function body of a file with its name and decl:
+// declared functions and, via walkLits, each function literal as an
+// independent unit (a literal's loops and scratch use are analyzed in
+// the scope that owns them).
+type funcUnit struct {
+	name string
+	decl *ast.FuncDecl // nil for literals
+	lit  *ast.FuncLit  // nil for declarations
+	body *ast.BlockStmt
+	typ  *ast.FuncType
+}
+
+func funcUnits(f *ast.File) []funcUnit {
+	var units []funcUnit
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		units = append(units, funcUnit{name: fd.Name.Name, decl: fd, body: fd.Body, typ: fd.Type})
+		name := fd.Name.Name
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				units = append(units, funcUnit{
+					name: name + " (func literal)",
+					lit:  lit,
+					body: lit.Body,
+					typ:  lit.Type,
+				})
+			}
+			return true
+		})
+	}
+	return units
+}
+
+// inspectShallow walks the subtree rooted at n but does not descend into
+// function literals: each literal is analyzed as its own funcUnit.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return fn(m)
+	})
+}

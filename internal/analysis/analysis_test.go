@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Corpus files mark expected diagnostics with trailing comments:
+//
+//	expr // want "regexp"
+//
+// Running an analyzer over a corpus must produce, for every want, one
+// diagnostic on that line whose message matches the pattern — and no
+// diagnostics anywhere else. Patterns use `.` where the message
+// contains quotes.
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+// One loader is shared by all corpus tests: the source importer's
+// type-checked stdlib packages are memoized per loader, and every
+// corpus needs a handful of them (context, sync, os, fmt).
+var (
+	loaderOnce sync.Once
+	loader     *Loader
+	loaderErr  error
+)
+
+func corpusLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		loader, loaderErr = NewLoader(".")
+	})
+	if loaderErr != nil {
+		t.Fatalf("loader: %v", loaderErr)
+	}
+	return loader
+}
+
+type wantMark struct {
+	re      *regexp.Regexp
+	raw     string
+	line    int
+	matched bool
+}
+
+func collectWants(t *testing.T, dir string) map[string][]*wantMark {
+	t.Helper()
+	wants := map[string][]*wantMark{}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", e.Name(), i+1, m[1], err)
+				}
+				wants[e.Name()] = append(wants[e.Name()], &wantMark{re: re, raw: m[1], line: i + 1})
+			}
+		}
+	}
+	return wants
+}
+
+func testCorpus(t *testing.T, a *Analyzer, dirname string) {
+	l := corpusLoader(t)
+	dir := filepath.Join("testdata", dirname)
+	pkg, err := l.CheckDir("repro/internal/analysis/testdata/"+dirname, dir)
+	if err != nil {
+		t.Fatalf("corpus %s does not load: %v", dirname, err)
+	}
+	diags := RunPackage(a, pkg)
+	wants := collectWants(t, dir)
+	for _, d := range diags {
+		file := filepath.Base(d.Pos.Filename)
+		found := false
+		for _, w := range wants[file] {
+			if !w.matched && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for file, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", file, w.line, w.raw)
+			}
+		}
+	}
+}
+
+func TestScratchPairCorpus(t *testing.T) { testCorpus(t, ScratchPair, "scratchpair") }
+func TestCtxPollCorpus(t *testing.T)     { testCorpus(t, CtxPoll, "ctxpoll") }
+func TestCtxPollLaxCorpus(t *testing.T)  { testCorpus(t, CtxPoll, "ctxpoll_lax") }
+func TestHotAllocCorpus(t *testing.T)    { testCorpus(t, HotAlloc, "hotalloc") }
+func TestFloatEqCorpus(t *testing.T)     { testCorpus(t, FloatEq, "floateq") }
+func TestLockScopeCorpus(t *testing.T)   { testCorpus(t, LockScope, "lockscope") }
+func TestStdlibOnlyCorpus(t *testing.T)  { testCorpus(t, StdlibOnly, "stdlibonly") }
+
+// TestModuleHasNoDiagnostics is the in-process twin of the ssvet CI
+// gate: the repository's own tree must be clean under the full suite.
+func TestModuleHasNoDiagnostics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range RunAll(pkgs, Analyzers()) {
+		t.Errorf("module not clean: %s", d)
+	}
+}

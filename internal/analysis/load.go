@@ -1,0 +1,277 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded module package: parsed syntax plus (for non-test
+// files) full type information.
+type Package struct {
+	Path  string // import path, e.g. "repro/internal/core"
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files, type-checked
+	// TestFiles are the package's _test.go files. They are parsed but
+	// never type-checked: only syntax-level analyzers see them.
+	TestFiles []*ast.File
+	Types     *types.Package
+	Info      *types.Info
+}
+
+// Loader loads and type-checks every package of one module using only
+// the standard library: module-internal imports are parsed and checked
+// from source recursively, and standard-library imports are satisfied by
+// go/importer's source importer (which reads GOROOT/src, so no compiled
+// export data or x/tools machinery is needed).
+type Loader struct {
+	Fset     *token.FileSet
+	ModRoot  string // absolute directory containing go.mod
+	ModPath  string // module path from go.mod
+	std      types.Importer
+	pkgs     map[string]*Package
+	checking map[string]bool
+}
+
+// NewLoader locates the enclosing module of dir (walking up to go.mod)
+// and prepares a loader for it.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:     fset,
+		ModRoot:  root,
+		ModPath:  modPath,
+		std:      importer.ForCompiler(fset, "source", nil),
+		pkgs:     map[string]*Package{},
+		checking: map[string]bool{},
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// GoModRequires returns the lines (1-based) of any require directives in
+// the module's go.mod, for the stdlibonly analyzer's dependency gate.
+func (l *Loader) GoModRequires() ([]int, error) {
+	data, err := os.ReadFile(filepath.Join(l.ModRoot, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	var lines []int
+	inBlock := false
+	for i, line := range strings.Split(string(data), "\n") {
+		t := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(t, "require ("):
+			inBlock = true
+		case inBlock && t == ")":
+			inBlock = false
+		case strings.HasPrefix(t, "require") || (inBlock && t != "" && !strings.HasPrefix(t, "//")):
+			lines = append(lines, i+1)
+		}
+	}
+	return lines, nil
+}
+
+// LoadAll walks the module tree and loads every package found. Vendor,
+// testdata, hidden and underscore-prefixed directories are skipped, as
+// the go tool does.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.ModRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != l.ModRoot && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.ModRoot, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.ModPath
+		if rel != "." {
+			path = l.ModPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// Load loads (and memoizes) one module package by import path.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.checking[path] = true
+	defer delete(l.checking, path)
+
+	dir := l.ModRoot
+	if path != l.ModPath {
+		rel, ok := strings.CutPrefix(path, l.ModPath+"/")
+		if !ok {
+			return nil, fmt.Errorf("analysis: %s is outside module %s", path, l.ModPath)
+		}
+		dir = filepath.Join(l.ModRoot, filepath.FromSlash(rel))
+	}
+	pkg, err := l.CheckDir(path, dir)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// CheckDir parses and type-checks the package in dir under the given
+// import path. It is exported for the analyzer corpus tests, which check
+// self-contained testdata directories that are invisible to LoadAll.
+func (l *Loader) CheckDir(path, dir string) (*Package, error) {
+	files, testFiles, err := l.ParseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		if len(testFiles) == 0 {
+			return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+		}
+		// A test-only directory (external test package): nothing to
+		// type-check, but syntax-level analyzers still see the files.
+		return &Package{Path: path, Dir: dir, Fset: l.Fset, TestFiles: testFiles}, nil
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: importerFunc(l.importPkg),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &Package{
+		Path:      path,
+		Dir:       dir,
+		Fset:      l.Fset,
+		Files:     files,
+		TestFiles: testFiles,
+		Types:     tpkg,
+		Info:      info,
+	}, nil
+}
+
+// ParseDir parses every .go file of dir, split into non-test and test
+// files. Comments are retained (annotations live there).
+func (l *Loader) ParseDir(dir string) (files, testFiles []*ast.File, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, perr := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if perr != nil {
+			return nil, nil, perr
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			testFiles = append(testFiles, f)
+		} else {
+			files = append(files, f)
+		}
+	}
+	return files, testFiles, nil
+}
+
+// importPkg satisfies imports during type-checking: module-internal
+// paths recurse through the loader, everything else (the standard
+// library) goes to the source importer.
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockScope enforces the shard-mutex hygiene of the invlist block cache:
+// a sync.Mutex/RWMutex taken inline (without defer) must be released in
+// the same block with no return between Lock and Unlock (an early return
+// would leave the shard locked forever), and no disk I/O — os package
+// calls, *os.File methods, ReadAt/WriteAt — may run while the lock is
+// held (a read under the shard lock serializes every cursor of the
+// store on one disk access; decode outside, publish under the lock).
+var LockScope = &Analyzer{
+	Name: "lockscope",
+	Doc:  "no return while a shard mutex is held; no disk I/O under the lock",
+	Run:  runLockScope,
+}
+
+func runLockScope(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, u := range funcUnits(f) {
+			checkLockScopes(pass, u.body)
+		}
+	}
+}
+
+// checkLockScopes scans every block of the unit for inline Lock/Unlock
+// windows and deferred-lock tails.
+func checkLockScopes(pass *Pass, body *ast.BlockStmt) {
+	inspectShallow(body, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BlockStmt); ok {
+			checkBlock(pass, b)
+		}
+		return true
+	})
+}
+
+// checkBlock handles one statement list. For each inline mu.Lock() it
+// finds the matching mu.Unlock() in the same list and audits the window
+// between them; a Lock followed by defer mu.Unlock() is audited from
+// the defer to the end of the list (the lock is held until the function
+// returns, so no I/O may follow).
+func checkBlock(pass *Pass, b *ast.BlockStmt) {
+	for i, s := range b.List {
+		lockExpr, ok := mutexCall(pass.TypesInfo, s, "Lock")
+		if !ok {
+			lockExpr, ok = mutexCall(pass.TypesInfo, s, "RLock")
+		}
+		if !ok {
+			continue
+		}
+		// Deferred release directly after the Lock?
+		if i+1 < len(b.List) {
+			if d, isDefer := b.List[i+1].(*ast.DeferStmt); isDefer {
+				if recv, isUnlock := unlockSel(pass.TypesInfo, d.Call); isUnlock && recv == lockExpr {
+					auditHeldRegion(pass, b.List[i+2:], lockExpr, false)
+					continue
+				}
+			}
+		}
+		// Inline window: find the matching Unlock in this list.
+		end := -1
+		for j := i + 1; j < len(b.List); j++ {
+			if es, isExpr := b.List[j].(*ast.ExprStmt); isExpr {
+				if call, isCall := es.X.(*ast.CallExpr); isCall {
+					if recv, isUnlock := unlockSel(pass.TypesInfo, call); isUnlock && recv == lockExpr {
+						end = j
+						break
+					}
+				}
+			}
+		}
+		if end < 0 {
+			pass.Reportf(s.Pos(), "mutex %s is locked without a matching unlock in this block (defer the unlock or release before leaving the block)", lockExpr)
+			continue
+		}
+		auditHeldRegion(pass, b.List[i+1:end], lockExpr, true)
+	}
+}
+
+// auditHeldRegion flags returns (inline windows only — a deferred unlock
+// makes returns safe) and disk I/O inside a lock-held statement span.
+func auditHeldRegion(pass *Pass, stmts []ast.Stmt, lockExpr string, flagReturns bool) {
+	for _, s := range stmts {
+		inspectShallow(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ReturnStmt:
+				if flagReturns {
+					pass.Reportf(n.Pos(), "return while mutex %s is held (the shard stays locked forever)", lockExpr)
+				}
+			case *ast.CallExpr:
+				if isDiskIO(pass.TypesInfo, n) {
+					pass.Reportf(n.Pos(), "disk I/O under mutex %s; read outside the lock and publish the decoded block under it", lockExpr)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// mutexCall matches a statement of the form expr.<method>() where expr's
+// type is sync.Mutex or sync.RWMutex, returning the receiver's printed
+// form for matching Lock against Unlock.
+func mutexCall(info *types.Info, s ast.Stmt, method string) (string, bool) {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return "", false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return "", false
+	}
+	if !isMutexType(info.TypeOf(sel.X)) {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+// unlockSel matches expr.Unlock()/expr.RUnlock() on a mutex, returning
+// the receiver's printed form.
+func unlockSel(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Unlock" && sel.Sel.Name != "RUnlock") {
+		return "", false
+	}
+	if !isMutexType(info.TypeOf(sel.X)) {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// isDiskIO recognizes file-system access: calls into package os, methods
+// on *os.File, and the positioned-I/O method names used by the stores.
+func isDiskIO(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pkg, ok := useObj(info, id).(*types.PkgName); ok {
+			return pkg.Imported().Path() == "os"
+		}
+	}
+	switch sel.Sel.Name {
+	case "ReadAt", "WriteAt":
+		return true
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		obj := n.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "File"
+	}
+	return false
+}

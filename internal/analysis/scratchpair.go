@@ -1,0 +1,540 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ScratchPair enforces the scratch-pool discipline of DESIGN.md: every
+// getScratch() must reach a putScratch on all return paths (leaks starve
+// the pool and defeat the allocation-free warm path), and no function
+// without a *queryScratch parameter — i.e. every public entry point —
+// may return memory that aliases a scratch (the pooled buffers are
+// overwritten by the next query; results must be copied out, via
+// copyResults, before the scratch is released).
+//
+// The analysis is a structured abstract interpretation of each function
+// body: branches fork the state and merge optimistically (a scratch is
+// leaked only if some path provably drops it), loops are interpreted as
+// executing once, and a slice or map populated from getScratch (e.g.
+// scratches[w] = e.getScratch()) is tracked as a container, released by
+// a `for _, s := range scratches { e.putScratch(s) }` sweep.
+var ScratchPair = &Analyzer{
+	Name: "scratchpair",
+	Doc:  "getScratch must reach putScratch on every path; entry points must copy results out of scratch memory",
+	Run:  runScratchPair,
+}
+
+// spState is the abstract state at one program point.
+type spState struct {
+	live     map[types.Object]bool // unreleased scratches (and containers)
+	cont     map[types.Object]bool // live objects that are containers of scratches
+	deferred map[types.Object]bool // scratches released by a pending defer
+	tainted  map[types.Object]bool // variables aliasing scratch-owned memory
+	dead     bool                  // this point is unreachable (after return)
+}
+
+func newSPState() *spState {
+	return &spState{
+		live:     map[types.Object]bool{},
+		cont:     map[types.Object]bool{},
+		deferred: map[types.Object]bool{},
+		tainted:  map[types.Object]bool{},
+	}
+}
+
+func cloneSet(m map[types.Object]bool) map[types.Object]bool {
+	c := make(map[types.Object]bool, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+func (st *spState) clone() *spState {
+	return &spState{
+		live:     cloneSet(st.live),
+		cont:     cloneSet(st.cont),
+		deferred: cloneSet(st.deferred),
+		tainted:  cloneSet(st.tainted),
+		dead:     st.dead,
+	}
+}
+
+// merge joins two branch exit states. Liveness and taint merge by union
+// (a scratch unreleased on either path is still owed a release); deferred
+// releases merge by intersection (a release must be pending on every
+// path to count). A dead branch contributes nothing.
+func mergeSP(a, b *spState) *spState {
+	if a.dead {
+		return b
+	}
+	if b.dead {
+		return a
+	}
+	out := a.clone()
+	for k := range b.live {
+		out.live[k] = true
+	}
+	for k := range b.cont {
+		out.cont[k] = true
+	}
+	for k := range out.deferred {
+		if !b.deferred[k] {
+			delete(out.deferred, k)
+		}
+	}
+	for k := range b.tainted {
+		out.tainted[k] = true
+	}
+	return out
+}
+
+// spWalker carries one function unit through the interpretation.
+type spWalker struct {
+	pass       *Pass
+	info       *types.Info
+	hasScratch bool // unit takes a *queryScratch parameter
+	// rangeAlias maps a range value variable to the live container it
+	// iterates, so putScratch(v) inside the sweep releases the container.
+	rangeAlias map[types.Object]types.Object
+	// consumed marks getScratch calls the walker recognized; leftovers
+	// (a discarded or oddly nested call) are reported after the walk.
+	consumed map[*ast.CallExpr]bool
+}
+
+func runScratchPair(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, u := range funcUnits(f) {
+			// The pool accessors themselves are the one place a scratch
+			// legitimately crosses the check-out/check-in boundary.
+			if u.name == "getScratch" || u.name == "putScratch" {
+				continue
+			}
+			w := &spWalker{
+				pass:       pass,
+				info:       pass.TypesInfo,
+				hasScratch: unitHasScratchParam(pass.TypesInfo, u),
+				rangeAlias: map[types.Object]types.Object{},
+				consumed:   map[*ast.CallExpr]bool{},
+			}
+			st := newSPState()
+			w.block(st, u.body)
+			if !st.dead {
+				w.exitCheck(st, u.body.Rbrace)
+			}
+			inspectShallow(u.body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if ok && calleeName(call) == "getScratch" && !w.consumed[call] {
+					pass.Reportf(call.Pos(), "result of getScratch must be assigned to a variable or container slot")
+				}
+				return true
+			})
+		}
+	}
+}
+
+// unitHasScratchParam reports whether the unit declares a parameter of
+// type *queryScratch; such internal helpers may return scratch-backed
+// slices (their caller owns the copy-out).
+func unitHasScratchParam(info *types.Info, u funcUnit) bool {
+	if u.typ.Params == nil {
+		return false
+	}
+	for _, fld := range u.typ.Params.List {
+		if t := info.TypeOf(fld.Type); namedTypeName(t) == "queryScratch" {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *spWalker) block(st *spState, b *ast.BlockStmt) {
+	for _, s := range b.List {
+		w.stmt(st, s)
+	}
+}
+
+func (w *spWalker) stmt(st *spState, s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		w.block(st, s)
+	case *ast.AssignStmt:
+		w.assign(st, s.Lhs, s.Rhs)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+					lhs := make([]ast.Expr, len(vs.Names))
+					for i, n := range vs.Names {
+						lhs[i] = n
+					}
+					w.assign(st, lhs, vs.Values)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			w.call(st, call)
+		}
+	case *ast.DeferStmt:
+		w.deferStmt(st, s)
+	case *ast.ReturnStmt:
+		if st.dead {
+			return
+		}
+		w.exitCheck(st, s.Pos())
+		if !w.hasScratch {
+			for _, r := range s.Results {
+				if w.exprTainted(st, r) {
+					w.pass.Reportf(r.Pos(), "returns scratch-aliased memory; copy out (copyResults) before putScratch releases it")
+				}
+			}
+		}
+		st.dead = true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(st, s.Init)
+		}
+		then := st.clone()
+		w.block(then, s.Body)
+		els := st.clone()
+		if s.Else != nil {
+			w.stmt(els, s.Else)
+		}
+		*st = *mergeSP(then, els)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(st, s.Init)
+		}
+		pre := st.clone()
+		w.block(st, s.Body)
+		if s.Post != nil && !st.dead {
+			w.stmt(st, s.Post)
+		}
+		if s.Cond != nil {
+			// The loop may run zero times; join with the skip path. An
+			// infinite `for {}` only exits through returns inside it.
+			*st = *mergeSP(st, pre)
+		}
+	case *ast.RangeStmt:
+		w.rangeStmt(st, s)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(st, s.Init)
+		}
+		w.switchBody(st, s.Body, hasDefaultClause(s.Body))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(st, s.Init)
+		}
+		w.switchBody(st, s.Body, hasDefaultClause(s.Body))
+	case *ast.SelectStmt:
+		w.switchBody(st, s.Body, true)
+	case *ast.LabeledStmt:
+		w.stmt(st, s.Stmt)
+	case *ast.GoStmt:
+		// A goroutine body is analyzed as its own function unit.
+	}
+}
+
+func hasDefaultClause(b *ast.BlockStmt) bool {
+	for _, s := range b.List {
+		switch c := s.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				return true
+			}
+		case *ast.CommClause:
+			if c.Comm == nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// switchBody forks the state per clause and merges the exits; without a
+// default clause the fall-through (no clause taken) path joins too.
+func (w *spWalker) switchBody(st *spState, b *ast.BlockStmt, hasDefault bool) {
+	var merged *spState
+	if !hasDefault {
+		merged = st.clone()
+	}
+	for _, s := range b.List {
+		var body []ast.Stmt
+		switch c := s.(type) {
+		case *ast.CaseClause:
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				cs := st.clone()
+				w.stmt(cs, c.Comm)
+				for _, bs := range c.Body {
+					w.stmt(cs, bs)
+				}
+				if merged == nil {
+					merged = cs
+				} else {
+					merged = mergeSP(merged, cs)
+				}
+			}
+			continue
+		}
+		cs := st.clone()
+		for _, bs := range body {
+			w.stmt(cs, bs)
+		}
+		if merged == nil {
+			merged = cs
+		} else {
+			merged = mergeSP(merged, cs)
+		}
+	}
+	if merged != nil {
+		*st = *merged
+	}
+}
+
+func (w *spWalker) rangeStmt(st *spState, s *ast.RangeStmt) {
+	var contObj types.Object
+	if root := rootIdent(s.X); root != nil {
+		if o := useObj(w.info, root); o != nil && st.cont[o] {
+			contObj = o
+		}
+	}
+	var valObj types.Object
+	if contObj != nil && s.Value != nil {
+		if id, ok := s.Value.(*ast.Ident); ok {
+			valObj = w.info.Defs[id]
+		}
+	}
+	if valObj != nil {
+		w.rangeAlias[valObj] = contObj
+		defer delete(w.rangeAlias, valObj)
+	}
+	// A release sweep (`for _, s := range c { e.putScratch(s) }`) must
+	// count as releasing the container, so the body's exit state wins for
+	// the container even though the loop may run zero times — an empty
+	// container has nothing to leak.
+	pre := st.clone()
+	w.block(st, s.Body)
+	releasedCont := contObj != nil && !st.live[contObj]
+	*st = *mergeSP(st, pre)
+	if releasedCont {
+		delete(st.live, contObj)
+		delete(st.cont, contObj)
+	}
+}
+
+// assign interprets one (possibly multi-value) assignment.
+func (w *spWalker) assign(st *spState, lhs, rhs []ast.Expr) {
+	if len(rhs) == 1 && len(lhs) > 1 {
+		// Multi-value call: res, err = f(...). Only reference-typed
+		// destinations (the result slice, not the error) can alias.
+		call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr)
+		taint := ok && w.callReturnsScratchAlias(st, call)
+		for _, l := range lhs {
+			w.setTaint(st, l, taint)
+		}
+		return
+	}
+	for i, l := range lhs {
+		if i >= len(rhs) {
+			break
+		}
+		r := ast.Unparen(rhs[i])
+		if call, ok := r.(*ast.CallExpr); ok && calleeName(call) == "getScratch" {
+			w.consumed[call] = true
+			w.bindScratch(st, l, call)
+			continue
+		}
+		w.setTaint(st, l, w.exprTainted(st, r))
+	}
+}
+
+// bindScratch records the destination of a getScratch call: a plain
+// variable becomes live, an indexed slot marks its container live.
+func (w *spWalker) bindScratch(st *spState, l ast.Expr, call *ast.CallExpr) {
+	switch l := ast.Unparen(l).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			w.pass.Reportf(call.Pos(), "result of getScratch discarded; the scratch can never be released")
+			return
+		}
+		if o := useObj(w.info, l); o != nil {
+			st.live[o] = true
+			st.tainted[o] = false
+		}
+	case *ast.IndexExpr:
+		if root := rootIdent(l); root != nil {
+			if o := useObj(w.info, root); o != nil {
+				st.live[o] = true
+				st.cont[o] = true
+			}
+		}
+	default:
+		w.pass.Reportf(call.Pos(), "result of getScratch must be assigned to a variable or container slot")
+	}
+}
+
+// setTaint updates the taint of a plain-identifier destination. Writes
+// into fields, slots or the blank identifier carry no tracked taint.
+func (w *spWalker) setTaint(st *spState, l ast.Expr, taint bool) {
+	id, ok := ast.Unparen(l).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	o := useObj(w.info, id)
+	if o == nil {
+		return
+	}
+	if taint && taintableType(o.Type()) {
+		st.tainted[o] = true
+	} else {
+		delete(st.tainted, o)
+	}
+}
+
+// taintableType limits taint to types that can alias scratch memory:
+// slices, maps and pointers. Scalars and structs copied by value (a
+// float score, a Stats struct, an error) carry nothing to alias.
+func taintableType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer:
+		return true
+	}
+	return false
+}
+
+// call interprets a call in statement position (the putScratch sites).
+func (w *spWalker) call(st *spState, call *ast.CallExpr) {
+	if calleeName(call) != "putScratch" || len(call.Args) != 1 {
+		return
+	}
+	root := rootIdent(call.Args[0])
+	if root == nil {
+		return
+	}
+	o := useObj(w.info, root)
+	if o == nil {
+		return
+	}
+	if cont, ok := w.rangeAlias[o]; ok {
+		delete(st.live, cont)
+		delete(st.cont, cont)
+		return
+	}
+	delete(st.live, o)
+}
+
+func (w *spWalker) deferStmt(st *spState, s *ast.DeferStmt) {
+	call := s.Call
+	if calleeName(call) == "putScratch" && len(call.Args) == 1 {
+		if root := rootIdent(call.Args[0]); root != nil {
+			if o := useObj(w.info, root); o != nil {
+				st.deferred[o] = true
+				delete(st.live, o)
+			}
+		}
+		return
+	}
+	// defer func() { ... e.putScratch(s) ... }(): releases pending at
+	// every exit, same as a directly deferred call.
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			c, ok := n.(*ast.CallExpr)
+			if !ok || calleeName(c) != "putScratch" || len(c.Args) != 1 {
+				return true
+			}
+			if root := rootIdent(c.Args[0]); root != nil {
+				if o := useObj(w.info, root); o != nil {
+					st.deferred[o] = true
+					delete(st.live, o)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// exitCheck reports scratches still owed a release at a return.
+func (w *spWalker) exitCheck(st *spState, pos token.Pos) {
+	for o := range st.live {
+		if st.deferred[o] {
+			continue
+		}
+		w.pass.Reportf(pos, "scratch %q from getScratch is not released by putScratch on this return path", o.Name())
+	}
+}
+
+// exprTainted reports whether evaluating e can yield memory owned by a
+// scratch: an expression rooted in a scratch-typed or tainted variable,
+// an append to a tainted slice, or a call into a function that takes a
+// *queryScratch (its return may alias the scratch's buffers). copyResults
+// is the sanctioned laundering point.
+func (w *spWalker) exprTainted(st *spState, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if !taintableType(w.info.TypeOf(e)) {
+		return false // a copied scalar/struct cannot alias the scratch
+	}
+	if call, ok := e.(*ast.CallExpr); ok {
+		return w.callReturnsScratchAlias(st, call)
+	}
+	root := rootIdent(e)
+	if root == nil {
+		return false
+	}
+	o := useObj(w.info, root)
+	if o == nil {
+		return false
+	}
+	if st.tainted[o] || st.live[o] {
+		return true
+	}
+	return namedTypeName(o.Type()) == "queryScratch"
+}
+
+func (w *spWalker) callReturnsScratchAlias(st *spState, call *ast.CallExpr) bool {
+	switch calleeName(call) {
+	case "copyResults":
+		return false
+	case "getScratch":
+		return true
+	case "append":
+		// append propagates the taint of its destination slice.
+		return len(call.Args) > 0 && w.exprTainted(st, call.Args[0])
+	}
+	return w.calleeTakesScratch(call)
+}
+
+// calleeTakesScratch reports whether the called function's signature has
+// a *queryScratch parameter (the internal algorithm helpers, whose
+// returned slices live in the scratch).
+func (w *spWalker) calleeTakesScratch(call *ast.CallExpr) bool {
+	var obj types.Object
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = useObj(w.info, fn)
+	case *ast.SelectorExpr:
+		obj = useObj(w.info, fn.Sel)
+	}
+	f, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if namedTypeName(sig.Params().At(i).Type()) == "queryScratch" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,37 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// StdlibOnly enforces the repository's zero-dependency constraint: no
+// file — including tests — may import anything outside the Go standard
+// library and the module itself. A third-party import is recognized by
+// its first path segment containing a dot (a domain name: github.com/…,
+// golang.org/x/…), which is exactly the heuristic the go toolchain used
+// before modules and remains sound for this repo, whose module path has
+// no dot.
+var StdlibOnly = &Analyzer{
+	Name:       "stdlibonly",
+	Doc:        "only standard-library and module-internal imports are allowed",
+	SyntaxOnly: true,
+	Run:        runStdlibOnly,
+}
+
+func runStdlibOnly(pass *Pass) {
+	files := append(append([]*ast.File{}, pass.Files...), pass.TestFiles...)
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			first, _, _ := strings.Cut(path, "/")
+			if strings.Contains(first, ".") {
+				pass.Reportf(imp.Pos(), "non-stdlib import %q: the module is stdlib-only (stub or gate the dependency)", path)
+			}
+		}
+	}
+}

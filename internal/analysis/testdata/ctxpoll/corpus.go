@@ -1,0 +1,152 @@
+// Package ctxpoll is the test corpus for the ctxpoll analyzer. The
+// package name triggers the analyzer's strict mode (as in the real core
+// and relational packages): advancing loops with no canceller in scope
+// are themselves findings.
+package ctxpoll
+
+import "context"
+
+// canceller mirrors the engine's cooperative cancellation handle.
+type canceller struct {
+	ctx context.Context
+}
+
+func (c *canceller) stop() bool { return c.ctx.Err() != nil }
+
+// Posting mirrors the inverted-list element type the analyzer keys on.
+type Posting struct {
+	ID  int
+	Len float64
+}
+
+// cursor is a minimal posting iterator with the conventional advance
+// method name.
+type cursor struct {
+	list []Posting
+	pos  int
+}
+
+func (c *cursor) next() (Posting, bool) {
+	if c.pos >= len(c.list) {
+		return Posting{}, false
+	}
+	p := c.list[c.pos]
+	c.pos++
+	return p, true
+}
+
+func consume(cc *canceller, p Posting) {}
+
+// scanPolled is the clean pattern: an advancing loop polling cc.stop().
+func scanPolled(cc *canceller, list []Posting) int {
+	n := 0
+	for _, p := range list {
+		if cc.stop() {
+			break
+		}
+		n += p.ID
+	}
+	return n
+}
+
+// scanHook polls through a func() bool stop hook instead of a canceller.
+func scanHook(stop func() bool, list []Posting) int {
+	n := 0
+	for _, p := range list {
+		if stop != nil && stop() {
+			break
+		}
+		n += p.ID
+	}
+	return n
+}
+
+// scanDelegated passes the canceller into a callee every iteration;
+// polling is the callee's job (the openLists pattern).
+func scanDelegated(cc *canceller, c *cursor) {
+	for {
+		p, ok := c.next()
+		if !ok {
+			break
+		}
+		consume(cc, p)
+	}
+}
+
+// scanNested polls in the outer loop only: nested loops are covered by
+// the outer poll.
+func scanNested(cc *canceller, list []Posting) int {
+	n := 0
+	for i := 0; i < len(list); i++ {
+		if cc.stop() {
+			break
+		}
+		for j := i; j < len(list); j++ {
+			n += list[j].ID
+		}
+	}
+	return n
+}
+
+// bookkeeping loops that advance nothing need no poll even here.
+func bookkeeping(counts []int) int {
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}
+
+// buildOffline is a legitimately unbounded scan off the query path,
+// exempted with a reasoned annotation.
+func buildOffline(c *cursor) int {
+	n := 0
+	//ssvet:nopoll offline build path, not reachable from a query
+	for {
+		_, ok := c.next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// scanUnpolled has the canceller in scope and ignores it.
+func scanUnpolled(cc *canceller, list []Posting) int {
+	n := 0
+	for _, p := range list { // want "scan loop advances a cursor without polling the canceller"
+		n += p.ID
+	}
+	_ = cc
+	return n
+}
+
+// scanNoCanceller cannot observe cancellation at all: strict-mode
+// finding (the gramRows class of bug).
+func scanNoCanceller(c *cursor) int {
+	n := 0
+	for { // want "scan loop cannot observe cancellation"
+		_, ok := c.next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// missingReason exempts a loop without saying why; the annotation is
+// honoured but the missing reason is its own finding.
+func missingReason(c *cursor) int {
+	n := 0
+	//ssvet:nopoll
+	for { // want "nopoll annotation is missing its reason"
+		_, ok := c.next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	return n
+}

@@ -1,0 +1,57 @@
+// Package laxscan is the non-strict counterpart of the ctxpoll corpus:
+// outside the core/relational packages, an advancing loop with no
+// canceller in scope is tolerated (rule 2 does not apply), but a
+// canceller that is in scope must still be polled (rule 1 applies
+// everywhere).
+package laxscan
+
+import "context"
+
+type canceller struct {
+	ctx context.Context
+}
+
+func (c *canceller) stop() bool { return c.ctx.Err() != nil }
+
+type Posting struct {
+	ID  int
+	Len float64
+}
+
+type cursor struct {
+	list []Posting
+	pos  int
+}
+
+func (c *cursor) next() (Posting, bool) {
+	if c.pos >= len(c.list) {
+		return Posting{}, false
+	}
+	p := c.list[c.pos]
+	c.pos++
+	return p, true
+}
+
+// scanNoCanceller is clean here: no canceller in scope and this is not
+// a strict package.
+func scanNoCanceller(c *cursor) int {
+	n := 0
+	for {
+		_, ok := c.next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// scanUnpolled is still a finding: rule 1 is package-independent.
+func scanUnpolled(cc *canceller, list []Posting) int {
+	n := 0
+	for _, p := range list { // want "scan loop advances a cursor without polling the canceller"
+		n += p.ID
+	}
+	_ = cc
+	return n
+}

@@ -1,0 +1,52 @@
+// Package floateq is the test corpus for the floateq analyzer: no
+// ==/!= on floating-point values outside the recognized comparator
+// idioms and annotated sentinels.
+package floateq
+
+// exactEq is the textbook bug: similarity scores never compare equal
+// except by accident.
+func exactEq(a, b float64) bool {
+	return a == b // want "== on float64 values"
+}
+
+func exactNeq(a, b float64) bool {
+	return a != b // want "!= on float64 values"
+}
+
+// float32 values are held to the same rule.
+func exactEq32(a, b float32) bool {
+	return a == b // want "== on float64 values"
+}
+
+// intEq is fine: exact comparison is what integers are for.
+func intEq(a, b int) bool {
+	return a == b
+}
+
+// tiebreakIf is the exempt statement-form comparator idiom: the guard's
+// exactness only perturbs the order of near-equal keys.
+func tiebreakIf(aLen, bLen float64, aID, bID int) bool {
+	if aLen != bLen {
+		return aLen < bLen
+	}
+	return aID < bID
+}
+
+// lexTiebreak is the exempt expression form of the same idiom.
+func lexTiebreak(aLen, bLen float64, aID, bID int) bool {
+	return aLen < bLen || (aLen == bLen && aID < bID)
+}
+
+// sentinel compares a config field against its zero value on purpose
+// and says so.
+func sentinel(k float64) bool {
+	//ssvet:floatexact zero-value sentinel: detects an unset parameter, not a computed quantity
+	return k == 0
+}
+
+// missingReason is exempted but does not say why; the annotation is
+// honoured and the missing reason reported instead.
+func missingReason(k float64) bool {
+	//ssvet:floatexact
+	return k == 0 // want "floatexact annotation is missing its reason"
+}

@@ -1,0 +1,107 @@
+// Package hotalloc is the test corpus for the hotalloc analyzer: hot
+// functions (select*/topk* taking a *queryScratch, or //ssvet:hot
+// opt-ins) must not allocate per query.
+package hotalloc
+
+import "fmt"
+
+// Result mirrors the engine's result tuple.
+type Result struct {
+	ID int
+}
+
+// queryScratch mirrors the pooled per-query scratch slabs.
+type queryScratch struct {
+	results []Result
+	f0      []float64
+}
+
+func each(xs []int, f func(int)) {
+	for _, x := range xs {
+		f(x)
+	}
+}
+
+// selectClean appends only to a scratch-derived slice.
+func selectClean(s *queryScratch, n int) []Result {
+	out := s.results[:0]
+	for i := 0; i < n; i++ {
+		out = append(out, Result{ID: i})
+	}
+	s.results = out
+	return out
+}
+
+// selectGrow lazily grows a scratch slab: the sanctioned cold path.
+func selectGrow(s *queryScratch, n int) {
+	if cap(s.f0) < n {
+		s.f0 = make([]float64, n)
+	}
+	s.f0 = s.f0[:n]
+}
+
+// selectColdAnnotated allocates behind a guard and says why.
+func selectColdAnnotated(s *queryScratch, n int) []float64 {
+	//ssvet:coldalloc one-time spill buffer for degenerate queries, guarded by caller
+	big := make([]float64, n)
+	return big
+}
+
+// selectLocalClosure binds a literal to a local: stack-allocated, fine.
+func selectLocalClosure(s *queryScratch, xs []int) int {
+	add := func(a, b int) int { return a + b }
+	t := 0
+	for _, x := range xs {
+		t = add(t, x)
+	}
+	return t
+}
+
+// buildCold is not hot (no select/topk prefix, no annotation): it may
+// allocate freely.
+func buildCold(n int) []Result {
+	out := make([]Result, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Result{ID: i})
+	}
+	return out
+}
+
+// selectAlloc conjures a fresh slice every query.
+func selectAlloc(s *queryScratch, n int) []Result {
+	tmp := make([]Result, 0, n) // want "allocation in hot function selectAlloc"
+	for i := 0; i < n; i++ {
+		tmp = append(tmp, Result{ID: i}) // want "append to .tmp., which is not scratch-backed, in hot function selectAlloc"
+	}
+	return tmp
+}
+
+// selectMapLit builds a per-query map.
+func selectMapLit(s *queryScratch) map[int]int {
+	m := map[int]int{} // want "map literal in hot function selectMapLit"
+	m[1] = 1
+	return m
+}
+
+// selectDebug formats on the query path.
+func selectDebug(s *queryScratch) {
+	fmt.Println("frontier state") // want "fmt call in hot function selectDebug"
+}
+
+// selectClosure passes a capturing literal into a callee: it escapes
+// and heap-allocates per query.
+func selectClosure(s *queryScratch, xs []int) int {
+	total := 0
+	each(xs, func(x int) { // want "closure escapes in hot function selectClosure"
+		total += x
+	})
+	return total
+}
+
+// admitLike opts into the hot rules by annotation despite its name.
+//
+//ssvet:hot
+func admitLike(s *queryScratch) *Result {
+	r := new(Result) // want "allocation in hot function admitLike"
+	return r
+}

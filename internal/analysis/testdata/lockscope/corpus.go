@@ -1,0 +1,84 @@
+// Package lockscope is the test corpus for the lockscope analyzer:
+// shard-mutex hygiene in the block-cache style — no return while an
+// inline lock is held, no disk I/O under any lock.
+package lockscope
+
+import (
+	"os"
+	"sync"
+)
+
+type shard struct {
+	mu    sync.Mutex
+	table map[int][]byte
+}
+
+type rwshard struct {
+	mu    sync.RWMutex
+	table map[int][]byte
+}
+
+// getClean is the deferred-release idiom: returns are safe, the unlock
+// always runs.
+func (s *shard) getClean(k int) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.table[k]
+}
+
+// putClean is a tight inline window with nothing dangerous inside.
+func (s *shard) putClean(k int, v []byte) {
+	s.mu.Lock()
+	s.table[k] = v
+	s.mu.Unlock()
+}
+
+// readClean reads from disk outside the lock and publishes the decoded
+// block under it: the sanctioned pattern.
+func (s *shard) readClean(f *os.File, k int) error {
+	buf := make([]byte, 8)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.table[k] = buf
+	s.mu.Unlock()
+	return nil
+}
+
+// rlockClean exercises the RWMutex read path.
+func (s *rwshard) rlockClean(k int) []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.table[k]
+}
+
+// badReturn leaves through an inline window: the shard stays locked
+// forever.
+func (s *shard) badReturn(k int) []byte {
+	s.mu.Lock()
+	if v, ok := s.table[k]; ok {
+		return v // want "return while mutex s.mu is held"
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// badIO reads from disk while holding the lock, serializing every
+// cursor of the store on one disk access.
+func (s *shard) badIO(f *os.File, k int) error {
+	buf := make([]byte, 8)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := f.ReadAt(buf, 0); err != nil { // want "disk I/O under mutex s.mu"
+		return err
+	}
+	s.table[k] = buf
+	return nil
+}
+
+// badForget locks and never unlocks in this block.
+func (s *shard) badForget(k int) {
+	s.mu.Lock() // want "mutex s.mu is locked without a matching unlock"
+	delete(s.table, k)
+}

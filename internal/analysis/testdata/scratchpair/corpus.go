@@ -1,0 +1,113 @@
+// Package scratchpair is the test corpus for the scratchpair analyzer:
+// self-contained copies of the engine's scratch-pool conventions (the
+// analyzer matches by name, not import path) exercising both the clean
+// idioms and each class of violation.
+package scratchpair
+
+import "errors"
+
+var errTooBig = errors.New("query too large")
+
+// Result mirrors the engine's result tuple.
+type Result struct {
+	ID    int
+	Score float64
+}
+
+// queryScratch mirrors the pooled per-query scratch.
+type queryScratch struct {
+	results []Result
+	scores  []float64
+}
+
+// Engine owns the pool.
+type Engine struct {
+	pool []*queryScratch
+}
+
+func (e *Engine) getScratch() *queryScratch  { return &queryScratch{} }
+func (e *Engine) putScratch(s *queryScratch) {}
+
+func copyResults(in []Result) []Result {
+	out := make([]Result, len(in))
+	copy(out, in)
+	return out
+}
+
+// fill is an internal helper: it takes the scratch as a parameter, so
+// returning scratch-backed memory is its contract (the entry point is
+// responsible for copying out).
+func (e *Engine) fill(s *queryScratch, n int) []Result {
+	s.results = s.results[:0]
+	for i := 0; i < n; i++ {
+		s.results = append(s.results, Result{ID: i})
+	}
+	return s.results
+}
+
+// cleanSelect is the canonical entry point: check out, use, copy out,
+// check in, return the copy.
+func (e *Engine) cleanSelect(n int) []Result {
+	s := e.getScratch()
+	res := e.fill(s, n)
+	res = copyResults(res)
+	e.putScratch(s)
+	return res
+}
+
+// cleanDefer releases via defer, which covers every return path.
+func (e *Engine) cleanDefer(n int) []Result {
+	s := e.getScratch()
+	defer e.putScratch(s)
+	return copyResults(e.fill(s, n))
+}
+
+// cleanContainer checks scratches out into a slice and releases them
+// with the range sweep, the parallel-path idiom.
+func (e *Engine) cleanContainer(workers int) {
+	scratches := make([]*queryScratch, workers)
+	for w := 0; w < workers; w++ {
+		scratches[w] = e.getScratch()
+	}
+	for _, s := range scratches {
+		e.putScratch(s)
+	}
+}
+
+// leakyEarlyReturn forgets the scratch on the error path.
+func (e *Engine) leakyEarlyReturn(n int) ([]Result, error) {
+	s := e.getScratch()
+	res := e.fill(s, n)
+	if n > 1000 {
+		return nil, errTooBig // want "scratch .s. from getScratch is not released by putScratch on this return path"
+	}
+	res = copyResults(res)
+	e.putScratch(s)
+	return res, nil
+}
+
+// leakyNoRelease never releases at all; the leak is reported at the
+// implicit return.
+func (e *Engine) leakyNoRelease(n int) {
+	s := e.getScratch()
+	e.fill(s, n)
+} // want "scratch .s. from getScratch is not released by putScratch on this return path"
+
+// aliasedReturn releases the scratch but returns memory still backed by
+// it: the pool will hand that array to the next query.
+func (e *Engine) aliasedReturn(n int) []Result {
+	s := e.getScratch()
+	res := e.fill(s, n)
+	e.putScratch(s)
+	return res // want "returns scratch-aliased memory"
+}
+
+// discarded drops the checkout on the floor.
+func (e *Engine) discarded() {
+	e.getScratch() // want "result of getScratch must be assigned to a variable or container slot"
+}
+
+// blankAssign is the same bug spelled differently.
+func (e *Engine) blankAssign() {
+	_ = e.getScratch() // want "result of getScratch discarded"
+}

@@ -1,0 +1,10 @@
+// Package stdlibonly is the test corpus for the stdlibonly analyzer:
+// the module may import only the standard library.
+package stdlibonly
+
+import "strings"
+
+// Clean: stdlib imports are always fine.
+func normalize(s string) string {
+	return strings.ToLower(strings.TrimSpace(s))
+}

@@ -1,0 +1,12 @@
+package stdlibonly
+
+// The violating import lives in a _test.go file because the corpus
+// loader only parses test files (no type check), so the missing module
+// does not have to resolve; the stdlibonly analyzer is syntax-only and
+// sees test files too.
+
+import (
+	_ "github.com/acme/fastsim" // want "non-stdlib import .github.com/acme/fastsim."
+
+	_ "sort"
+)

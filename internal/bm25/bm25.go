@@ -52,6 +52,7 @@ func BuildPrime(c *collection.Collection, params sim.BM25Params) *Index {
 }
 
 func build(c *collection.Collection, params sim.BM25Params, dropTF bool) *Index {
+	//ssvet:floatexact zero-value sentinel: detects an unset Params struct, not a computed quantity
 	if params.K1 == 0 && params.B == 0 && params.K3 == 0 {
 		params = sim.DefaultBM25
 	}

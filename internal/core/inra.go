@@ -72,6 +72,8 @@ func ruledOut(l *listState, len float64, id collection.SetID) bool {
 // lists). When the best case reaches τ the candidate is appended to the
 // scratch's impCand slab, indexed in the scratch id-table, and its slab
 // slot returned; a hopeless posting returns -1 with nothing retained.
+//
+//ssvet:hot
 func admit(s *queryScratch, lists []listState, seenIn int, p invlist.Posting, q Query, tau float64) int32 {
 	c := impCand{
 		id:       p.ID,

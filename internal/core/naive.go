@@ -35,7 +35,7 @@ func (e *Engine) selectNaive(s *queryScratch, cc *canceller, q Query, tau float6
 				dot += w
 			}
 		}
-		if dot == 0 {
+		if dot <= 0 {
 			continue
 		}
 		score := dot / (q.Len * e.c.Length(sid))

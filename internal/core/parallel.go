@@ -273,7 +273,7 @@ func (e *Engine) SelectNaiveParallelCtx(ctx context.Context, q Query, tau float6
 						dot += v
 					}
 				}
-				if dot == 0 {
+				if dot <= 0 {
 					continue
 				}
 				score := dot / (q.Len * e.c.Length(sid))

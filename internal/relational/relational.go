@@ -76,6 +76,7 @@ func Build(c *collection.Collection) *Engine {
 
 	// Base table: one row per set — 8-byte id plus the string payload
 	// (or its token count if sources were not retained).
+	//ssvet:nopoll offline index build, not on any query path
 	for id := 0; id < c.NumSets(); id++ {
 		e.baseBytes += 8
 		if c.HasSource() {
@@ -168,6 +169,7 @@ type concat struct {
 }
 
 func (c *concat) next() (Row, bool) {
+	//ssvet:nopoll produces at most one row per call; SelectStop polls per row
 	for c.cur < len(c.iters) {
 		if r, ok := c.iters[c.cur].next(); ok {
 			return r, ok
@@ -212,7 +214,11 @@ func (e *Engine) SelectStop(tokens []QueryToken, lenQ, tau float64, lengthBound 
 
 	scans := make([]rowIter, 0, len(tokens))
 	for _, qt := range tokens {
-		stats.RowsTotal += e.gramRows(qt.Gram)
+		n, stopped := e.gramRows(qt.Gram, stop)
+		if stopped {
+			return nil, stats, true
+		}
+		stats.RowsTotal += n
 		scans = append(scans, newIndexRangeScan(e, qt.Gram, lo, hi, &stats))
 	}
 	plan := &concat{iters: scans}
@@ -242,11 +248,15 @@ func (e *Engine) SelectStop(tokens []QueryToken, lenQ, tau float64, lengthBound 
 	return out, stats, false
 }
 
-// gramRows counts the tuples of one gram (full partition size).
-func (e *Engine) gramRows(g tokenize.Token) int {
-	n := 0
+// gramRows counts the tuples of one gram (full partition size). A hot
+// gram can own a large fraction of the table, so the scan polls the
+// stop hook per tuple; stopped=true means the count was abandoned.
+func (e *Engine) gramRows(g tokenize.Token, stop func() bool) (n int, stopped bool) {
 	for it := e.idx.Seek(gramKey{gram: g}); it.Valid() && it.Key().gram == g; it.Next() {
+		if stop != nil && stop() {
+			return n, true
+		}
 		n++
 	}
-	return n
+	return n, false
 }

@@ -47,7 +47,7 @@ func (m IDFMeasure) Score(q, s []tokenize.Count) float64 {
 			lenS2 += w * w
 			dot += w * w
 		})
-	if lenQ2 == 0 || lenS2 == 0 {
+	if lenQ2 <= 0 || lenS2 <= 0 {
 		return 0
 	}
 	return dot / sqrt(lenQ2*lenS2)
@@ -81,7 +81,7 @@ func (m TFIDFMeasure) Score(q, s []tokenize.Count) float64 {
 			lenS2 += ws * ws
 			dot += wq * ws
 		})
-	if lenQ2 == 0 || lenS2 == 0 {
+	if lenQ2 <= 0 || lenS2 <= 0 {
 		return 0
 	}
 	return dot / sqrt(lenQ2*lenS2)
@@ -120,6 +120,7 @@ func (m BM25PrimeMeasure) Score(q, s []tokenize.Count) float64 {
 
 func (m BM25Measure) score(q, s []tokenize.Count, dropTF bool) float64 {
 	p := m.Params
+	//ssvet:floatexact zero-value sentinel: detects an unset Params struct, not a computed quantity
 	if p.K1 == 0 && p.B == 0 && p.K3 == 0 {
 		p = DefaultBM25
 	}

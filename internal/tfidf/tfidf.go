@@ -144,7 +144,7 @@ func (x *Index) prepare(counts []tokenize.Count) (toks []queryToken, lenQ, maxQT
 // SelectNaive scores every set directly — the oracle.
 func (x *Index) SelectNaive(counts []tokenize.Count, tau float64) []Result {
 	toks, lenQ, _, _ := x.prepare(counts)
-	if lenQ == 0 {
+	if lenQ <= 0 {
 		return nil
 	}
 	weights := make(map[tokenize.Token]float64, len(toks))
@@ -160,7 +160,7 @@ func (x *Index) SelectNaive(counts []tokenize.Count, tau float64) []Result {
 				dot += w * float64(cnt.TF)
 			}
 		}
-		if dot == 0 {
+		if dot <= 0 {
 			continue
 		}
 		score := dot / (lenQ * x.lens[id])
@@ -186,7 +186,7 @@ type cand struct {
 func (x *Index) SelectSF(counts []tokenize.Count, tau float64) ([]Result, Stats) {
 	var stats Stats
 	toks, lenQ, maxQTF, boostSq := x.prepare(counts)
-	if lenQ == 0 || tau <= 0 {
+	if lenQ <= 0 || tau <= 0 {
 		return nil, stats
 	}
 	for _, qt := range toks {
@@ -307,7 +307,7 @@ func (x *Index) SelectSF(counts []tokenize.Count, tau float64) ([]Result, Stats)
 // diagnostics.
 func (x *Index) BoostedBounds(counts []tokenize.Count, tau float64) (lo, hi float64) {
 	_, lenQ, maxQTF, boostSq := x.prepare(counts)
-	if lenQ == 0 || maxQTF == 0 {
+	if lenQ <= 0 || maxQTF <= 0 {
 		return 0, 0
 	}
 	return tau * lenQ / maxQTF, math.Sqrt(boostSq) / tau

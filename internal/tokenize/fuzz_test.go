@@ -1,9 +1,94 @@
 package tokenize
 
 import (
+	"strings"
 	"testing"
+	"unicode"
 	"unicode/utf8"
 )
+
+// FuzzTokenize cross-checks both tokenizer families on arbitrary input.
+// Word tokens must be non-empty, lowercase, and free of separator runes;
+// q-grams must have exactly the documented rune width and count (for
+// both padded and unpadded modes); both tokenizers must be deterministic
+// and must preserve the dst prefix they append to.
+func FuzzTokenize(f *testing.F) {
+	f.Add("Main Street", 3, false)
+	f.Add("", 2, true)
+	f.Add("a b  c", 1, false)
+	f.Add("héllo, Wörld!", 4, true)
+	f.Add("\x00\xff\xfe", 3, false)
+	f.Add("ααααα βββ 123", 2, true)
+	f.Fuzz(func(t *testing.T, s string, q int, pad bool) {
+		words := WordTokenizer{}.Tokens(nil, s)
+		for _, w := range words {
+			if w == "" {
+				t.Fatal("empty word token")
+			}
+			for _, r := range w {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					t.Fatalf("word %q contains separator rune %q", w, r)
+				}
+			}
+			if w != strings.ToLower(w) {
+				t.Fatalf("word %q not lowercased", w)
+			}
+		}
+		again := WordTokenizer{}.Tokens(nil, s)
+		if len(again) != len(words) {
+			t.Fatalf("word tokenizer not deterministic: %d then %d tokens", len(words), len(again))
+		}
+		for i := range words {
+			if words[i] != again[i] {
+				t.Fatalf("word tokenizer not deterministic at %d: %q vs %q", i, words[i], again[i])
+			}
+		}
+
+		// Map q onto the supported gram widths so every fuzz input
+		// exercises the q-gram path.
+		qq := q % 6
+		if qq < 0 {
+			qq = -qq
+		}
+		qq++
+		tk := QGramTokenizer{Q: qq, Pad: pad}
+		grams := tk.Tokens(nil, s)
+		n := utf8.RuneCountInString(s) // ToLower is rune-count-preserving
+		if pad {
+			if n > 0 {
+				n += 2 * (qq - 1)
+			} else if qq > 1 {
+				n = 2 * (qq - 1)
+			}
+		}
+		want := 0
+		switch {
+		case n >= qq:
+			want = n - qq + 1
+		case n > 0:
+			want = 1
+		}
+		if len(grams) != want {
+			t.Fatalf("%d grams for %d runes with Q=%d pad=%v, want %d", len(grams), n, qq, pad, want)
+		}
+		for _, g := range grams {
+			rc := utf8.RuneCountInString(g)
+			if n >= qq && rc != qq {
+				t.Fatalf("gram %q has %d runes, want exactly %d", g, rc, qq)
+			}
+			if n < qq && rc != n {
+				t.Fatalf("short-input gram %q has %d runes, want %d", g, rc, n)
+			}
+		}
+
+		// Appending must preserve the dst prefix.
+		dst := []string{"sentinel"}
+		out := tk.Tokens(dst, s)
+		if len(out) != 1+len(grams) || out[0] != "sentinel" {
+			t.Fatalf("Tokens clobbered dst prefix: len=%d first=%q", len(out), out[0])
+		}
+	})
+}
 
 // FuzzQGramTokenizer checks the tokenizer's structural invariants on
 // arbitrary input: never panics, emits the documented number of grams,
