@@ -11,6 +11,7 @@ import (
 	"repro/internal/collection"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/tokenize"
 )
 
 // CoreBenchResult is one benchmark case of the `ssbench core` run, in the
@@ -33,12 +34,39 @@ type CoreBenchReport struct {
 	Seed      int64             `json:"seed"`
 	Timestamp string            `json:"timestamp"`
 	Results   []CoreBenchResult `json:"results"`
+	Mutate    *MutateReport     `json:"mutate,omitempty"`
+}
+
+// MutateReport records the -mutate workload: an interleaved
+// insert/delete/upsert/query run against a LiveEngine with background
+// compaction enabled, plus the segment-store counters it left behind.
+type MutateReport struct {
+	Ops        int     `json:"ops"`
+	Inserts    int     `json:"inserts"`
+	Deletes    int     `json:"deletes"`
+	Upserts    int     `json:"upserts"`
+	QueryOps   int     `json:"query_ops"`
+	NsPerWrite float64 `json:"ns_per_write"`
+	NsPerQuery float64 `json:"ns_per_query"`
+	// Segment-store state after the workload drained.
+	Segments           int     `json:"segments"`
+	MemtableDocs       int     `json:"memtable_docs"`
+	Tombstones         int     `json:"tombstones"`
+	Compactions        uint64  `json:"compactions"`
+	LastCompactionNs   int64   `json:"last_compaction_ns"`
+	LastCompactionDocs int     `json:"last_compaction_docs"`
+	MaxDrift           float64 `json:"max_drift"`
 }
 
 // runCore measures the steady-state query path — the allocation-free warm
 // loop of every algorithm — plus the cold, top-k and batch-parallel
-// paths, and writes BENCH_core.json next to printing a table.
-func runCore(setup experiments.Setup, outPath string) {
+// paths, and writes BENCH_core.json next to printing a table. The
+// warm-live cases run the same queries against a compacted
+// single-segment LiveEngine, so the segment store's fan-out overhead is
+// tracked against the monolithic engine; with mutate set, an
+// insert/delete/query workload then exercises background compaction and
+// its counters land in the report's mutate section.
+func runCore(setup experiments.Setup, outPath string, mutate bool) {
 	fmt.Printf("building environment: %d rows, seed %d ... ", setup.Rows, setup.Seed)
 	start := time.Now()
 	env := experiments.BuildEnv(setup)
@@ -51,9 +79,24 @@ func runCore(setup experiments.Setup, outPath string) {
 		nq = 16
 	}
 	queries := make([]core.Query, nq)
+	qids := make([]collection.SetID, nq)
 	for i := range queries {
 		id := collection.SetID(rng.Intn(env.C.NumSets()))
+		qids[i] = id
 		queries[i] = e.PrepareCounts(env.C.Set(id))
+	}
+
+	// The live twin: the same corpus through the mutable path, compacted
+	// down to one segment so the warm-live cases isolate the segment
+	// store's dispatch overhead rather than multi-segment fan-out.
+	le := core.BuildLive(env.Words, tokenize.QGramTokenizer{Q: 3}, core.LiveConfig{
+		Config:       core.Config{SkipInterval: setup.SkipInterval},
+		NoBackground: true, // BuildLive's final Compact is the only fold needed
+	})
+	defer le.Close()
+	liveQueries := make([]core.LiveQuery, nq)
+	for i, id := range qids {
+		liveQueries[i] = le.Prepare(env.C.Source(id))
 	}
 
 	warm := func(alg core.Algorithm, tau float64) func(b *testing.B) {
@@ -78,6 +121,27 @@ func runCore(setup experiments.Setup, outPath string) {
 		}
 	}
 
+	warmLive := func(alg core.Algorithm, tau float64) func(b *testing.B) {
+		return func(b *testing.B) {
+			for _, q := range liveQueries {
+				if _, _, err := le.Select(q, tau, alg, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var elems int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st, err := le.Select(liveQueries[i%len(liveQueries)], tau, alg, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				elems += st.ElementsRead
+			}
+			b.ReportMetric(float64(elems)/float64(b.N), "elems/op")
+		}
+	}
+
 	cases := []struct {
 		name string
 		fn   func(b *testing.B)
@@ -91,6 +155,8 @@ func runCore(setup experiments.Setup, outPath string) {
 		{"warm/hybrid/tau=0.8", warm(core.Hybrid, 0.8)},
 		{"warm/inra/tau=0.5", warm(core.INRA, 0.5)},
 		{"warm/sf/tau=0.5", warm(core.SF, 0.5)},
+		{"warm-live/sf/tau=0.8", warmLive(core.SF, 0.8)},
+		{"warm-live/inra/tau=0.8", warmLive(core.INRA, 0.8)},
 		{"cold/sf/tau=0.8", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -152,6 +218,10 @@ func runCore(setup experiments.Setup, outPath string) {
 			res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, res.ElemsPerOp)
 	}
 
+	if mutate {
+		report.Mutate = runMutate(env, setup)
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ssbench:", err)
@@ -163,4 +233,93 @@ func runCore(setup experiments.Setup, outPath string) {
 		os.Exit(1)
 	}
 	fmt.Printf("\nwrote %s\n", outPath)
+}
+
+// runMutate seeds a background-compacting LiveEngine from the corpus,
+// then interleaves inserts, deletes, upserts and queries against it. The
+// flush threshold and segment cap are sized down so the workload crosses
+// them many times: the report's counters prove compaction ran, and the
+// per-op timings show what queries cost while the store churns.
+func runMutate(env *experiments.Env, setup experiments.Setup) *MutateReport {
+	seedN := len(env.Words)
+	if seedN > 20000 {
+		seedN = 20000
+	}
+	ops := 20000
+	fmt.Printf("\nmutation workload: %d seed docs, %d ops ... ", seedN, ops)
+	start := time.Now()
+
+	le := core.NewLive(tokenize.QGramTokenizer{Q: 3}, core.LiveConfig{
+		Config:         core.Config{SkipInterval: setup.SkipInterval},
+		FlushThreshold: 2048,
+		MaxSegments:    4,
+	})
+	defer le.Close()
+	ids := make([]collection.SetID, 0, seedN)
+	for _, w := range env.Words[:seedN] {
+		if id, err := le.Insert(w); err == nil {
+			ids = append(ids, id)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(setup.Seed + 11))
+	rep := &MutateReport{Ops: ops}
+	var writeNs, queryNs int64
+	word := func() string { return env.Words[rng.Intn(len(env.Words))] }
+	for i := 0; i < ops; i++ {
+		switch r := rng.Intn(100); {
+		case r < 50:
+			t0 := time.Now()
+			if id, err := le.Insert(word()); err == nil {
+				ids = append(ids, id)
+			}
+			writeNs += time.Since(t0).Nanoseconds()
+			rep.Inserts++
+		case r < 70 && len(ids) > 0:
+			j := rng.Intn(len(ids))
+			t0 := time.Now()
+			le.Delete(ids[j])
+			writeNs += time.Since(t0).Nanoseconds()
+			ids[j] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			rep.Deletes++
+		case r < 80 && len(ids) > 0:
+			j := rng.Intn(len(ids))
+			t0 := time.Now()
+			if id, err := le.Upsert(ids[j], word()); err == nil {
+				ids[j] = id
+			}
+			writeNs += time.Since(t0).Nanoseconds()
+			rep.Upserts++
+		default:
+			w := word()
+			t0 := time.Now()
+			q := le.Prepare(w)
+			le.Select(q, 0.8, core.SF, nil) //nolint:errcheck // mixed-state latency probe
+			queryNs += time.Since(t0).Nanoseconds()
+			rep.QueryOps++
+		}
+	}
+	if n := rep.Inserts + rep.Deletes + rep.Upserts; n > 0 {
+		rep.NsPerWrite = float64(writeNs) / float64(n)
+	}
+	if rep.QueryOps > 0 {
+		rep.NsPerQuery = float64(queryNs) / float64(rep.QueryOps)
+	}
+
+	st := le.Stats()
+	rep.Segments = st.Segments
+	rep.MemtableDocs = st.Memtable
+	rep.Tombstones = st.Tombstones
+	rep.Compactions = st.Compactions
+	rep.LastCompactionNs = st.LastCompaction.Nanoseconds()
+	rep.LastCompactionDocs = st.LastCompactionDocs
+	rep.MaxDrift = st.MaxDrift
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  %d inserts, %d deletes, %d upserts, %d queries (%.0f ns/write, %.0f ns/query)\n",
+		rep.Inserts, rep.Deletes, rep.Upserts, rep.QueryOps, rep.NsPerWrite, rep.NsPerQuery)
+	fmt.Printf("  %d segments, %d memtable docs, %d tombstones, %d compactions (last folded %d docs in %v), drift %.3f\n",
+		rep.Segments, rep.MemtableDocs, rep.Tombstones, rep.Compactions,
+		rep.LastCompactionDocs, st.LastCompaction, rep.MaxDrift)
+	return rep
 }

@@ -9,7 +9,11 @@
 // The core experiment benchmarks the engine's steady-state query path
 // (warm, cold, top-k and batch-parallel) and writes the machine-readable
 // BENCH_core.json used to track ns/op and allocs/op across changes; it is
-// not part of "all".
+// not part of "all". It also benchmarks the same warm query against a
+// compacted single-segment LiveEngine ("warm-live") so segment-store
+// overhead stays visible. With -mutate it additionally runs an
+// interleaved insert/delete/query workload and records the resulting
+// segment and compaction counters in the report.
 //
 // Flags:
 //
@@ -19,6 +23,7 @@
 //	-clusters N  Table I clusters per dataset (default 150)
 //	-dups N      Table I duplicates per cluster (default 4)
 //	-out FILE    core: output path for BENCH_core.json
+//	-mutate      core: also run the mutation workload
 package main
 
 import (
@@ -38,6 +43,7 @@ func main() {
 	clusters := flag.Int("clusters", 150, "Table I clusters per dataset")
 	dups := flag.Int("dups", 4, "Table I duplicates per cluster")
 	out := flag.String("out", "BENCH_core.json", "core: output path for the benchmark report")
+	mutate := flag.Bool("mutate", false, "core: also run an insert/delete/query workload on a live engine")
 	flag.Parse()
 
 	which := "all"
@@ -47,7 +53,7 @@ func main() {
 	setup := experiments.Setup{Seed: *seed, Rows: *rows, Queries: *queries}
 
 	if which == "core" {
-		runCore(setup, *out)
+		runCore(setup, *out, *mutate)
 		return
 	}
 

@@ -5,10 +5,14 @@
 //
 //	ssindex build -in strings.txt -out index.bin [-q 3] [-skip 64]
 //	ssindex stat  -index index.bin [-in strings.txt]
+//	ssindex stat  -snap corpus.sscol [-v]
 //
 // build tokenizes one string per input line into q-grams and writes the
 // weight-sorted lists, id-sorted lists and skip indexes. stat validates
-// the file and prints storage accounting.
+// the file and prints storage accounting; with -snap it instead opens a
+// saved snapshot (either format version: legacy collection or live
+// snapshot) and prints its layout, plus segment and compaction stats
+// under -v.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/invlist"
 	"repro/internal/tokenize"
+	"repro/setsim"
 )
 
 func main() {
@@ -40,6 +45,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: ssindex build -in strings.txt -out index.bin [-q 3] [-skip 64]")
 	fmt.Fprintln(os.Stderr, "       ssindex stat  -index index.bin")
+	fmt.Fprintln(os.Stderr, "       ssindex stat  -snap corpus.sscol [-v]")
 	os.Exit(2)
 }
 
@@ -89,17 +95,44 @@ func buildCmd(args []string) {
 func statCmd(args []string) {
 	fs := flag.NewFlagSet("stat", flag.ExitOnError)
 	index := fs.String("index", "", "index file")
+	snap := fs.String("snap", "", "snapshot file (either format version)")
+	verbose := fs.Bool("v", false, "with -snap: print segment and compaction stats")
 	fs.Parse(args)
-	if *index == "" {
+	switch {
+	case *snap != "":
+		snapStat(*snap, *verbose)
+	case *index != "":
+		st, err := invlist.OpenFile(*index)
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+		fmt.Printf("%s: valid index\n", *index)
+		printSizes(st)
+	default:
 		usage()
 	}
-	st, err := invlist.OpenFile(*index)
+}
+
+// snapStat opens a snapshot of either format version through the live
+// loader — which validates checksums and replays the document log — and
+// prints what it holds.
+func snapStat(path string, verbose bool) {
+	le, info, err := setsim.OpenLive(path, setsim.LiveConfig{
+		Config: setsim.ListsOnly(), NoBackground: true,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	defer st.Close()
-	fmt.Printf("%s: valid index\n", *index)
-	printSizes(st)
+	defer le.Close()
+	fmt.Printf("%s: valid v%d snapshot, %d docs (%d live, %d tombstoned)\n",
+		path, info.Version, info.Docs, info.Live, info.Docs-info.Live)
+	if verbose {
+		st := le.Stats()
+		fmt.Printf("segments: %d (epoch %d), memtable %d docs\n", st.Segments, st.Epoch, st.Memtable)
+		fmt.Printf("compactions: %d (last folded %d docs in %v), max drift %.3f\n",
+			st.Compactions, st.LastCompactionDocs, st.LastCompaction, st.MaxDrift)
+	}
 }
 
 func printSizes(st *invlist.FileStore) {

@@ -7,9 +7,13 @@
 //	ssquery -load corpus.sscol [-lists corpus.ssidx] [flags] [query ...]
 //
 // With no query arguments it reads queries from stdin, one per line.
-// -k > 0 switches to top-k mode (ignores -tau). -load opens a collection
-// saved with -save (or setsim.Save); -lists additionally serves queries
-// from a disk-resident list file (setsim.SaveLists / ssindex build).
+// -k > 0 switches to top-k mode (ignores -tau). -load opens either
+// snapshot version: a legacy collection saved with -save (or
+// setsim.Save), or a live snapshot written by setsim.SaveLive; both are
+// served through a LiveEngine, and -v prints its segment count and
+// last-compaction stats alongside the query metrics. -lists serves
+// queries from a disk-resident list file (setsim.SaveLists / ssindex
+// build) and requires a legacy collection file.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/invlist"
 	"repro/internal/tokenize"
+	"repro/setsim"
 )
 
 var algNames = map[string]core.Algorithm{
@@ -34,7 +39,7 @@ var algNames = map[string]core.Algorithm{
 
 func main() {
 	in := flag.String("in", "", "corpus file, one string per line")
-	load := flag.String("load", "", "load a saved collection instead of -in")
+	load := flag.String("load", "", "load a saved snapshot (either version) instead of -in")
 	lists := flag.String("lists", "", "with -load: serve queries from this on-disk list file")
 	save := flag.String("save", "", "after building from -in, save the collection here")
 	q := flag.Int("q", 3, "q-gram size")
@@ -62,26 +67,55 @@ func main() {
 		cfg.NoRelational = true
 	}
 
-	var c *collection.Collection
+	// The three corpus sources share one query surface.
+	var (
+		doQuery func(ctx context.Context, line string) ([]core.Result, core.Stats, error)
+		source  func(id collection.SetID) string
+		summary func()
+	)
+
 	switch {
-	case *load != "":
+	case *load != "" && *lists != "":
+		// On-disk lists need the raw collection; the legacy format only.
 		lf, err := os.Open(*load)
 		if err != nil {
 			fatal(err)
 		}
-		var rerr error
-		c, rerr = collection.Read(lf)
+		c, rerr := collection.Read(lf)
 		lf.Close()
 		if rerr != nil {
 			fatal(rerr)
 		}
-		if *lists != "" {
-			st, err := invlist.OpenFile(*lists)
-			if err != nil {
-				fatal(err)
-			}
-			defer st.Close()
-			cfg.Store = st
+		st, err := invlist.OpenFile(*lists)
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+		cfg.Store = st
+		engine := core.NewEngine(c, cfg)
+		fmt.Fprintf(os.Stderr, "indexed %d sets, %d grams (disk lists)\n", c.NumSets(), c.NumTokens())
+		doQuery = staticQuery(engine, alg, *tau, *k)
+		source = c.Source
+		summary = func() { fmt.Fprintln(os.Stderr, engine.Metrics().Snapshot()) }
+	case *load != "":
+		le, info, err := setsim.OpenLive(*load, setsim.LiveConfig{Config: cfg, NoBackground: true})
+		if err != nil {
+			fatal(err)
+		}
+		defer le.Close()
+		st := le.Stats()
+		fmt.Fprintf(os.Stderr, "loaded v%d snapshot: %d docs (%d live), %d segment(s)\n",
+			info.Version, info.Docs, info.Live, st.Segments)
+		doQuery = liveQuery(le, alg, *tau, *k)
+		source = func(id collection.SetID) string {
+			s, _ := le.Source(id)
+			return s
+		}
+		summary = func() {
+			fmt.Fprintln(os.Stderr, le.Metrics().Snapshot())
+			st := le.Stats()
+			fmt.Fprintf(os.Stderr, "compactions: %d (last folded %d docs in %v)\n",
+				st.Compactions, st.LastCompactionDocs, st.LastCompaction)
 		}
 	default:
 		f, err := os.Open(*in)
@@ -98,7 +132,7 @@ func main() {
 			fatal(err)
 		}
 		f.Close()
-		c = b.Build()
+		c := b.Build()
 		if *save != "" {
 			sf, err := os.Create(*save)
 			if err != nil {
@@ -112,32 +146,27 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "saved collection to %s\n", *save)
 		}
+		engine := core.NewEngine(c, cfg)
+		fmt.Fprintf(os.Stderr, "indexed %d sets, %d grams\n", c.NumSets(), c.NumTokens())
+		doQuery = staticQuery(engine, alg, *tau, *k)
+		source = c.Source
+		summary = func() { fmt.Fprintln(os.Stderr, engine.Metrics().Snapshot()) }
 	}
-	engine := core.NewEngine(c, cfg)
-	fmt.Fprintf(os.Stderr, "indexed %d sets, %d grams\n", c.NumSets(), c.NumTokens())
 
 	answer := func(line string) {
-		query := engine.Prepare(line)
 		ctx := context.Background()
 		cancel := func() {}
 		if *timeout > 0 {
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 		}
-		var res []core.Result
-		var st core.Stats
-		var err error
-		if *k > 0 {
-			res, st, err = engine.SelectTopKCtx(ctx, query, *k, alg, nil)
-		} else {
-			res, st, err = engine.SelectCtx(ctx, query, *tau, alg, nil)
-		}
+		res, st, err := doQuery(ctx, line)
 		cancel()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "query %q: %v\n", line, err)
 			return
 		}
 		for _, r := range res {
-			fmt.Printf("%.4f\t%s\n", r.Score, c.Source(r.ID))
+			fmt.Printf("%.4f\t%s\n", r.Score, source(r.ID))
 		}
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "  [%d results, %v, read %d/%d postings, %.1f%% pruned, %d probes]\n",
@@ -154,7 +183,27 @@ func main() {
 		}
 	}
 	if *verbose {
-		fmt.Fprintln(os.Stderr, engine.Metrics().Snapshot())
+		summary()
+	}
+}
+
+func staticQuery(e *core.Engine, alg core.Algorithm, tau float64, k int) func(context.Context, string) ([]core.Result, core.Stats, error) {
+	return func(ctx context.Context, line string) ([]core.Result, core.Stats, error) {
+		q := e.Prepare(line)
+		if k > 0 {
+			return e.SelectTopKCtx(ctx, q, k, alg, nil)
+		}
+		return e.SelectCtx(ctx, q, tau, alg, nil)
+	}
+}
+
+func liveQuery(le *core.LiveEngine, alg core.Algorithm, tau float64, k int) func(context.Context, string) ([]core.Result, core.Stats, error) {
+	return func(ctx context.Context, line string) ([]core.Result, core.Stats, error) {
+		q := le.Prepare(line)
+		if k > 0 {
+			return le.SelectTopKCtx(ctx, q, k, alg, nil)
+		}
+		return le.SelectCtx(ctx, q, tau, alg, nil)
 	}
 }
 

@@ -95,7 +95,9 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // either at the end of its first line or on the line directly above it.
 // An annotation whose verb requires a reason but has none is reported as
 // its own diagnostic (once) and still honoured, so a rule violation is
-// never double-reported.
+// never double-reported. A true return also marks the annotation live
+// for the annlive analyzer, so analyzers must consult Annotated only at
+// the point where the annotation actually suppresses a finding.
 func (p *Pass) Annotated(node ast.Node, verb string) bool {
 	if p.ann == nil {
 		return false
@@ -103,6 +105,7 @@ func (p *Pass) Annotated(node ast.Node, verb string) bool {
 	pos := p.Fset.Position(node.Pos())
 	for _, l := range []int{pos.Line, pos.Line - 1} {
 		if a, ok := p.ann.at(pos.Filename, l, verb); ok {
+			a.hit = true
 			if a.reason == "" && verb != "hot" && !a.reported {
 				a.reported = true
 				p.Reportf(node.Pos(), "//ssvet:%s annotation is missing its reason", verb)
@@ -117,7 +120,11 @@ func (p *Pass) Annotated(node ast.Node, verb string) bool {
 type annotation struct {
 	verb     string
 	reason   string
+	pos      token.Pos
 	reported bool
+	// hit records that some analyzer honoured the annotation during this
+	// run; annlive flags annotations that end a full suite run un-hit.
+	hit bool
 }
 
 // annotations indexes every //ssvet: comment of a package by file and
@@ -156,6 +163,7 @@ func collectAnnotations(fset *token.FileSet, files []*ast.File) *annotations {
 				m[pos.Line] = append(m[pos.Line], &annotation{
 					verb:   verb,
 					reason: strings.TrimSpace(reason),
+					pos:    c.Pos(),
 				})
 			}
 		}
@@ -178,7 +186,9 @@ func docAnnotated(fd *ast.FuncDecl, verb string) bool {
 	return false
 }
 
-// Analyzers returns the full suite in presentation order.
+// Analyzers returns the full suite in presentation order. AnnLive must
+// run last: it flags the annotations the preceding analyzers never
+// honoured.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		ScratchPair,
@@ -187,13 +197,21 @@ func Analyzers() []*Analyzer {
 		FloatEq,
 		LockScope,
 		StdlibOnly,
+		AnnLive,
 	}
 }
 
 // RunPackage runs one analyzer over one loaded package and returns its
 // diagnostics. Type-dependent analyzers skip test-only packages, which
-// carry no type information.
+// carry no type information. The annotation table is fresh, so AnnLive
+// run alone through RunPackage sees every annotation as dead; liveness
+// is only meaningful under RunAll, where the table is shared across the
+// suite.
 func RunPackage(a *Analyzer, pkg *Package) []Diagnostic {
+	return runPackage(a, pkg, collectAnnotations(pkg.Fset, pkg.Files))
+}
+
+func runPackage(a *Analyzer, pkg *Package, ann *annotations) []Diagnostic {
 	if !a.SyntaxOnly && pkg.Info == nil {
 		return nil
 	}
@@ -203,7 +221,7 @@ func RunPackage(a *Analyzer, pkg *Package) []Diagnostic {
 		Fset:     pkg.Fset,
 		PkgPath:  pkg.Path,
 		Files:    pkg.Files,
-		ann:      collectAnnotations(pkg.Fset, pkg.Files),
+		ann:      ann,
 		diags:    &diags,
 	}
 	if a.SyntaxOnly {
@@ -217,12 +235,15 @@ func RunPackage(a *Analyzer, pkg *Package) []Diagnostic {
 }
 
 // RunAll runs every analyzer over every package and returns the combined
-// diagnostics sorted by position.
+// diagnostics sorted by position. Each package's annotation table is
+// shared across the whole suite, which is what lets AnnLive (last in the
+// roster) see which annotations were honoured by any analyzer.
 func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
+		ann := collectAnnotations(pkg.Fset, pkg.Files)
 		for _, a := range analyzers {
-			diags = append(diags, RunPackage(a, pkg)...)
+			diags = append(diags, runPackage(a, pkg, ann)...)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

@@ -106,6 +106,41 @@ func testCorpus(t *testing.T, a *Analyzer, dirname string) {
 	}
 }
 
+// testCorpusSuite is testCorpus for the whole suite run through RunAll:
+// annotation-liveness findings only exist when the per-package
+// annotation table is shared across every analyzer.
+func testCorpusSuite(t *testing.T, dirname string) {
+	l := corpusLoader(t)
+	dir := filepath.Join("testdata", dirname)
+	pkg, err := l.CheckDir("repro/internal/analysis/testdata/"+dirname, dir)
+	if err != nil {
+		t.Fatalf("corpus %s does not load: %v", dirname, err)
+	}
+	diags := RunAll([]*Package{pkg}, Analyzers())
+	wants := collectWants(t, dir)
+	for _, d := range diags {
+		file := filepath.Base(d.Pos.Filename)
+		found := false
+		for _, w := range wants[file] {
+			if !w.matched && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for file, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", file, w.line, w.raw)
+			}
+		}
+	}
+}
+
 func TestScratchPairCorpus(t *testing.T) { testCorpus(t, ScratchPair, "scratchpair") }
 func TestCtxPollCorpus(t *testing.T)     { testCorpus(t, CtxPoll, "ctxpoll") }
 func TestCtxPollLaxCorpus(t *testing.T)  { testCorpus(t, CtxPoll, "ctxpoll_lax") }
@@ -113,6 +148,7 @@ func TestHotAllocCorpus(t *testing.T)    { testCorpus(t, HotAlloc, "hotalloc") }
 func TestFloatEqCorpus(t *testing.T)     { testCorpus(t, FloatEq, "floateq") }
 func TestLockScopeCorpus(t *testing.T)   { testCorpus(t, LockScope, "lockscope") }
 func TestStdlibOnlyCorpus(t *testing.T)  { testCorpus(t, StdlibOnly, "stdlibonly") }
+func TestAnnLiveCorpus(t *testing.T)     { testCorpusSuite(t, "annlive") }
 
 // TestModuleHasNoDiagnostics is the in-process twin of the ssvet CI
 // gate: the repository's own tree must be clean under the full suite.

@@ -61,16 +61,16 @@ func runCtxPoll(pass *Pass) {
 				if !loopAdvances(pass.TypesInfo, loop) {
 					continue
 				}
-				if pass.Annotated(loop, "nopoll") {
-					continue
-				}
+				// Annotated is consulted only where a finding would fire, so
+				// a //ssvet:nopoll on a loop that needs no exemption stays
+				// un-hit and is flagged by annlive as a dead escape hatch.
 				if !hasCC {
-					if strict {
+					if strict && !pass.Annotated(loop, "nopoll") {
 						pass.Reportf(loop.Pos(), "scan loop cannot observe cancellation: no canceller or stop hook in scope (thread one in, or annotate //ssvet:nopoll <reason>)")
 					}
 					continue
 				}
-				if !loopPolls(pass.TypesInfo, loop) {
+				if !loopPolls(pass.TypesInfo, loop) && !pass.Annotated(loop, "nopoll") {
 					pass.Reportf(loop.Pos(), "scan loop advances a cursor without polling the canceller (cc.stop(), a stop hook, or a polling callee)")
 				}
 			}

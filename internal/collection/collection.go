@@ -27,6 +27,12 @@ type Collection struct {
 	idf       []float64          // per token idf weight
 	lens      []float64          // per set normalized length (IDF semantics)
 	avgTokens float64
+	// statsN, when nonzero, is the externally supplied database size the
+	// idf weights were computed against (BuildWithStats): the collection
+	// is one segment of a larger logical corpus, and df holds the global
+	// document frequencies rather than local recounts. NumSets always
+	// reports the local set count.
+	statsN int
 }
 
 // Builder accumulates strings and produces a Collection. Builders are not
@@ -73,24 +79,50 @@ func (b *Builder) Len() int { return len(b.sets) }
 // frequencies, idf weights and normalized lengths. The builder must not
 // be used afterwards.
 func (b *Builder) Build() *Collection {
+	return b.build(0, nil)
+}
+
+// BuildWithStats freezes the builder like Build, but derives the idf
+// weights and normalized lengths from externally supplied corpus
+// statistics: statsN is the effective database size and df yields the
+// document frequency of a token (by its string form). Segment builds of
+// a live engine use it to bake global statistics into a partial
+// collection, so every per-segment score is computed against the same N
+// and N(t) the whole corpus would use. A token the callback has never
+// seen (df ≤ 0) receives the same smoothing as an unseen query token.
+func (b *Builder) BuildWithStats(statsN int, df func(token string) int) *Collection {
+	if statsN < 1 {
+		statsN = 1
+	}
+	return b.build(statsN, df)
+}
+
+func (b *Builder) build(statsN int, dfFn func(token string) int) *Collection {
 	c := &Collection{
 		dict:   b.dict,
 		tk:     b.tk,
 		sets:   b.sets,
 		source: b.source,
 		df:     make([]int, b.dict.Len()),
+		statsN: statsN,
 	}
-	for _, set := range c.sets {
-		for _, cnt := range set {
-			c.df[cnt.Token]++ // one per containing set: counts are deduped
+	if dfFn != nil {
+		for t := range c.df {
+			c.df[t] = dfFn(c.dict.String(tokenize.Token(t)))
+		}
+	} else {
+		for _, set := range c.sets {
+			for _, cnt := range set {
+				c.df[cnt.Token]++ // one per containing set: counts are deduped
+			}
 		}
 	}
-	n := len(c.sets)
+	n := c.StatsN()
 	c.idf = make([]float64, len(c.df))
 	for t, df := range c.df {
 		c.idf[t] = sim.IDF(df, n)
 	}
-	c.lens = make([]float64, n)
+	c.lens = make([]float64, len(c.sets))
 	for i, set := range c.sets {
 		var sum float64
 		for _, cnt := range set {
@@ -99,8 +131,8 @@ func (b *Builder) Build() *Collection {
 		}
 		c.lens[i] = sqrt(sum)
 	}
-	if n > 0 {
-		c.avgTokens = float64(b.tokenCount) / float64(n)
+	if len(c.sets) > 0 {
+		c.avgTokens = float64(b.tokenCount) / float64(len(c.sets))
 	}
 	b.sets, b.source, b.dict = nil, nil, nil
 	return c
@@ -108,6 +140,18 @@ func (b *Builder) Build() *Collection {
 
 // NumSets implements sim.Stats.
 func (c *Collection) NumSets() int { return len(c.sets) }
+
+// StatsN is the database size the idf weights were computed against: the
+// externally supplied size for BuildWithStats collections, NumSets
+// otherwise. Query preparation must use it — not NumSets — so segment
+// queries weight unknown and known tokens against the same corpus the
+// stored lengths were baked from.
+func (c *Collection) StatsN() int {
+	if c.statsN > 0 {
+		return c.statsN
+	}
+	return len(c.sets)
+}
 
 // DF implements sim.Stats.
 func (c *Collection) DF(t tokenize.Token) int {
@@ -161,10 +205,18 @@ func (c *Collection) NumTokens() int { return len(c.df) }
 // in ascending id order, invoking fn(token, ids). The ids slice is reused
 // across invocations. This is the single pass the index builders use.
 func (c *Collection) TokenSets(fn func(t tokenize.Token, ids []SetID)) {
-	// Bucket pass: offsets via df prefix sums, then fill.
+	// Bucket pass: offsets via local-occurrence prefix sums, then fill.
+	// The counts are recomputed from the sets rather than taken from df,
+	// which holds global frequencies in BuildWithStats collections.
+	local := make([]int, len(c.df))
+	for _, set := range c.sets {
+		for _, cnt := range set {
+			local[cnt.Token]++
+		}
+	}
 	offsets := make([]int, len(c.df)+1)
-	for t, df := range c.df {
-		offsets[t+1] = offsets[t] + df
+	for t, n := range local {
+		offsets[t+1] = offsets[t] + n
 	}
 	total := offsets[len(c.df)]
 	flat := make([]SetID, total)
@@ -197,15 +249,19 @@ func (c *Collection) Validate() error {
 			return fmt.Errorf("collection: set %d has non-positive length %g", id, c.lens[id])
 		}
 	}
-	df := make([]int, len(c.df))
-	for _, set := range c.sets {
-		for _, cnt := range set {
-			df[cnt.Token]++
+	// BuildWithStats collections store global frequencies, so a local
+	// recount cannot be compared against them.
+	if c.statsN == 0 {
+		df := make([]int, len(c.df))
+		for _, set := range c.sets {
+			for _, cnt := range set {
+				df[cnt.Token]++
+			}
 		}
-	}
-	for t := range df {
-		if df[t] != c.df[t] {
-			return fmt.Errorf("collection: token %d df mismatch: stored %d, actual %d", t, c.df[t], df[t])
+		for t := range df {
+			if df[t] != c.df[t] {
+				return fmt.Errorf("collection: token %d df mismatch: stored %d, actual %d", t, c.df[t], df[t])
+			}
 		}
 	}
 	return nil

@@ -121,3 +121,42 @@ func BenchmarkSelectBatchParallel(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSelectWarmLiveVsStatic runs identical SF queries against the
+// monolithic engine and against a fully compacted single-segment
+// LiveEngine over the same corpus, back to back, so the segment store's
+// steady-state dispatch overhead is measured in a controlled setting
+// (cmd/ssbench's warm vs warm-live cases track the same comparison at
+// 100k rows, but across a whole process run). The live path must stay
+// within a few percent: it reuses the inner engine's pooled results
+// (identity id mapping, zero tombstones, order preserved).
+func BenchmarkSelectWarmLiveVsStatic(b *testing.B) {
+	corpus := randomCorpus(20000, 7, 8)
+	cfg := Config{NoRelational: true}
+	le := BuildLive(corpus, liveTestTK, LiveConfig{Config: cfg, NoBackground: true})
+	defer le.Close()
+	e := getBenchEngine(b) // same generator parameters: identical corpus
+	sqs := make([]Query, 16)
+	lqs := make([]LiveQuery, 16)
+	for i := range sqs {
+		q := corpus[i*1117]
+		sqs[i] = e.Prepare(q)
+		lqs[i] = le.Prepare(q)
+	}
+	b.Run("static", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := e.Select(sqs[i%len(sqs)], 0.8, SF, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("live", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := le.Select(lqs[i%len(lqs)], 0.8, SF, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,198 @@
+// Compaction folds the memtable and small or drifted segments into a
+// fresh immutable segment, rebuilt with the current global statistics
+// baked in (collection.BuildWithStats), and publishes the result by
+// swapping a new copy-on-write snapshot. Queries in flight keep reading
+// the snapshot they pinned; the swap advances the epoch and the old
+// segments are garbage-collected once the last pinned reader returns —
+// epoch-based reclamation with the Go runtime as the grace period.
+//
+// Only the snapshot swap and the bookkeeping recount hold the engine
+// lock; gathering survivors takes it in read mode and the index build —
+// the expensive part — runs with no lock at all, so mutations and
+// queries proceed while a compaction is running. Compactions themselves
+// are serialized by compactMu.
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/collection"
+)
+
+// Compact synchronously folds everything — all segments and the
+// memtable — into a single immutable segment, reclaiming tombstoned
+// documents and refreshing every baked statistic. It reports whether any
+// work was done. After Compact returns (with no concurrent mutations)
+// the engine answers queries bitwise-identically to a static Engine
+// built over the live documents.
+func (le *LiveEngine) Compact() bool {
+	return le.compactOnce(true)
+}
+
+func (le *LiveEngine) compactLoop() {
+	defer le.wg.Done()
+	for {
+		select {
+		case <-le.closeCh:
+			return
+		case <-le.compactCh:
+			le.compactOnce(false)
+		}
+	}
+}
+
+// docRef is one surviving document headed into a new segment.
+type docRef struct {
+	id     collection.SetID
+	source string
+}
+
+// compactOnce runs one compaction round. With full set (or when the
+// segment count or statistics drift exceeds its bound) every segment is
+// folded; otherwise only the memtable and segments smaller than the
+// flush threshold are.
+func (le *LiveEngine) compactOnce(full bool) bool {
+	le.compactMu.Lock()
+	defer le.compactMu.Unlock()
+	start := time.Now()
+
+	work, fold, memN, ok := le.gather(full)
+	if !ok {
+		return false
+	}
+
+	// Build the replacement segment without holding the lock: the sources
+	// were copied out and the builder is private. Insert validated every
+	// document, so Add cannot produce an empty set.
+	var seg *liveSegment
+	if len(work) > 0 {
+		b := collection.NewBuilder(le.tk, true)
+		ids := make([]collection.SetID, 0, len(work))
+		identity := true
+		for _, ref := range work {
+			if b.Add(ref.source) {
+				if ref.id != collection.SetID(len(ids)) {
+					identity = false
+				}
+				ids = append(ids, ref.id)
+			}
+		}
+		c, builtN, builtMut := le.bakeStats(b)
+		seg = &liveSegment{
+			eng:      NewEngine(c, le.cfg.Config),
+			ids:      ids,
+			builtN:   builtN,
+			builtMut: builtMut,
+			identity: identity,
+		}
+	}
+
+	le.swapSegments(fold, memN, seg)
+	le.compactions.Add(1)
+	le.lastCompactNs.Store(int64(time.Since(start)))
+	le.lastCompactDocs.Store(int64(len(work)))
+	return true
+}
+
+// gather pins the current snapshot and copies out the surviving
+// documents of the segments to fold plus the memtable prefix. It reports
+// ok=false when the round would be pure churn: no memtable, nothing to
+// merge, no tombstones to reclaim.
+func (le *LiveEngine) gather(full bool) (work []docRef, fold map[*liveSegment]bool, memN int, ok bool) {
+	le.mu.RLock()
+	defer le.mu.RUnlock()
+	snap := le.snap.Load()
+	if !full {
+		full = len(snap.segs) > le.cfg.MaxSegments ||
+			le.maxDriftLocked(snap) > le.cfg.DriftBound
+	}
+	fold = map[*liveSegment]bool{}
+	var deadIn int64
+	for _, g := range snap.segs {
+		if full || g.liveDocs() < le.cfg.FlushThreshold {
+			fold[g] = true
+			deadIn += g.dead.Load()
+		}
+	}
+	memN = len(snap.mem)
+	// Pure churn: rebuilding fewer than two parts with nothing to reclaim
+	// would produce an identical segment.
+	if memN == 0 && len(fold) < 2 && deadIn == 0 {
+		return nil, nil, 0, false
+	}
+	for _, g := range snap.segs {
+		if !fold[g] {
+			continue
+		}
+		for _, gid := range g.ids {
+			if !le.log[gid].deleted {
+				work = append(work, docRef{id: gid, source: le.log[gid].source})
+			}
+		}
+	}
+	for _, d := range snap.mem[:memN] {
+		if !le.log[d.id].deleted {
+			work = append(work, docRef{id: d.id, source: le.log[d.id].source})
+		}
+	}
+	sort.Slice(work, func(i, j int) bool { return work[i].id < work[j].id })
+	return work, fold, memN, true
+}
+
+// bakeStats freezes the builder under the current global statistics:
+// the segment's weights and lengths are computed against the live corpus
+// size and document frequencies, not its own sub-corpus.
+func (le *LiveEngine) bakeStats(b *collection.Builder) (*collection.Collection, int, uint64) {
+	le.mu.RLock()
+	defer le.mu.RUnlock()
+	builtN := le.liveN
+	if builtN < 1 {
+		builtN = 1 // matches the BuildWithStats floor; keeps drift finite
+	}
+	c := b.BuildWithStats(builtN, func(t string) int { return le.df[t] })
+	return c, builtN, le.mutations
+}
+
+// swapSegments publishes the post-compaction snapshot: the folded
+// segments are replaced by seg (nil when every gathered document had
+// been deleted), the consumed memtable prefix is dropped, and the
+// tombstone accounting is recounted from the log.
+func (le *LiveEngine) swapSegments(fold map[*liveSegment]bool, memN int, seg *liveSegment) {
+	le.mu.Lock()
+	defer le.mu.Unlock()
+	cur := le.snap.Load()
+	segs := make([]*liveSegment, 0, len(cur.segs)+1)
+	for _, g := range cur.segs {
+		if !fold[g] {
+			segs = append(segs, g)
+		}
+	}
+	if seg != nil {
+		segs = append(segs, seg)
+	}
+	// The memtable may have grown since gather; keep the unconsumed tail.
+	mem := make([]memDoc, len(cur.mem)-memN)
+	copy(mem, cur.mem[memN:])
+	le.snap.Store(&liveSnapshot{epoch: le.epoch.Add(1), segs: segs, mem: mem})
+	// Documents deleted between gather and here survived into seg (the
+	// emit-time tombstone check hides them); recount dead and tombs from
+	// the log so drift triggers and top-k over-fetch stay accurate.
+	var tombs int64
+	for _, g := range segs {
+		var dead int64
+		for _, gid := range g.ids {
+			if le.log[gid].deleted {
+				dead++
+			}
+		}
+		g.dead.Store(dead)
+		tombs += dead
+	}
+	for _, d := range mem {
+		if le.log[d.id].deleted {
+			tombs++
+		}
+	}
+	le.tombs.Store(tombs)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -19,8 +20,17 @@ type Pair struct {
 // data-cleaning motivation (§I) is exactly this operation; §IX observes
 // that a selection engine subsumes the join — each set is issued as a
 // selection query — and the parallel batch machinery (§X) fans the
-// queries across workers. Pairs are returned sorted by (A, B).
+// queries across workers. Pairs are returned sorted by (A, B). It is
+// SelfJoinCtx with a background context.
 func (e *Engine) SelfJoin(tau float64, alg Algorithm, opts *Options, workers int) ([]Pair, error) {
+	return e.SelfJoinCtx(context.Background(), tau, alg, opts, workers)
+}
+
+// SelfJoinCtx is SelfJoin under a context. Every worker polls the
+// context between selection queries, and each inner selection inherits
+// the context's cancellation inside its own scan loops, so a cancelled
+// join stops promptly instead of draining the remaining n queries.
+func (e *Engine) SelfJoinCtx(ctx context.Context, tau float64, alg Algorithm, opts *Options, workers int) ([]Pair, error) {
 	if tau <= 0 || tau > 1 {
 		return nil, ErrBadThreshold
 	}
@@ -41,8 +51,13 @@ func (e *Engine) SelfJoin(tau float64, alg Algorithm, opts *Options, workers int
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
+			cc := &canceller{ctx: ctx}
 			var local []Pair
 			for {
+				if cc.stop() {
+					errs[w] = cc.err
+					return
+				}
 				mu.Lock()
 				id := next
 				next++
@@ -52,7 +67,7 @@ func (e *Engine) SelfJoin(tau float64, alg Algorithm, opts *Options, workers int
 				}
 				sid := collection.SetID(id)
 				q := e.PrepareCounts(e.c.Set(sid))
-				res, _, err := e.Select(q, tau, alg, opts)
+				res, _, err := e.SelectCtx(ctx, q, tau, alg, opts)
 				if err != nil {
 					errs[w] = err
 					return

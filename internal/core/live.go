@@ -1,0 +1,745 @@
+// LiveEngine is the mutable-corpus layer over the immutable Engine: an
+// LSM-style segment store. Committed documents live in immutable
+// segments — each a full Engine over its sub-corpus, built with the
+// global corpus statistics baked in via collection.BuildWithStats — and
+// recent mutations live in a small memtable scanned linearly at query
+// time. Deletes set a bit in a global tombstone bitmap consulted when
+// results are emitted, so they take effect immediately without touching
+// any index. A background compaction goroutine (compact.go) folds the
+// memtable and small or drifted segments into fresh segments.
+//
+// Readers never lock: Prepare pins the current snapshot (an atomically
+// swapped, copy-on-write value) and every Select runs against that
+// frozen view plus the live tombstones. Reclamation is epoch-based in
+// the Go-runtime sense: each swap advances the epoch and unlinks the
+// replaced segments from the snapshot; their memory is reclaimed by the
+// garbage collector once the last query pinning them returns.
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/collection"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/tokenize"
+)
+
+// LiveConfig configures a LiveEngine.
+type LiveConfig struct {
+	// Config is the index configuration every segment is built with.
+	// Config.Store must be nil: each segment owns an in-memory store.
+	Config
+	// FlushThreshold is the memtable size (documents) that triggers a
+	// background flush into a new segment. ≤ 0 selects 1024.
+	FlushThreshold int
+	// MaxSegments bounds the immutable segment count; exceeding it
+	// triggers a full compaction. ≤ 0 selects 8.
+	MaxSegments int
+	// DriftBound is the tolerated relative statistics drift of a segment:
+	// mutations since it was built divided by the corpus size its weights
+	// were baked from. Beyond it a full compaction recomputes the global
+	// IDF. ≤ 0 selects 0.25.
+	DriftBound float64
+	// NoBackground disables the compaction goroutine; Compact must then
+	// be called explicitly. Deterministic tests use it.
+	NoBackground bool
+}
+
+// Errors returned by the mutation API.
+var (
+	ErrNoTokens = errors.New("core: string produces no tokens")
+	ErrClosed   = errors.New("core: live engine is closed")
+)
+
+// liveDoc is one entry of the document log. Its index is the document's
+// permanent global id; ids are never reused.
+type liveDoc struct {
+	source  string
+	deleted bool
+}
+
+// memDoc is one memtable document: its sorted distinct tokens plus the
+// normalized length computed under the statistics at insert time.
+type memDoc struct {
+	id   collection.SetID
+	toks []string
+	len  float64
+}
+
+// liveSegment is one immutable generation: a complete Engine over a
+// sub-corpus, with local ids mapping to ascending global ids.
+type liveSegment struct {
+	eng *Engine
+	ids []collection.SetID // local id → global id, strictly ascending
+	// builtN and builtMut freeze the corpus size and mutation counter at
+	// build time; drift is measured against them.
+	builtN   int
+	builtMut uint64
+	// dead counts tombstoned documents inside this segment; the top-k
+	// path over-fetches by it so displaced answers are not lost.
+	dead atomic.Int64
+	// identity is true when local id i maps to global id i for every
+	// document, which holds for any segment compacted over a corpus with
+	// no ids lost to deletion — notably a freshly built corpus.
+	identity bool
+}
+
+// emit rewrites a segment-local result slice in place to global ids,
+// dropping tombstoned documents. Ascending local order is ascending
+// global order because ids is sorted.
+func (g *liveSegment) emit(res []Result, del *tombstones) []Result {
+	if g.identity && g.dead.Load() == 0 {
+		// Local ids are global ids and nothing in this segment is
+		// tombstoned: the results pass through untouched. Any Delete that
+		// completed before this query bumped dead under the mutex first,
+		// so only deletes concurrent with the query can race past — and
+		// those may legitimately order either side of it.
+		return res
+	}
+	out := res[:0]
+	for _, r := range res {
+		gid := g.ids[r.ID]
+		if del.has(gid) {
+			continue
+		}
+		out = append(out, Result{ID: gid, Score: r.Score})
+	}
+	return out
+}
+
+func (g *liveSegment) liveDocs() int { return len(g.ids) - int(g.dead.Load()) }
+
+// liveSnapshot is the frozen world a query runs against: the segment
+// list and the memtable prefix published at one instant. Snapshots are
+// immutable; mutations publish a fresh one.
+type liveSnapshot struct {
+	epoch uint64
+	segs  []*liveSegment
+	mem   []memDoc
+}
+
+// tombstones is a grow-only atomic bitmap over global ids. Bits are set
+// under the engine mutex (writers are serialized) and read lock-free by
+// queries; a bitmap value is never cleared, only superseded when the
+// array grows.
+type tombstones struct {
+	bits []atomic.Uint64
+}
+
+func (t *tombstones) has(id collection.SetID) bool {
+	if t == nil {
+		return false
+	}
+	w := int(id >> 6)
+	if w >= len(t.bits) {
+		return false
+	}
+	return t.bits[w].Load()&(1<<(uint(id)&63)) != 0
+}
+
+// LiveEngine is a mutable set-similarity engine: Insert/Delete/Upsert
+// under serialized writes, lock-free snapshot reads, and the same
+// selection surface as Engine fanned out over segments. All methods are
+// safe for concurrent use.
+type LiveEngine struct {
+	tk  tokenize.Tokenizer
+	cfg LiveConfig
+	m   *metrics.Registry
+
+	// mu guards the document log, the global df table, liveN, the
+	// mutation counter, and snapshot publication. Queries take no lock;
+	// Prepare takes it briefly in read mode to get a consistent (stats,
+	// snapshot) pair.
+	mu        sync.RWMutex
+	log       []liveDoc
+	df        map[string]int // live document frequency by token string
+	liveN     int            // live documents (inserted minus deleted)
+	mutations uint64
+	closed    bool
+
+	snap  atomic.Pointer[liveSnapshot]
+	del   atomic.Pointer[tombstones]
+	epoch atomic.Uint64
+	tombs atomic.Int64 // tombstoned docs still present in some segment or the memtable
+
+	// compactMu serializes compactions (background and explicit);
+	// compactCh wakes the background goroutine.
+	compactMu sync.Mutex
+	compactCh chan struct{}
+	closeCh   chan struct{}
+	wg        sync.WaitGroup
+
+	compactions     atomic.Uint64
+	lastCompactNs   atomic.Int64
+	lastCompactDocs atomic.Int64
+}
+
+// NewLive creates an empty mutable engine.
+func NewLive(tk tokenize.Tokenizer, cfg LiveConfig) *LiveEngine {
+	if cfg.FlushThreshold <= 0 {
+		cfg.FlushThreshold = 1024
+	}
+	if cfg.MaxSegments <= 0 {
+		cfg.MaxSegments = 8
+	}
+	if cfg.DriftBound <= 0 {
+		cfg.DriftBound = 0.25
+	}
+	cfg.Store = nil // each segment builds and owns its MemStore
+	le := &LiveEngine{
+		tk:        tk,
+		cfg:       cfg,
+		m:         metrics.NewRegistry(),
+		df:        map[string]int{},
+		compactCh: make(chan struct{}, 1),
+		closeCh:   make(chan struct{}),
+	}
+	le.snap.Store(&liveSnapshot{})
+	le.m.SetLiveGaugesFunc(le.gauges)
+	if !cfg.NoBackground {
+		le.wg.Add(1)
+		go le.compactLoop()
+	}
+	return le
+}
+
+// BuildLive bulk-loads a corpus into a fresh LiveEngine and compacts it
+// into a single segment, the mutable twin of Build. Strings that produce
+// no tokens are skipped; ids are assigned in input order among the kept
+// strings.
+func BuildLive(corpus []string, tk tokenize.Tokenizer, cfg LiveConfig) *LiveEngine {
+	le := NewLive(tk, cfg)
+	for _, s := range corpus {
+		le.Insert(s) //nolint:errcheck // ErrNoTokens skips, like Build
+	}
+	le.Compact()
+	return le
+}
+
+// Close stops the background compaction goroutine and rejects further
+// mutations. Queries against the final snapshot keep working.
+func (le *LiveEngine) Close() {
+	if !le.markClosed() {
+		return
+	}
+	close(le.closeCh)
+	le.wg.Wait()
+}
+
+func (le *LiveEngine) markClosed() bool {
+	le.mu.Lock()
+	defer le.mu.Unlock()
+	if le.closed {
+		return false
+	}
+	le.closed = true
+	return true
+}
+
+// Metrics exposes the engine's query metrics registry, including the
+// segment-store gauges.
+func (le *LiveEngine) Metrics() *metrics.Registry { return le.m }
+
+// Tokenizer returns the tokenizer documents are decomposed with.
+func (le *LiveEngine) Tokenizer() tokenize.Tokenizer { return le.tk }
+
+// distinctTokens tokenizes s into its sorted distinct token strings.
+func distinctTokens(tk tokenize.Tokenizer, s string) []string {
+	toks := tk.Tokens(nil, s)
+	sort.Strings(toks)
+	out := toks[:0]
+	for i, t := range toks {
+		if i == 0 || t != toks[i-1] {
+			out = append(out, t)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Insert adds s as a new document and returns its permanent id. The
+// document is searchable as soon as Insert returns.
+func (le *LiveEngine) Insert(s string) (collection.SetID, error) {
+	toks := distinctTokens(le.tk, s)
+	if toks == nil {
+		return 0, ErrNoTokens
+	}
+	le.mu.Lock()
+	defer le.mu.Unlock()
+	if le.closed {
+		return 0, ErrClosed
+	}
+	id := le.insertLocked(s, toks)
+	le.maybeKickLocked()
+	return id, nil
+}
+
+// Delete tombstones document id. It reports false when the id does not
+// exist or is already deleted. The document disappears from results
+// immediately; its index entries are reclaimed by the next compaction.
+func (le *LiveEngine) Delete(id collection.SetID) bool {
+	le.mu.Lock()
+	defer le.mu.Unlock()
+	if le.closed {
+		return false
+	}
+	ok := le.deleteLocked(id)
+	if ok {
+		le.maybeKickLocked()
+	}
+	return ok
+}
+
+// Upsert replaces document id with s, returning the new document's id
+// (ids are never reused). A missing or already-deleted id degrades to a
+// plain insert.
+func (le *LiveEngine) Upsert(id collection.SetID, s string) (collection.SetID, error) {
+	toks := distinctTokens(le.tk, s)
+	if toks == nil {
+		return 0, ErrNoTokens
+	}
+	le.mu.Lock()
+	defer le.mu.Unlock()
+	if le.closed {
+		return 0, ErrClosed
+	}
+	le.deleteLocked(id)
+	nid := le.insertLocked(s, toks)
+	le.maybeKickLocked()
+	return nid, nil
+}
+
+func (le *LiveEngine) insertLocked(s string, toks []string) collection.SetID {
+	id := collection.SetID(len(le.log))
+	le.log = append(le.log, liveDoc{source: s})
+	for _, t := range toks {
+		le.df[t]++
+	}
+	le.liveN++
+	le.mutations++
+	// The insert-time normalized length, under the statistics as of this
+	// insert — exactly what a static build ending here would store.
+	var len2 float64
+	for _, t := range toks {
+		w := sim.IDF(le.df[t], le.liveN)
+		len2 += w * w
+	}
+	old := le.snap.Load()
+	// Appending to the shared backing array is safe: readers pinned on
+	// the old snapshot are bounded by its shorter slice header.
+	next := &liveSnapshot{
+		epoch: le.epoch.Add(1),
+		segs:  old.segs,
+		mem:   append(old.mem, memDoc{id: id, toks: toks, len: math.Sqrt(len2)}),
+	}
+	le.snap.Store(next)
+	return id
+}
+
+func (le *LiveEngine) deleteLocked(id collection.SetID) bool {
+	if int(id) >= len(le.log) || le.log[id].deleted {
+		return false
+	}
+	le.log[id].deleted = true
+	le.setTombstoneLocked(id)
+	le.tombs.Add(1)
+	for _, t := range distinctTokens(le.tk, le.log[id].source) {
+		if le.df[t] > 1 {
+			le.df[t]--
+		} else {
+			delete(le.df, t)
+		}
+	}
+	le.liveN--
+	le.mutations++
+	if g := segmentOf(le.snap.Load().segs, id); g != nil {
+		g.dead.Add(1)
+	}
+	return true
+}
+
+// setTombstoneLocked sets the bit for id, growing the bitmap if needed.
+// Writers are serialized by mu; readers load the array pointer once per
+// query and read bits atomically.
+func (le *LiveEngine) setTombstoneLocked(id collection.SetID) {
+	t := le.del.Load()
+	w := int(id >> 6)
+	mask := uint64(1) << (uint(id) & 63)
+	if t == nil || w >= len(t.bits) {
+		grown := &tombstones{bits: make([]atomic.Uint64, (w+1)*2)}
+		if t != nil {
+			for i := range t.bits {
+				grown.bits[i].Store(t.bits[i].Load())
+			}
+		}
+		grown.bits[w].Store(mask)
+		le.del.Store(grown)
+		return
+	}
+	t.bits[w].Store(t.bits[w].Load() | mask)
+}
+
+// segmentOf finds the segment containing global id, if any.
+func segmentOf(segs []*liveSegment, id collection.SetID) *liveSegment {
+	for _, g := range segs {
+		i := sort.Search(len(g.ids), func(i int) bool { return g.ids[i] >= id })
+		if i < len(g.ids) && g.ids[i] == id {
+			return g
+		}
+	}
+	return nil
+}
+
+// maybeKickLocked wakes the compaction goroutine when the memtable is
+// full, the segment count overflows, or statistics drift exceeds the
+// bound.
+func (le *LiveEngine) maybeKickLocked() {
+	if le.cfg.NoBackground || le.closed {
+		return
+	}
+	snap := le.snap.Load()
+	if len(snap.mem) < le.cfg.FlushThreshold &&
+		len(snap.segs) <= le.cfg.MaxSegments &&
+		le.maxDriftLocked(snap) <= le.cfg.DriftBound {
+		return
+	}
+	select {
+	case le.compactCh <- struct{}{}:
+	default:
+	}
+}
+
+// maxDriftLocked is the largest relative statistics drift across the
+// snapshot's segments: mutations applied since a segment's build,
+// relative to the corpus size its weights were baked from.
+func (le *LiveEngine) maxDriftLocked(snap *liveSnapshot) float64 {
+	var worst float64
+	for _, g := range snap.segs {
+		if d := float64(le.mutations-g.builtMut) / float64(g.builtN); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Source returns the original string of document id and whether the
+// document exists and is live.
+func (le *LiveEngine) Source(id collection.SetID) (string, bool) {
+	le.mu.RLock()
+	defer le.mu.RUnlock()
+	if int(id) >= len(le.log) || le.log[id].deleted {
+		return "", false
+	}
+	return le.log[id].source, true
+}
+
+// NumDocs is the total number of documents ever inserted (the id space).
+func (le *LiveEngine) NumDocs() int {
+	le.mu.RLock()
+	defer le.mu.RUnlock()
+	return len(le.log)
+}
+
+// NumLive is the number of live (non-deleted) documents.
+func (le *LiveEngine) NumLive() int {
+	le.mu.RLock()
+	defer le.mu.RUnlock()
+	return le.liveN
+}
+
+// DocState is one document-log entry as exported by Log.
+type DocState struct {
+	Source  string
+	Deleted bool
+}
+
+// Log copies the full document log: every document ever inserted, in id
+// order, with its tombstone flag. Persistence serializes it so a
+// save/load cycle preserves document ids, including those of tombstoned
+// documents (ids are never reused).
+func (le *LiveEngine) Log() []DocState {
+	le.mu.RLock()
+	defer le.mu.RUnlock()
+	out := make([]DocState, len(le.log))
+	for i, d := range le.log {
+		out[i] = DocState{Source: d.source, Deleted: d.deleted}
+	}
+	return out
+}
+
+// LiveStats is a point-in-time summary of the segment store.
+type LiveStats struct {
+	Docs       int // documents ever inserted
+	Live       int // minus deletions
+	Tombstones int // deleted docs still occupying index entries
+	Memtable   int // docs in the scan-only memtable
+	Segments   int
+	Epoch      uint64
+	// Compaction counters.
+	Compactions        uint64
+	LastCompaction     time.Duration
+	LastCompactionDocs int
+	// MaxDrift is the worst relative statistics drift across segments.
+	MaxDrift float64
+}
+
+// Stats captures the current segment-store state.
+func (le *LiveEngine) Stats() LiveStats {
+	le.mu.RLock()
+	defer le.mu.RUnlock()
+	snap := le.snap.Load()
+	return LiveStats{
+		Docs:               len(le.log),
+		Live:               le.liveN,
+		Tombstones:         int(le.tombs.Load()),
+		Memtable:           len(snap.mem),
+		Segments:           len(snap.segs),
+		Epoch:              snap.epoch,
+		Compactions:        le.compactions.Load(),
+		LastCompaction:     time.Duration(le.lastCompactNs.Load()),
+		LastCompactionDocs: int(le.lastCompactDocs.Load()),
+		MaxDrift:           le.maxDriftLocked(snap),
+	}
+}
+
+func (le *LiveEngine) gauges() metrics.LiveGauges {
+	st := le.Stats()
+	return metrics.LiveGauges{
+		Segments:       st.Segments,
+		MemtableDocs:   st.Memtable,
+		Tombstones:     st.Tombstones,
+		Compactions:    st.Compactions,
+		LastCompaction: st.LastCompaction,
+		MaxDrift:       st.MaxDrift,
+	}
+}
+
+// LiveQuery is a query pinned to one snapshot: per-segment prepared
+// queries (each against that segment's dictionary and baked statistics)
+// plus the token weights the memtable scan scores with. It may be reused
+// across Select calls; mutations applied after Prepare are invisible to
+// it, except deletions, which the emit-time tombstone check always
+// honours.
+type LiveQuery struct {
+	snap  *liveSnapshot
+	segQ  []Query
+	mem   memQuery
+	known bool // at least one query token occurs in the live corpus
+}
+
+// Prepare tokenizes s against the current snapshot and global
+// statistics.
+func (le *LiveEngine) Prepare(s string) LiveQuery {
+	toks := distinctTokens(le.tk, s)
+	le.mu.RLock()
+	snap := le.snap.Load()
+	idfSq := make([]float64, len(toks))
+	var len2 float64
+	known := false
+	for i, t := range toks {
+		df := le.df[t]
+		if df > 0 {
+			known = true
+		}
+		w := sim.IDF(df, le.liveN)
+		idfSq[i] = w * w
+		len2 += idfSq[i]
+	}
+	le.mu.RUnlock()
+	lq := LiveQuery{
+		snap:  snap,
+		segQ:  make([]Query, len(snap.segs)),
+		mem:   memQuery{toks: toks, idfSq: idfSq, qLen: math.Sqrt(len2)},
+		known: known,
+	}
+	for i, g := range snap.segs {
+		lq.segQ[i] = g.eng.Prepare(s)
+	}
+	return lq
+}
+
+// Select runs one selection query against the snapshot the query was
+// prepared on. Results are sorted by ascending id. It is SelectCtx with
+// a background context.
+func (le *LiveEngine) Select(q LiveQuery, tau float64, alg Algorithm, opts *Options) ([]Result, Stats, error) {
+	return le.SelectCtx(context.Background(), q, tau, alg, opts)
+}
+
+// SelectCtx runs one selection query under a context, fanning out over
+// the pinned snapshot's segments and memtable and merging the
+// per-segment answers. Each segment scores against the global statistics
+// baked into it at build time; on a single fully compacted segment the
+// answers are identical to a static Engine over the same corpus, and the
+// merge adds no allocation or sorting work.
+func (le *LiveEngine) SelectCtx(ctx context.Context, lq LiveQuery, tau float64, alg Algorithm, opts *Options) ([]Result, Stats, error) {
+	var stats Stats
+	snap := lq.snap
+	if snap == nil || len(lq.mem.toks) == 0 || !lq.known {
+		return nil, stats, ErrEmptyQuery
+	}
+	if tau <= 0 || tau > 1+sim.ScoreEpsilon {
+		return nil, stats, ErrBadThreshold
+	}
+	start := time.Now()
+	del := le.del.Load()
+	single := len(snap.segs) == 1 && len(snap.mem) == 0
+	var out []Result
+	var err error
+	for i, g := range snap.segs {
+		if len(lq.segQ[i].Tokens) == 0 {
+			continue // no query token occurs in this segment
+		}
+		var res []Result
+		var st Stats
+		res, st, err = g.eng.SelectCtx(ctx, lq.segQ[i], tau, alg, opts)
+		addStats(&stats, st)
+		if err != nil {
+			break
+		}
+		res = g.emit(res, del)
+		if single {
+			out = res
+		} else {
+			out = append(out, res...)
+		}
+	}
+	if err == nil && len(snap.mem) > 0 {
+		cc := &canceller{ctx: ctx}
+		stats.ListTotal += len(snap.mem)
+		out, err = scanMemtable(cc, snap.mem, lq.mem, tau, del, &stats, out)
+	}
+	stats.Elapsed = time.Since(start)
+	le.m.ObserveQuery(stats.Elapsed, stats.ElementsRead, err)
+	if err != nil {
+		return nil, stats, err
+	}
+	if !single {
+		sortResults(out)
+	}
+	return out, stats, nil
+}
+
+// SelectTopK returns the k highest-scoring live documents (alg ∈ {Naive,
+// INRA, SF}), sorted by descending score with ties broken by ascending
+// id. It is SelectTopKCtx with a background context.
+func (le *LiveEngine) SelectTopK(q LiveQuery, k int, alg Algorithm, opts *Options) ([]Result, Stats, error) {
+	return le.SelectTopKCtx(context.Background(), q, k, alg, opts)
+}
+
+// SelectTopKCtx is SelectTopK under a context. Each segment answers an
+// over-fetched top-(k + its tombstone count) so deleted documents cannot
+// displace live answers; the per-segment answers and the memtable
+// matches are merged and cut to k.
+func (le *LiveEngine) SelectTopKCtx(ctx context.Context, lq LiveQuery, k int, alg Algorithm, opts *Options) ([]Result, Stats, error) {
+	var stats Stats
+	snap := lq.snap
+	if snap == nil || len(lq.mem.toks) == 0 || !lq.known {
+		return nil, stats, ErrEmptyQuery
+	}
+	if k <= 0 {
+		return nil, stats, nil
+	}
+	start := time.Now()
+	del := le.del.Load()
+	var out []Result
+	var err error
+	for i, g := range snap.segs {
+		if len(lq.segQ[i].Tokens) == 0 {
+			continue
+		}
+		kk := k + int(g.dead.Load())
+		if kk > len(g.ids) {
+			kk = len(g.ids)
+		}
+		var res []Result
+		var st Stats
+		res, st, err = g.eng.SelectTopKCtx(ctx, lq.segQ[i], kk, alg, opts)
+		addStats(&stats, st)
+		if err != nil {
+			break
+		}
+		out = append(out, g.emit(res, del)...)
+	}
+	if err == nil && len(snap.mem) > 0 {
+		cc := &canceller{ctx: ctx}
+		stats.ListTotal += len(snap.mem)
+		out, err = scanMemtable(cc, snap.mem, lq.mem, minPositiveTau, del, &stats, out)
+	}
+	stats.Elapsed = time.Since(start)
+	le.m.ObserveQuery(stats.Elapsed, stats.ElementsRead, err)
+	if err != nil {
+		return nil, stats, err
+	}
+	sortTopK(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, stats, nil
+}
+
+// SelectBatch runs every query with the same τ, algorithm and options on
+// a pool of workers (≤ 0 selects GOMAXPROCS). The i-th output
+// corresponds to the i-th query. It is SelectBatchCtx with a background
+// context.
+func (le *LiveEngine) SelectBatch(queries []LiveQuery, tau float64, alg Algorithm, opts *Options, workers int) []BatchResult {
+	return le.SelectBatchCtx(context.Background(), queries, tau, alg, opts, workers)
+}
+
+// SelectBatchCtx is SelectBatch under a context; cancellation stops
+// in-flight queries mid-scan and fails the remainder immediately.
+func (le *LiveEngine) SelectBatchCtx(ctx context.Context, queries []LiveQuery, tau float64, alg Algorithm, opts *Options, workers int) []BatchResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	out := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(queries) {
+					return
+				}
+				res, st, err := le.SelectCtx(ctx, queries[i], tau, alg, opts)
+				out[i] = BatchResult{Results: res, Stats: st, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// addStats accumulates a per-segment Stats into the merged total;
+// Elapsed is stamped once by the caller over the whole fan-out.
+func addStats(dst *Stats, s Stats) {
+	dst.ElementsRead += s.ElementsRead
+	dst.ElementsSkipped += s.ElementsSkipped
+	dst.ListTotal += s.ListTotal
+	dst.RandomProbes += s.RandomProbes
+	dst.CandidateScans += s.CandidateScans
+	dst.CandidatesInserted += s.CandidatesInserted
+	dst.Rounds += s.Rounds
+}

@@ -1,0 +1,58 @@
+// The memtable scan: recent inserts are not indexed — each query walks
+// the (small, flush-bounded) memtable linearly, intersecting its sorted
+// distinct tokens with the query's by a string merge. Correctness does
+// not depend on the memtable being small, only latency does; the flush
+// threshold bounds it.
+package core
+
+import (
+	"repro/internal/sim"
+)
+
+// memQuery is the memtable half of a LiveQuery: the query's sorted
+// distinct token strings with their squared idf weights under the global
+// statistics pinned at Prepare time, plus the normalized query length.
+type memQuery struct {
+	toks  []string
+	idfSq []float64
+	qLen  float64
+}
+
+// scanMemtable appends every live memtable document scoring ≥ τ to out.
+// Documents are scanned in insertion order, which is ascending id order,
+// so the appended results extend an already-ascending result slice
+// without re-sorting when the caller merges a single segment.
+func scanMemtable(cc *canceller, mem []memDoc, mq memQuery, tau float64, del *tombstones, stats *Stats, out []Result) ([]Result, error) {
+	for _, d := range mem {
+		if cc.stop() {
+			return out, cc.err
+		}
+		if del.has(d.id) {
+			stats.ElementsSkipped++
+			continue
+		}
+		stats.ElementsRead++
+		var dot float64
+		i, j := 0, 0
+		for i < len(mq.toks) && j < len(d.toks) {
+			switch {
+			case mq.toks[i] == d.toks[j]:
+				dot += mq.idfSq[i]
+				i++
+				j++
+			case mq.toks[i] < d.toks[j]:
+				i++
+			default:
+				j++
+			}
+		}
+		if dot <= 0 {
+			continue
+		}
+		score := dot / (mq.qLen * d.len)
+		if sim.Meets(score, tau) {
+			out = append(out, Result{ID: d.id, Score: score})
+		}
+	}
+	return out, nil
+}

@@ -63,7 +63,9 @@ func (e *Engine) PrepareCounts(counts []tokenize.Count) Query {
 }
 
 func (e *Engine) prepare(counts []tokenize.Count, unknownDistinct int) Query {
-	n := e.c.NumSets()
+	// StatsN, not NumSets: a segment collection bakes the global corpus
+	// size into its weights, and the query must agree with it.
+	n := e.c.StatsN()
 	q := Query{Raw: counts}
 	var len2 float64
 	for _, c := range counts {

@@ -151,6 +151,25 @@ type Registry struct {
 	// traffic happens inside the store's read path, far below the
 	// per-query observation point.
 	cacheFn atomic.Pointer[func() (hits, misses uint64)]
+	// liveFn, when set, supplies the segment-store gauges of a LiveEngine
+	// at snapshot time — pull-style, like cacheFn: segment counts and
+	// compaction progress live in the engine's own state, not on the
+	// query observation path.
+	liveFn atomic.Pointer[func() LiveGauges]
+}
+
+// LiveGauges is the point-in-time state of a segmented (mutable) engine:
+// how the corpus is laid out and how compaction is keeping up.
+type LiveGauges struct {
+	Segments       int
+	MemtableDocs   int
+	Tombstones     int
+	Compactions    uint64
+	LastCompaction time.Duration
+	// MaxDrift is the worst relative statistics drift across segments:
+	// mutations applied since a segment's build relative to the corpus
+	// size its idf weights were baked from.
+	MaxDrift float64
 }
 
 // NewRegistry builds a registry with the default buckets.
@@ -189,6 +208,17 @@ func (r *Registry) SetCacheStatsFunc(fn func() (hits, misses uint64)) {
 	r.cacheFn.Store(&fn)
 }
 
+// SetLiveGaugesFunc connects the registry to a segmented engine's
+// store gauges; fn must be safe for concurrent use. A nil fn
+// disconnects.
+func (r *Registry) SetLiveGaugesFunc(fn func() LiveGauges) {
+	if fn == nil {
+		r.liveFn.Store(nil)
+		return
+	}
+	r.liveFn.Store(&fn)
+}
+
 // Snapshot captures the registry for reporting.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
@@ -201,6 +231,10 @@ func (r *Registry) Snapshot() Snapshot {
 	if fn := r.cacheFn.Load(); fn != nil {
 		s.CacheHits, s.CacheMisses = (*fn)()
 		s.HasCache = true
+	}
+	if fn := r.liveFn.Load(); fn != nil {
+		s.Live = (*fn)()
+		s.HasLive = true
 	}
 	return s
 }
@@ -217,6 +251,10 @@ type Snapshot struct {
 	HasCache    bool
 	CacheHits   uint64
 	CacheMisses uint64
+	// HasLive reports whether the engine is a segmented (mutable) engine;
+	// Live is only meaningful when it is true.
+	HasLive bool
+	Live    LiveGauges
 }
 
 // Total is the number of queries observed.
@@ -248,6 +286,12 @@ func (s Snapshot) String() string {
 		}
 		fmt.Fprintf(&b, "\ncache:   %d hits, %d misses (%.1f%% hit rate)",
 			s.CacheHits, s.CacheMisses, ratio)
+	}
+	if s.HasLive {
+		fmt.Fprintf(&b, "\nstore:   %d segments, %d memtable docs, %d tombstones, %d compactions (last %v), drift %.3f",
+			s.Live.Segments, s.Live.MemtableDocs, s.Live.Tombstones,
+			s.Live.Compactions, s.Live.LastCompaction.Round(time.Microsecond),
+			s.Live.MaxDrift)
 	}
 	return b.String()
 }

@@ -58,5 +58,76 @@ func FuzzPersistRoundTrip(f *testing.F) {
 					i, r2[i].ID, r2[i].Score, r1[i].ID, r1[i].Score)
 			}
 		}
+
+		// Version-2 round trip: the same corpus through a live engine and
+		// the snapshot format, with one deletion so tombstones are
+		// persisted. The reloaded engine must preserve ids and hide the
+		// deleted document.
+		live := setsim.NewLive(setsim.QGramTokenizer{Q: 2, Pad: true}, setsim.LiveConfig{
+			Config: setsim.ListsOnly(), NoBackground: true,
+		})
+		defer live.Close()
+		var ids []setsim.SetID
+		for _, s := range corpus {
+			if id, err := live.Insert(s); err == nil {
+				ids = append(ids, id)
+			}
+		}
+		if len(ids) > 1 {
+			live.Delete(ids[0])
+		}
+		lpath := filepath.Join(t.TempDir(), "corpus.sssnap")
+		if err := setsim.SaveLive(lpath, live); err != nil {
+			t.Fatalf("save live: %v", err)
+		}
+		reloaded, info, err := setsim.OpenLive(lpath, setsim.LiveConfig{
+			Config: setsim.ListsOnly(), NoBackground: true,
+		})
+		if err != nil {
+			t.Fatalf("open live: %v", err)
+		}
+		defer reloaded.Close()
+		if info.Version != 2 || info.Docs != live.NumDocs() || info.Live != live.NumLive() {
+			t.Fatalf("snapshot info %+v, want version 2, %d docs, %d live",
+				info, live.NumDocs(), live.NumLive())
+		}
+		for _, id := range ids {
+			s1, ok1 := live.Source(id)
+			s2, ok2 := reloaded.Source(id)
+			if ok1 != ok2 || s1 != s2 {
+				t.Fatalf("doc %d diverges after live round trip: (%q,%v) vs (%q,%v)",
+					id, s2, ok2, s1, ok1)
+			}
+		}
+		l1, _, err1 := live.Select(live.Prepare(query), 0.5, setsim.SF, nil)
+		l2, _, err2 := reloaded.Select(reloaded.Prepare(query), 0.5, setsim.SF, nil)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("live query errors diverge after round trip: %v vs %v", err1, err2)
+		}
+		if len(l1) != len(l2) {
+			t.Fatalf("%d live results after round trip, want %d", len(l2), len(l1))
+		}
+		for i := range l1 {
+			if l1[i].ID != l2[i].ID || l1[i].Score != l2[i].Score {
+				t.Fatalf("live result %d diverges after round trip: {%d %.17g} vs {%d %.17g}",
+					i, l2[i].ID, l2[i].Score, l1[i].ID, l1[i].Score)
+			}
+		}
+
+		// A legacy file must load as a live engine too (ids re-derived by
+		// replay), and Open must accept both versions as a static engine.
+		if fromLegacy, info, err := setsim.OpenLive(path, setsim.LiveConfig{
+			Config: setsim.ListsOnly(), NoBackground: true,
+		}); err != nil {
+			t.Fatalf("open live from legacy: %v", err)
+		} else {
+			if info.Version != 1 {
+				t.Fatalf("legacy snapshot info %+v, want version 1", info)
+			}
+			fromLegacy.Close()
+		}
+		if _, info, err := setsim.Open(lpath, setsim.ListsOnly()); err != nil || info.Version != 2 {
+			t.Fatalf("static open of v2 snapshot: info %+v err %v", info, err)
+		}
 	})
 }

@@ -1,16 +1,60 @@
 package setsim
 
 import (
+	"bufio"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
 
 	"repro/internal/collection"
 	"repro/internal/core"
 	"repro/internal/invlist"
+	"repro/internal/tokenize"
 )
 
+// Snapshot file formats. Two versions coexist:
+//
+// Version 1 (legacy) is the collection binary format (magic "SSCOL1"),
+// written by Save: one frozen corpus, no mutation history. Version 2 is
+// the live-snapshot format written by SaveLive:
+//
+//	magic "SSSNAP\n\x00", version byte (2)
+//	payload CRC32 (of everything after this field)
+//	tokenizer name: uvarint len + bytes
+//	numDocs u32
+//	per doc: flag u8 (bit0 = tombstoned), uvarint len + source bytes
+//
+// The document log is stored in id order including tombstoned entries,
+// so a save/load cycle preserves every id a caller may still hold.
+// Index structures and statistics are derived state, rebuilt on load.
+// Files with the snapshot magic but an unknown version byte are
+// rejected with ErrUnknownVersion: future formats must not be
+// misparsed.
+const (
+	snapMagic = "SSSNAP\n\x00"
+	snapV2    = 2
+)
+
+// ErrUnknownVersion reports a snapshot file with a format version this
+// build does not understand.
+var ErrUnknownVersion = errors.New("setsim: unknown snapshot format version")
+
+// SnapshotInfo describes a loaded snapshot file.
+type SnapshotInfo struct {
+	// Version is the file's format version: 1 for legacy collection
+	// files, 2 for live snapshots.
+	Version int
+	// Docs is the number of documents stored, including tombstoned ones.
+	Docs int
+	// Live is the number of live (non-tombstoned) documents.
+	Live int
+}
+
 // Save writes the engine's collection (dictionary, sets, sources) to
-// path in the library's binary format. Derived index structures are not
+// path in the legacy version-1 format. Derived index structures are not
 // stored: Load rebuilds them deterministically, which is fast relative
 // to I/O and keeps the file compact.
 func Save(path string, e *Engine) (err error) {
@@ -26,20 +70,262 @@ func Save(path string, e *Engine) (err error) {
 	return collection.Write(f, e.Collection())
 }
 
-// Load reads a collection written by Save and rebuilds the indexes per
-// cfg. The file's checksum is verified; a corrupt file yields an error
-// wrapping collection.ErrBadCollection.
-func Load(path string, cfg Config) (*Engine, error) {
+// SaveLive writes a mutable engine's snapshot to path in the version-2
+// format: the full document log with tombstone flags. The engine is
+// fully compacted first so the snapshot captures one settled
+// generation.
+func SaveLive(path string, le *LiveEngine) (err error) {
+	le.Compact()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return writeSnapshot(f, le.Tokenizer().Name(), le.Log())
+}
+
+func writeSnapshot(w io.Writer, tkName string, log []core.DocState) error {
+	var payload []byte
+	putUvarint := func(v uint64) {
+		var buf [10]byte
+		n := binary.PutUvarint(buf[:], v)
+		payload = append(payload, buf[:n]...)
+	}
+	putString := func(s string) {
+		putUvarint(uint64(len(s)))
+		payload = append(payload, s...)
+	}
+
+	putString(tkName)
+	var numBuf [4]byte
+	binary.LittleEndian.PutUint32(numBuf[:], uint32(len(log)))
+	payload = append(payload, numBuf[:]...)
+	for _, d := range log {
+		var flag byte
+		if d.Deleted {
+			flag = 1
+		}
+		payload = append(payload, flag)
+		putString(d.Source)
+	}
+
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(snapMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(snapV2); err != nil {
+		return err
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(payload))
+	if _, err := bw.Write(crcBuf[:]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(payload); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func readSnapshot(r io.Reader) (tk Tokenizer, log []core.DocState, err error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	head := make([]byte, len(snapMagic)+1+4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, nil, fmt.Errorf("%w: short header: %v", collection.ErrBadCollection, err)
+	}
+	if string(head[:len(snapMagic)]) != snapMagic {
+		return nil, nil, fmt.Errorf("%w: bad magic", collection.ErrBadCollection)
+	}
+	if v := head[len(snapMagic)]; v != snapV2 {
+		return nil, nil, fmt.Errorf("%w: %d", ErrUnknownVersion, v)
+	}
+	wantCRC := binary.LittleEndian.Uint32(head[len(snapMagic)+1:])
+	payload, err := io.ReadAll(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return nil, nil, fmt.Errorf("%w: checksum mismatch", collection.ErrBadCollection)
+	}
+
+	pos := 0
+	getString := func() (string, bool) {
+		n, sz := binary.Uvarint(payload[pos:])
+		if sz <= 0 || pos+sz+int(n) > len(payload) {
+			return "", false
+		}
+		s := string(payload[pos+sz : pos+sz+int(n)])
+		pos += sz + int(n)
+		return s, true
+	}
+
+	tkName, ok := getString()
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: truncated tokenizer name", collection.ErrBadCollection)
+	}
+	tk, err = tokenize.ParseName(tkName)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", collection.ErrBadCollection, err)
+	}
+	if pos+4 > len(payload) {
+		return nil, nil, fmt.Errorf("%w: truncated doc count", collection.ErrBadCollection)
+	}
+	numDocs := binary.LittleEndian.Uint32(payload[pos:])
+	pos += 4
+	log = make([]core.DocState, numDocs)
+	for i := range log {
+		if pos >= len(payload) {
+			return nil, nil, fmt.Errorf("%w: truncated doc flag", collection.ErrBadCollection)
+		}
+		flag := payload[pos]
+		pos++
+		src, ok := getString()
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: truncated doc source", collection.ErrBadCollection)
+		}
+		log[i] = core.DocState{Source: src, Deleted: flag&1 != 0}
+	}
+	if pos != len(payload) {
+		return nil, nil, fmt.Errorf("%w: %d trailing bytes", collection.ErrBadCollection, len(payload)-pos)
+	}
+	return tk, log, nil
+}
+
+// sniffVersion reads the leading magic of the file at path: 1 for the
+// legacy collection format, 2 for a live snapshot. Unknown snapshot
+// versions yield ErrUnknownVersion; anything else is rejected as a bad
+// collection.
+func sniffVersion(f *os.File) (int, error) {
+	head := make([]byte, len(snapMagic)+1)
+	n, err := io.ReadFull(f, head)
+	if err != nil && !errors.Is(err, io.ErrUnexpectedEOF) {
+		return 0, fmt.Errorf("%w: short header: %v", collection.ErrBadCollection, err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	head = head[:n]
+	if len(head) >= 8 && string(head[:8]) == "SSCOL1\n\x00" {
+		return 1, nil
+	}
+	if len(head) >= len(snapMagic) && string(head[:len(snapMagic)]) == snapMagic {
+		if len(head) > len(snapMagic) && head[len(snapMagic)] != snapV2 {
+			return 0, fmt.Errorf("%w: %d", ErrUnknownVersion, head[len(snapMagic)])
+		}
+		return snapV2, nil
+	}
+	return 0, fmt.Errorf("%w: bad magic", collection.ErrBadCollection)
+}
+
+// Open loads either snapshot version as a static Engine and reports
+// what was read. Version-2 snapshots index the live documents only;
+// their ids are re-assigned densely in id order (a static engine has no
+// tombstones), so callers that must preserve live ids should use
+// OpenLive instead.
+func Open(path string, cfg Config) (*Engine, SnapshotInfo, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, SnapshotInfo{}, err
 	}
 	defer f.Close()
-	c, err := collection.Read(f)
+	version, err := sniffVersion(f)
 	if err != nil {
-		return nil, fmt.Errorf("setsim: load %s: %w", path, err)
+		return nil, SnapshotInfo{}, fmt.Errorf("setsim: load %s: %w", path, err)
 	}
-	return core.NewEngine(c, cfg), nil
+	if version == 1 {
+		c, err := collection.Read(f)
+		if err != nil {
+			return nil, SnapshotInfo{}, fmt.Errorf("setsim: load %s: %w", path, err)
+		}
+		info := SnapshotInfo{Version: 1, Docs: c.NumSets(), Live: c.NumSets()}
+		return core.NewEngine(c, cfg), info, nil
+	}
+	tk, log, err := readSnapshot(f)
+	if err != nil {
+		return nil, SnapshotInfo{}, fmt.Errorf("setsim: load %s: %w", path, err)
+	}
+	b := collection.NewBuilder(tk, true)
+	live := 0
+	for _, d := range log {
+		if !d.Deleted && b.Add(d.Source) {
+			live++
+		}
+	}
+	info := SnapshotInfo{Version: snapV2, Docs: len(log), Live: live}
+	return core.NewEngine(b.Build(), cfg), info, nil
+}
+
+// OpenLive loads either snapshot version as a mutable engine and
+// reports what was read. The document log is replayed — tombstoned
+// entries included, preserving ids — and compacted into a single
+// segment before OpenLive returns.
+func OpenLive(path string, cfg LiveConfig) (*LiveEngine, SnapshotInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, SnapshotInfo{}, err
+	}
+	defer f.Close()
+	version, err := sniffVersion(f)
+	if err != nil {
+		return nil, SnapshotInfo{}, fmt.Errorf("setsim: load %s: %w", path, err)
+	}
+	var tk Tokenizer
+	var log []core.DocState
+	var info SnapshotInfo
+	switch version {
+	case 1:
+		c, err := collection.Read(f)
+		if err != nil {
+			return nil, SnapshotInfo{}, fmt.Errorf("setsim: load %s: %w", path, err)
+		}
+		if !c.HasSource() {
+			return nil, SnapshotInfo{}, fmt.Errorf("setsim: load %s: legacy snapshot lacks sources; cannot replay into a live engine", path)
+		}
+		tk = c.Tokenizer()
+		log = make([]core.DocState, c.NumSets())
+		for i := range log {
+			log[i] = core.DocState{Source: c.Source(collection.SetID(i))}
+		}
+		info = SnapshotInfo{Version: 1, Docs: len(log), Live: len(log)}
+	default:
+		tk, log, err = readSnapshot(f)
+		if err != nil {
+			return nil, SnapshotInfo{}, fmt.Errorf("setsim: load %s: %w", path, err)
+		}
+		live := 0
+		for _, d := range log {
+			if !d.Deleted {
+				live++
+			}
+		}
+		info = SnapshotInfo{Version: snapV2, Docs: len(log), Live: live}
+	}
+	le := core.NewLive(tk, cfg)
+	for _, d := range log {
+		id, err := le.Insert(d.Source)
+		if err != nil {
+			le.Close()
+			return nil, SnapshotInfo{}, fmt.Errorf("setsim: load %s: replay: %w", path, err)
+		}
+		if d.Deleted {
+			le.Delete(id)
+		}
+	}
+	le.Compact()
+	return le, info, nil
+}
+
+// Load reads a snapshot written by Save (or SaveLive) and rebuilds the
+// indexes per cfg. The file's checksum is verified; a corrupt file
+// yields an error wrapping collection.ErrBadCollection, and a snapshot
+// from a newer format version one wrapping ErrUnknownVersion.
+func Load(path string, cfg Config) (*Engine, error) {
+	e, _, err := Open(path, cfg)
+	return e, err
 }
 
 // SaveLists additionally writes the disk-resident inverted-list file

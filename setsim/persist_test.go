@@ -1,7 +1,9 @@
 package setsim_test
 
 import (
+	"errors"
 	"math"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -72,6 +74,27 @@ func TestLoadWithLists(t *testing.T) {
 		if len(got) != len(want) {
 			t.Fatalf("%v on disk lists: %d results, want %d", alg, len(got), len(want))
 		}
+	}
+}
+
+// TestUnknownSnapshotVersion: a snapshot with the right magic but a
+// future version byte must be rejected with ErrUnknownVersion by every
+// loader, never misparsed.
+func TestUnknownSnapshotVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "future.sssnap")
+	data := append([]byte("SSSNAP\n\x00"), 9) // version 9 does not exist
+	data = append(data, make([]byte, 16)...)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := setsim.Open(path, setsim.ListsOnly()); !errors.Is(err, setsim.ErrUnknownVersion) {
+		t.Errorf("Open: %v, want ErrUnknownVersion", err)
+	}
+	if _, _, err := setsim.OpenLive(path, setsim.LiveConfig{Config: setsim.ListsOnly()}); !errors.Is(err, setsim.ErrUnknownVersion) {
+		t.Errorf("OpenLive: %v, want ErrUnknownVersion", err)
+	}
+	if _, err := setsim.Load(path, setsim.ListsOnly()); !errors.Is(err, setsim.ErrUnknownVersion) {
+		t.Errorf("Load: %v, want ErrUnknownVersion", err)
 	}
 }
 
