@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"regexp"
 	"testing"
 	"time"
 
@@ -63,10 +64,21 @@ type MutateReport struct {
 // paths, and writes BENCH_core.json next to printing a table. The
 // warm-live cases run the same queries against a compacted
 // single-segment LiveEngine, so the segment store's fan-out overhead is
-// tracked against the monolithic engine; with mutate set, an
-// insert/delete/query workload then exercises background compaction and
-// its counters land in the report's mutate section.
-func runCore(setup experiments.Setup, outPath string, mutate bool) {
+// tracked against the monolithic engine; the sharded cases re-run the
+// batch (outer workers pinned to 1) and top-k workloads against
+// hash-partitioned engines at 1, 2, 4 and 8 shards so scatter-gather
+// scaling is tracked too; with mutate set, an insert/delete/query
+// workload then exercises background compaction and its counters land
+// in the report's mutate section.
+func runCore(setup experiments.Setup, outPath string, mutate bool, only string) {
+	var onlyRe *regexp.Regexp
+	if only != "" {
+		var err error
+		if onlyRe, err = regexp.Compile(only); err != nil {
+			fmt.Fprintln(os.Stderr, "ssbench: bad -only pattern:", err)
+			os.Exit(2)
+		}
+	}
 	fmt.Printf("building environment: %d rows, seed %d ... ", setup.Rows, setup.Seed)
 	start := time.Now()
 	env := experiments.BuildEnv(setup)
@@ -196,6 +208,57 @@ func runCore(setup experiments.Setup, outPath string, mutate bool) {
 		}},
 	}
 
+	// Shard scaling: the same corpus hash-partitioned into K complete
+	// engines, running the batch workload with one outer worker — so the
+	// per-query shard fan-out is the only parallelism and the K=1 → K=8
+	// progression isolates the scatter-gather layer — plus the top-k path,
+	// whose merge circulates the global k-th bound across shards.
+	for _, sc := range []int{1, 2, 4, 8} {
+		k := sc
+		se := core.BuildSharded(tokenize.QGramTokenizer{Q: 3}, env.Words, true, k, core.Config{
+			SkipInterval: setup.SkipInterval, NoHashes: true, NoRelational: true,
+		})
+		defer se.Close()
+		qs := make([]core.Query, nq)
+		for i, id := range qids {
+			qs[i] = se.Prepare(env.C.Source(id))
+		}
+		cases = append(cases,
+			struct {
+				name string
+				fn   func(b *testing.B)
+			}{fmt.Sprintf("sharded/batch/sf/tau=0.8/shards=%d", k), func(b *testing.B) {
+				se.SelectBatch(qs, 0.8, core.SF, nil, 1)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, br := range se.SelectBatch(qs, 0.8, core.SF, nil, 1) {
+						if br.Err != nil {
+							b.Fatal(br.Err)
+						}
+					}
+				}
+			}},
+			struct {
+				name string
+				fn   func(b *testing.B)
+			}{fmt.Sprintf("sharded/topk/sf/k=10/shards=%d", k), func(b *testing.B) {
+				for _, q := range qs {
+					if _, _, err := se.SelectTopK(q, 10, core.SF, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := se.SelectTopK(qs[i%len(qs)], 10, core.SF, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}},
+		)
+	}
+
 	report := CoreBenchReport{
 		Rows:      setup.Rows,
 		Queries:   nq,
@@ -204,6 +267,9 @@ func runCore(setup experiments.Setup, outPath string, mutate bool) {
 	}
 	fmt.Printf("\n%-28s %14s %12s %12s %12s\n", "case", "ns/op", "allocs/op", "B/op", "elems/op")
 	for _, c := range cases {
+		if onlyRe != nil && !onlyRe.MatchString(c.name) {
+			continue
+		}
 		r := testing.Benchmark(c.fn)
 		res := CoreBenchResult{
 			Name:        c.name,

@@ -24,6 +24,7 @@
 //	-dups N      Table I duplicates per cluster (default 4)
 //	-out FILE    core: output path for BENCH_core.json
 //	-mutate      core: also run the mutation workload
+//	-only RE     core: run only cases whose name matches RE
 package main
 
 import (
@@ -44,6 +45,7 @@ func main() {
 	dups := flag.Int("dups", 4, "Table I duplicates per cluster")
 	out := flag.String("out", "BENCH_core.json", "core: output path for the benchmark report")
 	mutate := flag.Bool("mutate", false, "core: also run an insert/delete/query workload on a live engine")
+	only := flag.String("only", "", "core: run only benchmark cases whose name matches this regexp")
 	flag.Parse()
 
 	which := "all"
@@ -53,7 +55,7 @@ func main() {
 	setup := experiments.Setup{Seed: *seed, Rows: *rows, Queries: *queries}
 
 	if which == "core" {
-		runCore(setup, *out, *mutate)
+		runCore(setup, *out, *mutate, *only)
 		return
 	}
 

@@ -5,14 +5,15 @@
 //
 //	ssindex build -in strings.txt -out index.bin [-q 3] [-skip 64]
 //	ssindex stat  -index index.bin [-in strings.txt]
-//	ssindex stat  -snap corpus.sscol [-v]
+//	ssindex stat  -snap corpus.sscol [-shards N] [-v]
 //
 // build tokenizes one string per input line into q-grams and writes the
 // weight-sorted lists, id-sorted lists and skip indexes. stat validates
 // the file and prints storage accounting; with -snap it instead opens a
-// saved snapshot (either format version: legacy collection or live
-// snapshot) and prints its layout, plus segment and compaction stats
-// under -v.
+// saved snapshot (any format version: legacy collection or live
+// snapshot) and prints its layout — including the stored shard count —
+// plus segment and compaction stats under -v. -shards overrides the
+// stored shard count when replaying the snapshot (0 keeps it).
 package main
 
 import (
@@ -45,7 +46,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: ssindex build -in strings.txt -out index.bin [-q 3] [-skip 64]")
 	fmt.Fprintln(os.Stderr, "       ssindex stat  -index index.bin")
-	fmt.Fprintln(os.Stderr, "       ssindex stat  -snap corpus.sscol [-v]")
+	fmt.Fprintln(os.Stderr, "       ssindex stat  -snap corpus.sscol [-shards N] [-v]")
 	os.Exit(2)
 }
 
@@ -95,12 +96,13 @@ func buildCmd(args []string) {
 func statCmd(args []string) {
 	fs := flag.NewFlagSet("stat", flag.ExitOnError)
 	index := fs.String("index", "", "index file")
-	snap := fs.String("snap", "", "snapshot file (either format version)")
+	snap := fs.String("snap", "", "snapshot file (any format version)")
+	shards := fs.Int("shards", 0, "with -snap: replay with this many shards (0 = as saved)")
 	verbose := fs.Bool("v", false, "with -snap: print segment and compaction stats")
 	fs.Parse(args)
 	switch {
 	case *snap != "":
-		snapStat(*snap, *verbose)
+		snapStat(*snap, *shards, *verbose)
 	case *index != "":
 		st, err := invlist.OpenFile(*index)
 		if err != nil {
@@ -114,22 +116,23 @@ func statCmd(args []string) {
 	}
 }
 
-// snapStat opens a snapshot of either format version through the live
+// snapStat opens a snapshot of any format version through the live
 // loader — which validates checksums and replays the document log — and
 // prints what it holds.
-func snapStat(path string, verbose bool) {
+func snapStat(path string, shards int, verbose bool) {
 	le, info, err := setsim.OpenLive(path, setsim.LiveConfig{
-		Config: setsim.ListsOnly(), NoBackground: true,
+		Config: setsim.ListsOnly(), NoBackground: true, Shards: shards,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	defer le.Close()
-	fmt.Printf("%s: valid v%d snapshot, %d docs (%d live, %d tombstoned)\n",
-		path, info.Version, info.Docs, info.Live, info.Docs-info.Live)
+	fmt.Printf("%s: valid v%d snapshot, %d docs (%d live, %d tombstoned), saved with %d shard(s)\n",
+		path, info.Version, info.Docs, info.Live, info.Docs-info.Live, info.Shards)
 	if verbose {
 		st := le.Stats()
-		fmt.Printf("segments: %d (epoch %d), memtable %d docs\n", st.Segments, st.Epoch, st.Memtable)
+		fmt.Printf("shards: %d, segments: %d (epoch %d), memtable %d docs\n",
+			le.NumShards(), st.Segments, st.Epoch, st.Memtable)
 		fmt.Printf("compactions: %d (last folded %d docs in %v), max drift %.3f\n",
 			st.Compactions, st.LastCompactionDocs, st.LastCompaction, st.MaxDrift)
 	}

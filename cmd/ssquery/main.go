@@ -3,17 +3,24 @@
 //
 // Usage:
 //
-//	ssquery -in strings.txt [-q 3] [-tau 0.8] [-alg sf] [-k 0] [query ...]
+//	ssquery -in strings.txt [-q 3] [-tau 0.8] [-alg sf] [-k 0] [-shards N] [query ...]
 //	ssquery -load corpus.sscol [-lists corpus.ssidx] [flags] [query ...]
 //
 // With no query arguments it reads queries from stdin, one per line.
-// -k > 0 switches to top-k mode (ignores -tau). -load opens either
+// -k > 0 switches to top-k mode (ignores -tau). -load opens any
 // snapshot version: a legacy collection saved with -save (or
 // setsim.Save), or a live snapshot written by setsim.SaveLive; both are
 // served through a LiveEngine, and -v prints its segment count and
 // last-compaction stats alongside the query metrics. -lists serves
 // queries from a disk-resident list file (setsim.SaveLists / ssindex
 // build) and requires a legacy collection file.
+//
+// -shards N hash-partitions the corpus into N complete engines sharing
+// global statistics and fans every query across them — answers are
+// bitwise-identical to the unsharded run. With -in, N > 1 builds a
+// sharded static engine; with -load, N is passed to the live engine (0
+// keeps the shard count a version-3 snapshot was saved with). Sharding
+// is incompatible with -lists and -save.
 package main
 
 import (
@@ -47,10 +54,19 @@ func main() {
 	algName := flag.String("alg", "sf", "algorithm: naive|sort-by-id|sql|ta|nra|ita|inra|sf|hybrid")
 	k := flag.Int("k", 0, "top-k mode when > 0 (sf or inra only)")
 	timeout := flag.Duration("timeout", 0, "per-query deadline (0 disables); expired queries abort mid-scan")
+	shards := flag.Int("shards", 0, "hash partitions to fan queries across (0 = unsharded, or a snapshot's saved count)")
 	verbose := flag.Bool("v", false, "print access statistics and a final metrics summary")
 	flag.Parse()
 	if *in == "" && *load == "" {
-		fmt.Fprintln(os.Stderr, "usage: ssquery -in strings.txt | -load corpus.sscol [-tau 0.8] [-alg sf] [query ...]")
+		fmt.Fprintln(os.Stderr, "usage: ssquery -in strings.txt | -load corpus.sscol [-tau 0.8] [-alg sf] [-shards N] [query ...]")
+		os.Exit(2)
+	}
+	if *shards > 1 && *lists != "" {
+		fmt.Fprintln(os.Stderr, "ssquery: -shards is incompatible with -lists (disk lists are unsharded)")
+		os.Exit(2)
+	}
+	if *shards > 1 && *save != "" {
+		fmt.Fprintln(os.Stderr, "ssquery: -shards is incompatible with -save (save the collection unsharded, then reload with -shards)")
 		os.Exit(2)
 	}
 	alg, ok := algNames[*algName]
@@ -98,14 +114,16 @@ func main() {
 		source = c.Source
 		summary = func() { fmt.Fprintln(os.Stderr, engine.Metrics().Snapshot()) }
 	case *load != "":
-		le, info, err := setsim.OpenLive(*load, setsim.LiveConfig{Config: cfg, NoBackground: true})
+		le, info, err := setsim.OpenLive(*load, setsim.LiveConfig{
+			Config: cfg, NoBackground: true, Shards: *shards,
+		})
 		if err != nil {
 			fatal(err)
 		}
 		defer le.Close()
 		st := le.Stats()
-		fmt.Fprintf(os.Stderr, "loaded v%d snapshot: %d docs (%d live), %d segment(s)\n",
-			info.Version, info.Docs, info.Live, st.Segments)
+		fmt.Fprintf(os.Stderr, "loaded v%d snapshot: %d docs (%d live), %d shard(s), %d segment(s)\n",
+			info.Version, info.Docs, info.Live, le.NumShards(), st.Segments)
 		doQuery = liveQuery(le, alg, *tau, *k)
 		source = func(id collection.SetID) string {
 			s, _ := le.Source(id)
@@ -117,21 +135,26 @@ func main() {
 			fmt.Fprintf(os.Stderr, "compactions: %d (last folded %d docs in %v)\n",
 				st.Compactions, st.LastCompactionDocs, st.LastCompaction)
 		}
+	case *shards > 1:
+		lines, err := readLines(*in)
+		if err != nil {
+			fatal(err)
+		}
+		se := core.BuildSharded(tokenize.QGramTokenizer{Q: *q}, lines, true, *shards, cfg)
+		defer se.Close()
+		fmt.Fprintf(os.Stderr, "indexed %d sets across %d shards\n", se.NumDocs(), se.NumShards())
+		doQuery = shardedQuery(se, alg, *tau, *k)
+		source = se.Source
+		summary = func() { fmt.Fprintln(os.Stderr, se.Metrics().Snapshot()) }
 	default:
-		f, err := os.Open(*in)
+		lines, err := readLines(*in)
 		if err != nil {
 			fatal(err)
 		}
 		b := collection.NewBuilder(tokenize.QGramTokenizer{Q: *q}, true)
-		sc := bufio.NewScanner(f)
-		sc.Buffer(make([]byte, 1<<20), 1<<20)
-		for sc.Scan() {
-			b.Add(sc.Text())
+		for _, s := range lines {
+			b.Add(s)
 		}
-		if err := sc.Err(); err != nil {
-			fatal(err)
-		}
-		f.Close()
 		c := b.Build()
 		if *save != "" {
 			sf, err := os.Create(*save)
@@ -187,6 +210,21 @@ func main() {
 	}
 }
 
+func readLines(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	return lines, sc.Err()
+}
+
 func staticQuery(e *core.Engine, alg core.Algorithm, tau float64, k int) func(context.Context, string) ([]core.Result, core.Stats, error) {
 	return func(ctx context.Context, line string) ([]core.Result, core.Stats, error) {
 		q := e.Prepare(line)
@@ -194,6 +232,16 @@ func staticQuery(e *core.Engine, alg core.Algorithm, tau float64, k int) func(co
 			return e.SelectTopKCtx(ctx, q, k, alg, nil)
 		}
 		return e.SelectCtx(ctx, q, tau, alg, nil)
+	}
+}
+
+func shardedQuery(se *core.ShardedEngine, alg core.Algorithm, tau float64, k int) func(context.Context, string) ([]core.Result, core.Stats, error) {
+	return func(ctx context.Context, line string) ([]core.Result, core.Stats, error) {
+		q := se.Prepare(line)
+		if k > 0 {
+			return se.SelectTopKCtx(ctx, q, k, alg, nil)
+		}
+		return se.SelectCtx(ctx, q, tau, alg, nil)
 	}
 }
 

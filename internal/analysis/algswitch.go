@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AlgSwitch forces every switch over an Algorithm value to be
+// exhaustive: the cases must cover every Algorithm constant declared in
+// the type's defining package, or the switch must carry a default case
+// with a non-empty body. The dispatch tables in core route each of the
+// paper's algorithms to its implementation; when a new algorithm
+// constant is added, a silent fall-through in any of them turns into a
+// query that returns nothing (or an engine that never consults the new
+// code path) with no error. An empty default does not count — it is
+// exactly the silent fall-through this rule exists to catch.
+var AlgSwitch = &Analyzer{
+	Name: "algswitch",
+	Doc:  "switches over Algorithm cover every algorithm constant or have a non-empty default",
+	Run:  runAlgSwitch,
+}
+
+func runAlgSwitch(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			named := algorithmNamed(pass.TypesInfo.TypeOf(sw.Tag))
+			if named == nil {
+				return true
+			}
+			consts := algorithmConsts(named)
+			if len(consts) == 0 {
+				return true
+			}
+			covered := map[string]bool{}
+			hasDefault := false
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					if len(cc.Body) > 0 {
+						hasDefault = true
+					}
+					continue
+				}
+				for _, e := range cc.List {
+					if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+						covered[tv.Value.ExactString()] = true
+					}
+				}
+			}
+			if hasDefault {
+				return true
+			}
+			var missing []string
+			for _, c := range consts {
+				if !covered[c.Val().ExactString()] {
+					missing = append(missing, c.Name())
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(sw.Switch, "switch over %s misses %s and has no non-empty default; unknown algorithms fall through silently",
+					named.Obj().Name(), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// algorithmNamed returns t as a named type called "Algorithm", or nil.
+// Aliases (setsim.Algorithm = core.Algorithm) resolve to the same named
+// type, so re-exported uses are covered too.
+func algorithmNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Name() != "Algorithm" || n.Obj().Pkg() == nil {
+		return nil
+	}
+	return n
+}
+
+// algorithmConsts collects every constant of the given Algorithm type
+// declared at the top level of its defining package, ordered by value so
+// diagnostics list missing algorithms in declaration (iota) order.
+func algorithmConsts(n *types.Named) []*types.Const {
+	scope := n.Obj().Pkg().Scope()
+	var consts []*types.Const
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), n) {
+			consts = append(consts, c)
+		}
+	}
+	sort.Slice(consts, func(i, j int) bool {
+		vi, _ := constant.Int64Val(consts[i].Val())
+		vj, _ := constant.Int64Val(consts[j].Val())
+		return vi < vj
+	})
+	return consts
+}

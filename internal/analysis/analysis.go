@@ -195,6 +195,7 @@ func Analyzers() []*Analyzer {
 		CtxPoll,
 		HotAlloc,
 		FloatEq,
+		AlgSwitch,
 		LockScope,
 		StdlibOnly,
 		AnnLive,

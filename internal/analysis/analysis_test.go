@@ -146,6 +146,7 @@ func TestCtxPollCorpus(t *testing.T)     { testCorpus(t, CtxPoll, "ctxpoll") }
 func TestCtxPollLaxCorpus(t *testing.T)  { testCorpus(t, CtxPoll, "ctxpoll_lax") }
 func TestHotAllocCorpus(t *testing.T)    { testCorpus(t, HotAlloc, "hotalloc") }
 func TestFloatEqCorpus(t *testing.T)     { testCorpus(t, FloatEq, "floateq") }
+func TestAlgSwitchCorpus(t *testing.T)   { testCorpus(t, AlgSwitch, "algswitch") }
 func TestLockScopeCorpus(t *testing.T)   { testCorpus(t, LockScope, "lockscope") }
 func TestStdlibOnlyCorpus(t *testing.T)  { testCorpus(t, StdlibOnly, "stdlibonly") }
 func TestAnnLiveCorpus(t *testing.T)     { testCorpusSuite(t, "annlive") }

@@ -1,0 +1,75 @@
+// Corpus for the algswitch analyzer: switches over an Algorithm-typed
+// value must cover every Algorithm constant or carry a non-empty
+// default.
+package corpus
+
+type Algorithm int
+
+const (
+	Naive Algorithm = iota
+	SF
+	Hybrid
+)
+
+// fullCoverage names every constant (multi-value cases count).
+func fullCoverage(a Algorithm) int {
+	switch a {
+	case Naive, SF:
+		return 0
+	case Hybrid:
+		return 2
+	}
+	return -1
+}
+
+// withDefault is incomplete but routes unknown values somewhere real.
+func withDefault(a Algorithm) int {
+	switch a {
+	case SF:
+		return 1
+	default:
+		return -1
+	}
+}
+
+func missingOne(a Algorithm) int {
+	switch a { // want "misses Hybrid and has no non-empty default"
+	case Naive:
+		return 0
+	case SF:
+		return 1
+	}
+	return -1
+}
+
+// emptyDefault is the silent fall-through in its purest form: the
+// default clause exists but does nothing.
+func emptyDefault(a Algorithm) int {
+	r := 0
+	switch a { // want "misses Naive, Hybrid and has no non-empty default"
+	case SF:
+		r = 1
+	default:
+	}
+	return r
+}
+
+// otherInt: switches over unrelated types are not this analyzer's
+// business, however incomplete.
+func otherInt(x int) int {
+	switch x {
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+// tagless: a switch with no tag expression is a chained if, not an
+// algorithm dispatch.
+func tagless(a Algorithm) int {
+	switch {
+	case a == SF:
+		return 1
+	}
+	return 0
+}

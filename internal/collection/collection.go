@@ -54,6 +54,16 @@ func NewBuilder(tk tokenize.Tokenizer, keepSource bool) *Builder {
 	return &Builder{dict: tokenize.NewDict(), tk: tk, keepSource: keepSource}
 }
 
+// NewBuilderWithDict returns a Builder interning tokens into a shared,
+// pre-populated dictionary instead of a private one. Sharded builds use
+// it so every partition assigns the same token ids: a query prepared
+// against any shard then carries identical token ids and weights, which
+// is what makes per-shard scores bitwise-equal to a monolithic build.
+// The dict must not be mutated concurrently with Add.
+func NewBuilderWithDict(dict *tokenize.Dict, tk tokenize.Tokenizer, keepSource bool) *Builder {
+	return &Builder{dict: dict, tk: tk, keepSource: keepSource}
+}
+
 // Add tokenizes s and appends it as the next set. Strings that produce no
 // tokens are skipped (the paper's measure is undefined on empty sets) and
 // Add reports false for them.

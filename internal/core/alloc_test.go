@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/collection"
+	"repro/internal/tokenize"
 )
 
 // warmAllocBudget is the steady-state allocation budget of one warm
@@ -83,5 +84,46 @@ func TestWarmTopKAllocations(t *testing.T) {
 		if avg > 4 {
 			t.Errorf("topk %v: %.2f allocs per warm query, budget 4", alg, avg)
 		}
+	}
+}
+
+// TestWarmShardedAllocations extends the warm budget to the fan-out: a
+// warm sharded selection may allocate at most one result copy per shard
+// (each shard's copy out of its scratch) plus a bounded constant — the
+// dispatch closure and the merged result slice. The executor descriptor,
+// the per-call fan buffers, and every shard's scratch are pooled.
+func TestWarmShardedAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; counts are meaningless")
+	}
+	docs := randomDocs(5000, 3, 8)
+	for _, K := range []int{1, 4} {
+		se := BuildSharded(tokenize.QGramTokenizer{Q: 3}, docs, true, K, Config{NoRelational: true})
+		rng := rand.New(rand.NewSource(17))
+		queries := make([]Query, 8)
+		for i := range queries {
+			queries[i] = se.Prepare(docs[rng.Intn(len(docs))])
+		}
+		budget := float64(K) + 3
+		for _, alg := range []Algorithm{SF, Hybrid} {
+			for _, q := range queries {
+				if _, _, err := se.Select(q, 0.6, alg, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			i := 0
+			avg := testing.AllocsPerRun(4*len(queries), func() {
+				q := queries[i%len(queries)]
+				i++
+				if _, _, err := se.Select(q, 0.6, alg, nil); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg > budget {
+				t.Errorf("K=%d %v: %.2f allocs per warm sharded query, budget %.0f",
+					K, alg, avg, budget)
+			}
+		}
+		se.Close()
 	}
 }

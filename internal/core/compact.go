@@ -1,14 +1,26 @@
-// Compaction folds the memtable and small or drifted segments into a
-// fresh immutable segment, rebuilt with the current global statistics
-// baked in (collection.BuildWithStats), and publishes the result by
-// swapping a new copy-on-write snapshot. Queries in flight keep reading
-// the snapshot they pinned; the swap advances the epoch and the old
-// segments are garbage-collected once the last pinned reader returns —
-// epoch-based reclamation with the Go runtime as the grace period.
+// Compaction folds each shard's memtable and small or drifted segments
+// into a fresh immutable segment per shard, rebuilt with the current
+// global statistics baked in (collection.BuildWithStats), and publishes
+// the result by swapping a new copy-on-write snapshot. Queries in
+// flight keep reading the snapshot they pinned; the swap advances the
+// epoch and the old segments are garbage-collected once the last pinned
+// reader returns — epoch-based reclamation with the Go runtime as the
+// grace period.
+//
+// Every shard rebuilt in one round shares a single token dictionary,
+// interned over the round's surviving documents in global id order, and
+// a single statistics snapshot: after a full compaction each shard is
+// exactly the partition a sharded static build over the live documents
+// would produce, so sharded answers stay bitwise-identical to
+// monolithic ones. Drift coordination falls out of the same round
+// structure — when any shard's statistics drift past the bound, the
+// round escalates to full and every drifted shard rebuilds against the
+// fresh global statistics, while clean single-segment shards are left
+// untouched.
 //
 // Only the snapshot swap and the bookkeeping recount hold the engine
-// lock; gathering survivors takes it in read mode and the index build —
-// the expensive part — runs with no lock at all, so mutations and
+// lock; gathering survivors takes it in read mode and the index builds —
+// the expensive part — run with no lock at all, so mutations and
 // queries proceed while a compaction is running. Compactions themselves
 // are serialized by compactMu.
 package core
@@ -18,14 +30,15 @@ import (
 	"time"
 
 	"repro/internal/collection"
+	"repro/internal/tokenize"
 )
 
-// Compact synchronously folds everything — all segments and the
-// memtable — into a single immutable segment, reclaiming tombstoned
-// documents and refreshing every baked statistic. It reports whether any
-// work was done. After Compact returns (with no concurrent mutations)
-// the engine answers queries bitwise-identically to a static Engine
-// built over the live documents.
+// Compact synchronously folds everything — all segments and memtables of
+// every shard — into one immutable segment per shard, reclaiming
+// tombstoned documents and refreshing every baked statistic. It reports
+// whether any work was done. After Compact returns (with no concurrent
+// mutations) the engine answers queries bitwise-identically to a static
+// engine built over the live documents with the same shard count.
 func (le *LiveEngine) Compact() bool {
 	return le.compactOnce(true)
 }
@@ -48,29 +61,57 @@ type docRef struct {
 	source string
 }
 
-// compactOnce runs one compaction round. With full set (or when the
-// segment count or statistics drift exceeds its bound) every segment is
-// folded; otherwise only the memtable and segments smaller than the
-// flush threshold are.
+// shardWork is one shard's share of a compaction round. A nil fold map
+// marks a shard the round leaves untouched.
+type shardWork struct {
+	work []docRef
+	fold map[*liveSegment]bool
+	memN int
+}
+
+// compactOnce runs one compaction round. With full set (or when any
+// shard's segment count or statistics drift exceeds its bound) every
+// segment of every participating shard is folded; otherwise only the
+// memtables and undersized segments are.
 func (le *LiveEngine) compactOnce(full bool) bool {
 	le.compactMu.Lock()
 	defer le.compactMu.Unlock()
 	start := time.Now()
 
-	work, fold, memN, ok := le.gather(full)
+	works, all, ok := le.gather(full)
 	if !ok {
 		return false
 	}
 
-	// Build the replacement segment without holding the lock: the sources
-	// were copied out and the builder is private. Insert validated every
-	// document, so Add cannot produce an empty set.
-	var seg *liveSegment
-	if len(work) > 0 {
-		b := collection.NewBuilder(le.tk, true)
-		ids := make([]collection.SetID, 0, len(work))
+	// One dictionary for every segment built this round, interned over
+	// the union of survivors in global id order: after a full compaction
+	// each shard assigns the same token ids a monolithic rebuild would,
+	// which keeps query preparation — and so every accumulation order —
+	// identical across the partitions.
+	dict := tokenize.NewDict()
+	var toks []string
+	for _, ref := range all {
+		toks = le.tk.Tokens(toks[:0], ref.source)
+		for _, t := range toks {
+			dict.Intern(t)
+		}
+	}
+
+	// Build the replacement segments without holding the lock: the
+	// sources were copied out and the builders are private. Insert
+	// validated every document, so Add cannot produce an empty set.
+	builders := make([]*collection.Builder, len(works))
+	idLists := make([][]collection.SetID, len(works))
+	identities := make([]bool, len(works))
+	for si := range works {
+		w := &works[si]
+		if w.fold == nil || len(w.work) == 0 {
+			continue // untouched shard, or every gathered doc was deleted
+		}
+		b := collection.NewBuilderWithDict(dict, le.tk, true)
+		ids := make([]collection.SetID, 0, len(w.work))
 		identity := true
-		for _, ref := range work {
+		for _, ref := range w.work {
 			if b.Add(ref.source) {
 				if ref.id != collection.SetID(len(ids)) {
 					identity = false
@@ -78,120 +119,169 @@ func (le *LiveEngine) compactOnce(full bool) bool {
 				ids = append(ids, ref.id)
 			}
 		}
-		c, builtN, builtMut := le.bakeStats(b)
-		seg = &liveSegment{
-			eng:      NewEngine(c, le.cfg.Config),
-			ids:      ids,
+		builders[si], idLists[si], identities[si] = b, ids, identity
+	}
+	colls, builtN, builtMut := le.bakeStats(builders)
+	segs := make([]*liveSegment, len(works))
+	for si := range works {
+		if colls[si] == nil {
+			continue
+		}
+		segs[si] = &liveSegment{
+			eng:      NewEngine(colls[si], le.cfg.Config),
+			ids:      idLists[si],
 			builtN:   builtN,
 			builtMut: builtMut,
-			identity: identity,
+			identity: identities[si],
 		}
 	}
 
-	le.swapSegments(fold, memN, seg)
+	le.swapSegments(works, segs)
 	le.compactions.Add(1)
 	le.lastCompactNs.Store(int64(time.Since(start)))
-	le.lastCompactDocs.Store(int64(len(work)))
+	le.lastCompactDocs.Store(int64(len(all)))
 	return true
 }
 
-// gather pins the current snapshot and copies out the surviving
-// documents of the segments to fold plus the memtable prefix. It reports
-// ok=false when the round would be pure churn: no memtable, nothing to
-// merge, no tombstones to reclaim.
-func (le *LiveEngine) gather(full bool) (work []docRef, fold map[*liveSegment]bool, memN int, ok bool) {
+// gather pins the current snapshot and copies out, per shard, the
+// surviving documents of the segments to fold plus the memtable prefix.
+// all is the id-sorted union across shards (the dictionary interning
+// order). A shard whose round would be pure churn — no memtable, at most
+// one segment to fold, no tombstones to reclaim, no statistics drift —
+// is skipped (nil fold map); ok is false when every shard is skipped.
+func (le *LiveEngine) gather(full bool) (works []shardWork, all []docRef, ok bool) {
 	le.mu.RLock()
 	defer le.mu.RUnlock()
 	snap := le.snap.Load()
 	if !full {
-		full = len(snap.segs) > le.cfg.MaxSegments ||
-			le.maxDriftLocked(snap) > le.cfg.DriftBound
-	}
-	fold = map[*liveSegment]bool{}
-	var deadIn int64
-	for _, g := range snap.segs {
-		if full || g.liveDocs() < le.cfg.FlushThreshold {
-			fold[g] = true
-			deadIn += g.dead.Load()
-		}
-	}
-	memN = len(snap.mem)
-	// Pure churn: rebuilding fewer than two parts with nothing to reclaim
-	// would produce an identical segment.
-	if memN == 0 && len(fold) < 2 && deadIn == 0 {
-		return nil, nil, 0, false
-	}
-	for _, g := range snap.segs {
-		if !fold[g] {
-			continue
-		}
-		for _, gid := range g.ids {
-			if !le.log[gid].deleted {
-				work = append(work, docRef{id: gid, source: le.log[gid].source})
+		full = le.maxDriftLocked(snap) > le.cfg.DriftBound
+		for si := range snap.shards {
+			if len(snap.shards[si].segs) > le.cfg.MaxSegments {
+				full = true
 			}
 		}
 	}
-	for _, d := range snap.mem[:memN] {
-		if !le.log[d.id].deleted {
-			work = append(work, docRef{id: d.id, source: le.log[d.id].source})
+	works = make([]shardWork, len(snap.shards))
+	any := false
+	for si := range snap.shards {
+		sh := &snap.shards[si]
+		w := &works[si]
+		fold := map[*liveSegment]bool{}
+		var deadIn int64
+		drifted := false
+		for _, g := range sh.segs {
+			if full || g.liveDocs() < le.cfg.FlushThreshold {
+				fold[g] = true
+				deadIn += g.dead.Load()
+			}
+			if float64(le.mutations-g.builtMut)/float64(g.builtN) > le.cfg.DriftBound {
+				drifted = true
+			}
 		}
+		if len(sh.mem) == 0 && len(fold) < 2 && deadIn == 0 && !drifted {
+			continue // pure churn: an identical segment would come back
+		}
+		any = true
+		w.fold = fold
+		w.memN = len(sh.mem)
+		for _, g := range sh.segs {
+			if !fold[g] {
+				continue
+			}
+			for _, gid := range g.ids {
+				if !le.log[gid].deleted {
+					w.work = append(w.work, docRef{id: gid, source: le.log[gid].source})
+				}
+			}
+		}
+		for _, d := range sh.mem[:w.memN] {
+			if !le.log[d.id].deleted {
+				w.work = append(w.work, docRef{id: d.id, source: le.log[d.id].source})
+			}
+		}
+		sort.Slice(w.work, func(i, j int) bool { return w.work[i].id < w.work[j].id })
+		all = append(all, w.work...)
 	}
-	sort.Slice(work, func(i, j int) bool { return work[i].id < work[j].id })
-	return work, fold, memN, true
+	if !any {
+		return nil, nil, false
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+	return works, all, true
 }
 
-// bakeStats freezes the builder under the current global statistics:
-// the segment's weights and lengths are computed against the live corpus
-// size and document frequencies, not its own sub-corpus.
-func (le *LiveEngine) bakeStats(b *collection.Builder) (*collection.Collection, int, uint64) {
+// bakeStats freezes every round builder under one consistent view of the
+// global statistics — a single read-lock spans all the builds, so the
+// segments of one compaction round share identical baked weights.
+func (le *LiveEngine) bakeStats(builders []*collection.Builder) ([]*collection.Collection, int, uint64) {
 	le.mu.RLock()
 	defer le.mu.RUnlock()
 	builtN := le.liveN
 	if builtN < 1 {
 		builtN = 1 // matches the BuildWithStats floor; keeps drift finite
 	}
-	c := b.BuildWithStats(builtN, func(t string) int { return le.df[t] })
-	return c, builtN, le.mutations
+	dfFn := func(t string) int { return le.df[t] }
+	colls := make([]*collection.Collection, len(builders))
+	for i, b := range builders {
+		if b != nil {
+			colls[i] = b.BuildWithStats(builtN, dfFn)
+		}
+	}
+	return colls, builtN, le.mutations
 }
 
-// swapSegments publishes the post-compaction snapshot: the folded
-// segments are replaced by seg (nil when every gathered document had
-// been deleted), the consumed memtable prefix is dropped, and the
-// tombstone accounting is recounted from the log.
-func (le *LiveEngine) swapSegments(fold map[*liveSegment]bool, memN int, seg *liveSegment) {
+// swapSegments publishes the post-compaction snapshot: in every
+// participating shard the folded segments are replaced by its new
+// segment (nil when every gathered document had been deleted) and the
+// consumed memtable prefix is dropped; untouched shards carry over.
+// Tombstone accounting is recounted from the log.
+func (le *LiveEngine) swapSegments(works []shardWork, newSegs []*liveSegment) {
 	le.mu.Lock()
 	defer le.mu.Unlock()
 	cur := le.snap.Load()
-	segs := make([]*liveSegment, 0, len(cur.segs)+1)
-	for _, g := range cur.segs {
-		if !fold[g] {
-			segs = append(segs, g)
+	shards := make([]liveShard, len(cur.shards))
+	for si := range cur.shards {
+		sh := &cur.shards[si]
+		w := &works[si]
+		if w.fold == nil {
+			shards[si] = *sh
+			continue
 		}
-	}
-	if seg != nil {
-		segs = append(segs, seg)
-	}
-	// The memtable may have grown since gather; keep the unconsumed tail.
-	mem := make([]memDoc, len(cur.mem)-memN)
-	copy(mem, cur.mem[memN:])
-	le.snap.Store(&liveSnapshot{epoch: le.epoch.Add(1), segs: segs, mem: mem})
-	// Documents deleted between gather and here survived into seg (the
-	// emit-time tombstone check hides them); recount dead and tombs from
-	// the log so drift triggers and top-k over-fetch stay accurate.
-	var tombs int64
-	for _, g := range segs {
-		var dead int64
-		for _, gid := range g.ids {
-			if le.log[gid].deleted {
-				dead++
+		segs := make([]*liveSegment, 0, len(sh.segs)+1)
+		for _, g := range sh.segs {
+			if !w.fold[g] {
+				segs = append(segs, g)
 			}
 		}
-		g.dead.Store(dead)
-		tombs += dead
+		if newSegs[si] != nil {
+			segs = append(segs, newSegs[si])
+		}
+		// The memtable may have grown since gather; keep the unconsumed
+		// tail.
+		mem := make([]memDoc, len(sh.mem)-w.memN)
+		copy(mem, sh.mem[w.memN:])
+		shards[si] = liveShard{segs: segs, mem: mem}
 	}
-	for _, d := range mem {
-		if le.log[d.id].deleted {
-			tombs++
+	le.snap.Store(&liveSnapshot{epoch: le.epoch.Add(1), shards: shards})
+	// Documents deleted between gather and here survived into the new
+	// segments (the emit-time tombstone check hides them); recount dead
+	// and tombs from the log so drift triggers and top-k over-fetch stay
+	// accurate.
+	var tombs int64
+	for si := range shards {
+		for _, g := range shards[si].segs {
+			var dead int64
+			for _, gid := range g.ids {
+				if le.log[gid].deleted {
+					dead++
+				}
+			}
+			g.dead.Store(dead)
+			tombs += dead
+		}
+		for _, d := range shards[si].mem {
+			if le.log[d.id].deleted {
+				tombs++
+			}
 		}
 	}
 	le.tombs.Store(tombs)

@@ -23,6 +23,7 @@ import (
 func (e *Engine) selectHybrid(s *queryScratch, cc *canceller, q Query, tau float64, o *Options, stats *Stats) ([]Result, error) {
 	lo, hi := lengthWindow(q, tau, o)
 	lists := e.openLists(s, cc, q, lo, o, stats)
+	fillIDFSq(s, q)
 	n := len(lists)
 
 	suffix := resliceFloats(s.f0, n+1)
@@ -77,8 +78,11 @@ func (e *Engine) selectHybrid(s *queryScratch, cc *canceller, q Query, tau float
 					}
 				}
 				if c.nResolved == n {
-					if sim.Meets(c.lower, tau) {
-						out = append(out, Result{ID: c.id, Score: c.lower})
+					// Round-robin accumulation order is list-state
+					// dependent; the canonical rescore decides and
+					// scores the emission (every completion site here).
+					if meetsPre(c.lower, tau) {
+						out = e.emitRescored(s, q, c.id, tau, out)
 					}
 					c.dead = true
 					live--
@@ -136,8 +140,8 @@ func (e *Engine) selectHybrid(s *queryScratch, cc *canceller, q Query, tau float
 				c := &s.imp[slot]
 				c.resolveSeen(i, l.idfSq, l.w(q.Len, p.Len))
 				if c.nResolved == n {
-					if sim.Meets(c.lower, tau) {
-						out = append(out, Result{ID: c.id, Score: c.lower})
+					if meetsPre(c.lower, tau) {
+						out = e.emitRescored(s, q, c.id, tau, out)
 					}
 					c.dead = true
 					live--
@@ -161,8 +165,8 @@ func (e *Engine) selectHybrid(s *queryScratch, cc *canceller, q Query, tau float
 			// and no unseen element can qualify (the λ argument).
 			for ci := range s.imp {
 				c := &s.imp[ci]
-				if !c.dead && sim.Meets(c.lower, tau) {
-					out = append(out, Result{ID: c.id, Score: c.lower})
+				if !c.dead && meetsPre(c.lower, tau) {
+					out = e.emitRescored(s, q, c.id, tau, out)
 				}
 			}
 			return out, listsErr(lists)
@@ -194,8 +198,8 @@ func (e *Engine) selectHybrid(s *queryScratch, cc *canceller, q Query, tau float
 				}
 			}
 			if c.nResolved == n {
-				if sim.Meets(c.lower, tau) {
-					out = append(out, Result{ID: c.id, Score: c.lower})
+				if meetsPre(c.lower, tau) {
+					out = e.emitRescored(s, q, c.id, tau, out)
 				}
 				c.dead = true
 				live--

@@ -114,6 +114,7 @@ func admit(s *queryScratch, lists []listState, seenIn int, p invlist.Posting, q 
 func (e *Engine) selectINRA(s *queryScratch, cc *canceller, q Query, tau float64, o *Options, stats *Stats) ([]Result, error) {
 	lo, hi := lengthWindow(q, tau, o)
 	lists := e.openLists(s, cc, q, lo, o, stats)
+	fillIDFSq(s, q)
 	n := len(lists)
 	s.tbl.reset()
 	s.imp = s.imp[:0]
@@ -149,8 +150,11 @@ func (e *Engine) selectINRA(s *queryScratch, cc *canceller, q Query, tau float64
 				c := &s.imp[slot]
 				c.resolveSeen(i, l.idfSq, l.w(q.Len, p.Len))
 				if c.nResolved == n {
-					if sim.Meets(c.lower, tau) {
-						out = append(out, Result{ID: c.id, Score: c.lower})
+					// Round-robin accumulation order is list-state
+					// dependent; the canonical rescore decides and
+					// scores the emission (every completion site here).
+					if meetsPre(c.lower, tau) {
+						out = e.emitRescored(s, q, c.id, tau, out)
 					}
 					c.dead = true
 					live--
@@ -172,8 +176,8 @@ func (e *Engine) selectINRA(s *queryScratch, cc *canceller, q Query, tau float64
 			// scores are complete.
 			for ci := range s.imp {
 				c := &s.imp[ci]
-				if !c.dead && sim.Meets(c.lower, tau) {
-					out = append(out, Result{ID: c.id, Score: c.lower})
+				if !c.dead && meetsPre(c.lower, tau) {
+					out = e.emitRescored(s, q, c.id, tau, out)
 				}
 			}
 			return out, listsErr(lists)
@@ -205,8 +209,8 @@ func (e *Engine) selectINRA(s *queryScratch, cc *canceller, q Query, tau float64
 				}
 			}
 			if c.nResolved == n {
-				if sim.Meets(c.lower, tau) {
-					out = append(out, Result{ID: c.id, Score: c.lower})
+				if meetsPre(c.lower, tau) {
+					out = e.emitRescored(s, q, c.id, tau, out)
 				}
 				c.dead = true
 				live--

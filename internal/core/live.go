@@ -51,6 +51,14 @@ type LiveConfig struct {
 	// NoBackground disables the compaction goroutine; Compact must then
 	// be called explicitly. Deterministic tests use it.
 	NoBackground bool
+	// Shards is the number of hash partitions the live corpus is split
+	// into. Each shard owns its own segment list and memtable: mutations
+	// route to one shard by a hash of the document id, and queries fan
+	// out across all shards. Compaction rounds rebuild every drifted
+	// shard against one shared statistics snapshot, so the partitions
+	// never diverge on scores. ≤ 0 selects 1 (a single partition, the
+	// exact monolithic behavior).
+	Shards int
 }
 
 // Errors returned by the mutation API.
@@ -117,13 +125,36 @@ func (g *liveSegment) emit(res []Result, del *tombstones) []Result {
 
 func (g *liveSegment) liveDocs() int { return len(g.ids) - int(g.dead.Load()) }
 
-// liveSnapshot is the frozen world a query runs against: the segment
-// list and the memtable prefix published at one instant. Snapshots are
-// immutable; mutations publish a fresh one.
+// liveShard is one hash partition of the live corpus: its immutable
+// segments plus its own memtable. Mutations route to a shard by id
+// hash; queries fan out over every shard and merge.
+type liveShard struct {
+	segs []*liveSegment
+	mem  []memDoc
+}
+
+// liveSnapshot is the frozen world a query runs against: every shard's
+// segment list and memtable prefix published at one instant. Snapshots
+// are immutable; mutations publish a fresh one.
 type liveSnapshot struct {
-	epoch uint64
-	segs  []*liveSegment
-	mem   []memDoc
+	epoch  uint64
+	shards []liveShard
+}
+
+func (s *liveSnapshot) memDocs() int {
+	n := 0
+	for i := range s.shards {
+		n += len(s.shards[i].mem)
+	}
+	return n
+}
+
+func (s *liveSnapshot) numSegs() int {
+	n := 0
+	for i := range s.shards {
+		n += len(s.shards[i].segs)
+	}
+	return n
 }
 
 // tombstones is a grow-only atomic bitmap over global ids. Bits are set
@@ -150,9 +181,10 @@ func (t *tombstones) has(id collection.SetID) bool {
 // selection surface as Engine fanned out over segments. All methods are
 // safe for concurrent use.
 type LiveEngine struct {
-	tk  tokenize.Tokenizer
-	cfg LiveConfig
-	m   *metrics.Registry
+	tk      tokenize.Tokenizer
+	cfg     LiveConfig
+	m       *metrics.Registry
+	nShards int
 
 	// mu guards the document log, the global df table, liveN, the
 	// mutation counter, and snapshot publication. Queries take no lock;
@@ -193,16 +225,20 @@ func NewLive(tk tokenize.Tokenizer, cfg LiveConfig) *LiveEngine {
 	if cfg.DriftBound <= 0 {
 		cfg.DriftBound = 0.25
 	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
 	cfg.Store = nil // each segment builds and owns its MemStore
 	le := &LiveEngine{
 		tk:        tk,
 		cfg:       cfg,
+		nShards:   cfg.Shards,
 		m:         metrics.NewRegistry(),
 		df:        map[string]int{},
 		compactCh: make(chan struct{}, 1),
 		closeCh:   make(chan struct{}),
 	}
-	le.snap.Store(&liveSnapshot{})
+	le.snap.Store(&liveSnapshot{shards: make([]liveShard, cfg.Shards)})
 	le.m.SetLiveGaugesFunc(le.gauges)
 	if !cfg.NoBackground {
 		le.wg.Add(1)
@@ -250,6 +286,10 @@ func (le *LiveEngine) Metrics() *metrics.Registry { return le.m }
 
 // Tokenizer returns the tokenizer documents are decomposed with.
 func (le *LiveEngine) Tokenizer() tokenize.Tokenizer { return le.tk }
+
+// NumShards reports the number of hash partitions the corpus is split
+// into.
+func (le *LiveEngine) NumShards() int { return le.nShards }
 
 // distinctTokens tokenizes s into its sorted distinct token strings.
 func distinctTokens(tk tokenize.Tokenizer, s string) []string {
@@ -335,14 +375,14 @@ func (le *LiveEngine) insertLocked(s string, toks []string) collection.SetID {
 		len2 += w * w
 	}
 	old := le.snap.Load()
-	// Appending to the shared backing array is safe: readers pinned on
-	// the old snapshot are bounded by its shorter slice header.
-	next := &liveSnapshot{
-		epoch: le.epoch.Add(1),
-		segs:  old.segs,
-		mem:   append(old.mem, memDoc{id: id, toks: toks, len: math.Sqrt(len2)}),
-	}
-	le.snap.Store(next)
+	sh := shardOf(id, le.nShards)
+	shards := make([]liveShard, len(old.shards))
+	copy(shards, old.shards)
+	// Appending to the owning shard's shared backing array is safe:
+	// readers pinned on the old snapshot are bounded by its shorter
+	// slice header.
+	shards[sh].mem = append(shards[sh].mem, memDoc{id: id, toks: toks, len: math.Sqrt(len2)})
+	le.snap.Store(&liveSnapshot{epoch: le.epoch.Add(1), shards: shards})
 	return id
 }
 
@@ -362,7 +402,8 @@ func (le *LiveEngine) deleteLocked(id collection.SetID) bool {
 	}
 	le.liveN--
 	le.mutations++
-	if g := segmentOf(le.snap.Load().segs, id); g != nil {
+	sh := shardOf(id, le.nShards)
+	if g := segmentOf(le.snap.Load().shards[sh].segs, id); g != nil {
 		g.dead.Add(1)
 	}
 	return true
@@ -408,9 +449,14 @@ func (le *LiveEngine) maybeKickLocked() {
 		return
 	}
 	snap := le.snap.Load()
-	if len(snap.mem) < le.cfg.FlushThreshold &&
-		len(snap.segs) <= le.cfg.MaxSegments &&
-		le.maxDriftLocked(snap) <= le.cfg.DriftBound {
+	kick := le.maxDriftLocked(snap) > le.cfg.DriftBound
+	for i := range snap.shards {
+		sh := &snap.shards[i]
+		if len(sh.mem) >= le.cfg.FlushThreshold || len(sh.segs) > le.cfg.MaxSegments {
+			kick = true
+		}
+	}
+	if !kick {
 		return
 	}
 	select {
@@ -424,9 +470,11 @@ func (le *LiveEngine) maybeKickLocked() {
 // relative to the corpus size its weights were baked from.
 func (le *LiveEngine) maxDriftLocked(snap *liveSnapshot) float64 {
 	var worst float64
-	for _, g := range snap.segs {
-		if d := float64(le.mutations-g.builtMut) / float64(g.builtN); d > worst {
-			worst = d
+	for i := range snap.shards {
+		for _, g := range snap.shards[i].segs {
+			if d := float64(le.mutations-g.builtMut) / float64(g.builtN); d > worst {
+				worst = d
+			}
 		}
 	}
 	return worst
@@ -482,8 +530,9 @@ type LiveStats struct {
 	Docs       int // documents ever inserted
 	Live       int // minus deletions
 	Tombstones int // deleted docs still occupying index entries
-	Memtable   int // docs in the scan-only memtable
-	Segments   int
+	Memtable   int // docs in the scan-only memtables, all shards
+	Segments   int // immutable segments, all shards
+	Shards     int // hash partitions
 	Epoch      uint64
 	// Compaction counters.
 	Compactions        uint64
@@ -502,8 +551,9 @@ func (le *LiveEngine) Stats() LiveStats {
 		Docs:               len(le.log),
 		Live:               le.liveN,
 		Tombstones:         int(le.tombs.Load()),
-		Memtable:           len(snap.mem),
-		Segments:           len(snap.segs),
+		Memtable:           snap.memDocs(),
+		Segments:           snap.numSegs(),
+		Shards:             le.nShards,
 		Epoch:              snap.epoch,
 		Compactions:        le.compactions.Load(),
 		LastCompaction:     time.Duration(le.lastCompactNs.Load()),
@@ -525,14 +575,14 @@ func (le *LiveEngine) gauges() metrics.LiveGauges {
 }
 
 // LiveQuery is a query pinned to one snapshot: per-segment prepared
-// queries (each against that segment's dictionary and baked statistics)
-// plus the token weights the memtable scan scores with. It may be reused
-// across Select calls; mutations applied after Prepare are invisible to
-// it, except deletions, which the emit-time tombstone check always
-// honours.
+// queries for every shard (each against that segment's dictionary and
+// baked statistics) plus the token weights the memtable scans score
+// with. It may be reused across Select calls; mutations applied after
+// Prepare are invisible to it, except deletions, which the emit-time
+// tombstone check always honours.
 type LiveQuery struct {
 	snap  *liveSnapshot
-	segQ  []Query
+	segQ  [][]Query // [shard][segment]
 	mem   memQuery
 	known bool // at least one query token occurs in the live corpus
 }
@@ -558,12 +608,19 @@ func (le *LiveEngine) Prepare(s string) LiveQuery {
 	le.mu.RUnlock()
 	lq := LiveQuery{
 		snap:  snap,
-		segQ:  make([]Query, len(snap.segs)),
+		segQ:  make([][]Query, len(snap.shards)),
 		mem:   memQuery{toks: toks, idfSq: idfSq, qLen: math.Sqrt(len2)},
 		known: known,
 	}
-	for i, g := range snap.segs {
-		lq.segQ[i] = g.eng.Prepare(s)
+	for si := range snap.shards {
+		segs := snap.shards[si].segs
+		if len(segs) == 0 {
+			continue
+		}
+		lq.segQ[si] = make([]Query, len(segs))
+		for i, g := range segs {
+			lq.segQ[si][i] = g.eng.Prepare(s)
+		}
 	}
 	return lq
 }
@@ -592,19 +649,42 @@ func (le *LiveEngine) SelectCtx(ctx context.Context, lq LiveQuery, tau float64, 
 	}
 	start := time.Now()
 	del := le.del.Load()
-	single := len(snap.segs) == 1 && len(snap.mem) == 0
 	var out []Result
 	var err error
-	for i, g := range snap.segs {
-		if len(lq.segQ[i].Tokens) == 0 {
+	if len(snap.shards) == 1 {
+		out, stats, err = le.liveShardSelect(ctx, lq, 0, tau, alg, opts, del)
+	} else {
+		outs, sts, errs := le.liveFan(func(si int) ([]Result, Stats, error) {
+			return le.liveShardSelect(ctx, lq, si, tau, alg, opts, del)
+		})
+		out, stats, err = mergeLiveFan(outs, sts, errs)
+		sortResults(out)
+	}
+	stats.Elapsed = time.Since(start)
+	le.m.ObserveQuery(stats.Elapsed, stats.ElementsRead, err)
+	if err != nil {
+		return nil, stats, err
+	}
+	return out, stats, nil
+}
+
+// liveShardSelect answers a threshold query against one shard of the
+// pinned snapshot: its segments in order, then its memtable, results
+// sorted by ascending global id. On a shard holding a single fully
+// compacted segment the answer passes through with no merge work.
+func (le *LiveEngine) liveShardSelect(ctx context.Context, lq LiveQuery, si int, tau float64, alg Algorithm, opts *Options, del *tombstones) ([]Result, Stats, error) {
+	var stats Stats
+	sh := &lq.snap.shards[si]
+	single := len(sh.segs) == 1 && len(sh.mem) == 0
+	var out []Result
+	for i, g := range sh.segs {
+		if len(lq.segQ[si][i].Tokens) == 0 {
 			continue // no query token occurs in this segment
 		}
-		var res []Result
-		var st Stats
-		res, st, err = g.eng.SelectCtx(ctx, lq.segQ[i], tau, alg, opts)
+		res, st, err := g.eng.SelectCtx(ctx, lq.segQ[si][i], tau, alg, opts)
 		addStats(&stats, st)
 		if err != nil {
-			break
+			return nil, stats, err
 		}
 		res = g.emit(res, del)
 		if single {
@@ -613,18 +693,60 @@ func (le *LiveEngine) SelectCtx(ctx context.Context, lq LiveQuery, tau float64, 
 			out = append(out, res...)
 		}
 	}
-	if err == nil && len(snap.mem) > 0 {
+	if len(sh.mem) > 0 {
 		cc := &canceller{ctx: ctx}
-		stats.ListTotal += len(snap.mem)
-		out, err = scanMemtable(cc, snap.mem, lq.mem, tau, del, &stats, out)
-	}
-	stats.Elapsed = time.Since(start)
-	le.m.ObserveQuery(stats.Elapsed, stats.ElementsRead, err)
-	if err != nil {
-		return nil, stats, err
+		stats.ListTotal += len(sh.mem)
+		var err error
+		out, err = scanMemtable(cc, sh.mem, lq.mem, tau, del, &stats, out)
+		if err != nil {
+			return nil, stats, err
+		}
 	}
 	if !single {
 		sortResults(out)
+	}
+	return out, stats, nil
+}
+
+// liveFan runs fn(shard) for every shard concurrently. Live mutation
+// fan-out uses plain goroutines rather than the static executor: the
+// snapshot pins its own segment engines, and the K > 1 live path trades
+// the strict per-query allocation budget for partition concurrency.
+func (le *LiveEngine) liveFan(fn func(si int) ([]Result, Stats, error)) ([][]Result, []Stats, []error) {
+	k := le.nShards
+	outs := make([][]Result, k)
+	sts := make([]Stats, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	wg.Add(k)
+	for si := 0; si < k; si++ {
+		go func(si int) {
+			defer wg.Done()
+			outs[si], sts[si], errs[si] = fn(si)
+		}(si)
+	}
+	wg.Wait()
+	return outs, sts, errs
+}
+
+// mergeLiveFan folds the per-shard outcomes: summed stats, the first
+// shard error in shard order, and the concatenated (unsorted) results.
+func mergeLiveFan(outs [][]Result, sts []Stats, errs []error) ([]Result, Stats, error) {
+	var stats Stats
+	total := 0
+	for si := range sts {
+		addStats(&stats, sts[si])
+		if errs[si] != nil {
+			return nil, stats, errs[si]
+		}
+		total += len(outs[si])
+	}
+	if total == 0 {
+		return nil, stats, nil
+	}
+	out := make([]Result, 0, total)
+	for _, r := range outs {
+		out = append(out, r...)
 	}
 	return out, stats, nil
 }
@@ -653,27 +775,18 @@ func (le *LiveEngine) SelectTopKCtx(ctx context.Context, lq LiveQuery, k int, al
 	del := le.del.Load()
 	var out []Result
 	var err error
-	for i, g := range snap.segs {
-		if len(lq.segQ[i].Tokens) == 0 {
-			continue
-		}
-		kk := k + int(g.dead.Load())
-		if kk > len(g.ids) {
-			kk = len(g.ids)
-		}
-		var res []Result
-		var st Stats
-		res, st, err = g.eng.SelectTopKCtx(ctx, lq.segQ[i], kk, alg, opts)
-		addStats(&stats, st)
-		if err != nil {
-			break
-		}
-		out = append(out, g.emit(res, del)...)
-	}
-	if err == nil && len(snap.mem) > 0 {
-		cc := &canceller{ctx: ctx}
-		stats.ListTotal += len(snap.mem)
-		out, err = scanMemtable(cc, snap.mem, lq.mem, minPositiveTau, del, &stats, out)
+	if len(snap.shards) == 1 {
+		// nil sharedTau: the single-partition path is byte-for-byte the
+		// monolithic one.
+		out, stats, err = le.liveShardTopK(ctx, lq, 0, k, alg, opts, del, nil)
+	} else {
+		// One bound for the whole fleet: every shard prunes against the
+		// best k-th-score lower bound any shard has established so far.
+		var shared sharedTau
+		outs, sts, errs := le.liveFan(func(si int) ([]Result, Stats, error) {
+			return le.liveShardTopK(ctx, lq, si, k, alg, opts, del, &shared)
+		})
+		out, stats, err = mergeLiveFan(outs, sts, errs)
 	}
 	stats.Elapsed = time.Since(start)
 	le.m.ObserveQuery(stats.Elapsed, stats.ElementsRead, err)
@@ -683,6 +796,46 @@ func (le *LiveEngine) SelectTopKCtx(ctx context.Context, lq LiveQuery, k int, al
 	sortTopK(out)
 	if len(out) > k {
 		out = out[:k]
+	}
+	return out, stats, nil
+}
+
+// liveShardTopK answers a top-k query against one shard: each segment is
+// over-fetched by its tombstone count so deleted documents cannot
+// displace live answers, then the shard's memtable matches are appended.
+// The concatenation is left unsorted; the caller sorts and cuts once.
+// shared, when non-nil, circulates the cross-shard k-th-score bound:
+// raising it mid-scan tightens every other shard's Theorem 1 window.
+// Over-fetch keeps the bound sound — a segment's kk-th-best lower bound
+// never exceeds the global k-th live score, because at least k of its
+// top kk results survive the tombstone filter.
+func (le *LiveEngine) liveShardTopK(ctx context.Context, lq LiveQuery, si, k int, alg Algorithm, opts *Options, del *tombstones, shared *sharedTau) ([]Result, Stats, error) {
+	var stats Stats
+	sh := &lq.snap.shards[si]
+	var out []Result
+	for i, g := range sh.segs {
+		if len(lq.segQ[si][i].Tokens) == 0 {
+			continue
+		}
+		kk := k + int(g.dead.Load())
+		if kk > len(g.ids) {
+			kk = len(g.ids)
+		}
+		res, st, err := g.eng.selectTopKShard(ctx, lq.segQ[si][i], kk, alg, opts, shared)
+		addStats(&stats, st)
+		if err != nil {
+			return nil, stats, err
+		}
+		out = append(out, g.emit(res, del)...)
+	}
+	if len(sh.mem) > 0 {
+		cc := &canceller{ctx: ctx}
+		stats.ListTotal += len(sh.mem)
+		var err error
+		out, err = scanMemtable(cc, sh.mem, lq.mem, minPositiveTau, del, &stats, out)
+		if err != nil {
+			return nil, stats, err
+		}
 	}
 	return out, stats, nil
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"repro/internal/collection"
 	"repro/internal/sim"
-	"repro/internal/tokenize"
 )
 
 // selectNaive scans the whole collection, scoring every set directly from
@@ -14,14 +13,7 @@ import (
 // scan of the base table is unavoidable. The token-weight lookup map is
 // scratch state, cleared (not reallocated) per query.
 func (e *Engine) selectNaive(s *queryScratch, cc *canceller, q Query, tau float64, stats *Stats) ([]Result, error) {
-	if s.idfSq == nil {
-		s.idfSq = make(map[tokenize.Token]float64, len(q.Tokens))
-	} else {
-		clear(s.idfSq)
-	}
-	for _, qt := range q.Tokens {
-		s.idfSq[qt.Token] = qt.IDFSq
-	}
+	fillIDFSq(s, q)
 	out := s.results[:0]
 	defer func() { s.results = out }()
 	for id := 0; id < e.c.NumSets(); id++ {

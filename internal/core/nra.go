@@ -26,6 +26,7 @@ type nraCand struct {
 // a scan stops early at the first still-viable candidate.
 func (e *Engine) selectNRA(s *queryScratch, cc *canceller, q Query, tau float64, stats *Stats) ([]Result, error) {
 	lists := e.openLists(s, cc, q, 0, &Options{NoLengthBound: true}, stats)
+	fillIDFSq(s, q)
 	n := len(lists)
 	s.tbl.reset()
 	s.nra = s.nra[:0]
@@ -82,8 +83,11 @@ func (e *Engine) selectNRA(s *queryScratch, cc *canceller, q Query, tau float64,
 			// Every list exhausted: all scores are complete.
 			for ci := range s.nra {
 				c := &s.nra[ci]
-				if !c.dead && sim.Meets(c.lower, tau) {
-					out = append(out, Result{ID: c.id, Score: c.lower})
+				// Round-robin accumulation order is list-state
+				// dependent; the canonical rescore decides and scores
+				// the emission (here and at every completion below).
+				if !c.dead && meetsPre(c.lower, tau) {
+					out = e.emitRescored(s, q, c.id, tau, out)
 				}
 			}
 			return out, listsErr(lists)
@@ -113,8 +117,8 @@ func (e *Engine) selectNRA(s *queryScratch, cc *canceller, q Query, tau float64,
 					// candidate is definitively absent from it.
 				}
 				if complete {
-					if sim.Meets(c.lower, tau) {
-						out = append(out, Result{ID: c.id, Score: c.lower})
+					if meetsPre(c.lower, tau) {
+						out = e.emitRescored(s, q, c.id, tau, out)
 					}
 					c.dead = true
 					live--

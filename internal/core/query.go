@@ -34,9 +34,14 @@ type Query struct {
 func (e *Engine) Prepare(s string) Query {
 	counts, _ := tokenize.LookupCounts(e.c.Dict(), e.c.Tokenizer(), s, nil)
 	// LookupCounts drops unknown tokens; count the distinct ones so that
-	// len(q) stays faithful to Eq. 1.
-	all := e.c.Tokenizer().Tokens(nil, s)
-	return e.prepare(counts, countUnknownDistinct(e, all))
+	// len(q) stays faithful to Eq. 1. The raw token buffer comes from the
+	// query scratch pool: countUnknownDistinct only reads it, so it can be
+	// returned before prepare runs.
+	sc := e.getScratch()
+	sc.strs = e.c.Tokenizer().Tokens(sc.strs[:0], s)
+	unknown := countUnknownDistinct(e, sc.strs)
+	e.putScratch(sc)
+	return e.prepare(counts, unknown)
 }
 
 // countUnknownDistinct counts distinct tokens of the query string that the

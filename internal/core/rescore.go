@@ -1,0 +1,78 @@
+package core
+
+import (
+	"repro/internal/collection"
+	"repro/internal/sim"
+	"repro/internal/tokenize"
+)
+
+// Canonical emission scoring.
+//
+// The algorithms whose score accumulation order depends on list state —
+// SortByID (heap pop order among equal ids), TA/iTA (the sum starts at
+// whichever list surfaced the id first), NRA, iNRA, Hybrid and top-k
+// iNRA (round-robin encounter order) — would emit scores that drift by
+// an ulp or two when the same document meets the same query inside a
+// different partition of the corpus: the summands are identical but
+// float addition is not associative. The sharded executor requires
+// per-document scores to be bitwise partition-independent, so those
+// algorithms emit a canonical rescore instead: the same dot product,
+// re-summed in the document's token order, which depends only on the
+// document and the query. Naive, SQL and SF/top-k SF already accumulate
+// in a partition-independent order and emit their accumulated values
+// directly.
+//
+// The rescore is exact, not an approximation: at every emission site the
+// algorithm has proven the accumulated value to be the complete score
+// (all lists resolved), and the canonical sum ranges over exactly the
+// same terms.
+
+// fillIDFSq loads the query's squared token weights into the scratch
+// lookup map, cleared — not reallocated — per query.
+func fillIDFSq(s *queryScratch, q Query) {
+	if s.idfSq == nil {
+		s.idfSq = make(map[tokenize.Token]float64, len(q.Tokens))
+	} else {
+		clear(s.idfSq)
+	}
+	for _, qt := range q.Tokens {
+		s.idfSq[qt.Token] = qt.IDFSq
+	}
+}
+
+// rescore computes the exact Eq. 1 score of set id by the canonical
+// document-order dot product. s.idfSq must have been loaded by
+// fillIDFSq for the current query.
+func (e *Engine) rescore(s *queryScratch, q Query, id collection.SetID) float64 {
+	var dot float64
+	for _, cnt := range e.c.Set(id) {
+		if w, ok := s.idfSq[cnt.Token]; ok {
+			dot += w
+		}
+	}
+	return dot / (q.Len * e.c.Length(id))
+}
+
+// rescoreSlack widens the accumulated-score pre-filter that guards a
+// canonical rescore: the accumulated value may sit a reordering error
+// away from the canonical one, so the pre-filter admits anything within
+// this extra slack and lets the canonical gate make the emission
+// decision. The slack is enormously larger than any reordering error
+// (ulps on scores in [0,1]) and merely admits a few extra rescores.
+const rescoreSlack = 1e-9
+
+// emitRescored appends id to out when its canonical score meets tau.
+// The caller pre-filters with meetsPre on the accumulated value, so the
+// emission decision itself never depends on accumulation order.
+func (e *Engine) emitRescored(s *queryScratch, q Query, id collection.SetID, tau float64, out []Result) []Result {
+	if sc := e.rescore(s, q, id); sim.Meets(sc, tau) {
+		out = append(out, Result{ID: id, Score: sc})
+	}
+	return out
+}
+
+// meetsPre is the loosened pre-filter applied to accumulation-order-
+// dependent scores before a canonical rescore decides the emission.
+func meetsPre(score, tau float64) bool {
+	return score >= tau-sim.ScoreEpsilon-rescoreSlack
+}

@@ -49,6 +49,7 @@ type queryScratch struct {
 	idfSq   map[tokenize.Token]float64   // naive scan's token-weight lookup
 	relToks []relational.QueryToken      // SQL baseline's converted tokens
 	kth     kthBound                     // top-k rising bound
+	strs    []string                     // Prepare's raw token buffer
 }
 
 // newMask carves a zeroed listMask for n lists out of the scratch arena.

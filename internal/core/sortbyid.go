@@ -2,7 +2,6 @@ package core
 
 import (
 	"repro/internal/invlist"
-	"repro/internal/sim"
 )
 
 // selectSortByID is the multiway-merge baseline of §III-B: the id-sorted
@@ -15,6 +14,7 @@ import (
 // heap boxes every Push/Pop through interface{}), each entry caches its
 // head posting, and MemStore lists are iterated as raw slices.
 func (e *Engine) selectSortByID(s *queryScratch, cc *canceller, q Query, tau float64, stats *Stats) ([]Result, error) {
+	fillIDFSq(s, q)
 	reuser, _ := e.store.(invlist.CursorReuser)
 	for len(s.idcurs) < len(q.Tokens) {
 		s.idcurs = append(s.idcurs, nil)
@@ -58,8 +58,11 @@ func (e *Engine) selectSortByID(s *queryScratch, cc *canceller, q Query, tau flo
 			score += h[0].idfSq / (q.Len * p.Len)
 			h = mergeAdvance(h, stats)
 		}
-		if sim.Meets(score, tau) {
-			out = append(out, Result{ID: p.ID, Score: score})
+		// The aggregation order above follows heap history, so the
+		// accumulated score is only a pre-filter; the canonical rescore
+		// decides and supplies the emitted value.
+		if meetsPre(score, tau) {
+			out = e.emitRescored(s, q, p.ID, tau, out)
 		}
 	}
 	for _, cur := range s.idcurs[:len(q.Tokens)] {

@@ -169,6 +169,7 @@ func (e *Engine) selectTA(s *queryScratch, cc *canceller, q Query, tau float64, 
 	if cc.stop() {
 		return nil, cc.err
 	}
+	fillIDFSq(s, q)
 
 	var allIdfSq float64
 	for _, qt := range q.Tokens {
@@ -225,8 +226,11 @@ func (e *Engine) selectTA(s *queryScratch, cc *canceller, q Query, tau float64, 
 					score += lists[j].w(q.Len, p.Len)
 				}
 			}
-			if sim.Meets(score, tau) {
-				out = append(out, Result{ID: p.ID, Score: score})
+			// The sum starts at whichever list surfaced the id, so it
+			// is order-dependent; the canonical rescore decides the
+			// emission and supplies the value.
+			if meetsPre(score, tau) {
+				out = e.emitRescored(s, q, p.ID, tau, out)
 			}
 		}
 		stats.Rounds++

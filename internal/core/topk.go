@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/collection"
@@ -27,6 +29,61 @@ func (e *Engine) SelectTopK(q Query, k int, alg Algorithm, opts *Options) ([]Res
 // expiry stops the scan mid-list and returns ctx.Err() with the Stats
 // accumulated so far (same granularity guarantee as SelectCtx).
 func (e *Engine) SelectTopKCtx(ctx context.Context, q Query, k int, alg Algorithm, opts *Options) ([]Result, Stats, error) {
+	return e.selectTopKShard(ctx, q, k, alg, opts, nil)
+}
+
+// sharedTau circulates the global k-th-score lower bound across the
+// shards of a scatter-gather top-k query: whenever any shard's local
+// k-th bound rises, every other shard's next liveTau read picks it up
+// and prunes with the tighter Theorem 1 window. The bound is a lower
+// bound on the global k-th true score, so the pruning stays sound in
+// every shard (a candidate pruned against it cannot belong to the
+// global top k). Stored as float64 bits in an atomic; raises are
+// CAS-max, so the bound only grows.
+type sharedTau struct {
+	bits   atomic.Uint64
+	raises atomic.Uint64 // successful raises, reported by the shard: metrics line
+}
+
+// load returns the current shared bound (0 when unsharded: nil receiver).
+func (st *sharedTau) load() float64 {
+	if st == nil {
+		return 0
+	}
+	return math.Float64frombits(st.bits.Load())
+}
+
+// raise lifts the shared bound to at least tau.
+func (st *sharedTau) raise(tau float64) {
+	if st == nil || tau <= minPositiveTau {
+		return
+	}
+	for {
+		old := st.bits.Load()
+		if math.Float64frombits(old) >= tau {
+			return
+		}
+		if st.bits.CompareAndSwap(old, math.Float64bits(tau)) {
+			st.raises.Add(1)
+			return
+		}
+	}
+}
+
+// liveTau is the dynamic pruning threshold with the cross-shard bound
+// folded in. With shared == nil it is exactly the local k-th bound.
+func liveTau(b *kthBound, shared *sharedTau) float64 {
+	t := b.tau()
+	if s := shared.load(); s > t {
+		t = s
+	}
+	return t
+}
+
+// selectTopKShard is SelectTopKCtx with an optional cross-shard bound
+// (nil when the engine is queried stand-alone; the sharded executor
+// passes one sharedTau to all shards of a query).
+func (e *Engine) selectTopKShard(ctx context.Context, q Query, k int, alg Algorithm, opts *Options, shared *sharedTau) ([]Result, Stats, error) {
 	var o Options
 	if opts != nil {
 		o = *opts
@@ -50,9 +107,9 @@ func (e *Engine) SelectTopKCtx(ctx context.Context, q Query, k int, alg Algorith
 	case Naive:
 		res, err = e.topkNaive(s, cc, q, k)
 	case SF:
-		res, err = e.topkSF(s, cc, q, k, &o, &stats)
+		res, err = e.topkSF(s, cc, q, k, &o, &stats, shared)
 	case INRA:
-		res, err = e.topkINRA(s, cc, q, k, &o, &stats)
+		res, err = e.topkINRA(s, cc, q, k, &o, &stats, shared)
 	default:
 		err = ErrUnknownAlg
 	}
@@ -204,11 +261,20 @@ func (b *kthBound) tau() float64 {
 	return b.scores[0]
 }
 
+// offerShared records a candidate lower bound and publishes the local
+// k-th bound to the other shards when it may have risen.
+func offerShared(b *kthBound, shared *sharedTau, id collection.SetID, score float64) {
+	b.offer(id, score)
+	if shared != nil {
+		shared.raise(b.tau())
+	}
+}
+
 // topkSF runs Shortest-First with the rising bound: per-list cutoffs λᵢ
 // and viability tests are re-evaluated against the current τ, which
 // tightens as candidate lower bounds accumulate. The candidate machinery
 // is the same slab-and-index-slice layout as selectSF.
-func (e *Engine) topkSF(s *queryScratch, cc *canceller, q Query, k int, o *Options, stats *Stats) ([]Result, error) {
+func (e *Engine) topkSF(s *queryScratch, cc *canceller, q Query, k int, o *Options, stats *Stats, shared *sharedTau) ([]Result, error) {
 	lists := e.openLists(s, cc, q, 0, o, stats) // no static Theorem 1 window: τ starts at ~0
 	n := len(lists)
 	suffix := resliceFloats(s.f0, n+1)
@@ -237,7 +303,7 @@ func (e *Engine) topkSF(s *queryScratch, cc *canceller, q Query, k int, o *Optio
 				return nil, cc.err
 			}
 			p := l.posting()
-			tau := bound.tau()
+			tau := liveTau(bound, shared)
 			hi := q.Len / effTau(tau)
 			for mergePtr < len(c) && sfBefore(&s.sf[c[mergePtr]], p) {
 				cand := &s.sf[c[mergePtr]]
@@ -270,7 +336,7 @@ func (e *Engine) topkSF(s *queryScratch, cc *canceller, q Query, k int, o *Optio
 				if !cand.dead && !cand.seenCur {
 					cand.lower += l.w(q.Len, p.Len)
 					cand.seenCur = true
-					bound.offer(cand.id, cand.lower)
+					offerShared(bound, shared, cand.id, cand.lower)
 				}
 				continue
 			}
@@ -279,13 +345,13 @@ func (e *Engine) topkSF(s *queryScratch, cc *canceller, q Query, k int, o *Optio
 				slot := int32(len(s.sf) - 1)
 				s.tbl.put(p.ID, slot)
 				news = append(news, slot)
-				bound.offer(p.ID, s.sf[slot].lower)
+				offerShared(bound, shared, p.ID, s.sf[slot].lower)
 				stats.CandidatesInserted++
 			}
 		}
 
 		stats.CandidateScans++
-		tau := bound.tau()
+		tau := liveTau(bound, shared)
 		merged := s.i2[:0]
 		oi, ni := 0, 0
 		for oi < len(c) || ni < len(news) {
@@ -318,7 +384,7 @@ func (e *Engine) topkSF(s *queryScratch, cc *canceller, q Query, k int, o *Optio
 		s.i2 = old[:0]
 	}
 
-	tau := bound.tau()
+	tau := liveTau(bound, shared)
 	out := s.results[:0]
 	for _, slot := range c {
 		cand := &s.sf[slot]
@@ -333,8 +399,9 @@ func (e *Engine) topkSF(s *queryScratch, cc *canceller, q Query, k int, o *Optio
 
 // topkINRA runs iNRA's round-robin with the rising bound, over the same
 // candidate slab and id-table as selectINRA.
-func (e *Engine) topkINRA(s *queryScratch, cc *canceller, q Query, k int, o *Options, stats *Stats) ([]Result, error) {
+func (e *Engine) topkINRA(s *queryScratch, cc *canceller, q Query, k int, o *Options, stats *Stats, shared *sharedTau) ([]Result, error) {
 	lists := e.openLists(s, cc, q, 0, o, stats)
+	fillIDFSq(s, q)
 	n := len(lists)
 	s.tbl.reset()
 	s.imp = s.imp[:0]
@@ -346,7 +413,7 @@ func (e *Engine) topkINRA(s *queryScratch, cc *canceller, q Query, k int, o *Opt
 	defer func() { s.results = out }()
 
 	for {
-		tau := bound.tau()
+		tau := liveTau(bound, shared)
 		hi := q.Len / effTau(tau)
 		alive := false
 		for i := range lists {
@@ -372,9 +439,13 @@ func (e *Engine) topkINRA(s *queryScratch, cc *canceller, q Query, k int, o *Opt
 			if slot := s.tbl.get(p.ID); slot >= 0 && !s.imp[slot].dead {
 				c := &s.imp[slot]
 				c.resolveSeen(i, l.idfSq, l.w(q.Len, p.Len))
-				bound.offer(c.id, c.lower)
+				offerShared(bound, shared, c.id, c.lower)
 				if c.nResolved == n {
-					out = append(out, Result{ID: c.id, Score: c.lower})
+					// Round-robin accumulation order is list-state
+					// dependent; every completion emits the canonical
+					// rescore (the final sortTopK cut then ranks
+					// partition-independent values).
+					out = append(out, Result{ID: c.id, Score: e.rescore(s, q, c.id)})
 					c.dead = true
 					live--
 				}
@@ -382,7 +453,7 @@ func (e *Engine) topkINRA(s *queryScratch, cc *canceller, q Query, k int, o *Opt
 			}
 			if slot := admit(s, lists, i, p, q, tau); slot >= 0 {
 				live++
-				bound.offer(p.ID, s.imp[slot].lower)
+				offerShared(bound, shared, p.ID, s.imp[slot].lower)
 				stats.CandidatesInserted++
 			}
 		}
@@ -392,13 +463,13 @@ func (e *Engine) topkINRA(s *queryScratch, cc *canceller, q Query, k int, o *Opt
 			for ci := range s.imp {
 				c := &s.imp[ci]
 				if !c.dead {
-					out = append(out, Result{ID: c.id, Score: c.lower})
+					out = append(out, Result{ID: c.id, Score: e.rescore(s, q, c.id)})
 				}
 			}
 			return out, listsErr(lists)
 		}
 
-		tau = bound.tau()
+		tau = liveTau(bound, shared)
 		var f float64
 		for i := range lists {
 			if p, ok := lists[i].frontier(); ok && p.Len <= hi {
@@ -423,7 +494,7 @@ func (e *Engine) topkINRA(s *queryScratch, cc *canceller, q Query, k int, o *Opt
 				}
 			}
 			if c.nResolved == n {
-				out = append(out, Result{ID: c.id, Score: c.lower})
+				out = append(out, Result{ID: c.id, Score: e.rescore(s, q, c.id)})
 				c.dead = true
 				live--
 				continue

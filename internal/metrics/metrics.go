@@ -156,6 +156,10 @@ type Registry struct {
 	// compaction progress live in the engine's own state, not on the
 	// query observation path.
 	liveFn atomic.Pointer[func() LiveGauges]
+	// shardFn, when set, supplies the scatter-gather gauges of a sharded
+	// engine at snapshot time — pull-style, like liveFn: fan-out counters
+	// live in the executor's state, not on the observation path.
+	shardFn atomic.Pointer[func() ShardGauges]
 }
 
 // LiveGauges is the point-in-time state of a segmented (mutable) engine:
@@ -170,6 +174,25 @@ type LiveGauges struct {
 	// mutations applied since a segment's build relative to the corpus
 	// size its idf weights were baked from.
 	MaxDrift float64
+}
+
+// ShardGauges is the point-in-time state of a sharded scatter-gather
+// engine: how wide the fleet is and how the fan-out/merge machinery is
+// behaving.
+type ShardGauges struct {
+	Shards int
+	// Fanouts counts scatter-gather calls dispatched across the shards.
+	Fanouts uint64
+	// Merged counts per-shard results folded by the merge stage.
+	Merged uint64
+	// BoundRaises counts cross-shard k-th-bound raises (top-k queries):
+	// how often one shard's progress tightened every other shard's
+	// pruning threshold.
+	BoundRaises uint64
+	// LastSpread is the fan-out latency spread of the most recent
+	// scatter-gather call: slowest shard minus fastest shard. A large
+	// spread means the hash partitioning or the machine is unbalanced.
+	LastSpread time.Duration
 }
 
 // NewRegistry builds a registry with the default buckets.
@@ -219,6 +242,17 @@ func (r *Registry) SetLiveGaugesFunc(fn func() LiveGauges) {
 	r.liveFn.Store(&fn)
 }
 
+// SetShardGaugesFunc connects the registry to a sharded engine's
+// executor gauges; fn must be safe for concurrent use. A nil fn
+// disconnects.
+func (r *Registry) SetShardGaugesFunc(fn func() ShardGauges) {
+	if fn == nil {
+		r.shardFn.Store(nil)
+		return
+	}
+	r.shardFn.Store(&fn)
+}
+
 // Snapshot captures the registry for reporting.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
@@ -235,6 +269,10 @@ func (r *Registry) Snapshot() Snapshot {
 	if fn := r.liveFn.Load(); fn != nil {
 		s.Live = (*fn)()
 		s.HasLive = true
+	}
+	if fn := r.shardFn.Load(); fn != nil {
+		s.Shard = (*fn)()
+		s.HasShard = true
 	}
 	return s
 }
@@ -255,6 +293,10 @@ type Snapshot struct {
 	// Live is only meaningful when it is true.
 	HasLive bool
 	Live    LiveGauges
+	// HasShard reports whether the engine is a sharded scatter-gather
+	// engine; Shard is only meaningful when it is true.
+	HasShard bool
+	Shard    ShardGauges
 }
 
 // Total is the number of queries observed.
@@ -292,6 +334,11 @@ func (s Snapshot) String() string {
 			s.Live.Segments, s.Live.MemtableDocs, s.Live.Tombstones,
 			s.Live.Compactions, s.Live.LastCompaction.Round(time.Microsecond),
 			s.Live.MaxDrift)
+	}
+	if s.HasShard {
+		fmt.Fprintf(&b, "\nshard:   %d shards, %d fan-outs, %d results merged, %d bound raises, last spread %v",
+			s.Shard.Shards, s.Shard.Fanouts, s.Shard.Merged,
+			s.Shard.BoundRaises, s.Shard.LastSpread.Round(time.Microsecond))
 	}
 	return b.String()
 }

@@ -15,27 +15,31 @@ import (
 	"repro/internal/tokenize"
 )
 
-// Snapshot file formats. Two versions coexist:
+// Snapshot file formats. Three versions coexist:
 //
 // Version 1 (legacy) is the collection binary format (magic "SSCOL1"),
-// written by Save: one frozen corpus, no mutation history. Version 2 is
-// the live-snapshot format written by SaveLive:
+// written by Save: one frozen corpus, no mutation history. Versions 2
+// and 3 are live-snapshot formats:
 //
-//	magic "SSSNAP\n\x00", version byte (2)
+//	magic "SSSNAP\n\x00", version byte (2 or 3)
 //	payload CRC32 (of everything after this field)
 //	tokenizer name: uvarint len + bytes
+//	shards u32 (version 3 only; version 2 is implicitly 1)
 //	numDocs u32
 //	per doc: flag u8 (bit0 = tombstoned), uvarint len + source bytes
 //
-// The document log is stored in id order including tombstoned entries,
-// so a save/load cycle preserves every id a caller may still hold.
-// Index structures and statistics are derived state, rebuilt on load.
-// Files with the snapshot magic but an unknown version byte are
-// rejected with ErrUnknownVersion: future formats must not be
-// misparsed.
+// SaveLive writes version 3 — the sharded layout, which records how
+// many hash partitions the engine ran with so OpenLive can restore the
+// same fan-out; versions 1 and 2 remain fully readable. The document
+// log is stored in id order including tombstoned entries, so a
+// save/load cycle preserves every id a caller may still hold. Index
+// structures and statistics are derived state, rebuilt on load. Files
+// with the snapshot magic but an unknown version byte are rejected with
+// ErrUnknownVersion: future formats must not be misparsed.
 const (
 	snapMagic = "SSSNAP\n\x00"
 	snapV2    = 2
+	snapV3    = 3
 )
 
 // ErrUnknownVersion reports a snapshot file with a format version this
@@ -45,12 +49,15 @@ var ErrUnknownVersion = errors.New("setsim: unknown snapshot format version")
 // SnapshotInfo describes a loaded snapshot file.
 type SnapshotInfo struct {
 	// Version is the file's format version: 1 for legacy collection
-	// files, 2 for live snapshots.
+	// files, 2 and 3 for live snapshots (3 adds the shard count).
 	Version int
 	// Docs is the number of documents stored, including tombstoned ones.
 	Docs int
 	// Live is the number of live (non-tombstoned) documents.
 	Live int
+	// Shards is the hash-partition count the engine was saved with
+	// (1 for version-1 and version-2 files).
+	Shards int
 }
 
 // Save writes the engine's collection (dictionary, sets, sources) to
@@ -70,10 +77,10 @@ func Save(path string, e *Engine) (err error) {
 	return collection.Write(f, e.Collection())
 }
 
-// SaveLive writes a mutable engine's snapshot to path in the version-2
-// format: the full document log with tombstone flags. The engine is
-// fully compacted first so the snapshot captures one settled
-// generation.
+// SaveLive writes a mutable engine's snapshot to path in the version-3
+// format: the full document log with tombstone flags, plus the shard
+// count the engine ran with. The engine is fully compacted first so the
+// snapshot captures one settled generation.
 func SaveLive(path string, le *LiveEngine) (err error) {
 	le.Compact()
 	f, err := os.Create(path)
@@ -85,10 +92,10 @@ func SaveLive(path string, le *LiveEngine) (err error) {
 			err = cerr
 		}
 	}()
-	return writeSnapshot(f, le.Tokenizer().Name(), le.Log())
+	return writeSnapshot(f, le.Tokenizer().Name(), le.NumShards(), le.Log())
 }
 
-func writeSnapshot(w io.Writer, tkName string, log []core.DocState) error {
+func writeSnapshot(w io.Writer, tkName string, shards int, log []core.DocState) error {
 	var payload []byte
 	putUvarint := func(v uint64) {
 		var buf [10]byte
@@ -102,6 +109,8 @@ func writeSnapshot(w io.Writer, tkName string, log []core.DocState) error {
 
 	putString(tkName)
 	var numBuf [4]byte
+	binary.LittleEndian.PutUint32(numBuf[:], uint32(shards))
+	payload = append(payload, numBuf[:]...)
 	binary.LittleEndian.PutUint32(numBuf[:], uint32(len(log)))
 	payload = append(payload, numBuf[:]...)
 	for _, d := range log {
@@ -117,7 +126,7 @@ func writeSnapshot(w io.Writer, tkName string, log []core.DocState) error {
 	if _, err := bw.WriteString(snapMagic); err != nil {
 		return err
 	}
-	if err := bw.WriteByte(snapV2); err != nil {
+	if err := bw.WriteByte(snapV3); err != nil {
 		return err
 	}
 	var crcBuf [4]byte
@@ -131,25 +140,26 @@ func writeSnapshot(w io.Writer, tkName string, log []core.DocState) error {
 	return bw.Flush()
 }
 
-func readSnapshot(r io.Reader) (tk Tokenizer, log []core.DocState, err error) {
+func readSnapshot(r io.Reader) (tk Tokenizer, shards int, log []core.DocState, err error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	head := make([]byte, len(snapMagic)+1+4)
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, nil, fmt.Errorf("%w: short header: %v", collection.ErrBadCollection, err)
+		return nil, 0, nil, fmt.Errorf("%w: short header: %v", collection.ErrBadCollection, err)
 	}
 	if string(head[:len(snapMagic)]) != snapMagic {
-		return nil, nil, fmt.Errorf("%w: bad magic", collection.ErrBadCollection)
+		return nil, 0, nil, fmt.Errorf("%w: bad magic", collection.ErrBadCollection)
 	}
-	if v := head[len(snapMagic)]; v != snapV2 {
-		return nil, nil, fmt.Errorf("%w: %d", ErrUnknownVersion, v)
+	version := head[len(snapMagic)]
+	if version != snapV2 && version != snapV3 {
+		return nil, 0, nil, fmt.Errorf("%w: %d", ErrUnknownVersion, version)
 	}
 	wantCRC := binary.LittleEndian.Uint32(head[len(snapMagic)+1:])
 	payload, err := io.ReadAll(br)
 	if err != nil {
-		return nil, nil, err
+		return nil, 0, nil, err
 	}
 	if crc32.ChecksumIEEE(payload) != wantCRC {
-		return nil, nil, fmt.Errorf("%w: checksum mismatch", collection.ErrBadCollection)
+		return nil, 0, nil, fmt.Errorf("%w: checksum mismatch", collection.ErrBadCollection)
 	}
 
 	pos := 0
@@ -165,38 +175,49 @@ func readSnapshot(r io.Reader) (tk Tokenizer, log []core.DocState, err error) {
 
 	tkName, ok := getString()
 	if !ok {
-		return nil, nil, fmt.Errorf("%w: truncated tokenizer name", collection.ErrBadCollection)
+		return nil, 0, nil, fmt.Errorf("%w: truncated tokenizer name", collection.ErrBadCollection)
 	}
 	tk, err = tokenize.ParseName(tkName)
 	if err != nil {
-		return nil, nil, fmt.Errorf("%w: %v", collection.ErrBadCollection, err)
+		return nil, 0, nil, fmt.Errorf("%w: %v", collection.ErrBadCollection, err)
+	}
+	shards = 1
+	if version >= snapV3 {
+		if pos+4 > len(payload) {
+			return nil, 0, nil, fmt.Errorf("%w: truncated shard count", collection.ErrBadCollection)
+		}
+		shards = int(binary.LittleEndian.Uint32(payload[pos:]))
+		pos += 4
+		if shards < 1 {
+			return nil, 0, nil, fmt.Errorf("%w: shard count %d", collection.ErrBadCollection, shards)
+		}
 	}
 	if pos+4 > len(payload) {
-		return nil, nil, fmt.Errorf("%w: truncated doc count", collection.ErrBadCollection)
+		return nil, 0, nil, fmt.Errorf("%w: truncated doc count", collection.ErrBadCollection)
 	}
 	numDocs := binary.LittleEndian.Uint32(payload[pos:])
 	pos += 4
 	log = make([]core.DocState, numDocs)
 	for i := range log {
 		if pos >= len(payload) {
-			return nil, nil, fmt.Errorf("%w: truncated doc flag", collection.ErrBadCollection)
+			return nil, 0, nil, fmt.Errorf("%w: truncated doc flag", collection.ErrBadCollection)
 		}
 		flag := payload[pos]
 		pos++
 		src, ok := getString()
 		if !ok {
-			return nil, nil, fmt.Errorf("%w: truncated doc source", collection.ErrBadCollection)
+			return nil, 0, nil, fmt.Errorf("%w: truncated doc source", collection.ErrBadCollection)
 		}
 		log[i] = core.DocState{Source: src, Deleted: flag&1 != 0}
 	}
 	if pos != len(payload) {
-		return nil, nil, fmt.Errorf("%w: %d trailing bytes", collection.ErrBadCollection, len(payload)-pos)
+		return nil, 0, nil, fmt.Errorf("%w: %d trailing bytes", collection.ErrBadCollection, len(payload)-pos)
 	}
-	return tk, log, nil
+	return tk, shards, log, nil
 }
 
 // sniffVersion reads the leading magic of the file at path: 1 for the
-// legacy collection format, 2 for a live snapshot. Unknown snapshot
+// legacy collection format, 2 or 3 for live snapshots. Unknown snapshot
 // versions yield ErrUnknownVersion; anything else is rejected as a bad
 // collection.
 func sniffVersion(f *os.File) (int, error) {
@@ -213,19 +234,25 @@ func sniffVersion(f *os.File) (int, error) {
 		return 1, nil
 	}
 	if len(head) >= len(snapMagic) && string(head[:len(snapMagic)]) == snapMagic {
-		if len(head) > len(snapMagic) && head[len(snapMagic)] != snapV2 {
-			return 0, fmt.Errorf("%w: %d", ErrUnknownVersion, head[len(snapMagic)])
+		if len(head) <= len(snapMagic) {
+			return snapV2, nil // truncated after magic; the body read reports it
 		}
-		return snapV2, nil
+		switch v := head[len(snapMagic)]; v {
+		case snapV2, snapV3:
+			return int(v), nil
+		default:
+			return 0, fmt.Errorf("%w: %d", ErrUnknownVersion, v)
+		}
 	}
 	return 0, fmt.Errorf("%w: bad magic", collection.ErrBadCollection)
 }
 
-// Open loads either snapshot version as a static Engine and reports
-// what was read. Version-2 snapshots index the live documents only;
-// their ids are re-assigned densely in id order (a static engine has no
-// tombstones), so callers that must preserve live ids should use
-// OpenLive instead.
+// Open loads any snapshot version as a static Engine and reports what
+// was read. Live snapshots index the live documents only; their ids are
+// re-assigned densely in id order (a static engine has no tombstones),
+// so callers that must preserve live ids should use OpenLive instead.
+// The saved shard count is reported in the info but not applied — a
+// static engine is monolithic; use OpenSharded to restore the fan-out.
 func Open(path string, cfg Config) (*Engine, SnapshotInfo, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -241,10 +268,10 @@ func Open(path string, cfg Config) (*Engine, SnapshotInfo, error) {
 		if err != nil {
 			return nil, SnapshotInfo{}, fmt.Errorf("setsim: load %s: %w", path, err)
 		}
-		info := SnapshotInfo{Version: 1, Docs: c.NumSets(), Live: c.NumSets()}
+		info := SnapshotInfo{Version: 1, Docs: c.NumSets(), Live: c.NumSets(), Shards: 1}
 		return core.NewEngine(c, cfg), info, nil
 	}
-	tk, log, err := readSnapshot(f)
+	tk, shards, log, err := readSnapshot(f)
 	if err != nil {
 		return nil, SnapshotInfo{}, fmt.Errorf("setsim: load %s: %w", path, err)
 	}
@@ -255,14 +282,67 @@ func Open(path string, cfg Config) (*Engine, SnapshotInfo, error) {
 			live++
 		}
 	}
-	info := SnapshotInfo{Version: snapV2, Docs: len(log), Live: live}
+	info := SnapshotInfo{Version: version, Docs: len(log), Live: live, Shards: shards}
 	return core.NewEngine(b.Build(), cfg), info, nil
 }
 
-// OpenLive loads either snapshot version as a mutable engine and
-// reports what was read. The document log is replayed — tombstoned
-// entries included, preserving ids — and compacted into a single
-// segment before OpenLive returns.
+// OpenSharded loads any snapshot version as a sharded static engine.
+// shards ≤ 0 restores the shard count the snapshot was saved with (1
+// for version-1 and version-2 files); a positive value overrides it.
+// Live documents are re-indexed densely in id order, exactly as Open
+// does, then hash-partitioned.
+func OpenSharded(path string, cfg Config, shards int) (*ShardedEngine, SnapshotInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, SnapshotInfo{}, err
+	}
+	defer f.Close()
+	version, err := sniffVersion(f)
+	if err != nil {
+		return nil, SnapshotInfo{}, fmt.Errorf("setsim: load %s: %w", path, err)
+	}
+	var tk Tokenizer
+	var docs []string
+	var info SnapshotInfo
+	if version == 1 {
+		c, err := collection.Read(f)
+		if err != nil {
+			return nil, SnapshotInfo{}, fmt.Errorf("setsim: load %s: %w", path, err)
+		}
+		if !c.HasSource() {
+			return nil, SnapshotInfo{}, fmt.Errorf("setsim: load %s: legacy snapshot lacks sources; cannot repartition", path)
+		}
+		tk = c.Tokenizer()
+		docs = make([]string, c.NumSets())
+		for i := range docs {
+			docs[i] = c.Source(collection.SetID(i))
+		}
+		info = SnapshotInfo{Version: 1, Docs: len(docs), Live: len(docs), Shards: 1}
+	} else {
+		var saved int
+		var log []core.DocState
+		tk, saved, log, err = readSnapshot(f)
+		if err != nil {
+			return nil, SnapshotInfo{}, fmt.Errorf("setsim: load %s: %w", path, err)
+		}
+		for _, d := range log {
+			if !d.Deleted {
+				docs = append(docs, d.Source)
+			}
+		}
+		info = SnapshotInfo{Version: version, Docs: len(log), Live: len(docs), Shards: saved}
+	}
+	if shards <= 0 {
+		shards = info.Shards
+	}
+	return core.BuildSharded(tk, docs, true, shards, cfg), info, nil
+}
+
+// OpenLive loads any snapshot version as a mutable engine and reports
+// what was read. The document log is replayed — tombstoned entries
+// included, preserving ids — and compacted before OpenLive returns.
+// When cfg.Shards is unset, a version-3 snapshot restores the shard
+// count it was saved with; setting cfg.Shards overrides it.
 func OpenLive(path string, cfg LiveConfig) (*LiveEngine, SnapshotInfo, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -290,9 +370,10 @@ func OpenLive(path string, cfg LiveConfig) (*LiveEngine, SnapshotInfo, error) {
 		for i := range log {
 			log[i] = core.DocState{Source: c.Source(collection.SetID(i))}
 		}
-		info = SnapshotInfo{Version: 1, Docs: len(log), Live: len(log)}
+		info = SnapshotInfo{Version: 1, Docs: len(log), Live: len(log), Shards: 1}
 	default:
-		tk, log, err = readSnapshot(f)
+		var saved int
+		tk, saved, log, err = readSnapshot(f)
 		if err != nil {
 			return nil, SnapshotInfo{}, fmt.Errorf("setsim: load %s: %w", path, err)
 		}
@@ -302,7 +383,10 @@ func OpenLive(path string, cfg LiveConfig) (*LiveEngine, SnapshotInfo, error) {
 				live++
 			}
 		}
-		info = SnapshotInfo{Version: snapV2, Docs: len(log), Live: live}
+		info = SnapshotInfo{Version: version, Docs: len(log), Live: live, Shards: saved}
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = info.Shards
 	}
 	le := core.NewLive(tk, cfg)
 	for _, d := range log {

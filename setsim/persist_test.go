@@ -1,7 +1,9 @@
 package setsim_test
 
 import (
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"math"
 	"os"
 	"path/filepath"
@@ -95,6 +97,142 @@ func TestUnknownSnapshotVersion(t *testing.T) {
 	}
 	if _, err := setsim.Load(path, setsim.ListsOnly()); !errors.Is(err, setsim.ErrUnknownVersion) {
 		t.Errorf("Load: %v, want ErrUnknownVersion", err)
+	}
+}
+
+// TestVersion2SnapshotCompat: a hand-built version-2 live snapshot —
+// the pre-sharding layout without the shard-count field — must still
+// load everywhere, reporting an implicit shard count of 1.
+func TestVersion2SnapshotCompat(t *testing.T) {
+	docs := []struct {
+		source  string
+		deleted bool
+	}{
+		{"main street", false},
+		{"mian street", true},
+		{"main st", false},
+	}
+	var payload []byte
+	putString := func(s string) {
+		var buf [10]byte
+		n := binary.PutUvarint(buf[:], uint64(len(s)))
+		payload = append(payload, buf[:n]...)
+		payload = append(payload, s...)
+	}
+	putString("qgram(3)")
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(docs)))
+	payload = append(payload, u32[:]...) // numDocs directly: no shard field in v2
+	for _, d := range docs {
+		var flag byte
+		if d.deleted {
+			flag = 1
+		}
+		payload = append(payload, flag)
+		putString(d.source)
+	}
+	data := append([]byte("SSSNAP\n\x00"), 2)
+	binary.LittleEndian.PutUint32(u32[:], crc32.ChecksumIEEE(payload))
+	data = append(data, u32[:]...)
+	data = append(data, payload...)
+	path := filepath.Join(t.TempDir(), "legacy.sssnap")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e, info, err := setsim.Open(path, setsim.ListsOnly())
+	if err != nil {
+		t.Fatalf("Open v2: %v", err)
+	}
+	if info.Version != 2 || info.Docs != 3 || info.Live != 2 || info.Shards != 1 {
+		t.Fatalf("Open v2 info = %+v, want version 2, 3 docs, 2 live, 1 shard", info)
+	}
+	if e.Collection().NumSets() != 2 {
+		t.Fatalf("Open v2 indexed %d sets, want 2 (tombstone skipped)", e.Collection().NumSets())
+	}
+
+	le, info, err := setsim.OpenLive(path, setsim.LiveConfig{Config: setsim.ListsOnly(), NoBackground: true})
+	if err != nil {
+		t.Fatalf("OpenLive v2: %v", err)
+	}
+	defer le.Close()
+	if info.Shards != 1 || le.NumShards() != 1 {
+		t.Fatalf("OpenLive v2: info.Shards=%d engine shards=%d, want 1", info.Shards, le.NumShards())
+	}
+	if _, ok := le.Source(1); ok {
+		t.Error("OpenLive v2: tombstoned doc 1 is visible")
+	}
+	if s, ok := le.Source(2); !ok || s != "main st" {
+		t.Errorf("OpenLive v2: doc 2 = (%q, %v), want (\"main st\", true)", s, ok)
+	}
+
+	se, info, err := setsim.OpenSharded(path, setsim.ListsOnly(), 3)
+	if err != nil {
+		t.Fatalf("OpenSharded v2: %v", err)
+	}
+	defer se.Close()
+	if info.Shards != 1 || se.NumShards() != 3 {
+		t.Fatalf("OpenSharded v2: info.Shards=%d engine shards=%d, want 1 and 3", info.Shards, se.NumShards())
+	}
+	if se.NumDocs() != 2 {
+		t.Fatalf("OpenSharded v2 indexed %d docs, want 2", se.NumDocs())
+	}
+}
+
+// TestShardedSnapshotRoundTrip: SaveLive records the shard count,
+// OpenSharded restores it by default, and the restored sharded engine
+// answers bitwise-identically to a monolithic engine over the same
+// snapshot.
+func TestShardedSnapshotRoundTrip(t *testing.T) {
+	live := setsim.NewLive(setsim.QGramTokenizer{Q: 3}, setsim.LiveConfig{
+		Config: setsim.ListsOnly(), NoBackground: true, Shards: 4,
+	})
+	defer live.Close()
+	var ids []setsim.SetID
+	for _, s := range corpus {
+		id, err := live.Insert(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	live.Delete(ids[1])
+	path := filepath.Join(t.TempDir(), "sharded.sssnap")
+	if err := setsim.SaveLive(path, live); err != nil {
+		t.Fatal(err)
+	}
+
+	se, info, err := setsim.OpenSharded(path, setsim.ListsOnly(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer se.Close()
+	if info.Version != 3 || info.Shards != 4 || se.NumShards() != 4 {
+		t.Fatalf("info %+v, engine shards %d; want version 3 with 4 shards restored", info, se.NumShards())
+	}
+	mono, _, err := setsim.Open(path, setsim.ListsOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tau := range []float64{0.3, 0.6, 0.9} {
+		want, _, err := mono.Select(mono.Prepare("main street"), tau, setsim.SF, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := se.Select(se.Prepare("main street"), tau, setsim.SF, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("tau=%v: %d sharded results, want %d", tau, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID ||
+				math.Float64bits(got[i].Score) != math.Float64bits(want[i].Score) {
+				t.Fatalf("tau=%v result %d: {%d %.17g}, want {%d %.17g}",
+					tau, i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+			}
+		}
 	}
 }
 

@@ -54,6 +54,11 @@ type (
 	BatchResult = core.BatchResult
 	// Pair is one matching pair of Engine.SelfJoin (A < B).
 	Pair = core.Pair
+	// ShardedEngine hash-partitions one corpus across several complete
+	// engines sharing global statistics, fanning every query out and
+	// merging with threshold-aware bounds. Results are bitwise-identical
+	// to a monolithic Engine over the same corpus.
+	ShardedEngine = core.ShardedEngine
 )
 
 // Metrics types (see Engine.Metrics).
@@ -139,6 +144,16 @@ func Build(corpus []string, tk Tokenizer, cfg Config) *Engine {
 		b.Add(s)
 	}
 	return core.NewEngine(b.Build(), cfg)
+}
+
+// BuildSharded tokenizes a corpus once and indexes it across shards
+// hash partitions, each a complete engine sharing the corpus-wide token
+// dictionary and statistics. Queries fan out over a bounded worker pool
+// and merge; every result — ids, scores, order — is bitwise-identical
+// to Build over the same corpus. shards ≤ 1 builds a single partition.
+// Call Close when done to stop the fan-out workers.
+func BuildSharded(corpus []string, tk Tokenizer, shards int, cfg Config) *ShardedEngine {
+	return core.BuildSharded(tk, corpus, true, shards, cfg)
 }
 
 // ListsOnly is the lightest index configuration: inverted lists and skip
