@@ -111,11 +111,20 @@ func runCore(setup experiments.Setup, outPath string, mutate bool, only string) 
 		liveQueries[i] = le.Prepare(env.C.Source(id))
 	}
 
-	warm := func(alg core.Algorithm, tau float64) func(b *testing.B) {
+	// The scalar twin: same collection, same inverted lists, but with the
+	// word-packed kernels disabled. The kernel=off cases quantify exactly
+	// what the packed-bitmap membership probes, word-masked candidate
+	// scans and merged rescoring dot products buy on the warm path.
+	eScalar := core.NewEngine(env.C, core.Config{
+		Store: e.Store(), SkipInterval: setup.SkipInterval,
+		NoRelational: true, NoKernel: true,
+	})
+
+	warmOn := func(eng *core.Engine, alg core.Algorithm, tau float64) func(b *testing.B) {
 		return func(b *testing.B) {
 			// Prime the scratch pool so the measurement is steady-state.
 			for _, q := range queries {
-				if _, _, err := e.Select(q, tau, alg, nil); err != nil {
+				if _, _, err := eng.Select(q, tau, alg, nil); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -123,7 +132,7 @@ func runCore(setup experiments.Setup, outPath string, mutate bool, only string) 
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				_, st, err := e.Select(queries[i%len(queries)], tau, alg, nil)
+				_, st, err := eng.Select(queries[i%len(queries)], tau, alg, nil)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -131,6 +140,9 @@ func runCore(setup experiments.Setup, outPath string, mutate bool, only string) 
 			}
 			b.ReportMetric(float64(elems)/float64(b.N), "elems/op")
 		}
+	}
+	warm := func(alg core.Algorithm, tau float64) func(b *testing.B) {
+		return warmOn(e, alg, tau)
 	}
 
 	warmLive := func(alg core.Algorithm, tau float64) func(b *testing.B) {
@@ -167,6 +179,10 @@ func runCore(setup experiments.Setup, outPath string, mutate bool, only string) 
 		{"warm/hybrid/tau=0.8", warm(core.Hybrid, 0.8)},
 		{"warm/inra/tau=0.5", warm(core.INRA, 0.5)},
 		{"warm/sf/tau=0.5", warm(core.SF, 0.5)},
+		{"warm/ta/tau=0.8/kernel=off", warmOn(eScalar, core.TA, 0.8)},
+		{"warm/nra/tau=0.8/kernel=off", warmOn(eScalar, core.NRA, 0.8)},
+		{"warm/inra/tau=0.8/kernel=off", warmOn(eScalar, core.INRA, 0.8)},
+		{"warm/hybrid/tau=0.8/kernel=off", warmOn(eScalar, core.Hybrid, 0.8)},
 		{"warm-live/sf/tau=0.8", warmLive(core.SF, 0.8)},
 		{"warm-live/inra/tau=0.8", warmLive(core.INRA, 0.8)},
 		{"cold/sf/tau=0.8", func(b *testing.B) {

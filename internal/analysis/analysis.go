@@ -25,6 +25,8 @@
 //	//ssvet:floatexact <reason> — this ==/!= on floats is intentional
 //	//ssvet:coldalloc <reason>  — this allocation in a hot function is
 //	                              a guarded cold path
+//	//ssvet:monotone <reason>   — this repeated SeekLen's targets are
+//	                              provably non-decreasing
 //	//ssvet:hot                 — (in a function's doc comment) opt the
 //	                              function into the hotalloc rules
 //
@@ -198,6 +200,7 @@ func Analyzers() []*Analyzer {
 		AlgSwitch,
 		LockScope,
 		StdlibOnly,
+		SkipMono,
 		AnnLive,
 	}
 }

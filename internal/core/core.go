@@ -22,6 +22,7 @@ import (
 	"repro/internal/collection"
 	"repro/internal/exthash"
 	"repro/internal/invlist"
+	"repro/internal/kernel"
 	"repro/internal/metrics"
 	"repro/internal/relational"
 	"repro/internal/sim"
@@ -95,7 +96,10 @@ type Stats struct {
 	// ListTotal is the combined length of the query tokens' lists (the
 	// denominator of pruning power).
 	ListTotal int
-	// RandomProbes counts extendible-hash page fetches (TA family).
+	// RandomProbes counts membership probes on the TA-family random
+	// access path: packed-bitmap Contains tests with kernels on, or
+	// extendible-hash page fetches on the scalar fallback. Both paths
+	// probe the same (list, id) pairs, so the count is path-invariant.
 	RandomProbes int
 	// CandidateScans counts candidate-set sweep passes.
 	CandidateScans int
@@ -127,6 +131,16 @@ type Engine struct {
 	// hashes holds one extendible-hash index per token (id → length),
 	// the random-access path of TA/iTA; nil when disabled.
 	hashes []*exthash.Table
+	// member holds one word-packed membership bitmap per token — the
+	// kernel fast path for TA/iTA random accesses. nil (hashes absent,
+	// Config.NoKernel, or a NewEngineWithHashes assembly) selects the
+	// extendible-hash probes.
+	member []kernel.Set
+	// nokern disables every word-packed kernel on the query path (the
+	// build-time selection of Config.NoKernel), pinning the scalar
+	// loops the kernels replaced; results are bitwise identical either
+	// way, so this is a benchmarking toggle, not a semantic one.
+	nokern bool
 	rel    *relational.Engine
 	// m aggregates per-query latency/read/outcome metrics across every
 	// selection entry point (Select, SelectTopK, the parallel variants).
@@ -150,6 +164,11 @@ type Config struct {
 	// HashPageSize is the extendible-hashing page size in bytes
 	// (≤ 0 selects the paper's tuned 1KB pages).
 	HashPageSize int
+	// NoKernel disables the word-packed intersection kernels: TA/iTA
+	// probe extendible hashes instead of packed bitmaps, and the
+	// candidate-scan and rescoring loops run their scalar forms. Every
+	// algorithm returns bitwise-identical results either way.
+	NoKernel bool
 }
 
 // NewEngine builds the indexes for c per cfg.
@@ -158,14 +177,25 @@ func NewEngine(c *collection.Collection, cfg Config) *Engine {
 	if e.store == nil {
 		e.store = invlist.BuildMem(c, cfg.SkipInterval)
 	}
+	e.nokern = cfg.NoKernel
 	if !cfg.NoHashes {
 		e.hashes = make([]*exthash.Table, c.NumTokens())
+		if !cfg.NoKernel {
+			e.member = make([]kernel.Set, c.NumTokens())
+		}
+		var sb kernel.SetBuilder
 		c.TokenSets(func(t tokenize.Token, ids []collection.SetID) {
 			h := exthash.New(cfg.HashPageSize)
 			for _, id := range ids {
 				h.Put(uint64(id), c.Length(id))
+				if e.member != nil {
+					sb.Add(uint64(id)) // TokenSets yields ascending ids
+				}
 			}
 			e.hashes[t] = h
+			if e.member != nil {
+				e.member[t] = sb.Build()
+			}
 		})
 	}
 	if !cfg.NoRelational {
@@ -227,6 +257,16 @@ func (e *Engine) HashSizeBytes() int64 {
 		if h != nil {
 			total += h.SizeBytes()
 		}
+	}
+	return total
+}
+
+// MemberSizeBytes totals the word-packed membership bitmaps (the kernel
+// counterpart of HashSizeBytes; 0 with kernels disabled).
+func (e *Engine) MemberSizeBytes() int64 {
+	var total int64
+	for i := range e.member {
+		total += e.member[i].SizeBytes()
 	}
 	return total
 }

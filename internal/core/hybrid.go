@@ -56,6 +56,8 @@ func (e *Engine) selectHybrid(s *queryScratch, cc *canceller, q Query, tau float
 	out := s.results[:0]
 	defer func() { s.results = out }()
 
+	scanFrom := 0 // s.imp[:scanFrom] is all dead; dead never revives
+
 	// maxLenC peeks at the partition tails, eagerly re-evaluating each
 	// tail candidate with Order Preservation before trusting its length:
 	// the paper's "dropping elements repeatedly from the back of all
@@ -72,11 +74,7 @@ func (e *Engine) selectHybrid(s *queryScratch, cc *canceller, q Query, tau float
 					tail = tail[:len(tail)-1]
 					continue
 				}
-				for j := range lists {
-					if !c.resolved.has(j) && ruledOut(&lists[j], c.len, c.id) {
-						c.resolveAbsent(j, lists[j].idfSq)
-					}
-				}
+				e.resolveAbsences(c, lists)
 				if c.nResolved == n {
 					// Round-robin accumulation order is list-state
 					// dependent; the canonical rescore decides and
@@ -163,7 +161,7 @@ func (e *Engine) selectHybrid(s *queryScratch, cc *canceller, q Query, tau float
 			// Every list is done or paused beyond maxLen(C): all
 			// candidate memberships are resolved (Order Preservation)
 			// and no unseen element can qualify (the λ argument).
-			for ci := range s.imp {
+			for ci := scanFrom; ci < len(s.imp); ci++ {
 				c := &s.imp[ci]
 				if !c.dead && meetsPre(c.lower, tau) {
 					out = e.emitRescored(s, q, c.id, tau, out)
@@ -184,30 +182,35 @@ func (e *Engine) selectHybrid(s *queryScratch, cc *canceller, q Query, tau float
 		admitNew = false
 
 		stats.CandidateScans++
-		for ci := range s.imp {
+		for ci := scanFrom; ci < len(s.imp); ci++ {
 			c := &s.imp[ci]
 			if c.dead {
+				if ci == scanFrom {
+					scanFrom++
+				}
 				continue
 			}
 			if cc.stop() {
 				return nil, cc.err
 			}
-			for j := range lists {
-				if !c.resolved.has(j) && ruledOut(&lists[j], c.len, c.id) {
-					c.resolveAbsent(j, lists[j].idfSq)
-				}
-			}
+			e.resolveAbsences(c, lists)
 			if c.nResolved == n {
 				if meetsPre(c.lower, tau) {
 					out = e.emitRescored(s, q, c.id, tau, out)
 				}
 				c.dead = true
 				live--
+				if ci == scanFrom {
+					scanFrom++
+				}
 				continue
 			}
 			if !sim.Meets(c.upper(q.Len), tau) {
 				c.dead = true
 				live--
+				if ci == scanFrom {
+					scanFrom++
+				}
 			}
 		}
 		if live == 0 && !sim.Meets(f, tau) {

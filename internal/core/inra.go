@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/collection"
 	"repro/internal/invlist"
+	"repro/internal/kernel"
 	"repro/internal/sim"
 )
 
@@ -17,7 +18,7 @@ type impCand struct {
 	id        collection.SetID
 	len       float64
 	lower     float64
-	resolved  listMask
+	resolved  kernel.Mask
 	nResolved int
 	remIdfSq  float64
 	dead      bool
@@ -30,10 +31,10 @@ func (c *impCand) upper(lenQ float64) float64 {
 // resolveAbsent marks list i as resolved-absent, removing its mass from
 // the candidate's upper bound.
 func (c *impCand) resolveAbsent(i int, idfSq float64) {
-	if c.resolved.has(i) {
+	if c.resolved.Has(i) {
 		return
 	}
-	c.resolved.set(i)
+	c.resolved.Set(i)
 	c.nResolved++
 	c.remIdfSq -= idfSq
 	if c.remIdfSq < 0 {
@@ -43,10 +44,10 @@ func (c *impCand) resolveAbsent(i int, idfSq float64) {
 
 // resolveSeen records that the candidate surfaced in list i.
 func (c *impCand) resolveSeen(i int, idfSq, w float64) {
-	if c.resolved.has(i) {
+	if c.resolved.Has(i) {
 		return
 	}
-	c.resolved.set(i)
+	c.resolved.Set(i)
 	c.nResolved++
 	c.remIdfSq -= idfSq
 	if c.remIdfSq < 0 {
@@ -66,6 +67,33 @@ func ruledOut(l *listState, len float64, id collection.SetID) bool {
 	return !beforeOrAt(p, len, id)
 }
 
+// resolveAbsences applies Order Preservation to every still-unresolved
+// list of c: any list whose frontier has passed (c.len, c.id) is marked
+// resolved-absent. The kernel path walks only the clear bits of the
+// resolved mask — one TrailingZeros per unresolved list instead of a
+// branch per list index — and the scalar path is the original full
+// sweep (the NoKernel fallback). Both visit unresolved lists in
+// ascending order, so the remIdfSq subtraction sequence, and with it
+// every Magnitude Boundedness upper bound, is bitwise identical.
+//
+//ssvet:hot
+func (e *Engine) resolveAbsences(c *impCand, lists []listState) {
+	n := len(lists)
+	if e.nokern {
+		for j := 0; j < n; j++ {
+			if !c.resolved.Has(j) && ruledOut(&lists[j], c.len, c.id) {
+				c.resolveAbsent(j, lists[j].idfSq)
+			}
+		}
+		return
+	}
+	for j := c.resolved.NextClear(0, n); j >= 0; j = c.resolved.NextClear(j+1, n) {
+		if ruledOut(&lists[j], c.len, c.id) {
+			c.resolveAbsent(j, lists[j].idfSq)
+		}
+	}
+}
+
 // admit evaluates a newly surfaced posting for candidacy: it combines
 // Order Preservation (exclude lists whose frontier already passed the
 // posting) with Magnitude Boundedness (best-case score from the remaining
@@ -78,7 +106,7 @@ func admit(s *queryScratch, lists []listState, seenIn int, p invlist.Posting, q 
 	c := impCand{
 		id:       p.ID,
 		len:      p.Len,
-		resolved: s.newMask(len(lists)),
+		resolved: s.newCandMask(len(lists)),
 	}
 	var possible float64
 	for j := range lists {
@@ -86,14 +114,14 @@ func admit(s *queryScratch, lists []listState, seenIn int, p invlist.Posting, q 
 			continue
 		}
 		if ruledOut(&lists[j], p.Len, p.ID) {
-			c.resolved.set(j)
+			c.resolved.Set(j)
 			c.nResolved++
 			continue
 		}
 		possible += lists[j].idfSq
 	}
 	c.remIdfSq = possible
-	c.resolved.set(seenIn)
+	c.resolved.Set(seenIn)
 	c.nResolved++
 	c.lower = lists[seenIn].w(q.Len, p.Len)
 	if !sim.Meets(c.upper(q.Len), tau) {
@@ -123,6 +151,7 @@ func (e *Engine) selectINRA(s *queryScratch, cc *canceller, q Query, tau float64
 	out := s.results[:0]
 	defer func() { s.results = out }()
 
+	scanFrom := 0    // s.imp[:scanFrom] is all dead; dead never revives
 	admitNew := true // true while F ≥ τ
 	for {
 		alive := false
@@ -174,7 +203,7 @@ func (e *Engine) selectINRA(s *queryScratch, cc *canceller, q Query, tau float64
 		if !alive {
 			// All lists done: every unresolved list is ruled out, so
 			// scores are complete.
-			for ci := range s.imp {
+			for ci := scanFrom; ci < len(s.imp); ci++ {
 				c := &s.imp[ci]
 				if !c.dead && meetsPre(c.lower, tau) {
 					out = e.emitRescored(s, q, c.id, tau, out)
@@ -195,30 +224,35 @@ func (e *Engine) selectINRA(s *queryScratch, cc *canceller, q Query, tau float64
 		admitNew = false
 
 		stats.CandidateScans++
-		for ci := range s.imp {
+		for ci := scanFrom; ci < len(s.imp); ci++ {
 			c := &s.imp[ci]
 			if c.dead {
+				if ci == scanFrom {
+					scanFrom++
+				}
 				continue
 			}
 			if cc.stop() {
 				return nil, cc.err
 			}
-			for j := range lists {
-				if !c.resolved.has(j) && ruledOut(&lists[j], c.len, c.id) {
-					c.resolveAbsent(j, lists[j].idfSq)
-				}
-			}
+			e.resolveAbsences(c, lists)
 			if c.nResolved == n {
 				if meetsPre(c.lower, tau) {
 					out = e.emitRescored(s, q, c.id, tau, out)
 				}
 				c.dead = true
 				live--
+				if ci == scanFrom {
+					scanFrom++
+				}
 				continue
 			}
 			if !sim.Meets(c.upper(q.Len), tau) {
 				c.dead = true
 				live--
+				if ci == scanFrom {
+					scanFrom++
+				}
 			}
 		}
 		if live == 0 {

@@ -11,20 +11,21 @@ import (
 	"repro/internal/sim"
 )
 
-func TestListMask(t *testing.T) {
+func TestCandMask(t *testing.T) {
 	for _, n := range []int{1, 63, 64, 65, 129} {
-		m := newMask(n)
+		s := &queryScratch{}
+		m := s.newCandMask(n)
 		for i := 0; i < n; i++ {
-			if m.has(i) {
+			if m.Has(i) {
 				t.Fatalf("n=%d: bit %d set in fresh mask", n, i)
 			}
 		}
 		for i := 0; i < n; i += 3 {
-			m.set(i)
+			m.Set(i)
 		}
 		for i := 0; i < n; i++ {
-			if m.has(i) != (i%3 == 0) {
-				t.Fatalf("n=%d: bit %d = %v", n, i, m.has(i))
+			if m.Has(i) != (i%3 == 0) {
+				t.Fatalf("n=%d: bit %d = %v", n, i, m.Has(i))
 			}
 		}
 	}

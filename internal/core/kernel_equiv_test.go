@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/collection"
+	"repro/internal/tokenize"
+)
+
+// The kernel contract: Config.NoKernel selects the scalar reference
+// loops, and the word-packed kernels must return bitwise-identical
+// output to them — same ids, same order, same float64 score bits — on
+// every execution surface. These tests build engine pairs over the same
+// corpus differing only in NoKernel and compare exhaustively.
+
+var kernelEquivAlgs = []Algorithm{Naive, SortByID, SQL, TA, NRA, ITA, INRA, SF, Hybrid}
+var kernelEquivTaus = []float64{0.4, 0.6, 0.75, 0.9, 0.99}
+
+// TestKernelOffEquivalence compares threshold selection between the
+// kernel and scalar engines for every algorithm across a τ grid.
+func TestKernelOffEquivalence(t *testing.T) {
+	docs := randomDocs(2500, 71, 7)
+	kern := engineFromDocs(docs, Config{})
+	scalar := engineFromDocs(docs, Config{NoKernel: true})
+	if kern.member == nil || scalar.member != nil {
+		t.Fatal("NoKernel wiring: member index built on the wrong engine")
+	}
+	rng := rand.New(rand.NewSource(72))
+	for qi := 0; qi < 40; qi++ {
+		q := kern.PrepareCounts(kern.c.Set(collection.SetID(rng.Intn(kern.c.NumSets()))))
+		tau := kernelEquivTaus[qi%len(kernelEquivTaus)]
+		for _, alg := range kernelEquivAlgs {
+			got, _, err := kern.Select(q, tau, alg, nil)
+			if err != nil {
+				t.Fatalf("%v kernel: %v", alg, err)
+			}
+			want, _, err := scalar.Select(q, tau, alg, nil)
+			if err != nil {
+				t.Fatalf("%v scalar: %v", alg, err)
+			}
+			assertBitwise(t, alg.String(), got, want)
+		}
+	}
+}
+
+// TestKernelOffEquivalenceTopK is the same property for top-k selection,
+// whose rising threshold makes the candidate-scan kernels fire under a
+// moving τ.
+func TestKernelOffEquivalenceTopK(t *testing.T) {
+	docs := randomDocs(2500, 73, 7)
+	kern := engineFromDocs(docs, Config{NoHashes: true, NoRelational: true})
+	scalar := engineFromDocs(docs, Config{NoHashes: true, NoRelational: true, NoKernel: true})
+	rng := rand.New(rand.NewSource(74))
+	for qi := 0; qi < 30; qi++ {
+		q := kern.PrepareCounts(kern.c.Set(collection.SetID(rng.Intn(kern.c.NumSets()))))
+		k := 1 + rng.Intn(25)
+		for _, alg := range []Algorithm{INRA, SF} {
+			got, _, err := kern.SelectTopK(q, k, alg, nil)
+			if err != nil {
+				t.Fatalf("%v kernel: %v", alg, err)
+			}
+			want, _, err := scalar.SelectTopK(q, k, alg, nil)
+			if err != nil {
+				t.Fatalf("%v scalar: %v", alg, err)
+			}
+			assertBitwise(t, alg.String(), got, want)
+		}
+	}
+}
+
+// TestKernelOffEquivalenceBatch drives the parallel batch executor (run
+// with -race) on both engines and compares every answer.
+func TestKernelOffEquivalenceBatch(t *testing.T) {
+	docs := randomDocs(2000, 75, 7)
+	kern := engineFromDocs(docs, Config{NoHashes: true, NoRelational: true})
+	scalar := engineFromDocs(docs, Config{NoHashes: true, NoRelational: true, NoKernel: true})
+	rng := rand.New(rand.NewSource(76))
+	queries := make([]Query, 48)
+	for i := range queries {
+		queries[i] = kern.PrepareCounts(kern.c.Set(collection.SetID(rng.Intn(kern.c.NumSets()))))
+	}
+	for _, alg := range []Algorithm{NRA, INRA, SF, Hybrid} {
+		got := kern.SelectBatch(queries, 0.7, alg, nil, 8)
+		want := scalar.SelectBatch(queries, 0.7, alg, nil, 8)
+		for i := range queries {
+			if got[i].Err != nil || want[i].Err != nil {
+				t.Fatalf("%v query %d: %v / %v", alg, i, got[i].Err, want[i].Err)
+			}
+			assertBitwise(t, alg.String(), got[i].Results, want[i].Results)
+		}
+	}
+}
+
+// TestKernelOffEquivalenceSharded checks that kernels preserve the
+// scatter-gather contract: a kernel-enabled sharded engine at every
+// shard count agrees bitwise with the scalar monolithic engine.
+func TestKernelOffEquivalenceSharded(t *testing.T) {
+	docs := randomDocs(1500, 77, 7)
+	scalar := engineFromDocs(docs, Config{NoKernel: true})
+	rng := rand.New(rand.NewSource(78))
+	for _, K := range shardKs {
+		se := BuildSharded(tokenize.QGramTokenizer{Q: 3}, docs, false, K, Config{})
+		for qi := 0; qi < 15; qi++ {
+			q := se.PrepareCounts(scalar.c.Set(collection.SetID(rng.Intn(scalar.c.NumSets()))))
+			for _, alg := range []Algorithm{TA, NRA, ITA, INRA, SF, Hybrid} {
+				got, _, err := se.Select(q, 0.7, alg, nil)
+				if err != nil {
+					t.Fatalf("K=%d %v sharded: %v", K, alg, err)
+				}
+				want, _, err := scalar.Select(q, 0.7, alg, nil)
+				if err != nil {
+					t.Fatalf("%v scalar: %v", alg, err)
+				}
+				assertBitwise(t, alg.String(), got, want)
+			}
+		}
+		se.Close()
+	}
+}
+
+// TestKernelOffEquivalenceLive runs the insert/delete/compact lifecycle
+// on a kernel and a scalar live engine in lockstep and compares answers
+// in the mixed state (memtable + segments + tombstones) and after full
+// compaction.
+func TestKernelOffEquivalenceLive(t *testing.T) {
+	corpus := randomCorpus(900, 79, 7)
+	mk := func(cfg Config) *LiveEngine {
+		le := NewLive(liveTestTK, LiveConfig{Config: cfg, NoBackground: true, FlushThreshold: 64})
+		t.Cleanup(le.Close)
+		return le
+	}
+	kern := mk(Config{NoHashes: true, NoRelational: true})
+	scalar := mk(Config{NoHashes: true, NoRelational: true, NoKernel: true})
+	var gids []collection.SetID
+	for i, s := range corpus {
+		id, err := kern.Insert(s)
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		id2, err := scalar.Insert(s)
+		if err != nil || id2 != id {
+			t.Fatalf("scalar insert %d: id %d vs %d, %v", i, id2, id, err)
+		}
+		gids = append(gids, id)
+	}
+	for i := range gids {
+		if i%5 == 0 {
+			kern.Delete(gids[i])
+			scalar.Delete(gids[i])
+		}
+	}
+	check := func(stage string) {
+		rng := rand.New(rand.NewSource(80))
+		for qi := 0; qi < 20; qi++ {
+			s := corpus[rng.Intn(len(corpus))]
+			tau := kernelEquivTaus[qi%len(kernelEquivTaus)]
+			for _, alg := range []Algorithm{NRA, INRA, SF, Hybrid} {
+				got, _, err := kern.Select(kern.Prepare(s), tau, alg, nil)
+				if err != nil {
+					t.Fatalf("%s %v kernel: %v", stage, alg, err)
+				}
+				want, _, err := scalar.Select(scalar.Prepare(s), tau, alg, nil)
+				if err != nil {
+					t.Fatalf("%s %v scalar: %v", stage, alg, err)
+				}
+				assertBitwise(t, stage+"/"+alg.String(), got, want)
+			}
+		}
+	}
+	check("mixed")
+	if !kern.Compact() || !scalar.Compact() {
+		t.Fatal("Compact reported no work")
+	}
+	check("compacted")
+}

@@ -143,6 +143,93 @@ func TestLiveTopKEquivalence(t *testing.T) {
 	}
 }
 
+// TestLiveTopKOverfetchClamp is the regression test for the per-segment
+// over-fetch k + dead(segment): with far more tombstones than k, the
+// over-fetched count exceeds the segment's document count and must be
+// clamped to it. The scenario — delete almost everything, then ask for a
+// small k without compacting — answers from segments whose dead count
+// dwarfs both k and the survivor count, and checks the top-k answer
+// against the independent threshold-selection path over the same
+// snapshot (no over-fetch logic), plus tombstone exclusion.
+func TestLiveTopKOverfetchClamp(t *testing.T) {
+	corpus := randomCorpus(300, 31, 6)
+	le := NewLive(liveTestTK, LiveConfig{
+		Config: Config{NoHashes: true, NoRelational: true}, NoBackground: true,
+		FlushThreshold: 64, DriftBound: 1e9, MaxSegments: 1 << 20,
+	})
+	defer le.Close()
+	gids := make([]collection.SetID, len(corpus))
+	for i, s := range corpus {
+		id, err := le.Insert(s)
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		gids[i] = id
+		// Partial compactions flush the memtable into segments, so the
+		// deletes below become segment tombstones counted by g.dead.
+		if i == 99 || i == 199 || i == 299 {
+			le.compactOnce(false)
+		}
+	}
+	deleted := map[collection.SetID]bool{}
+	for i, id := range gids {
+		// Keep ~1 in 15: deletes ≫ any tested k.
+		if i%15 != 0 {
+			if !le.Delete(id) {
+				t.Fatalf("delete %d reported false", i)
+			}
+			deleted[id] = true
+		}
+	}
+	if st := le.Stats(); st.Segments < 2 || st.Tombstones < 250 {
+		t.Fatalf("scenario not established: %+v", st)
+	}
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 20; trial++ {
+		// Query with survivors: a deleted doc's tokens may have df 0
+		// after the massacre, making its query empty by construction.
+		s := corpus[15*rng.Intn(len(corpus)/15)]
+		k := 1 + rng.Intn(6)
+		lq := le.Prepare(s)
+		// Oracle: live Naive top-k. With the clamp in place its
+		// per-segment cut k+dead covers the whole segment (dead ≫ k), so
+		// it degenerates to "all matches, sorted, cut to k" — exactly the
+		// ground truth the bounded algorithms must reproduce. Scores are
+		// compared with the mixed-state tolerance: segment weights are
+		// baked at different statistics epochs, so cross-algorithm
+		// accumulation orders differ by ulps, not bitwise.
+		want, _, err := le.SelectTopK(lq, k, Naive, nil)
+		if err != nil {
+			t.Fatalf("naive top-%d: %v", k, err)
+		}
+		for _, r := range want {
+			if deleted[r.ID] {
+				t.Fatalf("naive top-%d emitted deleted id %d", k, r.ID)
+			}
+		}
+		for _, alg := range []Algorithm{SF, INRA} {
+			got, _, err := le.SelectTopK(lq, k, alg, nil)
+			if err != nil {
+				t.Fatalf("top-%d %v: %v", k, alg, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("top-%d %v: %d results, naive %d", k, alg, len(got), len(want))
+			}
+			for i := range want {
+				if deleted[got[i].ID] {
+					t.Fatalf("top-%d %v: deleted id %d emitted", k, alg, got[i].ID)
+				}
+				if got[i].ID != want[i].ID {
+					t.Fatalf("top-%d %v result %d: id %d, naive %d", k, alg, i, got[i].ID, want[i].ID)
+				}
+				if d := got[i].Score - want[i].Score; d > 1e-9 || d < -1e-9 {
+					t.Fatalf("top-%d %v id %d: score %.12f, naive %.12f", k, alg, got[i].ID, got[i].Score, want[i].Score)
+				}
+			}
+		}
+	}
+}
+
 // TestLiveMixedStateAgreement runs every algorithm against a live engine
 // in its messiest state — several segments, a non-empty memtable,
 // tombstones everywhere — and checks they all agree with the live Naive

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"repro/internal/kernel"
 	"repro/internal/sim"
 )
 
@@ -32,20 +33,10 @@ func scanMemtable(cc *canceller, mem []memDoc, mq memQuery, tau float64, del *to
 			continue
 		}
 		stats.ElementsRead++
-		var dot float64
-		i, j := 0, 0
-		for i < len(mq.toks) && j < len(d.toks) {
-			switch {
-			case mq.toks[i] == d.toks[j]:
-				dot += mq.idfSq[i]
-				i++
-				j++
-			case mq.toks[i] < d.toks[j]:
-				i++
-			default:
-				j++
-			}
-		}
+		// kernel.DotStrings is the same ascending-order merge this loop
+		// always ran (with a galloping cutover for long documents), so
+		// live scores stay bitwise identical to the segment path's.
+		dot := kernel.DotStrings(d.toks, mq.toks, mq.idfSq)
 		if dot <= 0 {
 			continue
 		}

@@ -2,21 +2,20 @@ package core
 
 import (
 	"repro/internal/collection"
+	"repro/internal/kernel"
 	"repro/internal/sim"
 )
 
 // nraCand is a candidate of the classic NRA (Algorithm 1): a lower bound
-// accumulated from sorted accesses plus a bit vector of the lists it has
+// accumulated from sorted accesses plus a bit mask of the lists it has
 // been seen in. Upper bounds come from the list frontiers, not from the
 // candidate's own length — plain NRA does not exploit the semantic
 // properties of IDF. Candidates live in the scratch slab; dead marks
 // entries that were emitted or pruned (the slab version of map deletion).
 type nraCand struct {
 	id    collection.SetID
-	len   float64
 	lower float64
-	seen  listMask
-	nSeen int
+	seen  kernel.Mask
 	dead  bool
 }
 
@@ -24,6 +23,13 @@ type nraCand struct {
 // itself applied to make it terminate at all (§VIII-A): candidate-set
 // scans are skipped while the unseen-element bound F still reaches τ, and
 // a scan stops early at the first still-viable candidate.
+//
+// The candidate scan is the NRA hot spot the kernels target: per
+// candidate, the unseen frontier mass is summed by iterating the word
+// complement seen∧active (kernel.UpperAbsent) instead of branching on
+// every list index, and a dead-prefix watermark keeps each scan from
+// re-walking candidates that were pruned or emitted in earlier rounds
+// (dead is permanent: a readmitted id gets a fresh slab entry).
 func (e *Engine) selectNRA(s *queryScratch, cc *canceller, q Query, tau float64, stats *Stats) ([]Result, error) {
 	lists := e.openLists(s, cc, q, 0, &Options{NoLengthBound: true}, stats)
 	fillIDFSq(s, q)
@@ -35,6 +41,18 @@ func (e *Engine) selectNRA(s *queryScratch, cc *canceller, q Query, tau float64,
 	out := s.results[:0]
 	defer func() { s.results = out }()
 
+	// Frontier contributions fw, for upper bounds and the F gate, are
+	// maintained in place: the round-robin advance refreshes fw[i] the
+	// moment list i moves, so no pass re-derives every frontier.
+	fw := resliceFloats(s.f1, n)
+	s.f1 = fw
+	for i := range lists {
+		if p, ok := lists[i].frontier(); ok {
+			fw[i] = lists[i].w(q.Len, p.Len)
+		}
+	}
+	scanFrom := 0 // s.nra[:scanFrom] is all dead; dead never revives
+
 	for {
 		alive := false
 		for i := range lists {
@@ -45,43 +63,45 @@ func (e *Engine) selectNRA(s *queryScratch, cc *canceller, q Query, tau float64,
 			p, ok := l.frontier()
 			if !ok {
 				l.done = true
+				fw[i] = 0
 				continue
 			}
 			alive = true
 			stats.ElementsRead++
 			l.next()
+			if np, ok := l.frontier(); ok {
+				fw[i] = l.w(q.Len, np.Len)
+			} else {
+				fw[i] = 0
+			}
 			slot := s.tbl.get(p.ID)
 			if slot < 0 || s.nra[slot].dead {
-				s.nra = append(s.nra, nraCand{id: p.ID, len: p.Len, seen: s.newMask(n)})
+				s.nra = append(s.nra, nraCand{id: p.ID, seen: s.newCandMask(n)})
 				slot = int32(len(s.nra) - 1)
 				s.tbl.put(p.ID, slot)
 				live++
 				stats.CandidatesInserted++
 			}
 			c := &s.nra[slot]
-			if !c.seen.has(i) {
-				c.seen.set(i)
-				c.nSeen++
+			if !c.seen.Has(i) {
+				c.seen.Set(i)
 				c.lower += l.w(q.Len, p.Len)
 			}
 		}
 		stats.Rounds++
 
-		// Frontier contributions for upper bounds and the F gate.
-		fw := resliceFloats(s.f1, n)
-		s.f1 = fw
+		// Unseen-element bound F. Exhausted lists hold fw[i] == 0, and
+		// adding +0 is a bitwise no-op on the non-negative weights, so
+		// the sum matches the recompute-from-frontiers form exactly.
 		var f float64
-		for i := range lists {
-			if p, ok := lists[i].frontier(); ok {
-				fw[i] = lists[i].w(q.Len, p.Len)
-				f += fw[i]
-			}
+		for i := range fw {
+			f += fw[i]
 		}
 
 		switch {
 		case !alive:
 			// Every list exhausted: all scores are complete.
-			for ci := range s.nra {
+			for ci := scanFrom; ci < len(s.nra); ci++ {
 				c := &s.nra[ci]
 				// Round-robin accumulation order is list-state
 				// dependent; the canonical rescore decides and scores
@@ -95,26 +115,27 @@ func (e *Engine) selectNRA(s *queryScratch, cc *canceller, q Query, tau float64,
 		case !sim.Meets(f, tau):
 			// Scan the candidate set (mitigation: only once F < τ).
 			stats.CandidateScans++
-			for ci := range s.nra {
+			var active kernel.Mask
+			if !e.nokern {
+				active = s.activeMask(fw)
+			}
+			for ci := scanFrom; ci < len(s.nra); ci++ {
 				c := &s.nra[ci]
 				if c.dead {
+					if ci == scanFrom {
+						scanFrom++
+					}
 					continue
 				}
 				if cc.stop() {
 					return nil, cc.err
 				}
-				upper := c.lower
-				complete := true
-				for i := 0; i < n; i++ {
-					if c.seen.has(i) {
-						continue
-					}
-					if fw[i] > 0 {
-						upper += fw[i]
-						complete = false
-					}
-					// fw[i] == 0 means list i is exhausted; the
-					// candidate is definitively absent from it.
+				var upper float64
+				var complete bool
+				if e.nokern {
+					upper, complete = upperAbsentScalar(c.lower, &c.seen, fw)
+				} else {
+					upper, complete = kernel.UpperAbsent(c.lower, &c.seen, &active, fw)
 				}
 				if complete {
 					if meetsPre(c.lower, tau) {
@@ -122,11 +143,17 @@ func (e *Engine) selectNRA(s *queryScratch, cc *canceller, q Query, tau float64,
 					}
 					c.dead = true
 					live--
+					if ci == scanFrom {
+						scanFrom++
+					}
 					continue
 				}
 				if !sim.Meets(upper, tau) {
 					c.dead = true
 					live--
+					if ci == scanFrom {
+						scanFrom++
+					}
 					continue
 				}
 				// Early termination at the first viable candidate.
@@ -137,4 +164,24 @@ func (e *Engine) selectNRA(s *queryScratch, cc *canceller, q Query, tau float64,
 			}
 		}
 	}
+}
+
+// upperAbsentScalar is the scalar form of kernel.UpperAbsent — the
+// original per-list branch loop, kept verbatim as the NoKernel path and
+// as the reference the kernel equivalence tests compare against.
+// fw[i] == 0 means list i is exhausted; the candidate is definitively
+// absent from it.
+func upperAbsentScalar(base float64, seen *kernel.Mask, fw []float64) (upper float64, complete bool) {
+	upper = base
+	complete = true
+	for i := range fw {
+		if seen.Has(i) {
+			continue
+		}
+		if fw[i] > 0 {
+			upper += fw[i]
+			complete = false
+		}
+	}
+	return upper, complete
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/collection"
+	"repro/internal/kernel"
 	"repro/internal/sim"
 	"repro/internal/tokenize"
 )
@@ -28,28 +29,51 @@ import (
 // same terms.
 
 // fillIDFSq loads the query's squared token weights into the scratch
-// lookup map, cleared — not reallocated — per query.
+// lookup map (cleared — not reallocated — per query) and into the
+// token-ascending (qtok, qw) arrays the kernel dot product merges
+// against document token order. Query tokens are idf-sorted, so the
+// arrays are re-sorted here; queries are a handful of tokens, and the
+// insertion sort runs on scratch-backed slices without allocating.
 func fillIDFSq(s *queryScratch, q Query) {
 	if s.idfSq == nil {
 		s.idfSq = make(map[tokenize.Token]float64, len(q.Tokens))
 	} else {
 		clear(s.idfSq)
 	}
+	s.qtok = s.qtok[:0]
+	s.qw = s.qw[:0]
 	for _, qt := range q.Tokens {
 		s.idfSq[qt.Token] = qt.IDFSq
+		s.qtok = append(s.qtok, qt.Token)
+		s.qw = append(s.qw, qt.IDFSq)
+	}
+	for i := 1; i < len(s.qtok); i++ {
+		for j := i; j > 0 && s.qtok[j-1] > s.qtok[j]; j-- {
+			s.qtok[j-1], s.qtok[j] = s.qtok[j], s.qtok[j-1]
+			s.qw[j-1], s.qw[j] = s.qw[j], s.qw[j-1]
+		}
 	}
 }
 
 // rescore computes the exact Eq. 1 score of set id by the canonical
-// document-order dot product. s.idfSq must have been loaded by
-// fillIDFSq for the current query.
+// document-order dot product. s.idfSq/s.qtok/s.qw must have been loaded
+// by fillIDFSq for the current query.
+//
+// Both paths visit the matched tokens in ascending token order — the
+// document's storage order — so the kernel merge (with its galloping
+// cutover for long documents) returns the bitwise-identical sum the
+// scalar map-probe loop produced.
 func (e *Engine) rescore(s *queryScratch, q Query, id collection.SetID) float64 {
-	var dot float64
-	for _, cnt := range e.c.Set(id) {
-		if w, ok := s.idfSq[cnt.Token]; ok {
-			dot += w
+	if e.nokern {
+		var dot float64
+		for _, cnt := range e.c.Set(id) {
+			if w, ok := s.idfSq[cnt.Token]; ok {
+				dot += w
+			}
 		}
+		return dot / (q.Len * e.c.Length(id))
 	}
+	dot := kernel.DotCounts(e.c.Set(id), s.qtok, s.qw)
 	return dot / (q.Len * e.c.Length(id))
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/collection"
 	"repro/internal/invlist"
+	"repro/internal/kernel"
 	"repro/internal/relational"
 	"repro/internal/tokenize"
 )
@@ -31,7 +32,11 @@ type queryScratch struct {
 	f0 []float64 // suffix idf² sums (SF/Hybrid), len n+1
 	f1 []float64 // λ/µ cutoffs (SF/Hybrid), frontier weights (NRA)
 
-	arena []uint64 // backing storage for candidate list-masks
+	arena []uint64 // backing storage for candidate mask overflow words
+	kw    []uint64 // active-mask overflow words (NRA candidate scans)
+
+	qtok []tokenize.Token // query tokens sorted ascending (kernel dot)
+	qw   []float64        // idf² weights parallel to qtok
 
 	tbl idTable // SetID → slab-slot index (also TA's seen-set)
 
@@ -52,22 +57,44 @@ type queryScratch struct {
 	strs    []string                     // Prepare's raw token buffer
 }
 
-// newMask carves a zeroed listMask for n lists out of the scratch arena.
-// Growing the arena abandons the old backing array rather than copying:
-// masks handed out earlier keep pointing into it and stay valid for the
-// rest of the query.
-func (s *queryScratch) newMask(n int) listMask {
-	words := (n + 63) / 64
+// newCandMask returns a zeroed candidate mask over n lists. The common
+// case (n ≤ 64) is a pure value — one inline word, no arena traffic on
+// the admission path. Overflow words are carved out of the scratch
+// arena; growing the arena abandons the old backing array rather than
+// copying, so masks handed out earlier keep pointing into it and stay
+// valid for the rest of the query.
+func (s *queryScratch) newCandMask(n int) kernel.Mask {
+	words := kernel.HiWords(n)
+	if words == 0 {
+		return kernel.Mask{}
+	}
 	if cap(s.arena)-len(s.arena) < words {
 		grow := 2*cap(s.arena) + 64*words
 		s.arena = make([]uint64, 0, grow)
 	}
 	m := s.arena[len(s.arena) : len(s.arena)+words]
 	s.arena = s.arena[:len(s.arena)+words]
-	for i := range m {
-		m[i] = 0
+	clear(m)
+	return kernel.Mask{Hi: m}
+}
+
+// activeMask packs the still-active list indexes — fw[i] > 0, which is
+// exact because idf weights are strictly positive, so a live frontier
+// always contributes a positive weight — into a scratch-backed mask.
+// Built once per candidate scan; the per-candidate sweep then runs on
+// words instead of re-testing fw per list per candidate.
+func (s *queryScratch) activeMask(fw []float64) kernel.Mask {
+	var m kernel.Mask
+	if words := kernel.HiWords(len(fw)); words > 0 {
+		s.kw = resliceWords(s.kw, words)
+		m.Hi = s.kw
 	}
-	return listMask(m)
+	for i, w := range fw {
+		if w > 0 {
+			m.Set(i)
+		}
+	}
+	return m
 }
 
 // getScratch takes a scratch from the engine pool (or builds one).
@@ -189,5 +216,15 @@ func resliceFloats(buf []float64, n int) []float64 {
 	for i := range buf {
 		buf[i] = 0
 	}
+	return buf
+}
+
+// resliceWords is resliceFloats for mask overflow words.
+func resliceWords(buf []uint64, n int) []uint64 {
+	if cap(buf) < n {
+		return make([]uint64, n)
+	}
+	buf = buf[:n]
+	clear(buf)
 	return buf
 }

@@ -151,17 +151,20 @@ func TestIDTable(t *testing.T) {
 
 // TestScratchMaskArena verifies that masks handed out before an arena
 // growth stay valid: growth must abandon the old backing array, never
-// copy over it.
+// copy over it. Masks for ≤ 64 lists live entirely in the inline word
+// and never touch the arena, so the test uses wider masks whose
+// overflow words are arena-carved.
 func TestScratchMaskArena(t *testing.T) {
 	s := &queryScratch{}
-	first := s.newMask(64)
-	first.set(3)
+	first := s.newCandMask(128)
+	first.Set(3)
+	first.Set(100)
 	// Force many growths.
 	for i := 0; i < 100; i++ {
-		m := s.newMask(256)
-		m.set(i % 256)
+		m := s.newCandMask(256)
+		m.Set(i % 256)
 	}
-	if !first.has(3) || first.has(4) {
+	if !first.Has(3) || !first.Has(100) || first.Has(4) || first.Has(101) {
 		t.Fatal("early mask corrupted by arena growth")
 	}
 }

@@ -217,13 +217,31 @@ func (e *Engine) selectTA(s *queryScratch, cc *canceller, q Query, tau float64, 
 				}
 			}
 			score := l.w(q.Len, p.Len)
-			for j := range lists {
-				if j == i {
-					continue
+			if e.member != nil {
+				// Kernel path: membership is a packed-bitmap Contains —
+				// a shift-and-mask on the dense layout, a binary search
+				// over block keys on the sparse one — instead of an
+				// extendible-hash page scan. Probe order (ascending j,
+				// skipping the surfacing list) matches the scalar path,
+				// so the accumulated score is bitwise identical.
+				for j := range lists {
+					if j == i {
+						continue
+					}
+					stats.RandomProbes++
+					if e.member[q.Tokens[j].Token].Contains(uint64(p.ID)) {
+						score += lists[j].w(q.Len, p.Len)
+					}
 				}
-				stats.RandomProbes++
-				if _, found := e.hashes[q.Tokens[j].Token].Get(uint64(p.ID)); found {
-					score += lists[j].w(q.Len, p.Len)
+			} else {
+				for j := range lists {
+					if j == i {
+						continue
+					}
+					stats.RandomProbes++
+					if _, found := e.hashes[q.Tokens[j].Token].Get(uint64(p.ID)); found {
+						score += lists[j].w(q.Len, p.Len)
+					}
 				}
 			}
 			// The sum starts at whichever list surfaced the id, so it

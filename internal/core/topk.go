@@ -412,6 +412,8 @@ func (e *Engine) topkINRA(s *queryScratch, cc *canceller, q Query, k int, o *Opt
 	out := s.results[:0]
 	defer func() { s.results = out }()
 
+	scanFrom := 0 // s.imp[:scanFrom] is all dead; dead never revives
+
 	for {
 		tau := liveTau(bound, shared)
 		hi := q.Len / effTau(tau)
@@ -460,7 +462,7 @@ func (e *Engine) topkINRA(s *queryScratch, cc *canceller, q Query, k int, o *Opt
 		stats.Rounds++
 
 		if !alive {
-			for ci := range s.imp {
+			for ci := scanFrom; ci < len(s.imp); ci++ {
 				c := &s.imp[ci]
 				if !c.dead {
 					out = append(out, Result{ID: c.id, Score: e.rescore(s, q, c.id)})
@@ -480,28 +482,33 @@ func (e *Engine) topkINRA(s *queryScratch, cc *canceller, q Query, k int, o *Opt
 			continue
 		}
 		stats.CandidateScans++
-		for ci := range s.imp {
+		for ci := scanFrom; ci < len(s.imp); ci++ {
 			c := &s.imp[ci]
 			if c.dead {
+				if ci == scanFrom {
+					scanFrom++
+				}
 				continue
 			}
 			if cc.stop() {
 				return nil, cc.err
 			}
-			for j := range lists {
-				if !c.resolved.has(j) && ruledOut(&lists[j], c.len, c.id) {
-					c.resolveAbsent(j, lists[j].idfSq)
-				}
-			}
+			e.resolveAbsences(c, lists)
 			if c.nResolved == n {
 				out = append(out, Result{ID: c.id, Score: e.rescore(s, q, c.id)})
 				c.dead = true
 				live--
+				if ci == scanFrom {
+					scanFrom++
+				}
 				continue
 			}
 			if !sim.Meets(c.upper(q.Len), tau) {
 				c.dead = true
 				live--
+				if ci == scanFrom {
+					scanFrom++
+				}
 			}
 		}
 		if live == 0 {
