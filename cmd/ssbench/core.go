@@ -26,6 +26,9 @@ type CoreBenchResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	ElemsPerOp  float64 `json:"elems_per_op,omitempty"`
+	// PruneRatio is the fraction of per-shard bound checks that skipped
+	// the shard during the timed loop (sharded-pruned cases only).
+	PruneRatio float64 `json:"prune_ratio,omitempty"`
 }
 
 // CoreBenchReport is the top-level BENCH_core.json document.
@@ -275,13 +278,15 @@ func runCore(setup experiments.Setup, outPath string, mutate bool, only string) 
 		)
 	}
 
+	cases = append(cases, prunedCases(setup, nq)...)
+
 	report := CoreBenchReport{
 		Rows:      setup.Rows,
 		Queries:   nq,
 		Seed:      setup.Seed,
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 	}
-	fmt.Printf("\n%-28s %14s %12s %12s %12s\n", "case", "ns/op", "allocs/op", "B/op", "elems/op")
+	fmt.Printf("\n%-52s %14s %12s %12s %12s %8s\n", "case", "ns/op", "allocs/op", "B/op", "elems/op", "prune")
 	for _, c := range cases {
 		if onlyRe != nil && !onlyRe.MatchString(c.name) {
 			continue
@@ -294,10 +299,11 @@ func runCore(setup experiments.Setup, outPath string, mutate bool, only string) 
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			ElemsPerOp:  r.Extra["elems/op"],
+			PruneRatio:  r.Extra["prune-ratio"],
 		}
 		report.Results = append(report.Results, res)
-		fmt.Printf("%-28s %14.0f %12d %12d %12.0f\n",
-			res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, res.ElemsPerOp)
+		fmt.Printf("%-52s %14.0f %12d %12d %12.0f %8.2f\n",
+			res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, res.ElemsPerOp, res.PruneRatio)
 	}
 
 	if mutate {
@@ -315,6 +321,130 @@ func runCore(setup experiments.Setup, outPath string, mutate bool, only string) 
 		os.Exit(1)
 	}
 	fmt.Printf("\nwrote %s\n", outPath)
+}
+
+// clusteredCorpus synthesizes a corpus with natural cluster structure:
+// topics with disjoint vocabularies, each document drawing its words from
+// a single topic. Similarity-aware partitioning separates the topics into
+// different shards, so a selection query — which can only match documents
+// of its own topic — gives the router grounds to prune most shards. This
+// is the fan-out-to-few shape the sharded-pruned cases measure.
+func clusteredCorpus(n int, seed int64) []string {
+	const topics, vocab, docWords = 32, 40, 6
+	rng := rand.New(rand.NewSource(seed))
+	words := make([][]string, topics)
+	for t := range words {
+		words[t] = make([]string, vocab)
+		for w := range words[t] {
+			words[t][w] = fmt.Sprintf("t%02dw%02d", t, w)
+		}
+	}
+	docs := make([]string, n)
+	for i := range docs {
+		tw := words[i%topics]
+		s := ""
+		for j := 0; j < docWords; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += tw[rng.Intn(len(tw))]
+		}
+		docs[i] = s
+	}
+	return docs
+}
+
+// prunedCases builds the sharded-pruned benchmark family: routed engines
+// over the clustered corpus at 8 and 16 shards, running the threshold and
+// top-k workloads with shard pruning on and, as a twin over the identical
+// partitions, with pruning disabled per query (Options.NoShardPrune). The
+// pruned cases report the prune ratio observed during the timed loop as
+// the prune-ratio metric, which lands in BENCH_core.json.
+func prunedCases(setup experiments.Setup, nq int) []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	rows := setup.Rows
+	if rows > 20000 {
+		rows = 20000
+	}
+	docs := clusteredCorpus(rows, setup.Seed+12)
+	rng := rand.New(rand.NewSource(setup.Seed + 13))
+	var cases []struct {
+		name string
+		fn   func(b *testing.B)
+	}
+	for _, sc := range []int{8, 16} {
+		k := sc
+		se := core.BuildSharded(tokenize.WordTokenizer{}, docs, true, k, core.Config{
+			SkipInterval: setup.SkipInterval, NoHashes: true, NoRelational: true,
+		})
+		qs := make([]core.Query, nq)
+		for i := range qs {
+			qs[i] = se.Prepare(docs[rng.Intn(len(docs))])
+		}
+		sel := func(opts *core.Options, record bool) func(b *testing.B) {
+			return func(b *testing.B) {
+				for _, q := range qs {
+					if _, _, err := se.Select(q, 0.5, core.SF, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportAllocs()
+				g0 := se.Metrics().Snapshot().Shard
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := se.Select(qs[i%len(qs)], 0.5, core.SF, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if g1 := se.Metrics().Snapshot().Shard; record && g1.BoundChecks > g0.BoundChecks {
+					b.ReportMetric(float64(g1.Skipped-g0.Skipped)/float64(g1.BoundChecks-g0.BoundChecks), "prune-ratio")
+				}
+			}
+		}
+		topk := func(opts *core.Options, record bool) func(b *testing.B) {
+			return func(b *testing.B) {
+				for _, q := range qs {
+					if _, _, err := se.SelectTopK(q, 10, core.SF, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportAllocs()
+				g0 := se.Metrics().Snapshot().Shard
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := se.SelectTopK(qs[i%len(qs)], 10, core.SF, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if g1 := se.Metrics().Snapshot().Shard; record && g1.BoundChecks > g0.BoundChecks {
+					b.ReportMetric(float64(g1.Skipped-g0.Skipped)/float64(g1.BoundChecks-g0.BoundChecks), "prune-ratio")
+				}
+			}
+		}
+		cases = append(cases,
+			struct {
+				name string
+				fn   func(b *testing.B)
+			}{fmt.Sprintf("sharded-pruned/select/sf/tau=0.5/shards=%d", k), sel(nil, true)},
+			struct {
+				name string
+				fn   func(b *testing.B)
+			}{fmt.Sprintf("sharded-pruned/select/sf/tau=0.5/shards=%d/prune=off", k), sel(&core.Options{NoShardPrune: true}, false)},
+			struct {
+				name string
+				fn   func(b *testing.B)
+			}{fmt.Sprintf("sharded-pruned/topk/sf/k=10/shards=%d", k), topk(nil, true)},
+			struct {
+				name string
+				fn   func(b *testing.B)
+			}{fmt.Sprintf("sharded-pruned/topk/sf/k=10/shards=%d/prune=off", k), topk(&core.Options{NoShardPrune: true}, false)},
+		)
+	}
+	return cases
 }
 
 // runMutate seeds a background-compacting LiveEngine from the corpus,

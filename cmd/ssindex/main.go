@@ -11,9 +11,11 @@
 // weight-sorted lists, id-sorted lists and skip indexes. stat validates
 // the file and prints storage accounting; with -snap it instead opens a
 // saved snapshot (any format version: legacy collection or live
-// snapshot) and prints its layout — including the stored shard count —
-// plus segment and compaction stats under -v. -shards overrides the
-// stored shard count when replaying the snapshot (0 keeps it).
+// snapshot) and prints its layout — including the stored shard count
+// and, for version-4 snapshots, the similarity-aware routing table
+// (live docs per shard) and each shard's pruning summary — plus segment
+// and compaction stats under -v. -shards overrides the stored shard
+// count when replaying the snapshot (0 keeps it).
 package main
 
 import (
@@ -129,6 +131,15 @@ func snapStat(path string, shards int, verbose bool) {
 	defer le.Close()
 	fmt.Printf("%s: valid v%d snapshot, %d docs (%d live, %d tombstoned), saved with %d shard(s)\n",
 		path, info.Version, info.Docs, info.Live, info.Docs-info.Live, info.Shards)
+	if info.Routed {
+		fmt.Printf("routing: similarity-aware, live docs per shard %v\n", info.RouteCounts)
+		for i, s := range info.Summaries {
+			fmt.Printf("shard %d summary: %d docs, len [%.3f, %.3f], %d hot tokens, sketch %d/%d slots\n",
+				i, s.Docs, s.LenMin, s.LenMax, s.HotTokens, s.SketchOccupied, s.SketchSlots)
+		}
+	} else if info.Version >= 4 {
+		fmt.Println("routing: none (single shard)")
+	}
 	if verbose {
 		st := le.Stats()
 		fmt.Printf("shards: %d, segments: %d (epoch %d), memtable %d docs\n",

@@ -15,12 +15,15 @@
 // queries from a disk-resident list file (setsim.SaveLists / ssindex
 // build) and requires a legacy collection file.
 //
-// -shards N hash-partitions the corpus into N complete engines sharing
-// global statistics and fans every query across them — answers are
-// bitwise-identical to the unsharded run. With -in, N > 1 builds a
-// sharded static engine; with -load, N is passed to the live engine (0
-// keeps the shard count a version-3 snapshot was saved with). Sharding
-// is incompatible with -lists and -save.
+// -shards N partitions the corpus into N complete engines sharing
+// global statistics — similarity-aware clustering by default, so the
+// router can skip shards whose summary bound cannot reach τ (the -v
+// metrics summary prints the prune: line with the observed ratio) — and
+// fans every query across the rest; answers are bitwise-identical to the
+// unsharded run. With -in, N > 1 builds a sharded static engine; with
+// -load, N is passed to the live engine (0 keeps the shard count a
+// version-3/4 snapshot was saved with). Sharding is incompatible with
+// -lists and -save.
 package main
 
 import (
@@ -54,7 +57,7 @@ func main() {
 	algName := flag.String("alg", "sf", "algorithm: naive|sort-by-id|sql|ta|nra|ita|inra|sf|hybrid")
 	k := flag.Int("k", 0, "top-k mode when > 0 (sf or inra only)")
 	timeout := flag.Duration("timeout", 0, "per-query deadline (0 disables); expired queries abort mid-scan")
-	shards := flag.Int("shards", 0, "hash partitions to fan queries across (0 = unsharded, or a snapshot's saved count)")
+	shards := flag.Int("shards", 0, "routed partitions to fan queries across (0 = unsharded, or a snapshot's saved count)")
 	verbose := flag.Bool("v", false, "print access statistics and a final metrics summary")
 	flag.Parse()
 	if *in == "" && *load == "" {

@@ -27,6 +27,8 @@
 //	                              a guarded cold path
 //	//ssvet:monotone <reason>   — this repeated SeekLen's targets are
 //	                              provably non-decreasing
+//	//ssvet:nostats <reason>    — this posting loop's work is accounted
+//	                              by its caller
 //	//ssvet:hot                 — (in a function's doc comment) opt the
 //	                              function into the hotalloc rules
 //
@@ -201,6 +203,7 @@ func Analyzers() []*Analyzer {
 		LockScope,
 		StdlibOnly,
 		SkipMono,
+		StatsAcct,
 		AnnLive,
 	}
 }

@@ -150,6 +150,7 @@ func TestAlgSwitchCorpus(t *testing.T)   { testCorpus(t, AlgSwitch, "algswitch")
 func TestLockScopeCorpus(t *testing.T)   { testCorpus(t, LockScope, "lockscope") }
 func TestStdlibOnlyCorpus(t *testing.T)  { testCorpus(t, StdlibOnly, "stdlibonly") }
 func TestSkipMonoCorpus(t *testing.T)    { testCorpus(t, SkipMono, "skipmono") }
+func TestStatsAcctCorpus(t *testing.T)   { testCorpus(t, StatsAcct, "statsacct") }
 func TestAnnLiveCorpus(t *testing.T)     { testCorpusSuite(t, "annlive") }
 
 // TestModuleHasNoDiagnostics is the in-process twin of the ssvet CI

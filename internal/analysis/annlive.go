@@ -28,6 +28,8 @@ var knownVerbs = map[string]bool{
 	"nopoll":     true,
 	"floatexact": true,
 	"coldalloc":  true,
+	"monotone":   true,
+	"nostats":    true,
 	"hot":        true,
 }
 
@@ -52,7 +54,7 @@ func runAnnLive(pass *Pass) {
 	sort.Slice(dead, func(i, j int) bool { return dead[i].pos < dead[j].pos })
 	for _, a := range dead {
 		if !knownVerbs[a.verb] {
-			pass.Reportf(a.pos, "unknown //ssvet: verb %q (known: coldalloc, floatexact, hot, nopoll)", a.verb)
+			pass.Reportf(a.pos, "unknown //ssvet: verb %q (known: coldalloc, floatexact, hot, monotone, nopoll, nostats)", a.verb)
 			continue
 		}
 		pass.Reportf(a.pos, "//ssvet:%s annotation no longer suppresses any finding; remove the dead escape hatch", a.verb)

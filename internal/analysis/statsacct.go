@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// StatsAcct enforces the accounting contract behind Stats.PruningPower:
+// every loop in the query packages that reads postings must account for
+// them — bump ElementsRead for postings materialized, ElementsSkipped
+// for postings jumped over, or delegate to a callee that receives the
+// *Stats and accounts on the caller's behalf. A scan that advances
+// cursors without accounting silently deflates the reported read counts,
+// and the pruning-power numbers the paper's evaluation rests on become
+// fiction. The shard-pruning fast path is the motivating case: a shard
+// skipped on its summary bound must still charge its postings as
+// skipped, or prune ratios would masquerade as free work.
+//
+// The rule: in the core and relational packages, each outermost
+// advancing loop (same notion as ctxpoll — posting-slice access, a
+// cursor-advance call, or a whole-collection scan) must, somewhere
+// inside, either assign to an ElementsRead/ElementsSkipped field or
+// make a call that passes a Stats value (pointer or field selector) to
+// the callee. A loop whose postings are provably accounted elsewhere is
+// annotated //ssvet:nostats <reason>.
+var StatsAcct = &Analyzer{
+	Name: "statsacct",
+	Doc:  "posting-reading loops must account ElementsRead/ElementsSkipped (or carry //ssvet:nostats <reason>)",
+	Run:  runStatsAcct,
+}
+
+// statsAcctStrictPkgs are the packages whose posting loops feed the
+// Stats counters surfaced to users: the query algorithms and the
+// relational baseline.
+var statsAcctStrictPkgs = map[string]bool{
+	"core":       true,
+	"relational": true,
+}
+
+// statsFields are the counters whose updates discharge the obligation.
+var statsFields = map[string]bool{
+	"ElementsRead":    true,
+	"ElementsSkipped": true,
+}
+
+func runStatsAcct(pass *Pass) {
+	strict := statsAcctStrictPkgs[pass.Pkg.Name()] ||
+		strings.HasPrefix(pass.Pkg.Name(), "statsacct") // testdata corpora
+	if !strict {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, u := range funcUnits(f) {
+			for _, loop := range outermostLoops(u.body) {
+				if !loopAdvances(pass.TypesInfo, loop) {
+					continue
+				}
+				// Annotated is consulted only where a finding would fire,
+				// so a //ssvet:nostats on an already-accounting loop stays
+				// un-hit and is flagged by annlive as dead.
+				if !loopAccounts(pass.TypesInfo, loop) && !pass.Annotated(loop, "nostats") {
+					pass.Reportf(loop.Pos(), "posting-reading loop neither bumps ElementsRead/ElementsSkipped nor passes Stats to a callee (account the postings, or annotate //ssvet:nostats <reason>)")
+				}
+			}
+		}
+	}
+}
+
+// loopAccounts reports whether the loop contains a stats observation: an
+// assignment or ++/-- whose target is an ElementsRead/ElementsSkipped
+// field, or a call receiving a Stats value (delegated accounting, e.g.
+// scanMemtable(..., &stats) or mergeStats(dst, st)).
+func loopAccounts(info *types.Info, loop ast.Stmt) bool {
+	accounts := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if accounts {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if isStatsField(lhs) {
+					accounts = true
+					return true
+				}
+			}
+		case *ast.IncDecStmt:
+			if isStatsField(n.X) {
+				accounts = true
+				return true
+			}
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if isStatsValue(info, arg) {
+					accounts = true
+					return true
+				}
+			}
+		}
+		return true
+	})
+	return accounts
+}
+
+// isStatsField reports whether e selects one of the accounted counters
+// (stats.ElementsRead, st.ElementsSkipped, ...).
+func isStatsField(e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	return ok && statsFields[sel.Sel.Name]
+}
+
+// isStatsValue reports whether the expression carries a Stats value into
+// a callee: its type's named type is Stats (any level of pointer).
+func isStatsValue(info *types.Info, e ast.Expr) bool {
+	return namedTypeName(info.TypeOf(e)) == "Stats"
+}

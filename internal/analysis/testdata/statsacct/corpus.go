@@ -1,0 +1,132 @@
+// Package statsacct is the test corpus for the statsacct analyzer. The
+// package name triggers strict mode (as in the real core and relational
+// packages): every posting-reading loop must account its postings in
+// the Stats counters or delegate to a callee that does.
+package statsacct
+
+// Posting mirrors the inverted-list element type the analyzer keys on.
+type Posting struct {
+	ID  int
+	Len float64
+}
+
+// Stats mirrors the engine's accounting struct.
+type Stats struct {
+	ListTotal       int
+	ElementsRead    int
+	ElementsSkipped int
+}
+
+// cursor is a minimal posting iterator with the conventional advance
+// method name.
+type cursor struct {
+	list []Posting
+	pos  int
+}
+
+func (c *cursor) next() (Posting, bool) {
+	if c.pos >= len(c.list) {
+		return Posting{}, false
+	}
+	p := c.list[c.pos]
+	c.pos++
+	return p, true
+}
+
+func scanOne(p Posting, stats *Stats) { stats.ElementsRead++ }
+
+func observe(p Posting) {}
+
+// scanAccounted is the clean pattern: every materialized posting bumps
+// ElementsRead.
+func scanAccounted(list []Posting, stats *Stats) int {
+	n := 0
+	for _, p := range list {
+		stats.ElementsRead++
+		n += p.ID
+	}
+	return n
+}
+
+// scanSkipAccounted discharges the obligation through the skip counter:
+// postings jumped over count too.
+func scanSkipAccounted(list []Posting, stats *Stats) {
+	for i := 0; i < len(list); i += 2 {
+		stats.ElementsSkipped++
+		observe(list[i])
+	}
+}
+
+// scanDelegated passes the Stats into a callee every iteration;
+// accounting is the callee's job (the scanMemtable pattern).
+func scanDelegated(c *cursor, stats *Stats) {
+	for {
+		p, ok := c.next()
+		if !ok {
+			break
+		}
+		scanOne(p, stats)
+	}
+}
+
+// scanCompound accounts with a compound assignment after a batch.
+func scanCompound(list []Posting, stats *Stats) {
+	for i := range list {
+		observe(list[i])
+		stats.ElementsRead += 1
+	}
+}
+
+// scanNested accounts in the inner loop only: the outer loop is covered
+// by any accounting anywhere inside it.
+func scanNested(lists [][]Posting, stats *Stats) {
+	for _, list := range lists {
+		for _, p := range list {
+			stats.ElementsRead++
+			observe(p)
+		}
+	}
+}
+
+// scanSilent materializes postings without touching the counters.
+func scanSilent(list []Posting) int {
+	n := 0
+	for _, p := range list { // want "posting-reading loop neither bumps ElementsRead/ElementsSkipped nor passes Stats to a callee"
+		n += p.ID
+	}
+	return n
+}
+
+// scanSilentCursor advances a cursor without accounting, Stats in scope
+// but untouched.
+func scanSilentCursor(c *cursor, stats *Stats) {
+	for { // want "posting-reading loop neither bumps ElementsRead"
+		p, ok := c.next()
+		if !ok {
+			break
+		}
+		observe(p)
+	}
+	stats.ListTotal++
+}
+
+// scanExempt is a bounded probe loop whose postings are charged by its
+// caller; the annotation documents that.
+func scanExempt(list []Posting) int {
+	n := 0
+	//ssvet:nostats caller charges the probe against its own Stats
+	for _, p := range list {
+		n += p.ID
+	}
+	return n
+}
+
+// bookkeeping loops that never touch postings are exempt by
+// construction.
+func sumInts(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

@@ -30,6 +30,8 @@ import (
 	"time"
 
 	"repro/internal/collection"
+	"repro/internal/route"
+	"repro/internal/sim"
 	"repro/internal/tokenize"
 )
 
@@ -72,13 +74,17 @@ type shardWork struct {
 // compactOnce runs one compaction round. With full set (or when any
 // shard's segment count or statistics drift exceeds its bound) every
 // segment of every participating shard is folded; otherwise only the
-// memtables and undersized segments are.
+// memtables and undersized segments are. A full round on a routed
+// multi-shard engine additionally re-clusters the surviving corpus —
+// hash-routed memtable inserts fold into the similarity-aware
+// partitions, reproducing exactly the assignment a static BuildSharded
+// over the live documents would compute.
 func (le *LiveEngine) compactOnce(full bool) bool {
 	le.compactMu.Lock()
 	defer le.compactMu.Unlock()
 	start := time.Now()
 
-	works, all, ok := le.gather(full)
+	works, all, needRoute, mutAt, ok := le.gather(full)
 	if !ok {
 		return false
 	}
@@ -94,6 +100,33 @@ func (le *LiveEngine) compactOnce(full bool) bool {
 		toks = le.tk.Tokens(toks[:0], ref.source)
 		for _, t := range toks {
 			dict.Intern(t)
+		}
+	}
+
+	// Re-cluster a full routed round: the clusterer sees the same
+	// documents in the same order with the same token ids and idf a
+	// static build's pass 1 would produce, so the partition matches the
+	// static one deterministically. The per-shard work lists gathered
+	// under the old routing are redistributed before any index builds.
+	var reassign []int32
+	if needRoute {
+		docToks := make([][]tokenize.Token, len(all))
+		var scratch []string
+		for i, ref := range all {
+			counts := tokenize.Counts(dict, le.tk, ref.source, scratch)
+			dt := make([]tokenize.Token, len(counts))
+			for j, c := range counts {
+				dt[j] = c.Token
+			}
+			docToks[i] = dt
+		}
+		reassign = route.Partition(docToks, le.roundIDF(dict), le.nShards)
+		for si := range works {
+			works[si].work = works[si].work[:0]
+		}
+		// all ascends by id, so every redistributed list stays id-sorted.
+		for i, ref := range all {
+			works[reassign[i]].work = append(works[reassign[i]].work, ref)
 		}
 	}
 
@@ -134,9 +167,12 @@ func (le *LiveEngine) compactOnce(full bool) bool {
 			builtMut: builtMut,
 			identity: identities[si],
 		}
+		if !le.cfg.NoRoute {
+			segs[si].sum = route.Summarize(colls[si])
+		}
 	}
 
-	le.swapSegments(works, segs)
+	le.swapSegments(works, segs, all, reassign, mutAt)
 	le.compactions.Add(1)
 	le.lastCompactNs.Store(int64(time.Since(start)))
 	le.lastCompactDocs.Store(int64(len(all)))
@@ -149,7 +185,12 @@ func (le *LiveEngine) compactOnce(full bool) bool {
 // order). A shard whose round would be pure churn — no memtable, at most
 // one segment to fold, no tombstones to reclaim, no statistics drift —
 // is skipped (nil fold map); ok is false when every shard is skipped.
-func (le *LiveEngine) gather(full bool) (works []shardWork, all []docRef, ok bool) {
+// needRoute marks a full round on a routed multi-shard engine with
+// mutations the routing table has not absorbed: every shard then
+// participates (documents may move between shards even if a shard looks
+// clean in isolation) and the caller re-clusters; mutAt is the mutation
+// count the fresh routing will reflect.
+func (le *LiveEngine) gather(full bool) (works []shardWork, all []docRef, needRoute bool, mutAt uint64, ok bool) {
 	le.mu.RLock()
 	defer le.mu.RUnlock()
 	snap := le.snap.Load()
@@ -161,6 +202,8 @@ func (le *LiveEngine) gather(full bool) (works []shardWork, all []docRef, ok boo
 			}
 		}
 	}
+	needRoute = full && le.nShards > 1 && !le.cfg.NoRoute && le.mutations != le.lastRouteMut
+	mutAt = le.mutations
 	works = make([]shardWork, len(snap.shards))
 	any := false
 	for si := range snap.shards {
@@ -178,7 +221,7 @@ func (le *LiveEngine) gather(full bool) (works []shardWork, all []docRef, ok boo
 				drifted = true
 			}
 		}
-		if len(sh.mem) == 0 && len(fold) < 2 && deadIn == 0 && !drifted {
+		if !needRoute && len(sh.mem) == 0 && len(fold) < 2 && deadIn == 0 && !drifted {
 			continue // pure churn: an identical segment would come back
 		}
 		any = true
@@ -203,10 +246,27 @@ func (le *LiveEngine) gather(full bool) (works []shardWork, all []docRef, ok boo
 		all = append(all, w.work...)
 	}
 	if !any {
-		return nil, nil, false
+		return nil, nil, false, 0, false
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
-	return works, all, true
+	return works, all, needRoute, mutAt, true
+}
+
+// roundIDF computes the idf weight of every round-dictionary token under
+// the current live statistics — the clustering input, matching what a
+// static build's pass 1 derives from its df table.
+func (le *LiveEngine) roundIDF(dict *tokenize.Dict) []float64 {
+	le.mu.RLock()
+	defer le.mu.RUnlock()
+	n := le.liveN
+	if n < 1 {
+		n = 1 // matches the BuildWithStats floor
+	}
+	idf := make([]float64, dict.Len())
+	for t := range idf {
+		idf[t] = sim.IDF(le.df[dict.String(tokenize.Token(t))], n)
+	}
+	return idf
 }
 
 // bakeStats freezes every round builder under one consistent view of the
@@ -233,10 +293,18 @@ func (le *LiveEngine) bakeStats(builders []*collection.Builder) ([]*collection.C
 // participating shard the folded segments are replaced by its new
 // segment (nil when every gathered document had been deleted) and the
 // consumed memtable prefix is dropped; untouched shards carry over.
-// Tombstone accounting is recounted from the log.
-func (le *LiveEngine) swapSegments(works []shardWork, newSegs []*liveSegment) {
+// Tombstone accounting is recounted from the log. A re-clustered round
+// (reassign non-nil, aligned with all) rewrites the routing table for
+// every compacted document and records the mutation count it reflects.
+func (le *LiveEngine) swapSegments(works []shardWork, newSegs []*liveSegment, all []docRef, reassign []int32, mutAt uint64) {
 	le.mu.Lock()
 	defer le.mu.Unlock()
+	if reassign != nil {
+		for i, ref := range all {
+			le.route[ref.id] = reassign[i]
+		}
+		le.lastRouteMut = mutAt
+	}
 	cur := le.snap.Load()
 	shards := make([]liveShard, len(cur.shards))
 	for si := range cur.shards {

@@ -79,6 +79,11 @@ type Options struct {
 	// NoSkipIndex performs the initial length seek by sequential reads
 	// instead of the skip index (the "NSL" variants of Fig. 9).
 	NoSkipIndex bool
+	// NoShardPrune disables per-shard summary pruning on a routed
+	// ShardedEngine: every query fans out to all shards, PR 5-style, but
+	// over the same similarity-aware partitions. The per-query ablation
+	// twin of Config.NoRoute; answers are bitwise-identical either way.
+	NoShardPrune bool
 }
 
 // Result is one qualifying set with its exact IDF score.
@@ -169,6 +174,12 @@ type Config struct {
 	// candidate-scan and rescoring loops run their scalar forms. Every
 	// algorithm returns bitwise-identical results either way.
 	NoKernel bool
+	// NoRoute disables similarity-aware partitioning on BuildSharded:
+	// documents are hash-routed (PR 5 behavior) and no per-shard
+	// summaries are built, so no shard is ever pruned. A build-time
+	// toggle for benchmarks and ablation; answers are bitwise-identical
+	// either way.
+	NoRoute bool
 }
 
 // NewEngine builds the indexes for c per cfg.

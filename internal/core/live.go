@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/collection"
 	"repro/internal/metrics"
+	"repro/internal/route"
 	"repro/internal/sim"
 	"repro/internal/tokenize"
 )
@@ -87,6 +88,10 @@ type memDoc struct {
 type liveSegment struct {
 	eng *Engine
 	ids []collection.SetID // local id → global id, strictly ascending
+	// sum is the segment's pruning summary (built at compaction, nil
+	// under Config.NoRoute): queries skip the whole segment when its
+	// bound cannot reach τ or the circulating top-k bound.
+	sum *route.Summary
 	// builtN and builtMut freeze the corpus size and mutation counter at
 	// build time; drift is measured against them.
 	builtN   int
@@ -196,6 +201,14 @@ type LiveEngine struct {
 	liveN     int            // live documents (inserted minus deleted)
 	mutations uint64
 	closed    bool
+	// route maps every global id to the shard holding it: hash-assigned
+	// at insert, rewritten by full compactions when the similarity-aware
+	// clusterer redistributes the corpus. Parallel to log; guarded by mu.
+	route []int32
+	// lastRouteMut is the mutation count the routing table reflects; a
+	// full compaction re-clusters only when mutations have moved past it,
+	// so repeated Compact calls stay no-ops. Guarded by mu.
+	lastRouteMut uint64
 
 	snap  atomic.Pointer[liveSnapshot]
 	del   atomic.Pointer[tombstones]
@@ -212,6 +225,10 @@ type LiveEngine struct {
 	compactions     atomic.Uint64
 	lastCompactNs   atomic.Int64
 	lastCompactDocs atomic.Int64
+
+	// Per-segment pruning counters, mirrored into metrics.ShardGauges.
+	boundChecks   atomic.Uint64
+	shardsSkipped atomic.Uint64
 }
 
 // NewLive creates an empty mutable engine.
@@ -240,6 +257,13 @@ func NewLive(tk tokenize.Tokenizer, cfg LiveConfig) *LiveEngine {
 	}
 	le.snap.Store(&liveSnapshot{shards: make([]liveShard, cfg.Shards)})
 	le.m.SetLiveGaugesFunc(le.gauges)
+	le.m.SetShardGaugesFunc(func() metrics.ShardGauges {
+		return metrics.ShardGauges{
+			Shards:      le.nShards,
+			BoundChecks: le.boundChecks.Load(),
+			Skipped:     le.shardsSkipped.Load(),
+		}
+	})
 	if !cfg.NoBackground {
 		le.wg.Add(1)
 		go le.compactLoop()
@@ -375,7 +399,11 @@ func (le *LiveEngine) insertLocked(s string, toks []string) collection.SetID {
 		len2 += w * w
 	}
 	old := le.snap.Load()
+	// Fresh inserts hash-route: clustering them would need the (not yet
+	// rebuilt) centroids, and the next full compaction folds them into
+	// the clustered partitions anyway.
 	sh := shardOf(id, le.nShards)
+	le.route = append(le.route, int32(sh))
 	shards := make([]liveShard, len(old.shards))
 	copy(shards, old.shards)
 	// Appending to the owning shard's shared backing array is safe:
@@ -402,7 +430,9 @@ func (le *LiveEngine) deleteLocked(id collection.SetID) bool {
 	}
 	le.liveN--
 	le.mutations++
-	sh := shardOf(id, le.nShards)
+	// The routing table — not the id hash — says which shard holds the
+	// document: compaction may have re-clustered it.
+	sh := le.route[id]
 	if g := segmentOf(le.snap.Load().shards[sh].segs, id); g != nil {
 		g.dead.Add(1)
 	}
@@ -521,6 +551,33 @@ func (le *LiveEngine) Log() []DocState {
 	out := make([]DocState, len(le.log))
 	for i, d := range le.log {
 		out[i] = DocState{Source: d.source, Deleted: d.deleted}
+	}
+	return out
+}
+
+// Routing copies the routing table: the shard holding each global id
+// (hash-assigned at insert, re-clustered by full compactions).
+// Persistence serializes it so snapshot inspection can report the
+// partition layout without rebuilding.
+func (le *LiveEngine) Routing() []int32 {
+	le.mu.RLock()
+	defer le.mu.RUnlock()
+	out := make([]int32, len(le.route))
+	copy(out, le.route)
+	return out
+}
+
+// ShardSummaries reports each shard's pruning summary — well-defined
+// after a full Compact, when every shard holds at most one segment. A
+// shard that is empty, mid-merge (multiple segments), or built under
+// Config.NoRoute reports nil.
+func (le *LiveEngine) ShardSummaries() []*route.Summary {
+	snap := le.snap.Load()
+	out := make([]*route.Summary, len(snap.shards))
+	for si := range snap.shards {
+		if segs := snap.shards[si].segs; len(segs) == 1 {
+			out[si] = segs[0].sum
+		}
 	}
 	return out
 }
@@ -672,6 +729,8 @@ func (le *LiveEngine) SelectCtx(ctx context.Context, lq LiveQuery, tau float64, 
 // pinned snapshot: its segments in order, then its memtable, results
 // sorted by ascending global id. On a shard holding a single fully
 // compacted segment the answer passes through with no merge work.
+// Segments carrying a pruning summary are skipped outright when their
+// bound cannot reach τ, their postings accounted as skipped.
 func (le *LiveEngine) liveShardSelect(ctx context.Context, lq LiveQuery, si int, tau float64, alg Algorithm, opts *Options, del *tombstones) ([]Result, Stats, error) {
 	var stats Stats
 	sh := &lq.snap.shards[si]
@@ -680,6 +739,20 @@ func (le *LiveEngine) liveShardSelect(ctx context.Context, lq LiveQuery, si int,
 	for i, g := range sh.segs {
 		if len(lq.segQ[si][i].Tokens) == 0 {
 			continue // no query token occurs in this segment
+		}
+		if g.sum != nil && !(opts != nil && opts.NoShardPrune) {
+			q := lq.segQ[si][i]
+			le.boundChecks.Add(1)
+			sLo, sHi := g.sum.LenRange()
+			lo, hi := lengthWindow(q, tau, opts)
+			b := shardBound(g.sum, q)
+			if g.sum.Docs() == 0 || b <= 0 || sHi < lo || sLo > hi || !boundMeets(b, tau) {
+				t := g.eng.queryListTotal(q)
+				stats.ListTotal += t
+				stats.ElementsSkipped += t
+				le.shardsSkipped.Add(1)
+				continue
+			}
 		}
 		res, st, err := g.eng.SelectCtx(ctx, lq.segQ[si][i], tau, alg, opts)
 		addStats(&stats, st)
@@ -816,6 +889,23 @@ func (le *LiveEngine) liveShardTopK(ctx context.Context, lq LiveQuery, si, k int
 	for i, g := range sh.segs {
 		if len(lq.segQ[si][i].Tokens) == 0 {
 			continue
+		}
+		if g.sum != nil && !(opts != nil && opts.NoShardPrune) {
+			// A zero bound means no query token occurs in this segment —
+			// nothing here can score, and no algorithm emits zero-score
+			// documents. A positive circulating bound past the segment's
+			// bound proves its best score below the fleet's k-th.
+			q := lq.segQ[si][i]
+			le.boundChecks.Add(1)
+			b := shardBound(g.sum, q)
+			s := shared.load() // nil-safe: 0 for the single-shard path
+			if g.sum.Docs() == 0 || b <= 0 || (s > 0 && !boundMeets(b, s)) {
+				t := g.eng.queryListTotal(q)
+				stats.ListTotal += t
+				stats.ElementsSkipped += t
+				le.shardsSkipped.Add(1)
+				continue
+			}
 		}
 		kk := k + int(g.dead.Load())
 		if kk > len(g.ids) {

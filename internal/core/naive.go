@@ -16,6 +16,7 @@ func (e *Engine) selectNaive(s *queryScratch, cc *canceller, q Query, tau float6
 	fillIDFSq(s, q)
 	out := s.results[:0]
 	defer func() { s.results = out }()
+	//ssvet:nostats base-table scan reads sets, not postings; ElementsRead/ListTotal measure inverted-index access only
 	for id := 0; id < e.c.NumSets(); id++ {
 		if cc.stop() {
 			return nil, cc.err

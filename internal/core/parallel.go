@@ -133,6 +133,7 @@ func (e *Engine) SelectSortByIDParallelCtx(ctx context.Context, q Query, tau flo
 			local := s.scores
 			reuser, _ := e.store.(invlist.CursorReuser)
 			var cur invlist.Cursor
+			//ssvet:nostats each worker counts into reads[w]; the join below folds them into stats.ElementsRead
 			for i := w; i < len(q.Tokens); i += workers {
 				qt := q.Tokens[i]
 				if reuser != nil {

@@ -1,15 +1,21 @@
-// Sharded scatter-gather execution. A ShardedEngine hash-partitions the
+// Sharded scatter-gather execution. A ShardedEngine partitions the
 // corpus into K complete Engines that share one token dictionary and one
 // set of global corpus statistics (collection.BuildWithStats), so every
 // per-shard score — idf weights, normalized lengths, query length — is
 // bitwise-identical to what a monolithic build over the same documents
-// would compute. Queries fan out across the shards on a bounded pool of
-// persistent workers and are folded by a merge stage: plain
-// concatenation plus the usual id sort for threshold selection, and a
-// threshold-aware top-k merge in which the shards circulate the global
-// k-th-score lower bound (sharedTau) so Length Boundedness (Property 2,
-// Theorem 1) prunes against the whole fleet's progress rather than any
-// single shard's.
+// would compute. Documents are routed by the similarity-aware clusterer
+// in internal/route (hash routing under Config.NoRoute), and each routed
+// shard carries a route.Summary the executor consults per query: shards
+// whose summary bound provably cannot reach τ — or the circulating top-k
+// bound — are skipped outright, their postings accounted as skipped.
+// The surviving shards fan out on a bounded pool of persistent workers
+// and are folded by a merge stage: plain concatenation plus the usual id
+// sort for threshold selection, and a threshold-aware top-k merge in
+// which the shards circulate the global k-th-score lower bound
+// (sharedTau) so Length Boundedness (Property 2, Theorem 1) prunes
+// against the whole fleet's progress rather than any single shard's.
+// Top-k visits shards in descending summary-bound order, so the global
+// bound rises early and the low-potential tail is pruned mid-flight.
 //
 // The warm-path allocation discipline extends to the fan-out: the
 // executor's dispatch descriptor and the per-call result buffers are
@@ -29,6 +35,7 @@ import (
 
 	"repro/internal/collection"
 	"repro/internal/metrics"
+	"repro/internal/route"
 	"repro/internal/sim"
 	"repro/internal/tokenize"
 )
@@ -49,35 +56,61 @@ type ShardedEngine struct {
 	shards []*Engine
 	// ids maps shard-local ids (dense, ascending in global order by
 	// construction) back to global ids: ids[s][local] = global.
-	ids  [][]collection.SetID
+	ids [][]collection.SetID
+	// assign is the routing table: assign[gid] = shard. Hash-derived
+	// under Config.NoRoute, cluster-derived otherwise — either way the
+	// one place routing decisions live after the build.
+	assign []int32
+	// sums holds one pruning summary per shard; nil under Config.NoRoute
+	// (and for 1-shard engines), which disables pruning entirely.
+	sums []*route.Summary
 	n    int // accepted documents across all shards
 	exec *executor
 	m    *metrics.Registry
 
 	buffers sync.Pool // *fanBuffers
 
-	fanouts     atomic.Uint64
-	merged      atomic.Uint64
-	boundRaises atomic.Uint64
-	lastSpread  atomic.Int64 // ns, most recent fan-out max-min shard elapsed
+	fanouts       atomic.Uint64
+	merged        atomic.Uint64
+	boundRaises   atomic.Uint64
+	boundChecks   atomic.Uint64
+	shardsSkipped atomic.Uint64
+	lastSpread    atomic.Int64 // ns, most recent fan-out max-min shard elapsed
 }
 
 // BuildSharded tokenizes docs and builds a K-shard engine over them.
 // The build is two-pass: the first pass interns every token into the
 // shared dictionary in global document order (matching a monolithic
 // build token id for token id) and counts global document frequencies;
-// the second routes each document to shardOf(globalID, K) and freezes
-// every shard against the global statistics. shards < 1 is treated as 1;
-// a 1-shard engine is a monolithic engine behind the executor's
+// the second routes each document — by the similarity-aware clusterer,
+// or by shardOf(globalID, K) under Config.NoRoute — and freezes every
+// shard against the global statistics. shards < 1 is treated as 1; a
+// 1-shard engine is a monolithic engine behind the executor's
 // single-shard bypass.
 func BuildSharded(tk tokenize.Tokenizer, docs []string, keepSource bool, shards int, cfg Config) *ShardedEngine {
+	return buildSharded(tk, docs, keepSource, shards, nil, cfg)
+}
+
+// BuildShardedRouted builds a K-shard engine over a precomputed routing
+// table (one entry per accepted document, values in [0, shards)) — the
+// snapshot-restore path, which must reproduce a saved partition exactly.
+// A table of the wrong length or with out-of-range entries falls back to
+// recomputing the routing.
+func BuildShardedRouted(tk tokenize.Tokenizer, docs []string, keepSource bool, shards int, assign []int32, cfg Config) *ShardedEngine {
+	return buildSharded(tk, docs, keepSource, shards, assign, cfg)
+}
+
+func buildSharded(tk tokenize.Tokenizer, docs []string, keepSource bool, shards int, preAssign []int32, cfg Config) *ShardedEngine {
 	if shards < 1 {
 		shards = 1
 	}
-	// Pass 1: shared dictionary (global token ids) + global df and N.
+	routed := !cfg.NoRoute && shards > 1
+	// Pass 1: shared dictionary (global token ids) + global df and N,
+	// plus — when clustering — each accepted document's distinct tokens.
 	dict := tokenize.NewDict()
 	var df []int
 	var scratch []string
+	var docToks [][]tokenize.Token
 	n := 0
 	for _, s := range docs {
 		counts := tokenize.Counts(dict, tk, s, scratch)
@@ -91,9 +124,34 @@ func BuildSharded(tk tokenize.Tokenizer, docs []string, keepSource bool, shards 
 			}
 			df[c.Token]++
 		}
+		if routed && preAssign == nil {
+			toks := make([]tokenize.Token, len(counts))
+			for i, c := range counts {
+				toks[i] = c.Token
+			}
+			docToks = append(docToks, toks)
+		}
+	}
+	var assign []int32
+	switch {
+	case routed && validAssign(preAssign, n, shards):
+		assign = preAssign
+	case routed:
+		idf := make([]float64, len(df))
+		for t, d := range df {
+			idf[t] = sim.IDF(d, n)
+		}
+		assign = route.Partition(docToks, idf, shards)
+	default:
+		assign = make([]int32, n)
+		for gid := range assign {
+			assign[gid] = int32(shardOf(collection.SetID(gid), shards))
+		}
 	}
 	// Pass 2: route documents by the global id they are about to get and
-	// bake the global statistics into every shard.
+	// bake the global statistics into every shard. A document rejected
+	// here (no tokens) was also rejected in pass 1, so gid stays aligned
+	// with the assignment table.
 	builders := make([]*collection.Builder, shards)
 	ids := make([][]collection.SetID, shards)
 	for i := range builders {
@@ -101,7 +159,7 @@ func BuildSharded(tk tokenize.Tokenizer, docs []string, keepSource bool, shards 
 	}
 	gid := collection.SetID(0)
 	for _, s := range docs {
-		sh := shardOf(gid, shards)
+		sh := int(assign[gid])
 		if builders[sh].Add(s) {
 			ids[sh] = append(ids[sh], gid)
 			gid++
@@ -115,17 +173,40 @@ func BuildSharded(tk tokenize.Tokenizer, docs []string, keepSource bool, shards 
 		}
 		return df[tok]
 	}
+	var sums []*route.Summary
+	if routed {
+		sums = make([]*route.Summary, shards)
+	}
 	for i := range builders {
 		engines[i] = NewEngine(builders[i].BuildWithStats(n, dfFn), cfg)
+		if routed {
+			sums[i] = route.Summarize(engines[i].Collection())
+		}
 	}
-	return newSharded(engines, ids, n)
+	return newSharded(engines, ids, assign, sums, n)
+}
+
+// validAssign reports whether a caller-supplied routing table covers
+// exactly the accepted documents with in-range shard numbers.
+func validAssign(assign []int32, n, shards int) bool {
+	if len(assign) != n {
+		return false
+	}
+	for _, sh := range assign {
+		if sh < 0 || int(sh) >= shards {
+			return false
+		}
+	}
+	return true
 }
 
 // newSharded assembles the executor and metrics around prebuilt shards.
-func newSharded(engines []*Engine, ids [][]collection.SetID, n int) *ShardedEngine {
+func newSharded(engines []*Engine, ids [][]collection.SetID, assign []int32, sums []*route.Summary, n int) *ShardedEngine {
 	se := &ShardedEngine{
 		shards: engines,
 		ids:    ids,
+		assign: assign,
+		sums:   sums,
 		n:      n,
 		exec:   newExecutor(runtime.GOMAXPROCS(0)),
 		m:      metrics.NewRegistry(),
@@ -136,6 +217,8 @@ func newSharded(engines []*Engine, ids [][]collection.SetID, n int) *ShardedEngi
 			Fanouts:     se.fanouts.Load(),
 			Merged:      se.merged.Load(),
 			BoundRaises: se.boundRaises.Load(),
+			BoundChecks: se.boundChecks.Load(),
+			Skipped:     se.shardsSkipped.Load(),
 			LastSpread:  time.Duration(se.lastSpread.Load()),
 		}
 	})
@@ -172,9 +255,25 @@ func (se *ShardedEngine) PrepareCounts(counts []tokenize.Count) Query {
 
 // Source returns the original string of global set id gid.
 func (se *ShardedEngine) Source(gid collection.SetID) string {
-	sh := shardOf(gid, len(se.shards))
+	sh := int(se.assign[gid])
 	local := sort.Search(len(se.ids[sh]), func(i int) bool { return se.ids[sh][i] >= gid })
 	return se.shards[sh].Collection().Source(collection.SetID(local))
+}
+
+// Routing exposes the routing table (assign[gid] = shard) for
+// persistence and inspection. The returned slice must not be modified.
+func (se *ShardedEngine) Routing() []int32 { return se.assign }
+
+// Routed reports whether the engine carries per-shard pruning summaries
+// (similarity-aware build; false under Config.NoRoute and for K=1).
+func (se *ShardedEngine) Routed() bool { return se.sums != nil }
+
+// ShardSummary exposes shard i's pruning summary; nil when unrouted.
+func (se *ShardedEngine) ShardSummary(i int) *route.Summary {
+	if se.sums == nil {
+		return nil
+	}
+	return se.sums[i]
 }
 
 // remap rewrites a shard's results from local to global ids, in place
@@ -188,11 +287,15 @@ func (se *ShardedEngine) remap(shard int, rs []Result) {
 }
 
 // fanBuffers is the pooled per-call state of one scatter-gather query:
-// per-shard result/stats/error slots and the cross-shard top-k bound.
+// per-shard result/stats/error slots, the cross-shard top-k bound, and
+// the pruning work area (per-shard summary bounds and the active-shard
+// visit order).
 type fanBuffers struct {
 	res    [][]Result
 	sts    []Stats
 	errs   []error
+	bounds []float64
+	order  []int32
 	shared sharedTau
 }
 
@@ -201,7 +304,13 @@ func (se *ShardedEngine) getBuffers() *fanBuffers {
 		return v.(*fanBuffers)
 	}
 	k := len(se.shards)
-	return &fanBuffers{res: make([][]Result, k), sts: make([]Stats, k), errs: make([]error, k)}
+	return &fanBuffers{
+		res:    make([][]Result, k),
+		sts:    make([]Stats, k),
+		errs:   make([]error, k),
+		bounds: make([]float64, k),
+		order:  make([]int32, 0, k),
+	}
 }
 
 // putBuffers clears the slots (dropping result references) and pools.
@@ -209,6 +318,7 @@ func (se *ShardedEngine) putBuffers(fb *fanBuffers) {
 	for i := range fb.res {
 		fb.res[i], fb.sts[i], fb.errs[i] = nil, Stats{}, nil
 	}
+	fb.order = fb.order[:0]
 	fb.shared.bits.Store(0)
 	fb.shared.raises.Store(0)
 	se.buffers.Put(fb)
@@ -219,6 +329,7 @@ func (se *ShardedEngine) putBuffers(fb *fanBuffers) {
 // order, the total result count, and the fan-out latency spread.
 func (se *ShardedEngine) gather(fb *fanBuffers) (total int, stats Stats, err error) {
 	var minE, maxE time.Duration
+	seen := false
 	for i := range fb.sts {
 		st := &fb.sts[i]
 		stats.ElementsRead += st.ElementsRead
@@ -228,11 +339,16 @@ func (se *ShardedEngine) gather(fb *fanBuffers) (total int, stats Stats, err err
 		stats.CandidateScans += st.CandidateScans
 		stats.CandidatesInserted += st.CandidatesInserted
 		stats.Rounds += st.Rounds
-		if i == 0 || st.Elapsed < minE {
-			minE = st.Elapsed
-		}
-		if st.Elapsed > maxE {
-			maxE = st.Elapsed
+		// Skipped shards report zero Elapsed; the spread gauge measures
+		// the shards that actually ran.
+		if st.Elapsed > 0 {
+			if !seen || st.Elapsed < minE {
+				minE = st.Elapsed
+			}
+			if st.Elapsed > maxE {
+				maxE = st.Elapsed
+			}
+			seen = true
 		}
 		if err == nil && fb.errs[i] != nil {
 			err = fb.errs[i]
@@ -290,11 +406,15 @@ func (se *ShardedEngine) SelectCtx(ctx context.Context, q Query, tau float64, al
 	}
 	start := time.Now()
 	fb := se.getBuffers()
-	se.exec.fan(len(se.shards), func(i int) {
-		res, st, err := se.shards[i].SelectCtx(ctx, q, tau, alg, opts)
-		se.remap(i, res)
-		fb.res[i], fb.sts[i], fb.errs[i] = res, st, err
-	})
+	act := se.activeForSelect(fb, q, tau, opts)
+	if len(act) > 0 {
+		se.exec.fan(len(act), func(i int) {
+			sh := int(act[i])
+			res, st, err := se.shards[sh].SelectCtx(ctx, q, tau, alg, opts)
+			se.remap(sh, res)
+			fb.res[sh], fb.sts[sh], fb.errs[sh] = res, st, err
+		})
+	}
 	total, stats, err := se.gather(fb)
 	var out []Result
 	if err == nil {
@@ -334,11 +454,25 @@ func (se *ShardedEngine) SelectTopKCtx(ctx context.Context, q Query, k int, alg 
 	}
 	start := time.Now()
 	fb := se.getBuffers()
-	se.exec.fan(len(se.shards), func(i int) {
-		res, st, err := se.shards[i].selectTopKShard(ctx, q, k, alg, opts, &fb.shared)
-		se.remap(i, res)
-		fb.res[i], fb.sts[i], fb.errs[i] = res, st, err
-	})
+	act, pruned := se.activeForTopK(fb, q, opts)
+	if len(act) > 0 {
+		se.exec.fan(len(act), func(i int) {
+			sh := int(act[i])
+			if pruned {
+				// Mid-flight recheck: earlier shards may have risen the
+				// shared k-th bound past this shard's summary bound.
+				if s := fb.shared.load(); s > 0 && !boundMeets(fb.bounds[sh], s) {
+					fb.sts[sh] = skipStats(se.shards[sh], q)
+					se.boundChecks.Add(1)
+					se.shardsSkipped.Add(1)
+					return
+				}
+			}
+			res, st, err := se.shards[sh].selectTopKShard(ctx, q, k, alg, opts, &fb.shared)
+			se.remap(sh, res)
+			fb.res[sh], fb.sts[sh], fb.errs[sh] = res, st, err
+		})
+	}
 	total, stats, err := se.gather(fb)
 	se.boundRaises.Add(fb.shared.raises.Load())
 	var out []Result

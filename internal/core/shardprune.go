@@ -1,0 +1,155 @@
+// Per-shard summary pruning: the executor-side half of internal/route.
+// Before a scatter-gather query fans out, each shard's route.Summary is
+// folded into an upper bound on any score the shard can produce; shards
+// whose bound cannot reach the threshold (or, for top-k, that share no
+// token with the query — no algorithm emits zero-score documents) are
+// skipped without being visited, their postings accounted as skipped.
+package core
+
+import (
+	"math"
+
+	"repro/internal/route"
+	"repro/internal/sim"
+)
+
+// shardBound returns an upper bound on I(q, s) over every set s in the
+// summarized shard, 0 when no query token occurs there at all. Two
+// bounds are intersected:
+//
+//   - Cap bound: I(q, s) = Σ_{t∈q∩s} idf(t)²/(len(q)·len(s)) and the
+//     summary guarantees CapFor(t) ≥ idf(t)²/len(s) for every s here
+//     containing t, so Σ CapFor(t)/len(q) dominates every score.
+//   - Magnitude bound: with P = Σ_{t∈q, CapFor>0} idf(t)² ≥ Σ_{t∈q∩s}
+//     idf(t)², any s has len(s) ≥ max(lenMin, √(Σ_{t∈q∩s} idf²)) and
+//     X/max(L, √X) is non-decreasing in X, so P/(len(q)·max(lenMin, √P))
+//     dominates every score — Magnitude Boundedness at shard granularity.
+//
+// Sketch collisions only ever raise CapFor, and P only grows with false
+// positives, so both bounds stay upper bounds in exact arithmetic.
+func shardBound(sum *route.Summary, q Query) float64 {
+	if sum.Docs() == 0 || q.Len <= 0 {
+		return 0
+	}
+	var capSum, present float64
+	for i := range q.Tokens {
+		qt := &q.Tokens[i]
+		if c := sum.CapFor(qt.Token); c > 0 {
+			capSum += c
+			present += qt.IDFSq
+		}
+	}
+	if capSum <= 0 {
+		return 0
+	}
+	bound := capSum / q.Len
+	lenMin, _ := sum.LenRange()
+	den := lenMin
+	if r := math.Sqrt(present); r > den {
+		den = r
+	}
+	if den > 0 {
+		if mb := present / (q.Len * den); mb < bound {
+			bound = mb
+		}
+	}
+	return bound
+}
+
+// boundMeets compares a summary upper bound against a threshold with
+// slack covering the bound's own floating-point evaluation on top of the
+// engines' sim.Meets score slack: the bound is inflated by a relative
+// 1e-9 and an absolute 1e-12 first, so a shard is skipped only when no
+// rounding of its scores can reach τ.
+func boundMeets(bound, tau float64) bool {
+	return bound*(1+1e-9)+1e-12 >= tau-sim.ScoreEpsilon
+}
+
+// skipStats accounts a pruned shard's work: the summary bound proved
+// every posting of the query's lists unreachable, which is the
+// Stats-equivalent of skipping over all of them.
+func skipStats(e *Engine, q Query) Stats {
+	t := e.queryListTotal(q)
+	return Stats{ListTotal: t, ElementsSkipped: t}
+}
+
+// queryListTotal sums this engine's posting-list lengths over the query
+// tokens — the denominator a shard would have reported had it run.
+func (e *Engine) queryListTotal(q Query) int {
+	total := 0
+	for i := range q.Tokens {
+		total += e.store.ListLen(q.Tokens[i].Token)
+	}
+	return total
+}
+
+// activeForSelect fills fb.sts for skipped shards and returns the shards
+// a threshold selection must visit. Unrouted engines (and
+// Options.NoShardPrune) visit everything. A shard survives only if its
+// length range intersects the query's Theorem 1 window and its summary
+// bound can reach τ.
+func (se *ShardedEngine) activeForSelect(fb *fanBuffers, q Query, tau float64, opts *Options) []int32 {
+	act := fb.order[:0]
+	if se.sums == nil || (opts != nil && opts.NoShardPrune) {
+		for sh := range se.shards {
+			act = append(act, int32(sh))
+		}
+		return act
+	}
+	lo, hi := lengthWindow(q, tau, opts)
+	var skipped uint64
+	for sh := range se.shards {
+		sum := se.sums[sh]
+		sLo, sHi := sum.LenRange()
+		b := shardBound(sum, q)
+		if sum.Docs() == 0 || b <= 0 || sHi < lo || sLo > hi || !boundMeets(b, tau) {
+			fb.sts[sh] = skipStats(se.shards[sh], q)
+			skipped++
+			continue
+		}
+		act = append(act, int32(sh))
+	}
+	se.boundChecks.Add(uint64(len(se.shards)))
+	se.shardsSkipped.Add(skipped)
+	return act
+}
+
+// activeForTopK fills fb.bounds and fb.sts and returns the shards a
+// top-k must visit, in descending summary-bound order (stable: equal
+// bounds keep the lower shard first) so the shards most likely to hold
+// the global top-k run first and raise the shared bound for the tail.
+// Only shards sharing no query token are dropped up front — the k-th
+// score is unknown until shards run — and the executor rechecks each
+// remaining shard's bound against the risen sharedTau mid-flight. The
+// second return is whether pruning is live (mid-flight rechecks apply).
+func (se *ShardedEngine) activeForTopK(fb *fanBuffers, q Query, opts *Options) ([]int32, bool) {
+	act := fb.order[:0]
+	if se.sums == nil || (opts != nil && opts.NoShardPrune) {
+		for sh := range se.shards {
+			act = append(act, int32(sh))
+		}
+		return act, false
+	}
+	var skipped uint64
+	for sh := range se.shards {
+		sum := se.sums[sh]
+		b := shardBound(sum, q)
+		fb.bounds[sh] = b
+		if sum.Docs() == 0 || b <= 0 {
+			fb.sts[sh] = skipStats(se.shards[sh], q)
+			skipped++
+			continue
+		}
+		act = append(act, int32(sh))
+	}
+	se.boundChecks.Add(uint64(len(se.shards)))
+	se.shardsSkipped.Add(skipped)
+	// Stable insertion sort on strict >: equal bounds never swap, so the
+	// ascending shard order of act breaks ties deterministically.
+	for i := 1; i < len(act); i++ {
+		for j := i; j > 0 && fb.bounds[act[j]] > fb.bounds[act[j-1]]; j-- {
+			act[j], act[j-1] = act[j-1], act[j]
+		}
+	}
+	return act, true
+}

@@ -193,6 +193,22 @@ type ShardGauges struct {
 	// scatter-gather call: slowest shard minus fastest shard. A large
 	// spread means the hash partitioning or the machine is unbalanced.
 	LastSpread time.Duration
+	// BoundChecks counts per-shard summary bound evaluations (routed
+	// engines only): one per shard per pruned query.
+	BoundChecks uint64
+	// Skipped counts shards pruned on a summary bound without being
+	// visited — either before the fan-out or mid-flight against a risen
+	// top-k bound.
+	Skipped uint64
+}
+
+// PruneRatio is the fraction of bound-checked shards that were skipped:
+// the fan-out-to-few payoff. 0 when no bound was ever evaluated.
+func (g ShardGauges) PruneRatio() float64 {
+	if g.BoundChecks == 0 {
+		return 0
+	}
+	return float64(g.Skipped) / float64(g.BoundChecks)
 }
 
 // NewRegistry builds a registry with the default buckets.
@@ -339,6 +355,8 @@ func (s Snapshot) String() string {
 		fmt.Fprintf(&b, "\nshard:   %d shards, %d fan-outs, %d results merged, %d bound raises, last spread %v",
 			s.Shard.Shards, s.Shard.Fanouts, s.Shard.Merged,
 			s.Shard.BoundRaises, s.Shard.LastSpread.Round(time.Microsecond))
+		fmt.Fprintf(&b, "\nprune:   %d bound checks, %d shards skipped (%.1f%% prune ratio)",
+			s.Shard.BoundChecks, s.Shard.Skipped, 100*s.Shard.PruneRatio())
 	}
 	return b.String()
 }

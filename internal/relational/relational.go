@@ -76,8 +76,8 @@ func Build(c *collection.Collection) *Engine {
 
 	// Base table: one row per set — 8-byte id plus the string payload
 	// (or its token count if sources were not retained).
-	//ssvet:nopoll offline index build, not on any query path
-	for id := 0; id < c.NumSets(); id++ {
+	//ssvet:nostats offline index build; no query ScanStats exist yet
+	for id := 0; id < c.NumSets(); id++ { //ssvet:nopoll offline index build, not on any query path
 		e.baseBytes += 8
 		if c.HasSource() {
 			e.baseBytes += int64(len(c.Source(collection.SetID(id))))
@@ -169,8 +169,8 @@ type concat struct {
 }
 
 func (c *concat) next() (Row, bool) {
-	//ssvet:nopoll produces at most one row per call; SelectStop polls per row
-	for c.cur < len(c.iters) {
+	//ssvet:nostats each iter's next() bumps RowsScanned through its stored *ScanStats
+	for c.cur < len(c.iters) { //ssvet:nopoll produces at most one row per call; SelectStop polls per row
 		if r, ok := c.iters[c.cur].next(); ok {
 			return r, ok
 		}
@@ -226,6 +226,7 @@ func (e *Engine) SelectStop(tokens []QueryToken, lenQ, tau float64, lengthBound 
 	// Hash group-by on id. The stored partial already carries the gram's
 	// idf², so the aggregate is Σ partial / len(q).
 	acc := make(map[collection.SetID]float64)
+	//ssvet:nostats plan.next() delegates to range scans that bump RowsScanned through their stored *ScanStats
 	for {
 		if stop != nil && stop() {
 			return nil, stats, true
@@ -252,6 +253,7 @@ func (e *Engine) SelectStop(tokens []QueryToken, lenQ, tau float64, lengthBound 
 // gram can own a large fraction of the table, so the scan polls the
 // stop hook per tuple; stopped=true means the count was abandoned.
 func (e *Engine) gramRows(g tokenize.Token, stop func() bool) (n int, stopped bool) {
+	//ssvet:nostats counts partition size into n; the caller folds it into RowsTotal
 	for it := e.idx.Seek(gramKey{gram: g}); it.Valid() && it.Key().gram == g; it.Next() {
 		if stop != nil && stop() {
 			return n, true

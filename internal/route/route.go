@@ -1,0 +1,215 @@
+// Package route implements similarity-aware corpus partitioning and the
+// per-shard summaries that let the scatter-gather executor skip whole
+// shards on sound bounds — the fan-out-to-few layer over PR 5's
+// fan-out-to-all sharding.
+//
+// Partition is a deterministic greedy k-means-style clusterer over
+// document token signatures (the LES3 idea of data-aware partitions,
+// without the learned model): documents sharing high-idf tokens land in
+// the same shard, so a query's tokens concentrate in few shards and the
+// others' summaries prove them skippable. Summary captures what a shard
+// can possibly score: its set-length range (Theorem 1's currency), a
+// hashed token-universe sketch over internal/kernel bitmap Sets with
+// per-slot maximum weight caps, and — per McCauley–Mikkelsen's skew
+// treatment — the corpus's hottest high-df tokens held out of the sketch
+// in exact dedicated bitmaps with exact caps, so one token appearing in
+// 90% of documents cannot saturate the sketch slots the tail tokens
+// prune with.
+//
+// Everything here is build/compaction-time machinery except CapFor,
+// which the executor calls per query token per shard and therefore
+// stays allocation-free.
+package route
+
+import (
+	"sort"
+
+	"repro/internal/tokenize"
+)
+
+const (
+	// sigLen is the number of strongest (highest-idf) tokens kept in a
+	// document's clustering signature. Rare tokens identify a document's
+	// topic; frequent ones appear everywhere and carry no routing signal.
+	sigLen = 8
+	// centroidCap bounds a centroid's token support between iterations,
+	// keeping the dot products cheap and the trim deterministic.
+	centroidCap = 128
+	// iterations bounds the Lloyd rounds; assignment usually stabilizes
+	// in two or three on clustered data and the loop exits early when a
+	// round moves nothing.
+	iterations = 4
+)
+
+// Partition assigns every document to one of k clusters and returns the
+// assignment vector. docs[i] holds document i's distinct token ids
+// (ascending); idf[t] is token t's global idf weight. The clustering is
+// greedy k-means over sparse signatures with a per-cluster capacity cap
+// (~25% above the even share) so no shard degenerates, and every step —
+// seeding, tie-breaks, trimming — is deterministic: the same documents
+// in the same order always produce the same partition, which is what
+// lets a live engine's full compaction reproduce the static build's
+// routing bit for bit.
+func Partition(docs [][]tokenize.Token, idf []float64, k int) []int32 {
+	n := len(docs)
+	assign := make([]int32, n)
+	if k <= 1 || n == 0 {
+		return assign
+	}
+
+	sigs := make([][]tokenize.Token, n)
+	for i, doc := range docs {
+		sigs[i] = signature(doc, idf)
+	}
+
+	// Capacity ~25% above the even share: k·capPer ≥ n always holds, so
+	// the assignment loop can never find every cluster full.
+	capPer := n/k + n/(4*k) + 1
+
+	// Deterministic seeding: k evenly spaced documents donate their
+	// signatures as the initial centroids.
+	cents := make([]map[tokenize.Token]float64, k)
+	for j := 0; j < k; j++ {
+		c := make(map[tokenize.Token]float64, sigLen)
+		for _, t := range sigs[j*n/k] {
+			c[t] = idf[t]
+		}
+		cents[j] = c
+	}
+
+	counts := make([]int, k)
+	for it := 0; it < iterations; it++ {
+		for j := range counts {
+			counts[j] = 0
+		}
+		moved := 0
+		for i, sig := range sigs {
+			best, bestDot := -1, 0.0
+			for j := 0; j < k; j++ {
+				if counts[j] >= capPer {
+					continue
+				}
+				var dot float64
+				for _, t := range sig {
+					dot += idf[t] * cents[j][t]
+				}
+				if best < 0 || dot > bestDot {
+					best, bestDot = j, dot
+				}
+			}
+			if best < 0 || bestDot <= 0 {
+				// No open cluster shares a token with this document (or
+				// all are full, which the capacity slack rules out):
+				// balance it onto the least-loaded open cluster, lowest
+				// index on ties.
+				best = leastLoaded(counts, capPer)
+			}
+			if assign[i] != int32(best) {
+				assign[i] = int32(best)
+				moved++
+			}
+			counts[best]++
+		}
+		if moved == 0 || it == iterations-1 {
+			break
+		}
+		rebuild(cents, sigs, assign, counts, idf)
+	}
+	return assign
+}
+
+// signature selects the up-to-sigLen highest-idf tokens of doc,
+// preferring the lower token id on equal weights (doc is ascending, and
+// replacement below is strict, so earlier tokens win ties).
+func signature(doc []tokenize.Token, idf []float64) []tokenize.Token {
+	if len(doc) <= sigLen {
+		return doc
+	}
+	sig := make([]tokenize.Token, 0, sigLen)
+	for _, t := range doc {
+		if len(sig) < sigLen {
+			sig = append(sig, t)
+			continue
+		}
+		minAt := 0
+		for i := 1; i < len(sig); i++ {
+			// Strictly-less keeps the earliest minimum, so on equal
+			// weights the lower token id survives.
+			if idf[sig[i]] < idf[sig[minAt]] {
+				minAt = i
+			}
+		}
+		if idf[t] > idf[sig[minAt]] {
+			sig[minAt] = t
+		}
+	}
+	sort.Slice(sig, func(i, j int) bool { return sig[i] < sig[j] })
+	return sig
+}
+
+// leastLoaded returns the least-loaded cluster below the capacity cap,
+// lowest index on ties.
+func leastLoaded(counts []int, capPer int) int {
+	best := -1
+	for j, c := range counts {
+		if c >= capPer {
+			continue
+		}
+		if best < 0 || c < counts[best] {
+			best = j
+		}
+	}
+	if best < 0 {
+		best = 0 // unreachable under the capacity slack; stay total anyway
+	}
+	return best
+}
+
+// rebuild recomputes every centroid from its members' signatures,
+// normalizes by cluster size (so large clusters do not out-shout small
+// ones), and trims to the centroidCap strongest tokens. The trim sorts
+// the full entry list (weight descending, token ascending), so the kept
+// support is deterministic despite map iteration.
+func rebuild(cents []map[tokenize.Token]float64, sigs [][]tokenize.Token, assign []int32, counts []int, idf []float64) {
+	for j := range cents {
+		cents[j] = make(map[tokenize.Token]float64, centroidCap)
+	}
+	for i, sig := range sigs {
+		c := cents[assign[i]]
+		for _, t := range sig {
+			c[t] += idf[t]
+		}
+	}
+	type entry struct {
+		t tokenize.Token
+		w float64
+	}
+	var scratch []entry
+	for j := range cents {
+		if counts[j] == 0 {
+			continue
+		}
+		inv := 1 / float64(counts[j])
+		if len(cents[j]) <= centroidCap {
+			for t := range cents[j] {
+				cents[j][t] *= inv
+			}
+			continue
+		}
+		scratch = scratch[:0]
+		for t, w := range cents[j] {
+			scratch = append(scratch, entry{t, w})
+		}
+		sort.Slice(scratch, func(a, b int) bool {
+			if scratch[a].w != scratch[b].w {
+				return scratch[a].w > scratch[b].w
+			}
+			return scratch[a].t < scratch[b].t
+		})
+		trimmed := make(map[tokenize.Token]float64, centroidCap)
+		for _, e := range scratch[:centroidCap] {
+			trimmed[e.t] = e.w * inv
+		}
+		cents[j] = trimmed
+	}
+}

@@ -1,0 +1,197 @@
+package route
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/collection"
+	"repro/internal/tokenize"
+)
+
+// buildCorpus tokenizes docs into a plain collection (local stats — the
+// summary machinery is agnostic to where df came from).
+func buildCorpus(t *testing.T, docs []string) *collection.Collection {
+	t.Helper()
+	b := collection.NewBuilder(tokenize.WordTokenizer{}, true)
+	for _, d := range docs {
+		if !b.Add(d) {
+			t.Fatalf("doc %q produced no tokens", d)
+		}
+	}
+	return b.Build()
+}
+
+// tokenIDs extracts each set's distinct token ids from a collection.
+func tokenIDs(c *collection.Collection) [][]tokenize.Token {
+	out := make([][]tokenize.Token, c.NumSets())
+	for i := range out {
+		set := c.Set(collection.SetID(i))
+		toks := make([]tokenize.Token, len(set))
+		for j, cnt := range set {
+			toks[j] = cnt.Token
+		}
+		out[i] = toks
+	}
+	return out
+}
+
+func idfTable(c *collection.Collection) []float64 {
+	idf := make([]float64, c.NumTokens())
+	for t := range idf {
+		idf[t] = c.IDFWeight(tokenize.Token(t))
+	}
+	return idf
+}
+
+// topicDocs generates nPerTopic documents per topic with fully disjoint
+// vocabularies, in topic-major order.
+func topicDocs(topics, nPerTopic int) []string {
+	rng := rand.New(rand.NewSource(7))
+	var docs []string
+	for tp := 0; tp < topics; tp++ {
+		for i := 0; i < nPerTopic; i++ {
+			doc := ""
+			for w := 0; w < 5+rng.Intn(5); w++ {
+				doc += fmt.Sprintf("t%dw%d ", tp, rng.Intn(40))
+			}
+			docs = append(docs, doc)
+		}
+	}
+	return docs
+}
+
+func TestPartitionDeterministicAndBalanced(t *testing.T) {
+	docs := topicDocs(5, 37)
+	c := buildCorpus(t, docs)
+	toks, idf := tokenIDs(c), idfTable(c)
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		a := Partition(toks, idf, k)
+		b := Partition(toks, idf, k)
+		if len(a) != len(toks) {
+			t.Fatalf("k=%d: %d assignments for %d docs", k, len(a), len(toks))
+		}
+		counts := make([]int, k)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("k=%d: assignment not deterministic at doc %d: %d vs %d", k, i, a[i], b[i])
+			}
+			if a[i] < 0 || int(a[i]) >= k {
+				t.Fatalf("k=%d: doc %d assigned out of range: %d", k, i, a[i])
+			}
+			counts[a[i]]++
+		}
+		capPer := len(toks)/k + len(toks)/(4*k) + 1
+		for j, n := range counts {
+			if n > capPer {
+				t.Fatalf("k=%d: shard %d holds %d docs, capacity %d", k, j, n, capPer)
+			}
+		}
+	}
+}
+
+func TestPartitionClustersDisjointTopics(t *testing.T) {
+	const topics, per = 4, 50
+	docs := topicDocs(topics, per)
+	c := buildCorpus(t, docs)
+	assign := Partition(tokenIDs(c), idfTable(c), topics)
+	// Disjoint vocabularies with one seed per topic block: every topic
+	// must collapse into a single shard, and distinct topics into
+	// distinct shards.
+	shardOfTopic := make(map[int]int32)
+	for i, sh := range assign {
+		tp := i / per
+		if prev, ok := shardOfTopic[tp]; ok && prev != sh {
+			t.Fatalf("topic %d split across shards %d and %d (doc %d)", tp, prev, sh, i)
+		}
+		shardOfTopic[tp] = sh
+	}
+	seen := map[int32]bool{}
+	for tp, sh := range shardOfTopic {
+		if seen[sh] {
+			t.Fatalf("two topics share shard %d (topic %d)", sh, tp)
+		}
+		seen[sh] = true
+	}
+}
+
+func TestSummaryCapSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var docs []string
+	for i := 0; i < 200; i++ {
+		doc := ""
+		for w := 0; w < 3+rng.Intn(12); w++ {
+			doc += fmt.Sprintf("w%d ", rng.Intn(300))
+		}
+		docs = append(docs, doc)
+	}
+	// One skew token in ~90% of documents, to drive it into the hot set.
+	for i := range docs {
+		if i%10 != 0 {
+			docs[i] += " everywhere"
+		}
+	}
+	c := buildCorpus(t, docs)
+	s := Summarize(c)
+
+	if s.Docs() != c.NumSets() {
+		t.Fatalf("Docs() = %d, want %d", s.Docs(), c.NumSets())
+	}
+	lo, hi := s.LenRange()
+	for i := 0; i < c.NumSets(); i++ {
+		l := c.Length(collection.SetID(i))
+		if l < lo || l > hi {
+			t.Fatalf("doc %d length %g outside summarized range [%g, %g]", i, l, lo, hi)
+		}
+	}
+	// The cap invariant CapFor depends on: for every document s and
+	// every token t ∈ s, CapFor(t) ≥ idf(t)²/len(s), in exact float
+	// comparison (the cap is computed from the same values, so no slack
+	// is needed here).
+	for i := 0; i < c.NumSets(); i++ {
+		id := collection.SetID(i)
+		l := c.Length(id)
+		for _, cnt := range c.Set(id) {
+			w := c.IDFWeight(cnt.Token)
+			if got, want := s.CapFor(cnt.Token), w*w/l; got < want {
+				t.Fatalf("doc %d token %d: CapFor %g < contribution cap %g", i, cnt.Token, got, want)
+			}
+		}
+	}
+	if s.HotTokens() == 0 {
+		t.Fatalf("no hot tokens summarized despite a 90%%-df token")
+	}
+}
+
+func TestSummaryHotTokenAbsentIsExactZero(t *testing.T) {
+	// Fewer distinct tokens than hotMax: every token is hot, so every
+	// absence answers an exact 0 (no sketch false positives possible).
+	c := buildCorpus(t, []string{"alpha beta", "beta gamma", "gamma alpha"})
+	s := Summarize(c)
+	if got := s.HotTokens(); got != 3 {
+		t.Fatalf("HotTokens() = %d, want 3 (whole tiny vocabulary)", got)
+	}
+	// A shard-style collection missing a token entirely: rebuild over a
+	// subset sharing the dictionary and global df.
+	dict := tokenize.NewDict()
+	full := collection.NewBuilderWithDict(dict, tokenize.WordTokenizer{}, true)
+	full.Add("alpha beta")
+	full.Add("beta gamma")
+	fullC := full.Build()
+	sub := collection.NewBuilderWithDict(dict, tokenize.WordTokenizer{}, true)
+	sub.Add("alpha beta")
+	subC := sub.BuildWithStats(2, func(tok string) int { return fullC.DF(mustLookup(dict, tok)) })
+	ss := Summarize(subC)
+	gamma, _ := dict.Lookup("gamma")
+	if got := ss.CapFor(gamma); got > 0 {
+		t.Fatalf("CapFor(absent hot token) = %g, want exact 0", got)
+	}
+}
+
+func mustLookup(d *tokenize.Dict, s string) tokenize.Token {
+	t, ok := d.Lookup(s)
+	if !ok {
+		return tokenize.Token(1 << 30)
+	}
+	return t
+}

@@ -59,7 +59,7 @@ func FuzzPersistRoundTrip(f *testing.F) {
 			}
 		}
 
-		// Live-snapshot round trip (version 3): the same corpus through a
+		// Live-snapshot round trip (version 4): the same corpus through a
 		// live engine and the snapshot format, with one deletion so
 		// tombstones are persisted. The reloaded engine must preserve ids
 		// and hide the deleted document.
@@ -87,8 +87,8 @@ func FuzzPersistRoundTrip(f *testing.F) {
 			t.Fatalf("open live: %v", err)
 		}
 		defer reloaded.Close()
-		if info.Version != 3 || info.Docs != live.NumDocs() || info.Live != live.NumLive() {
-			t.Fatalf("snapshot info %+v, want version 3, %d docs, %d live",
+		if info.Version != 4 || info.Docs != live.NumDocs() || info.Live != live.NumLive() {
+			t.Fatalf("snapshot info %+v, want version 4, %d docs, %d live",
 				info, live.NumDocs(), live.NumLive())
 		}
 		for _, id := range ids {
@@ -126,8 +126,8 @@ func FuzzPersistRoundTrip(f *testing.F) {
 			}
 			fromLegacy.Close()
 		}
-		if _, info, err := setsim.Open(lpath, setsim.ListsOnly()); err != nil || info.Version != 3 {
-			t.Fatalf("static open of v3 snapshot: info %+v err %v", info, err)
+		if _, info, err := setsim.Open(lpath, setsim.ListsOnly()); err != nil || info.Version != 4 {
+			t.Fatalf("static open of v4 snapshot: info %+v err %v", info, err)
 		}
 	})
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
 
 	"repro/internal/collection"
@@ -15,49 +16,79 @@ import (
 	"repro/internal/tokenize"
 )
 
-// Snapshot file formats. Three versions coexist:
+// Snapshot file formats. Four versions coexist:
 //
 // Version 1 (legacy) is the collection binary format (magic "SSCOL1"),
-// written by Save: one frozen corpus, no mutation history. Versions 2
-// and 3 are live-snapshot formats:
+// written by Save: one frozen corpus, no mutation history. Versions 2–4
+// are live-snapshot formats:
 //
-//	magic "SSSNAP\n\x00", version byte (2 or 3)
+//	magic "SSSNAP\n\x00", version byte (2, 3 or 4)
 //	payload CRC32 (of everything after this field)
 //	tokenizer name: uvarint len + bytes
-//	shards u32 (version 3 only; version 2 is implicitly 1)
+//	shards u32 (version ≥ 3; version 2 is implicitly 1)
 //	numDocs u32
 //	per doc: flag u8 (bit0 = tombstoned), uvarint len + source bytes
+//	version ≥ 4 only:
+//	  per doc: uvarint shard (the routing table, tombstoned docs included)
+//	  per shard: docs u32, lenMin f64, lenMax f64 (IEEE bits, LE),
+//	             hot-token count u32, sketch slots u32, occupied u32
 //
-// SaveLive writes version 3 — the sharded layout, which records how
-// many hash partitions the engine ran with so OpenLive can restore the
-// same fan-out; versions 1 and 2 remain fully readable. The document
+// SaveLive writes version 4 — the routed layout, which additionally
+// records the similarity-aware routing table and each shard's pruning
+// summary scalars; versions 1–3 remain fully readable. The persisted
+// routing table lets OpenSharded reproduce the saved partition exactly
+// without re-clustering; the summary scalars are advisory (inspection
+// via SnapshotInfo — full summaries are derived state, rebuilt from the
+// documents on load, like every other index structure). The document
 // log is stored in id order including tombstoned entries, so a
-// save/load cycle preserves every id a caller may still hold. Index
-// structures and statistics are derived state, rebuilt on load. Files
+// save/load cycle preserves every id a caller may still hold. Files
 // with the snapshot magic but an unknown version byte are rejected with
 // ErrUnknownVersion: future formats must not be misparsed.
 const (
 	snapMagic = "SSSNAP\n\x00"
 	snapV2    = 2
 	snapV3    = 3
+	snapV4    = 4
 )
 
 // ErrUnknownVersion reports a snapshot file with a format version this
 // build does not understand.
 var ErrUnknownVersion = errors.New("setsim: unknown snapshot format version")
 
+// ShardSummaryInfo is one shard's persisted pruning-summary scalars, as
+// carried by version-4 snapshots.
+type ShardSummaryInfo struct {
+	// Docs is the number of documents the shard's summary covers.
+	Docs int
+	// LenMin and LenMax bound the shard's normalized set lengths.
+	LenMin, LenMax float64
+	// HotTokens is how many corpus-hot tokens occur in the shard.
+	HotTokens int
+	// SketchSlots and SketchOccupied describe the shard's hashed
+	// token-universe sketch.
+	SketchSlots, SketchOccupied int
+}
+
 // SnapshotInfo describes a loaded snapshot file.
 type SnapshotInfo struct {
 	// Version is the file's format version: 1 for legacy collection
-	// files, 2 and 3 for live snapshots (3 adds the shard count).
+	// files, 2–4 for live snapshots (3 adds the shard count, 4 the
+	// routing table and per-shard summaries).
 	Version int
 	// Docs is the number of documents stored, including tombstoned ones.
 	Docs int
 	// Live is the number of live (non-tombstoned) documents.
 	Live int
-	// Shards is the hash-partition count the engine was saved with
-	// (1 for version-1 and version-2 files).
+	// Shards is the partition count the engine was saved with (1 for
+	// version-1 and version-2 files).
 	Shards int
+	// Routed reports a version-4 snapshot carrying a routing table and
+	// per-shard summaries; the fields below are only meaningful then.
+	Routed bool
+	// RouteCounts is the number of live documents routed to each shard.
+	RouteCounts []int
+	// Summaries holds each shard's persisted summary scalars.
+	Summaries []ShardSummaryInfo
 }
 
 // Save writes the engine's collection (dictionary, sets, sources) to
@@ -77,10 +108,13 @@ func Save(path string, e *Engine) (err error) {
 	return collection.Write(f, e.Collection())
 }
 
-// SaveLive writes a mutable engine's snapshot to path in the version-3
-// format: the full document log with tombstone flags, plus the shard
-// count the engine ran with. The engine is fully compacted first so the
-// snapshot captures one settled generation.
+// SaveLive writes a mutable engine's snapshot to path in the version-4
+// format: the full document log with tombstone flags, the shard count
+// the engine ran with, the routing table, and each shard's summary
+// scalars. The engine is fully compacted first so the snapshot captures
+// one settled generation — in particular, the routing table is the
+// similarity-aware assignment the compaction computed, not the hash
+// fallback fresh inserts start under.
 func SaveLive(path string, le *LiveEngine) (err error) {
 	le.Compact()
 	f, err := os.Create(path)
@@ -92,10 +126,26 @@ func SaveLive(path string, le *LiveEngine) (err error) {
 			err = cerr
 		}
 	}()
-	return writeSnapshot(f, le.Tokenizer().Name(), le.NumShards(), le.Log())
+	sums := make([]ShardSummaryInfo, le.NumShards())
+	for i, s := range le.ShardSummaries() {
+		if s == nil || i >= len(sums) {
+			continue
+		}
+		var si ShardSummaryInfo
+		si.Docs = s.Docs()
+		si.LenMin, si.LenMax = s.LenRange()
+		si.HotTokens = s.HotTokens()
+		si.SketchSlots, si.SketchOccupied = s.SketchSlots()
+		sums[i] = si
+	}
+	return writeSnapshot(f, le.Tokenizer().Name(), le.NumShards(), le.Log(), le.Routing(), sums)
 }
 
-func writeSnapshot(w io.Writer, tkName string, shards int, log []core.DocState) error {
+// writeSnapshot serializes a live snapshot. A nil routing table writes
+// the version-3 layout (kept for compatibility tests); otherwise routing
+// must hold one shard per log entry and sums one row per shard, and the
+// version-4 tail is appended.
+func writeSnapshot(w io.Writer, tkName string, shards int, log []core.DocState, routing []int32, sums []ShardSummaryInfo) error {
 	var payload []byte
 	putUvarint := func(v uint64) {
 		var buf [10]byte
@@ -106,13 +156,29 @@ func writeSnapshot(w io.Writer, tkName string, shards int, log []core.DocState) 
 		putUvarint(uint64(len(s)))
 		payload = append(payload, s...)
 	}
+	putU32 := func(v uint32) {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], v)
+		payload = append(payload, buf[:]...)
+	}
+	putF64 := func(v float64) {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		payload = append(payload, buf[:]...)
+	}
+
+	version := byte(snapV3)
+	if routing != nil {
+		version = snapV4
+		if len(routing) != len(log) || len(sums) != shards {
+			return fmt.Errorf("setsim: snapshot routing table mismatch: %d routes for %d docs, %d summaries for %d shards",
+				len(routing), len(log), len(sums), shards)
+		}
+	}
 
 	putString(tkName)
-	var numBuf [4]byte
-	binary.LittleEndian.PutUint32(numBuf[:], uint32(shards))
-	payload = append(payload, numBuf[:]...)
-	binary.LittleEndian.PutUint32(numBuf[:], uint32(len(log)))
-	payload = append(payload, numBuf[:]...)
+	putU32(uint32(shards))
+	putU32(uint32(len(log)))
 	for _, d := range log {
 		var flag byte
 		if d.Deleted {
@@ -121,12 +187,25 @@ func writeSnapshot(w io.Writer, tkName string, shards int, log []core.DocState) 
 		payload = append(payload, flag)
 		putString(d.Source)
 	}
+	if version >= snapV4 {
+		for _, sh := range routing {
+			putUvarint(uint64(sh))
+		}
+		for _, s := range sums {
+			putU32(uint32(s.Docs))
+			putF64(s.LenMin)
+			putF64(s.LenMax)
+			putU32(uint32(s.HotTokens))
+			putU32(uint32(s.SketchSlots))
+			putU32(uint32(s.SketchOccupied))
+		}
+	}
 
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.WriteString(snapMagic); err != nil {
 		return err
 	}
-	if err := bw.WriteByte(snapV3); err != nil {
+	if err := bw.WriteByte(version); err != nil {
 		return err
 	}
 	var crcBuf [4]byte
@@ -140,29 +219,39 @@ func writeSnapshot(w io.Writer, tkName string, shards int, log []core.DocState) 
 	return bw.Flush()
 }
 
-func readSnapshot(r io.Reader) (tk Tokenizer, shards int, log []core.DocState, err error) {
+// snapExtra is the version-4 tail: the per-log-entry routing table and
+// each shard's persisted summary scalars. Nil for older versions.
+type snapExtra struct {
+	routing []int32
+	sums    []ShardSummaryInfo
+}
+
+func readSnapshot(r io.Reader) (tk Tokenizer, shards int, log []core.DocState, extra *snapExtra, err error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	head := make([]byte, len(snapMagic)+1+4)
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, 0, nil, fmt.Errorf("%w: short header: %v", collection.ErrBadCollection, err)
+		return nil, 0, nil, nil, fmt.Errorf("%w: short header: %v", collection.ErrBadCollection, err)
 	}
 	if string(head[:len(snapMagic)]) != snapMagic {
-		return nil, 0, nil, fmt.Errorf("%w: bad magic", collection.ErrBadCollection)
+		return nil, 0, nil, nil, fmt.Errorf("%w: bad magic", collection.ErrBadCollection)
 	}
 	version := head[len(snapMagic)]
-	if version != snapV2 && version != snapV3 {
-		return nil, 0, nil, fmt.Errorf("%w: %d", ErrUnknownVersion, version)
+	if version != snapV2 && version != snapV3 && version != snapV4 {
+		return nil, 0, nil, nil, fmt.Errorf("%w: %d", ErrUnknownVersion, version)
 	}
 	wantCRC := binary.LittleEndian.Uint32(head[len(snapMagic)+1:])
 	payload, err := io.ReadAll(br)
 	if err != nil {
-		return nil, 0, nil, err
+		return nil, 0, nil, nil, err
 	}
 	if crc32.ChecksumIEEE(payload) != wantCRC {
-		return nil, 0, nil, fmt.Errorf("%w: checksum mismatch", collection.ErrBadCollection)
+		return nil, 0, nil, nil, fmt.Errorf("%w: checksum mismatch", collection.ErrBadCollection)
 	}
 
 	pos := 0
+	fail := func(msg string) (Tokenizer, int, []core.DocState, *snapExtra, error) {
+		return nil, 0, nil, nil, fmt.Errorf("%w: %s", collection.ErrBadCollection, msg)
+	}
 	getString := func() (string, bool) {
 		n, sz := binary.Uvarint(payload[pos:])
 		if sz <= 0 || pos+sz+int(n) > len(payload) {
@@ -172,52 +261,124 @@ func readSnapshot(r io.Reader) (tk Tokenizer, shards int, log []core.DocState, e
 		pos += sz + int(n)
 		return s, true
 	}
+	getU32 := func() (uint32, bool) {
+		if pos+4 > len(payload) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(payload[pos:])
+		pos += 4
+		return v, true
+	}
+	getF64 := func() (float64, bool) {
+		if pos+8 > len(payload) {
+			return 0, false
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(payload[pos:]))
+		pos += 8
+		return v, true
+	}
 
 	tkName, ok := getString()
 	if !ok {
-		return nil, 0, nil, fmt.Errorf("%w: truncated tokenizer name", collection.ErrBadCollection)
+		return fail("truncated tokenizer name")
 	}
 	tk, err = tokenize.ParseName(tkName)
 	if err != nil {
-		return nil, 0, nil, fmt.Errorf("%w: %v", collection.ErrBadCollection, err)
+		return fail(err.Error())
 	}
 	shards = 1
 	if version >= snapV3 {
-		if pos+4 > len(payload) {
-			return nil, 0, nil, fmt.Errorf("%w: truncated shard count", collection.ErrBadCollection)
+		v, ok := getU32()
+		if !ok {
+			return fail("truncated shard count")
 		}
-		shards = int(binary.LittleEndian.Uint32(payload[pos:]))
-		pos += 4
+		shards = int(v)
 		if shards < 1 {
-			return nil, 0, nil, fmt.Errorf("%w: shard count %d", collection.ErrBadCollection, shards)
+			return fail(fmt.Sprintf("shard count %d", shards))
 		}
 	}
-	if pos+4 > len(payload) {
-		return nil, 0, nil, fmt.Errorf("%w: truncated doc count", collection.ErrBadCollection)
+	numDocs, ok := getU32()
+	if !ok {
+		return fail("truncated doc count")
 	}
-	numDocs := binary.LittleEndian.Uint32(payload[pos:])
-	pos += 4
 	log = make([]core.DocState, numDocs)
 	for i := range log {
 		if pos >= len(payload) {
-			return nil, 0, nil, fmt.Errorf("%w: truncated doc flag", collection.ErrBadCollection)
+			return fail("truncated doc flag")
 		}
 		flag := payload[pos]
 		pos++
 		src, ok := getString()
 		if !ok {
-			return nil, 0, nil, fmt.Errorf("%w: truncated doc source", collection.ErrBadCollection)
+			return fail("truncated doc source")
 		}
 		log[i] = core.DocState{Source: src, Deleted: flag&1 != 0}
 	}
-	if pos != len(payload) {
-		return nil, 0, nil, fmt.Errorf("%w: %d trailing bytes", collection.ErrBadCollection, len(payload)-pos)
+	if version >= snapV4 {
+		extra = &snapExtra{
+			routing: make([]int32, numDocs),
+			sums:    make([]ShardSummaryInfo, shards),
+		}
+		for i := range extra.routing {
+			sh, sz := binary.Uvarint(payload[pos:])
+			if sz <= 0 {
+				return fail("truncated routing table")
+			}
+			pos += sz
+			if sh >= uint64(shards) {
+				return fail(fmt.Sprintf("route %d out of range for %d shards", sh, shards))
+			}
+			extra.routing[i] = int32(sh)
+		}
+		for i := range extra.sums {
+			s := &extra.sums[i]
+			var oks [6]bool
+			var docs, hot, slots, occ uint32
+			docs, oks[0] = getU32()
+			s.LenMin, oks[1] = getF64()
+			s.LenMax, oks[2] = getF64()
+			hot, oks[3] = getU32()
+			slots, oks[4] = getU32()
+			occ, oks[5] = getU32()
+			for _, ok := range oks {
+				if !ok {
+					return fail(fmt.Sprintf("truncated shard summary %d", i))
+				}
+			}
+			s.Docs, s.HotTokens = int(docs), int(hot)
+			s.SketchSlots, s.SketchOccupied = int(slots), int(occ)
+		}
 	}
-	return tk, shards, log, nil
+	if pos != len(payload) {
+		return fail(fmt.Sprintf("%d trailing bytes", len(payload)-pos))
+	}
+	return tk, shards, log, extra, nil
+}
+
+// snapInfo assembles the SnapshotInfo for a live snapshot, deriving the
+// live count and — for version-4 files — per-shard live routing counts.
+func snapInfo(version, shards int, log []core.DocState, extra *snapExtra) SnapshotInfo {
+	info := SnapshotInfo{Version: version, Docs: len(log), Shards: shards}
+	for _, d := range log {
+		if !d.Deleted {
+			info.Live++
+		}
+	}
+	if extra != nil {
+		info.Routed = true
+		info.RouteCounts = make([]int, shards)
+		for i, sh := range extra.routing {
+			if !log[i].Deleted {
+				info.RouteCounts[sh]++
+			}
+		}
+		info.Summaries = extra.sums
+	}
+	return info
 }
 
 // sniffVersion reads the leading magic of the file at path: 1 for the
-// legacy collection format, 2 or 3 for live snapshots. Unknown snapshot
+// legacy collection format, 2–4 for live snapshots. Unknown snapshot
 // versions yield ErrUnknownVersion; anything else is rejected as a bad
 // collection.
 func sniffVersion(f *os.File) (int, error) {
@@ -238,7 +399,7 @@ func sniffVersion(f *os.File) (int, error) {
 			return snapV2, nil // truncated after magic; the body read reports it
 		}
 		switch v := head[len(snapMagic)]; v {
-		case snapV2, snapV3:
+		case snapV2, snapV3, snapV4:
 			return int(v), nil
 		default:
 			return 0, fmt.Errorf("%w: %d", ErrUnknownVersion, v)
@@ -271,26 +432,27 @@ func Open(path string, cfg Config) (*Engine, SnapshotInfo, error) {
 		info := SnapshotInfo{Version: 1, Docs: c.NumSets(), Live: c.NumSets(), Shards: 1}
 		return core.NewEngine(c, cfg), info, nil
 	}
-	tk, shards, log, err := readSnapshot(f)
+	tk, shards, log, extra, err := readSnapshot(f)
 	if err != nil {
 		return nil, SnapshotInfo{}, fmt.Errorf("setsim: load %s: %w", path, err)
 	}
 	b := collection.NewBuilder(tk, true)
-	live := 0
 	for _, d := range log {
-		if !d.Deleted && b.Add(d.Source) {
-			live++
+		if !d.Deleted {
+			b.Add(d.Source)
 		}
 	}
-	info := SnapshotInfo{Version: version, Docs: len(log), Live: live, Shards: shards}
-	return core.NewEngine(b.Build(), cfg), info, nil
+	return core.NewEngine(b.Build(), cfg), snapInfo(version, shards, log, extra), nil
 }
 
 // OpenSharded loads any snapshot version as a sharded static engine.
 // shards ≤ 0 restores the shard count the snapshot was saved with (1
 // for version-1 and version-2 files); a positive value overrides it.
 // Live documents are re-indexed densely in id order, exactly as Open
-// does, then hash-partitioned.
+// does. A version-4 snapshot opened at its saved shard count reuses the
+// persisted routing table — the saved partition comes back exactly, no
+// re-clustering pass; older versions and overridden shard counts
+// repartition from scratch (similarity-aware unless cfg.NoRoute).
 func OpenSharded(path string, cfg Config, shards int) (*ShardedEngine, SnapshotInfo, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -303,6 +465,7 @@ func OpenSharded(path string, cfg Config, shards int) (*ShardedEngine, SnapshotI
 	}
 	var tk Tokenizer
 	var docs []string
+	var assign []int32
 	var info SnapshotInfo
 	if version == 1 {
 		c, err := collection.Read(f)
@@ -321,28 +484,41 @@ func OpenSharded(path string, cfg Config, shards int) (*ShardedEngine, SnapshotI
 	} else {
 		var saved int
 		var log []core.DocState
-		tk, saved, log, err = readSnapshot(f)
+		var extra *snapExtra
+		tk, saved, log, extra, err = readSnapshot(f)
 		if err != nil {
 			return nil, SnapshotInfo{}, fmt.Errorf("setsim: load %s: %w", path, err)
 		}
-		for _, d := range log {
-			if !d.Deleted {
-				docs = append(docs, d.Source)
+		for i, d := range log {
+			if d.Deleted {
+				continue
+			}
+			docs = append(docs, d.Source)
+			if extra != nil {
+				// Filter the routing table down to the live documents,
+				// matching their dense re-indexing.
+				assign = append(assign, extra.routing[i])
 			}
 		}
-		info = SnapshotInfo{Version: version, Docs: len(log), Live: len(docs), Shards: saved}
+		info = snapInfo(version, saved, log, extra)
 	}
 	if shards <= 0 {
 		shards = info.Shards
 	}
-	return core.BuildSharded(tk, docs, true, shards, cfg), info, nil
+	if shards != info.Shards || cfg.NoRoute {
+		assign = nil // saved routing is only valid at the saved fan-out
+	}
+	return core.BuildShardedRouted(tk, docs, true, shards, assign, cfg), info, nil
 }
 
 // OpenLive loads any snapshot version as a mutable engine and reports
 // what was read. The document log is replayed — tombstoned entries
 // included, preserving ids — and compacted before OpenLive returns.
-// When cfg.Shards is unset, a version-3 snapshot restores the shard
-// count it was saved with; setting cfg.Shards overrides it.
+// When cfg.Shards is unset, a version-3 or newer snapshot restores the
+// shard count it was saved with; setting cfg.Shards overrides it. The
+// routing table of a version-4 snapshot is not replayed: the closing
+// Compact re-clusters deterministically, reproducing the same partition
+// the snapshot carried (hash partitioning under cfg.NoRoute).
 func OpenLive(path string, cfg LiveConfig) (*LiveEngine, SnapshotInfo, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -373,17 +549,12 @@ func OpenLive(path string, cfg LiveConfig) (*LiveEngine, SnapshotInfo, error) {
 		info = SnapshotInfo{Version: 1, Docs: len(log), Live: len(log), Shards: 1}
 	default:
 		var saved int
-		tk, saved, log, err = readSnapshot(f)
+		var extra *snapExtra
+		tk, saved, log, extra, err = readSnapshot(f)
 		if err != nil {
 			return nil, SnapshotInfo{}, fmt.Errorf("setsim: load %s: %w", path, err)
 		}
-		live := 0
-		for _, d := range log {
-			if !d.Deleted {
-				live++
-			}
-		}
-		info = SnapshotInfo{Version: version, Docs: len(log), Live: live, Shards: saved}
+		info = snapInfo(version, saved, log, extra)
 	}
 	if cfg.Shards <= 0 {
 		cfg.Shards = info.Shards

@@ -179,6 +179,91 @@ func TestVersion2SnapshotCompat(t *testing.T) {
 	}
 }
 
+// TestVersion3SnapshotCompat: a hand-built version-3 live snapshot —
+// the pre-routing layout with a shard count but no routing table — must
+// still load everywhere. It reports Routed false, and OpenSharded
+// repartitions it from scratch into a routed engine whose answers match
+// the monolithic ones bitwise.
+func TestVersion3SnapshotCompat(t *testing.T) {
+	var payload []byte
+	putString := func(s string) {
+		var buf [10]byte
+		n := binary.PutUvarint(buf[:], uint64(len(s)))
+		payload = append(payload, buf[:n]...)
+		payload = append(payload, s...)
+	}
+	putString("qgram(3)")
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], 2) // saved shard count
+	payload = append(payload, u32[:]...)
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(corpus)))
+	payload = append(payload, u32[:]...)
+	for i, s := range corpus {
+		var flag byte
+		if i == 1 {
+			flag = 1 // one tombstone
+		}
+		payload = append(payload, flag)
+		putString(s)
+	}
+	data := append([]byte("SSSNAP\n\x00"), 3)
+	binary.LittleEndian.PutUint32(u32[:], crc32.ChecksumIEEE(payload))
+	data = append(data, u32[:]...)
+	data = append(data, payload...)
+	path := filepath.Join(t.TempDir(), "v3.sssnap")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	mono, info, err := setsim.Open(path, setsim.ListsOnly())
+	if err != nil {
+		t.Fatalf("Open v3: %v", err)
+	}
+	if info.Version != 3 || info.Docs != len(corpus) || info.Live != len(corpus)-1 ||
+		info.Shards != 2 || info.Routed || info.RouteCounts != nil || info.Summaries != nil {
+		t.Fatalf("Open v3 info = %+v, want version 3, 2 shards, no routing", info)
+	}
+
+	le, info, err := setsim.OpenLive(path, setsim.LiveConfig{Config: setsim.ListsOnly(), NoBackground: true})
+	if err != nil {
+		t.Fatalf("OpenLive v3: %v", err)
+	}
+	defer le.Close()
+	if info.Routed || le.NumShards() != 2 {
+		t.Fatalf("OpenLive v3: info %+v, engine shards %d; want unrouted info with 2 shards", info, le.NumShards())
+	}
+
+	se, info, err := setsim.OpenSharded(path, setsim.ListsOnly(), 0)
+	if err != nil {
+		t.Fatalf("OpenSharded v3: %v", err)
+	}
+	defer se.Close()
+	if info.Routed || se.NumShards() != 2 || !se.Routed() {
+		t.Fatalf("OpenSharded v3: info %+v, shards %d routed %v; want fresh similarity-aware partition over 2 shards",
+			info, se.NumShards(), se.Routed())
+	}
+	for _, tau := range []float64{0.3, 0.6} {
+		want, _, err := mono.Select(mono.Prepare("main street"), tau, setsim.SF, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := se.Select(se.Prepare("main street"), tau, setsim.SF, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("tau=%v: %d sharded results, want %d", tau, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID ||
+				math.Float64bits(got[i].Score) != math.Float64bits(want[i].Score) {
+				t.Fatalf("tau=%v result %d: {%d %.17g}, want {%d %.17g}",
+					tau, i, got[i].ID, got[i].Score, want[i].ID, want[i].Score)
+			}
+		}
+	}
+}
+
 // TestShardedSnapshotRoundTrip: SaveLive records the shard count,
 // OpenSharded restores it by default, and the restored sharded engine
 // answers bitwise-identically to a monolithic engine over the same
@@ -207,8 +292,35 @@ func TestShardedSnapshotRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer se.Close()
-	if info.Version != 3 || info.Shards != 4 || se.NumShards() != 4 {
-		t.Fatalf("info %+v, engine shards %d; want version 3 with 4 shards restored", info, se.NumShards())
+	if info.Version != 4 || info.Shards != 4 || se.NumShards() != 4 {
+		t.Fatalf("info %+v, engine shards %d; want version 4 with 4 shards restored", info, se.NumShards())
+	}
+	if !info.Routed || len(info.RouteCounts) != 4 || len(info.Summaries) != 4 {
+		t.Fatalf("info %+v; want routing table and summaries for 4 shards", info)
+	}
+	routed := 0
+	for _, n := range info.RouteCounts {
+		routed += n
+	}
+	if routed != info.Live {
+		t.Fatalf("route counts %v sum to %d, want %d live docs", info.RouteCounts, routed, info.Live)
+	}
+	// The persisted routing table must come back verbatim: the restored
+	// engine partitions exactly as the saved one did, no re-clustering.
+	var wantRoute []int32
+	for i, sh := range live.Routing() {
+		if _, ok := live.Source(setsim.SetID(i)); ok {
+			wantRoute = append(wantRoute, sh)
+		}
+	}
+	gotRoute := se.Routing()
+	if len(gotRoute) != len(wantRoute) {
+		t.Fatalf("restored routing has %d entries, want %d", len(gotRoute), len(wantRoute))
+	}
+	for i := range gotRoute {
+		if gotRoute[i] != wantRoute[i] {
+			t.Fatalf("restored route[%d] = %d, want %d", i, gotRoute[i], wantRoute[i])
+		}
 	}
 	mono, _, err := setsim.Open(path, setsim.ListsOnly())
 	if err != nil {
