@@ -3,28 +3,77 @@
 // non-zero on any diagnostic. It is the CI gate for the engine's
 // hot-path invariants: scratch check-out/check-in pairing, canceller
 // polling in scan loops, allocation-free warm paths, epsilon float
-// comparison, lock hygiene, and the stdlib-only import constraint.
+// comparison, lock hygiene, the concurrency disciplines of the
+// lock-free core (atomic field ownership, copy-on-write publication,
+// monotone CAS loops, scratch reset), and the stdlib-only import
+// constraint.
 //
 // Usage:
 //
 //	go run ./cmd/ssvet ./...
 //	go run ./cmd/ssvet -list
+//	go run ./cmd/ssvet -json ./...
+//	go run ./cmd/ssvet -o findings.json ./...
 //
 // The ./... argument is accepted for familiarity; ssvet always analyzes
 // the whole module enclosing the working directory. -list prints the
-// analyzer roster and exits.
+// analyzer roster and exits. -json replaces the human-readable report
+// on stdout with a deterministic JSON array (sorted by file, line,
+// analyzer, message — byte-identical across runs on the same tree); -o
+// writes that same JSON to a file regardless of the stdout format, and
+// writes it before the exit code is decided, so CI can always upload
+// the artifact.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"os"
 
 	"repro/internal/analysis"
 )
 
+// positionAt fabricates a position for findings that have no AST node,
+// such as the go.mod require check.
+func positionAt(file string, line int) token.Position {
+	return token.Position{Filename: file, Line: line}
+}
+
+// jsonDiag is the stable wire form of one finding. Fields are flat and
+// lower-cased, so downstream tooling does not depend on go/token types.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func toJSON(diags []analysis.Diagnostic) []byte {
+	out := make([]jsonDiag, 0, len(diags)) // empty array, not null, on a clean tree
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		// A flat struct of strings and ints cannot fail to marshal.
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "print findings as a deterministic JSON array on stdout")
+	outFile := flag.String("o", "", "also write the JSON findings to this file (written even when findings exist)")
 	flag.Parse()
 
 	if *list {
@@ -46,6 +95,7 @@ func main() {
 	if lines, err := loader.GoModRequires(); err == nil {
 		for _, ln := range lines {
 			diags = append(diags, analysis.Diagnostic{
+				Pos:      positionAt("go.mod", ln),
 				Analyzer: "stdlibonly",
 				Message:  fmt.Sprintf("go.mod line %d: require directive in a stdlib-only module", ln),
 			})
@@ -58,9 +108,22 @@ func main() {
 		os.Exit(2)
 	}
 	diags = append(diags, analysis.RunAll(pkgs, analysis.Analyzers())...)
+	// RunAll sorts its own slice; re-sort after splicing in the go.mod
+	// pseudo-diagnostics so every output form is deterministic.
+	analysis.Sort(diags)
 
-	for _, d := range diags {
-		fmt.Println(d)
+	if *outFile != "" {
+		if err := os.WriteFile(*outFile, toJSON(diags), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "ssvet:", err)
+			os.Exit(2)
+		}
+	}
+	if *jsonOut {
+		os.Stdout.Write(toJSON(diags))
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "ssvet: %d diagnostic(s) in %d package(s)\n", len(diags), len(pkgs))

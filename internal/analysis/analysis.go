@@ -29,6 +29,16 @@
 //	                              provably non-decreasing
 //	//ssvet:nostats <reason>    — this posting loop's work is accounted
 //	                              by its caller
+//	//ssvet:atomicplain <reason> — this plain access to an atomically
+//	                              owned field is safe (quiescence proof)
+//	//ssvet:cowfrozen <reason>  — this write through a published
+//	                              snapshot is safe (bounded visibility)
+//	//ssvet:casstore <reason>   — this blind Store on a CAS-managed
+//	                              field is safe (no racer exists here)
+//	//ssvet:casshape <reason>   — this CompareAndSwap deviates from the
+//	                              monotone retry-loop shape on purpose
+//	//ssvet:scratchread <reason> — this scratch field is intentionally
+//	                              read before its reset
 //	//ssvet:hot                 — (in a function's doc comment) opt the
 //	                              function into the hotalloc rules
 //
@@ -81,6 +91,10 @@ type Pass struct {
 	// TypesInfo and Pkg are nil for SyntaxOnly analyzers.
 	TypesInfo *types.Info
 	Pkg       *types.Package
+	// Graph is the static call graph over every package of the run,
+	// built once per RunAll and shared by all analyzers (nil for
+	// SyntaxOnly analyzers). See callgraph.go.
+	Graph *CallGraph
 
 	ann   *annotations
 	diags *[]Diagnostic
@@ -204,6 +218,10 @@ func Analyzers() []*Analyzer {
 		StdlibOnly,
 		SkipMono,
 		StatsAcct,
+		AtomicField,
+		CasMono,
+		CowPublish,
+		ScratchReset,
 		AnnLive,
 	}
 }
@@ -215,10 +233,14 @@ func Analyzers() []*Analyzer {
 // is only meaningful under RunAll, where the table is shared across the
 // suite.
 func RunPackage(a *Analyzer, pkg *Package) []Diagnostic {
-	return runPackage(a, pkg, collectAnnotations(pkg.Fset, pkg.Files))
+	var graph *CallGraph
+	if !a.SyntaxOnly {
+		graph = BuildCallGraph([]*Package{pkg})
+	}
+	return runPackage(a, pkg, collectAnnotations(pkg.Fset, pkg.Files), graph)
 }
 
-func runPackage(a *Analyzer, pkg *Package, ann *annotations) []Diagnostic {
+func runPackage(a *Analyzer, pkg *Package, ann *annotations, graph *CallGraph) []Diagnostic {
 	if !a.SyntaxOnly && pkg.Info == nil {
 		return nil
 	}
@@ -236,6 +258,7 @@ func runPackage(a *Analyzer, pkg *Package, ann *annotations) []Diagnostic {
 	} else {
 		pass.TypesInfo = pkg.Info
 		pass.Pkg = pkg.Types
+		pass.Graph = graph
 	}
 	a.Run(pass)
 	return diags
@@ -244,15 +267,25 @@ func runPackage(a *Analyzer, pkg *Package, ann *annotations) []Diagnostic {
 // RunAll runs every analyzer over every package and returns the combined
 // diagnostics sorted by position. Each package's annotation table is
 // shared across the whole suite, which is what lets AnnLive (last in the
-// roster) see which annotations were honoured by any analyzer.
+// roster) see which annotations were honoured by any analyzer. The call
+// graph is built exactly once here and shared by every analyzer of the
+// run (the cost guard in the tests pins this).
 func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	graph := BuildCallGraph(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		ann := collectAnnotations(pkg.Fset, pkg.Files)
 		for _, a := range analyzers {
-			diags = append(diags, runPackage(a, pkg, ann)...)
+			diags = append(diags, runPackage(a, pkg, ann, graph)...)
 		}
 	}
+	Sort(diags)
+	return diags
+}
+
+// Sort orders diagnostics deterministically by file, line, analyzer,
+// then message — the order RunAll returns and ssvet -json emits.
+func Sort(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -266,7 +299,6 @@ func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
-	return diags
 }
 
 // --- shared type/AST helpers used by several analyzers ---
@@ -394,4 +426,41 @@ func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
 		}
 		return fn(m)
 	})
+}
+
+// parentMap records each node's syntactic parent within a subtree, for
+// analyzers that classify an expression by the context it appears in.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// parentSkipParens returns n's nearest non-paren ancestor.
+func parentSkipParens(parents map[ast.Node]ast.Node, n ast.Node) ast.Node {
+	p := parents[n]
+	for {
+		pe, ok := p.(*ast.ParenExpr)
+		if !ok {
+			return p
+		}
+		p = parents[pe]
+	}
+}
+
+// declaredIn reports whether obj's declaration lies inside the span of
+// body (used for constructor/local-initialization exemptions).
+func declaredIn(obj types.Object, body *ast.BlockStmt) bool {
+	return obj != nil && body != nil && obj.Pos() >= body.Pos() && obj.Pos() <= body.End()
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // Corpus files mark expected diagnostics with trailing comments:
@@ -151,23 +152,284 @@ func TestLockScopeCorpus(t *testing.T)   { testCorpus(t, LockScope, "lockscope")
 func TestStdlibOnlyCorpus(t *testing.T)  { testCorpus(t, StdlibOnly, "stdlibonly") }
 func TestSkipMonoCorpus(t *testing.T)    { testCorpus(t, SkipMono, "skipmono") }
 func TestStatsAcctCorpus(t *testing.T)   { testCorpus(t, StatsAcct, "statsacct") }
-func TestAnnLiveCorpus(t *testing.T)     { testCorpusSuite(t, "annlive") }
+func TestAtomicFieldCorpus(t *testing.T) { testCorpus(t, AtomicField, "atomicfield") }
+func TestCasMonoCorpus(t *testing.T)     { testCorpus(t, CasMono, "casmono") }
+func TestCowPublishCorpus(t *testing.T)  { testCorpus(t, CowPublish, "cowpublish") }
+func TestScratchResetCorpus(t *testing.T) {
+	testCorpus(t, ScratchReset, "scratchreset")
+}
+func TestAnnLiveCorpus(t *testing.T) { testCorpusSuite(t, "annlive") }
+
+// The whole-module load is shared by the cleanliness and self-check
+// tests: type-checking the module once is expensive enough.
+var (
+	moduleOnce sync.Once
+	modulePkgs []*Package
+	moduleErr  error
+)
+
+func modulePackages(t *testing.T) []*Package {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	moduleOnce.Do(func() {
+		l, err := NewLoader(".")
+		if err != nil {
+			moduleErr = err
+			return
+		}
+		modulePkgs, moduleErr = l.LoadAll()
+	})
+	if moduleErr != nil {
+		t.Fatal(moduleErr)
+	}
+	return modulePkgs
+}
 
 // TestModuleHasNoDiagnostics is the in-process twin of the ssvet CI
 // gate: the repository's own tree must be clean under the full suite.
 func TestModuleHasNoDiagnostics(t *testing.T) {
-	if testing.Short() {
-		t.Skip("type-checks the whole module; skipped in -short mode")
-	}
-	l, err := NewLoader(".")
-	if err != nil {
-		t.Fatal(err)
-	}
-	pkgs, err := l.LoadAll()
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, d := range RunAll(pkgs, Analyzers()) {
+	for _, d := range RunAll(modulePackages(t), Analyzers()) {
 		t.Errorf("module not clean: %s", d)
+	}
+}
+
+// TestSelfCheckCoverage pins the CI self-check: the module walk must
+// include the analyzer engine and the ssvet command themselves, so the
+// gate analyzes its own implementation rather than silently skipping it.
+func TestSelfCheckCoverage(t *testing.T) {
+	want := map[string]bool{
+		"repro/internal/analysis": false,
+		"repro/cmd/ssvet":         false,
+		"repro/internal/core":     false,
+	}
+	for _, p := range modulePackages(t) {
+		if _, ok := want[p.Path]; ok {
+			want[p.Path] = true
+		}
+	}
+	for path, seen := range want {
+		if !seen {
+			t.Errorf("module walk misses %s; the ssvet gate would not analyze it", path)
+		}
+	}
+}
+
+// TestAnalyzerBudget guards the suite's cost: one RunAll builds the
+// call graph exactly once — every analyzer shares it — and the full
+// suite over a corpus package finishes well inside an interactive
+// budget.
+func TestAnalyzerBudget(t *testing.T) {
+	l := corpusLoader(t)
+	pkg, err := l.CheckDir("repro/internal/analysis/testdata/statsacct_budget", filepath.Join("testdata", "statsacct"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := callGraphBuilds
+	start := time.Now()
+	RunAll([]*Package{pkg}, Analyzers())
+	if got := callGraphBuilds - before; got != 1 {
+		t.Errorf("RunAll built the call graph %d times; want exactly 1 shared build", got)
+	}
+	if d := time.Since(start); d > 30*time.Second {
+		t.Errorf("full suite over one corpus package took %v; cost budget is 30s", d)
+	}
+}
+
+// Mutation check: seeding a violation of each concurrency analyzer into
+// a scratch package must produce a finding, and the repaired twin must
+// be clean. This is the in-process half of the CI mutation gate — the
+// exit-code half lives in cmd/ssvet.
+func TestMutationSeededViolations(t *testing.T) {
+	cases := []struct {
+		name     string
+		analyzer *Analyzer
+		bad      string
+		good     string
+	}{
+		{
+			name:     "atomicfield",
+			analyzer: AtomicField,
+			bad: `package seed
+
+import "sync/atomic"
+
+type c struct{ n uint64 }
+
+func bump(x *c) { atomic.AddUint64(&x.n, 1) }
+
+func read(x *c) uint64 { return x.n }
+`,
+			good: `package seed
+
+import "sync/atomic"
+
+type c struct{ n uint64 }
+
+func bump(x *c) { atomic.AddUint64(&x.n, 1) }
+
+func read(x *c) uint64 { return atomic.LoadUint64(&x.n) }
+`,
+		},
+		{
+			name:     "casmono",
+			analyzer: CasMono,
+			bad: `package seed
+
+import "sync/atomic"
+
+type b struct{ v atomic.Uint64 }
+
+func raise(x *b, n uint64) {
+	for {
+		old := x.v.Load()
+		if old >= n {
+			return
+		}
+		if x.v.CompareAndSwap(old, n) {
+			return
+		}
+	}
+}
+
+func reset(x *b) { x.v.Store(0) }
+`,
+			good: `package seed
+
+import "sync/atomic"
+
+type b struct{ v atomic.Uint64 }
+
+func raise(x *b, n uint64) {
+	for {
+		old := x.v.Load()
+		if old >= n {
+			return
+		}
+		if x.v.CompareAndSwap(old, n) {
+			return
+		}
+	}
+}
+
+func reset(x *b) {
+	for {
+		old := x.v.Load()
+		if old == 0 {
+			return
+		}
+		if x.v.CompareAndSwap(old, 0) {
+			return
+		}
+	}
+}
+`,
+		},
+		{
+			name:     "cowpublish",
+			analyzer: CowPublish,
+			bad: `package seed
+
+import "sync/atomic"
+
+type snap struct{ n int }
+
+type eng struct{ p atomic.Pointer[snap] }
+
+func pub(e *eng) {
+	s := &snap{}
+	e.p.Store(s)
+	s.n = 1
+}
+`,
+			good: `package seed
+
+import "sync/atomic"
+
+type snap struct{ n int }
+
+type eng struct{ p atomic.Pointer[snap] }
+
+func pub(e *eng) {
+	s := &snap{}
+	s.n = 1
+	e.p.Store(s)
+}
+`,
+		},
+		{
+			name:     "scratchreset",
+			analyzer: ScratchReset,
+			bad: `package seed
+
+import "sync"
+
+type queryScratch struct{ ids []int }
+
+var pool = sync.Pool{New: func() any { return &queryScratch{} }}
+
+func getScratch() *queryScratch  { return pool.Get().(*queryScratch) }
+func putScratch(s *queryScratch) { pool.Put(s) }
+
+func run(n int) int {
+	s := getScratch()
+	defer putScratch(s)
+	for i := 0; i < n; i++ {
+		s.ids = append(s.ids, i)
+	}
+	return len(s.ids)
+}
+`,
+			good: `package seed
+
+import "sync"
+
+type queryScratch struct{ ids []int }
+
+var pool = sync.Pool{New: func() any { return &queryScratch{} }}
+
+func getScratch() *queryScratch  { return pool.Get().(*queryScratch) }
+func putScratch(s *queryScratch) { pool.Put(s) }
+
+func run(n int) int {
+	s := getScratch()
+	defer putScratch(s)
+	s.ids = s.ids[:0]
+	for i := 0; i < n; i++ {
+		s.ids = append(s.ids, i)
+	}
+	return len(s.ids)
+}
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, v := range []struct {
+				label string
+				src   string
+				dirty bool
+			}{
+				{"seeded", tc.bad, true},
+				{"repaired", tc.good, false},
+			} {
+				dir := t.TempDir()
+				if err := os.WriteFile(filepath.Join(dir, "seed.go"), []byte(v.src), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				pkg, err := corpusLoader(t).CheckDir("repro/internal/analysis/seed_"+tc.name+"_"+v.label, dir)
+				if err != nil {
+					t.Fatalf("%s source does not type-check: %v", v.label, err)
+				}
+				diags := RunPackage(tc.analyzer, pkg)
+				if v.dirty && len(diags) == 0 {
+					t.Errorf("%s violation went undetected by %s", v.label, tc.analyzer.Name)
+				}
+				if !v.dirty && len(diags) != 0 {
+					t.Errorf("%s twin is flagged by %s: %v", v.label, tc.analyzer.Name, diags)
+				}
+			}
+		})
 	}
 }

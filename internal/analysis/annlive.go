@@ -25,12 +25,17 @@ var AnnLive = &Analyzer{
 
 // knownVerbs are the annotation verbs the suite consumes.
 var knownVerbs = map[string]bool{
-	"nopoll":     true,
-	"floatexact": true,
-	"coldalloc":  true,
-	"monotone":   true,
-	"nostats":    true,
-	"hot":        true,
+	"nopoll":      true,
+	"floatexact":  true,
+	"coldalloc":   true,
+	"monotone":    true,
+	"nostats":     true,
+	"hot":         true,
+	"atomicplain": true,
+	"cowfrozen":   true,
+	"casstore":    true,
+	"casshape":    true,
+	"scratchread": true,
 }
 
 func runAnnLive(pass *Pass) {
@@ -54,7 +59,7 @@ func runAnnLive(pass *Pass) {
 	sort.Slice(dead, func(i, j int) bool { return dead[i].pos < dead[j].pos })
 	for _, a := range dead {
 		if !knownVerbs[a.verb] {
-			pass.Reportf(a.pos, "unknown //ssvet: verb %q (known: coldalloc, floatexact, hot, monotone, nopoll, nostats)", a.verb)
+			pass.Reportf(a.pos, "unknown //ssvet: verb %q (known: atomicplain, casshape, casstore, coldalloc, cowfrozen, floatexact, hot, monotone, nopoll, nostats, scratchread)", a.verb)
 			continue
 		}
 		pass.Reportf(a.pos, "//ssvet:%s annotation no longer suppresses any finding; remove the dead escape hatch", a.verb)

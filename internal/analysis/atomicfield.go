@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicField enforces whole-module atomic ownership of struct fields.
+// The lock-free core (DESIGN.md §16) relies on fields that are only
+// ever touched through sync/atomic — the epoch counter, the tombstone
+// bitmap words, the shared top-k bound — and a single plain access
+// anywhere undoes every atomic access elsewhere: the race detector only
+// catches it under the right schedule, while a bare `e.epoch++` is
+// wrong under every schedule.
+//
+// Two rules, both keyed on facts the call graph collects module-wide:
+//
+//  1. A field whose address is passed to a sync/atomic function
+//     anywhere in the module (atomic.AddUint64(&c.hits, 1)) must never
+//     be read or written plainly in any function. The only exemption is
+//     initialization of an object the accessing function itself created
+//     (the constructor pattern), where no second goroutine can hold a
+//     reference yet.
+//  2. A field of one of the typed atomics (atomic.Uint64,
+//     atomic.Pointer[T], ...) must never be used as a value — copied
+//     into a variable, passed as an argument, returned, or placed in a
+//     composite literal. A copy carries the current bits but none of
+//     the synchronization; go vet's copylocks catches some of these,
+//     this rule catches them all, including reads through the copy.
+//
+// Escape hatch: //ssvet:atomicplain <reason>, for accesses with an
+// out-of-band quiescence proof.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed through sync/atomic anywhere must never be accessed plainly elsewhere",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) {
+	if pass.Graph == nil {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, u := range funcUnits(f) {
+			checkAtomicFieldUnit(pass, u)
+		}
+	}
+}
+
+func checkAtomicFieldUnit(pass *Pass, u funcUnit) {
+	parents := parentMap(u.body)
+	inspectShallow(u.body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fv := selectionField(pass.TypesInfo, sel)
+		if fv == nil {
+			return true
+		}
+		if pass.Graph.AtomicFnFields[fv] {
+			checkPlainAccess(pass, u, parents, sel, fv)
+		} else if isAtomicNamed(fv.Type()) {
+			checkAtomicValueUse(pass, u, parents, sel, fv)
+		}
+		return true
+	})
+}
+
+// checkPlainAccess flags a plain (non-atomic) read or write of a field
+// that is atomically owned somewhere else in the module.
+func checkPlainAccess(pass *Pass, u funcUnit, parents map[ast.Node]ast.Node, sel *ast.SelectorExpr, fv *types.Var) {
+	p := parentSkipParens(parents, sel)
+	// &c.hits is an address-taking, not an access: either it feeds a
+	// sync/atomic call (sanctioned) or a helper that does.
+	if un, ok := p.(*ast.UnaryExpr); ok && un.Op.String() == "&" {
+		return
+	}
+	// The constructor pattern: plain initialization of an object this
+	// function itself created is pre-publication and race-free.
+	if root := rootIdent(sel); root != nil {
+		if declaredIn(useObj(pass.TypesInfo, root), u.body) {
+			return
+		}
+	}
+	verb := "read"
+	switch p := p.(type) {
+	case *ast.IncDecStmt:
+		verb = "written"
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if ast.Unparen(lhs) == sel {
+				verb = "written"
+			}
+		}
+	}
+	if pass.Annotated(sel, "atomicplain") {
+		return
+	}
+	pass.Reportf(sel.Pos(), "field %s is accessed through sync/atomic elsewhere in the module but plainly %s here (use the atomic accessors, or annotate //ssvet:atomicplain <reason>)", fv.Name(), verb)
+}
+
+// checkAtomicValueUse flags a typed atomic field used as a value: the
+// copy carries the bits but none of the synchronization.
+func checkAtomicValueUse(pass *Pass, u funcUnit, parents map[ast.Node]ast.Node, sel *ast.SelectorExpr, fv *types.Var) {
+	p := parentSkipParens(parents, sel)
+	bad := false
+	switch p := p.(type) {
+	case *ast.AssignStmt:
+		for _, e := range p.Rhs {
+			if ast.Unparen(e) == sel {
+				bad = true
+			}
+		}
+		// Assigning INTO the field overwrites the atomic wholesale;
+		// allow it only under the constructor exemption below.
+		for _, e := range p.Lhs {
+			if ast.Unparen(e) == sel {
+				bad = true
+			}
+		}
+	case *ast.ValueSpec:
+		for _, e := range p.Values {
+			if ast.Unparen(e) == sel {
+				bad = true
+			}
+		}
+	case *ast.CallExpr:
+		for _, e := range p.Args {
+			if ast.Unparen(e) == sel {
+				bad = true
+			}
+		}
+	case *ast.ReturnStmt:
+		bad = true
+	case *ast.CompositeLit:
+		bad = true
+	case *ast.KeyValueExpr:
+		bad = ast.Unparen(p.Value) == sel
+	case *ast.BinaryExpr:
+		bad = true
+	}
+	if !bad {
+		return
+	}
+	if root := rootIdent(sel); root != nil {
+		if declaredIn(useObj(pass.TypesInfo, root), u.body) {
+			return
+		}
+	}
+	if pass.Annotated(sel, "atomicplain") {
+		return
+	}
+	pass.Reportf(sel.Pos(), "atomic field %s used as a value; a copy carries no synchronization (use its methods, or annotate //ssvet:atomicplain <reason>)", fv.Name())
+}
+
+// selectionField resolves a selector to the struct field it selects,
+// or nil for methods, package selectors, and qualified identifiers.
+func selectionField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}

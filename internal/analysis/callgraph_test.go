@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// The callgraph corpus is loaded once and shared by the graph tests.
+var (
+	cgOnce sync.Once
+	cgPkg  *Package
+	cgErr  error
+)
+
+func callgraphPackage(t *testing.T) *Package {
+	t.Helper()
+	l := corpusLoader(t)
+	cgOnce.Do(func() {
+		cgPkg, cgErr = l.CheckDir("repro/internal/analysis/testdata/callgraph", filepath.Join("testdata", "callgraph"))
+	})
+	if cgErr != nil {
+		t.Fatalf("callgraph corpus does not load: %v", cgErr)
+	}
+	return cgPkg
+}
+
+// lookupFunc resolves a package-scope function or a named type's method
+// by name from the corpus package.
+func lookupFunc(t *testing.T, pkg *Package, typeName, funcName string) *types.Func {
+	t.Helper()
+	scope := pkg.Types.Scope()
+	if typeName == "" {
+		fn, ok := scope.Lookup(funcName).(*types.Func)
+		if !ok {
+			t.Fatalf("no function %s in %s", funcName, pkg.Path)
+		}
+		return fn
+	}
+	tn, ok := scope.Lookup(typeName).(*types.TypeName)
+	if !ok {
+		t.Fatalf("no type %s in %s", typeName, pkg.Path)
+	}
+	obj, _, _ := types.LookupFieldOrMethod(tn.Type(), true, pkg.Types, funcName)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		t.Fatalf("no method %s.%s in %s", typeName, funcName, pkg.Path)
+	}
+	return fn
+}
+
+func calleeSet(g *CallGraph, fn *types.Func) map[*types.Func]bool {
+	set := map[*types.Func]bool{}
+	for _, c := range g.Callees(fn) {
+		set[c] = true
+	}
+	return set
+}
+
+func TestCallGraphEdges(t *testing.T) {
+	pkg := callgraphPackage(t)
+	g := BuildCallGraph([]*Package{pkg})
+
+	helper := lookupFunc(t, pkg, "", "helper")
+	step := lookupFunc(t, pkg, "worker", "step")
+	fastRun := lookupFunc(t, pkg, "fastRunner", "run")
+	slowRun := lookupFunc(t, pkg, "slowRunner", "run")
+	abstractRun := lookupFunc(t, pkg, "runner", "run")
+
+	// Direct call.
+	if !calleeSet(g, lookupFunc(t, pkg, "", "direct"))[helper] {
+		t.Errorf("direct → helper edge missing")
+	}
+	// Method value: a reference is an edge even without a call.
+	if !calleeSet(g, lookupFunc(t, pkg, "", "viaMethodValue"))[step] {
+		t.Errorf("viaMethodValue → worker.step edge missing")
+	}
+	// Function literal: attributed to the enclosing declaration.
+	if !calleeSet(g, lookupFunc(t, pkg, "", "viaLiteral"))[helper] {
+		t.Errorf("viaLiteral → helper edge (through the literal) missing")
+	}
+	// Interface dispatch: the abstract callee is kept and expanded to
+	// both implementations by CHA.
+	dispatchees := calleeSet(g, lookupFunc(t, pkg, "", "dispatch"))
+	for label, fn := range map[string]*types.Func{
+		"runner.run (abstract)": abstractRun,
+		"fastRunner.run":        fastRun,
+		"slowRunner.run":        slowRun,
+	} {
+		if !dispatchees[fn] {
+			t.Errorf("dispatch → %s edge missing", label)
+		}
+	}
+}
+
+func TestCallGraphReachesDepth(t *testing.T) {
+	pkg := callgraphPackage(t)
+	g := BuildCallGraph([]*Package{pkg})
+
+	dispatch := lookupFunc(t, pkg, "", "dispatch")
+	reachesStep := func(depth int) bool {
+		return g.Reaches(dispatch, depth, func(fn *types.Func, _ *ast.FuncDecl) bool {
+			return fn.Name() == "step"
+		})
+	}
+	// dispatch → run (CHA: fastRunner.run) → worker.step is two hops.
+	if !reachesStep(2) {
+		t.Errorf("dispatch should reach worker.step within 2 hops (interface hop + body call)")
+	}
+	if reachesStep(1) {
+		t.Errorf("dispatch must not reach worker.step within 1 hop; the depth bound leaks")
+	}
+}

@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CasMono enforces the shape of compare-and-swap loops on shared
+// bounds. The global top-k bound (sharedTau.bits) and the histogram
+// accumulators are correct only because every update is a monotone CAS
+// retry loop: load the current value, compute the candidate from it (or
+// bail out when the current value already supersedes it), and
+// CompareAndSwap — retrying from a fresh load on failure. Deviations
+// lose updates: a blind Store overwrites a racing raise, a CAS against
+// a stale load spins or regresses, and a candidate computed without
+// looking at the current value can move the bound backwards.
+//
+// Three rules:
+//
+//  1. No blind Store/Swap on a CAS-managed field (one that is a
+//     CompareAndSwap receiver anywhere in the module — a fact the call
+//     graph collects). Escape: //ssvet:casstore <reason>, for resets of
+//     provably quiescent memory (pool check-in).
+//  2. A CompareAndSwap must sit in a retry loop, and its old value must
+//     be assigned from a Load of the same location inside that loop —
+//     a load hoisted above the loop goes stale after the first failed
+//     iteration.
+//  3. The new value must be derived from the loaded old value, or the
+//     loop must contain an early exit guarded on the old value (the
+//     monotone bail-out `if old >= candidate { return }`). Escape for
+//     both shape rules: //ssvet:casshape <reason>.
+var CasMono = &Analyzer{
+	Name: "casmono",
+	Doc:  "CAS-managed bounds: no blind Store, and CompareAndSwap loops must be monotone retry loops",
+	Run:  runCasMono,
+}
+
+func runCasMono(pass *Pass) {
+	if pass.TypesInfo == nil || pass.Graph == nil {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, u := range funcUnits(f) {
+			checkCasUnit(pass, u)
+		}
+	}
+}
+
+func checkCasUnit(pass *Pass, u funcUnit) {
+	info := pass.TypesInfo
+	inspectShallow(u.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !isAtomicNamed(info.TypeOf(sel.X)) {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Store", "Swap":
+			fv := selectedField(info, sel.X)
+			if fv == nil || !pass.Graph.CASFields[fv] {
+				return true
+			}
+			if !pass.Annotated(call, "casstore") {
+				pass.Reportf(call.Pos(), "blind %s on %s, a CAS-managed field; a racing CompareAndSwap is lost (use the CAS loop, or annotate //ssvet:casstore <reason>)", sel.Sel.Name, types.ExprString(sel.X))
+			}
+		case "CompareAndSwap":
+			if len(call.Args) == 2 {
+				checkCasShape(pass, u, call, sel)
+			}
+		}
+		return true
+	})
+}
+
+func checkCasShape(pass *Pass, u funcUnit, call *ast.CallExpr, sel *ast.SelectorExpr) {
+	info := pass.TypesInfo
+	target := types.ExprString(sel.X)
+	loop := innermostForLoop(u.body, call.Pos())
+	if loop == nil {
+		if !pass.Annotated(call, "casshape") {
+			pass.Reportf(call.Pos(), "CompareAndSwap on %s outside a retry loop; a single failed CAS drops the update (wrap in a retry loop, or annotate //ssvet:casshape <reason>)", target)
+		}
+		return
+	}
+
+	// Rule 2: old must be re-loaded from the same location inside the
+	// retry loop.
+	oldID, _ := ast.Unparen(call.Args[0]).(*ast.Ident)
+	var oldObj types.Object
+	if oldID != nil {
+		oldObj = useObj(info, oldID)
+	}
+	oldDef := loopDefRHS(info, loop, oldObj)
+	if oldObj == nil || !loadsFrom(info, oldDef, target) {
+		if !pass.Annotated(call, "casshape") {
+			pass.Reportf(call.Pos(), "CompareAndSwap old value for %s is not assigned from a %s.Load() inside the retry loop; it goes stale after the first failed iteration (or annotate //ssvet:casshape <reason>)", target, target)
+		}
+		return
+	}
+
+	// Rule 3: new derived from old, or the loop bails out on old.
+	newDerived := exprMentions(info, call.Args[1], oldObj)
+	if !newDerived {
+		if newID, ok := ast.Unparen(call.Args[1]).(*ast.Ident); ok {
+			if rhs := loopDefRHS(info, loop, useObj(info, newID)); rhs != nil {
+				newDerived = exprMentions(info, rhs, oldObj)
+			}
+		}
+	}
+	if !newDerived && !loopExitsOn(info, loop, oldObj, call.Pos()) {
+		if !pass.Annotated(call, "casshape") {
+			pass.Reportf(call.Pos(), "CompareAndSwap new value for %s is neither derived from the loaded old value nor guarded by an old-value exit; the update is not monotone (derive or guard, or annotate //ssvet:casshape <reason>)", target)
+		}
+	}
+}
+
+// innermostForLoop returns the smallest for-loop of body whose span
+// contains pos, or nil.
+func innermostForLoop(body *ast.BlockStmt, pos token.Pos) *ast.ForStmt {
+	var best *ast.ForStmt
+	inspectShallow(body, func(n ast.Node) bool {
+		if f, ok := n.(*ast.ForStmt); ok && f.Pos() <= pos && pos <= f.End() {
+			if best == nil || (f.Pos() >= best.Pos() && f.End() <= best.End()) {
+				best = f
+			}
+		}
+		return true
+	})
+	return best
+}
+
+// loopDefRHS finds the right-hand side that defines or assigns obj
+// inside the loop body (the last such assignment wins), or nil.
+func loopDefRHS(info *types.Info, loop *ast.ForStmt, obj types.Object) ast.Expr {
+	if obj == nil {
+		return nil
+	}
+	var rhs ast.Expr
+	inspectShallow(loop.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || useObj(info, id) != obj {
+				continue
+			}
+			if i < len(as.Rhs) {
+				rhs = as.Rhs[i]
+			}
+		}
+		return true
+	})
+	return rhs
+}
+
+// loadsFrom reports whether e is a call of the form <target>.Load().
+func loadsFrom(info *types.Info, e ast.Expr, target string) bool {
+	if e == nil {
+		return false
+	}
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Load" || !isAtomicNamed(info.TypeOf(sel.X)) {
+		return false
+	}
+	return types.ExprString(sel.X) == target
+}
+
+// exprMentions reports whether e references obj.
+func exprMentions(info *types.Info, e ast.Expr, obj types.Object) bool {
+	if e == nil || obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && useObj(info, id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// loopExitsOn reports whether the loop contains an if statement whose
+// condition mentions obj and whose body returns or breaks — the
+// monotone bail-out shape. The if statement wrapping the CAS call
+// itself (at casPos) does not count: `if cas(old, new) { return }` is
+// the success exit, not a monotonicity guard.
+func loopExitsOn(info *types.Info, loop *ast.ForStmt, obj types.Object, casPos token.Pos) bool {
+	found := false
+	inspectShallow(loop.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || found || !exprMentions(info, ifs.Cond, obj) {
+			return !found
+		}
+		if ifs.Pos() <= casPos && casPos <= ifs.End() {
+			return true
+		}
+		ast.Inspect(ifs.Body, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.ReturnStmt:
+				found = true
+			case *ast.BranchStmt:
+				if m.Tok == token.BREAK {
+					found = true
+				}
+			}
+			return !found
+		})
+		return !found
+	})
+	return found
+}

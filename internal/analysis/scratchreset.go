@@ -1,0 +1,438 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ScratchReset enforces the pooled-scratch reset discipline (the open
+// ROADMAP item): a queryScratch checked out of the pool carries the
+// previous query's data in every field, so each algorithm must reslice
+// or reset a field before the first read of it. Reading — or appending
+// to — a stale field silently mixes two queries' candidates, the class
+// of bug the allocation-free warm path (PR 2) made possible.
+//
+// The rule runs from every getScratch call site: in the checking-out
+// function, the first effect on each scratch field along the statement
+// order must be a reset, where resets are the repository's idioms —
+// `s.f = s.f[:0]`, `s.f[:0]` used anywhere, `clear(s.f)`,
+// `s.f.reset(...)` (also through a `b := &s.f` alias), the reslice*
+// helpers, or a whole-field overwrite — and reads are element access,
+// range, `append(s.f, ...)`, or passing the field to a callee.
+// Nil-checks and len/cap probes are neutral.
+//
+// The analysis is interprocedural through the call graph: passing the
+// whole scratch to a callee (selectTA(s, ...), s.newCandMask(n), or the
+// fillIDFSq(s, q) prep helpers) splices the callee's first-effect
+// summary — computed once and memoized — into the caller's sequence,
+// so a reset performed by a helper discharges the caller and a read
+// performed by a helper is charged to the call site. When the scratch
+// escapes beyond the graph's sight (stored into a struct, handed to a
+// function value), tracking stops conservatively without a finding.
+//
+// Escape hatch: //ssvet:scratchread <reason>, for fields deliberately
+// carried across calls (a documented warm-over-warm reuse).
+var ScratchReset = &Analyzer{
+	Name: "scratchreset",
+	Doc:  "pooled scratch fields must be reslice/reset before their first read after getScratch",
+	Run:  runScratchReset,
+}
+
+const (
+	effReset = iota
+	effRead
+)
+
+// scratchEvent is one step of a function's scratch usage: a field
+// effect, a scratch-passing call, or an escape that ends tracking.
+type scratchEvent struct {
+	pos     token.Pos
+	node    ast.Node
+	field   string // field effect when non-empty
+	kind    int
+	callee  *types.Func // scratch-passing call when non-nil
+	unknown bool        // scratch escaped analysis
+}
+
+// scratchSummary is a function's resolved first effect per field.
+type scratchSummary struct {
+	order  []string
+	first  map[string]scratchEvent
+	opaque bool // the scratch escaped partway; later effects unknown
+}
+
+// scratchResetRun memoizes callee summaries across one package pass.
+type scratchResetRun struct {
+	pass       *Pass
+	memo       map[*types.Func]*scratchSummary
+	inProgress map[*types.Func]bool
+	// reported dedupes findings by read position: several getScratch
+	// roots can reach the same unreset read through shared helpers.
+	reported map[token.Pos]bool
+}
+
+func runScratchReset(pass *Pass) {
+	if pass.TypesInfo == nil || pass.Graph == nil {
+		return
+	}
+	sr := &scratchResetRun{
+		pass:       pass,
+		memo:       map[*types.Func]*scratchSummary{},
+		inProgress: map[*types.Func]bool{},
+		reported:   map[token.Pos]bool{},
+	}
+	for _, f := range pass.Files {
+		for _, u := range funcUnits(f) {
+			sr.checkRoot(u)
+		}
+	}
+}
+
+// checkRoot analyzes one function that checks scratch out of the pool
+// and reports fields whose first resolved effect is a read.
+func (sr *scratchResetRun) checkRoot(u funcUnit) {
+	info := sr.pass.TypesInfo
+	scratch, isRoot := scratchObjsOf(info, u.decl, u.typ, u.body)
+	if !isRoot {
+		return
+	}
+	events := collectScratchEvents(info, u.body, scratch)
+	sum := sr.resolve(events, 0)
+	for _, f := range sum.order {
+		evt := sum.first[f]
+		if evt.kind != effRead || sr.reported[evt.pos] {
+			continue
+		}
+		sr.reported[evt.pos] = true
+		if sr.pass.Annotated(evt.node, "scratchread") {
+			continue
+		}
+		sr.pass.Reportf(evt.pos, "scratch field %s is read before reslice/reset after getScratch (reset the field first, or annotate //ssvet:scratchread <reason>)", f)
+	}
+}
+
+// resolve folds an event sequence into a first-effect summary, splicing
+// callee summaries at scratch-passing calls.
+func (sr *scratchResetRun) resolve(events []scratchEvent, depth int) *scratchSummary {
+	sum := &scratchSummary{first: map[string]scratchEvent{}}
+	record := func(f string, evt scratchEvent) {
+		if _, ok := sum.first[f]; !ok {
+			sum.first[f] = evt
+			sum.order = append(sum.order, f)
+		}
+	}
+	for _, evt := range events {
+		switch {
+		case evt.field != "":
+			record(evt.field, evt)
+		case evt.unknown:
+			sum.opaque = true
+			return sum
+		case evt.callee != nil:
+			callee := sr.summaryOf(evt.callee, depth+1)
+			for _, f := range callee.order {
+				// Splice the callee's effect keeping its original site:
+				// findings and escape annotations belong at the read.
+				record(f, callee.first[f])
+			}
+			if callee.opaque {
+				sum.opaque = true
+				return sum
+			}
+		}
+	}
+	return sum
+}
+
+// scratchSummaryDepth bounds summary recursion; deeper chains are
+// treated as opaque rather than analyzed.
+const scratchSummaryDepth = 4
+
+// summaryOf computes (and memoizes) the first-effect summary of a
+// declared function that receives a scratch.
+func (sr *scratchResetRun) summaryOf(fn *types.Func, depth int) *scratchSummary {
+	if s, ok := sr.memo[fn]; ok {
+		return s
+	}
+	if sr.inProgress[fn] || depth > scratchSummaryDepth {
+		return &scratchSummary{first: map[string]scratchEvent{}, opaque: true}
+	}
+	node := sr.pass.Graph.nodes[fn]
+	if node == nil || node.decl == nil || node.decl.Body == nil {
+		// No visible body: the scratch escaped the graph's sight.
+		return &scratchSummary{first: map[string]scratchEvent{}, opaque: true}
+	}
+	sr.inProgress[fn] = true
+	defer delete(sr.inProgress, fn)
+	info := node.pkg.Info
+	scratch, _ := scratchObjsOf(info, node.decl, node.decl.Type, node.decl.Body)
+	var sum *scratchSummary
+	if len(scratch) == 0 {
+		sum = &scratchSummary{first: map[string]scratchEvent{}}
+	} else {
+		sum = sr.resolve(collectScratchEvents(info, node.decl.Body, scratch), depth)
+	}
+	sr.memo[fn] = sum
+	return sum
+}
+
+// scratchObjsOf collects the function's scratch identifiers: receiver
+// and parameters of type *queryScratch, locals assigned from
+// getScratch, and plain copies of either. isRoot reports whether the
+// function itself calls getScratch.
+func scratchObjsOf(info *types.Info, decl *ast.FuncDecl, typ *ast.FuncType, body *ast.BlockStmt) (map[types.Object]bool, bool) {
+	scratch := map[types.Object]bool{}
+	addField := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil && namedTypeName(obj.Type()) == "queryScratch" {
+					scratch[obj] = true
+				}
+			}
+		}
+	}
+	if decl != nil {
+		addField(decl.Recv)
+	}
+	if typ != nil {
+		addField(typ.Params)
+	}
+	isRoot := false
+	inspectShallow(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		switch rhs := ast.Unparen(as.Rhs[0]).(type) {
+		case *ast.CallExpr:
+			if calleeName(rhs) == "getScratch" {
+				if obj := useObj(info, id); obj != nil {
+					scratch[obj] = true
+					isRoot = true
+				}
+			}
+		case *ast.Ident:
+			if obj := useObj(info, rhs); obj != nil && scratch[obj] {
+				if lobj := useObj(info, id); lobj != nil {
+					scratch[lobj] = true
+				}
+			}
+		}
+		return true
+	})
+	return scratch, isRoot
+}
+
+// collectScratchEvents walks a body and produces the ordered scratch
+// events: field effects classified by syntactic context, calls the
+// scratch is passed to, and escapes.
+func collectScratchEvents(info *types.Info, body *ast.BlockStmt, scratch map[types.Object]bool) []scratchEvent {
+	parents := parentMap(body)
+	var events []scratchEvent
+	// Field-pointer aliases (b := &s.kth) whose reset methods count.
+	fieldAlias := map[types.Object]string{}
+
+	scratchIdent := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && scratch[useObj(info, id)]
+	}
+
+	inspectShallow(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if !scratchIdent(n.X) {
+				return true
+			}
+			field := n.Sel.Name
+			// Method on the scratch itself (s.newCandMask(n)): a
+			// scratch-passing call, not a field effect.
+			if fn, ok := useObj(info, n.Sel).(*types.Func); ok {
+				events = append(events, scratchEvent{pos: n.Pos(), node: n, callee: fn})
+				return true
+			}
+			kind, neutral := classifyScratchFieldUse(info, parents, n)
+			if !neutral {
+				events = append(events, scratchEvent{pos: n.Pos(), node: n, field: field, kind: kind})
+			}
+			// Record &s.f aliases so alias.reset() counts as a reset.
+			if un, ok := parentSkipParens(parents, n).(*ast.UnaryExpr); ok && un.Op.String() == "&" {
+				if as, ok := parentSkipParens(parents, un).(*ast.AssignStmt); ok && len(as.Lhs) == 1 {
+					if id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok {
+						if obj := useObj(info, id); obj != nil {
+							fieldAlias[obj] = field
+						}
+					}
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			// alias.reset(...) through a &s.f alias.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "reset" {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if f, ok := fieldAlias[useObj(info, id)]; ok {
+						events = append(events, scratchEvent{pos: n.Pos(), node: n, field: f, kind: effReset})
+					}
+				}
+			}
+			// Whole-scratch argument: a scratch-passing call when the
+			// callee is a declared function, an escape otherwise.
+			for _, arg := range n.Args {
+				if !scratchIdent(arg) {
+					continue
+				}
+				// The pool check-in reads nothing; getScratch calls have
+				// no scratch argument, so only putScratch needs naming.
+				if calleeName(n) == "putScratch" {
+					break
+				}
+				if fn := staticCallee(info, n); fn != nil {
+					events = append(events, scratchEvent{pos: n.Pos(), node: n, callee: fn})
+				} else {
+					events = append(events, scratchEvent{pos: n.Pos(), node: n, unknown: true})
+				}
+				break
+			}
+			return true
+		case *ast.Ident:
+			// A bare scratch identifier outside the handled contexts
+			// (returned, stored into a struct, captured): tracking ends.
+			if !scratch[useObj(info, n)] || info.Defs[n] != nil {
+				return true
+			}
+			switch p := parentSkipParens(parents, n).(type) {
+			case *ast.SelectorExpr, *ast.CallExpr:
+				// handled above
+			case *ast.AssignStmt:
+				for _, lhs := range p.Lhs {
+					if ast.Unparen(lhs) == n {
+						return true // assigning to the variable itself
+					}
+				}
+				// s2 := s copies are collected by scratchObjsOf.
+				for _, rhs := range p.Rhs {
+					if id, ok := ast.Unparen(rhs).(*ast.Ident); ok && id == n {
+						if len(p.Lhs) == 1 {
+							if lid, ok := ast.Unparen(p.Lhs[0]).(*ast.Ident); ok && scratch[useObj(info, lid)] {
+								return true
+							}
+						}
+					}
+				}
+				events = append(events, scratchEvent{pos: n.Pos(), node: n, unknown: true})
+			default:
+				events = append(events, scratchEvent{pos: n.Pos(), node: n, unknown: true})
+			}
+		}
+		return true
+	})
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	return events
+}
+
+// classifyScratchFieldUse decides what one occurrence of s.f means:
+// a reset, a read, or neutral bookkeeping (len/cap/nil checks).
+func classifyScratchFieldUse(info *types.Info, parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) (kind int, neutral bool) {
+	switch p := parentSkipParens(parents, sel).(type) {
+	case *ast.SelectorExpr:
+		// s.f.m(...) — reset methods discharge, anything else reads.
+		if call, ok := parentSkipParens(parents, p).(*ast.CallExpr); ok && ast.Unparen(call.Fun) == p {
+			if p.Sel.Name == "reset" {
+				return effReset, false
+			}
+			return effRead, false
+		}
+		return effRead, false // deeper field chain (s.tbl.slots)
+	case *ast.CallExpr:
+		switch name := calleeName(p); {
+		case name == "len" || name == "cap":
+			return 0, true
+		case name == "clear":
+			return effReset, false
+		case strings.HasPrefix(name, "reslice"):
+			return effReset, false
+		default:
+			return effRead, false // append(s.f, ...) or passed to a callee
+		}
+	case *ast.SliceExpr:
+		if lit, ok := p.High.(*ast.BasicLit); ok && lit.Value == "0" {
+			return effReset, false // s.f[:0]
+		}
+		return effRead, false
+	case *ast.AssignStmt:
+		for i, lhs := range p.Lhs {
+			if ast.Unparen(lhs) != sel {
+				continue
+			}
+			// Whole-field overwrite resets — unless the new value is
+			// append(s.f, ...), which extends the stale contents.
+			if i < len(p.Rhs) && appendsToSame(info, p.Rhs[i], sel) {
+				return effRead, false
+			}
+			return effReset, false
+		}
+		return effRead, false // field on the right-hand side
+	case *ast.UnaryExpr:
+		if p.Op.String() == "&" {
+			// &s.f: alias creation or handed to an initializing callee.
+			return 0, true
+		}
+		return effRead, false
+	case *ast.BinaryExpr:
+		other := p.X
+		if ast.Unparen(other) == sel {
+			other = p.Y
+		}
+		if id, ok := ast.Unparen(other).(*ast.Ident); ok && id.Name == "nil" {
+			return 0, true // nil check
+		}
+		return effRead, false
+	default:
+		return effRead, false
+	}
+}
+
+// appendsToSame reports whether e is append(s.f, ...) growing the very
+// field sel selects (without a reslice of it).
+func appendsToSame(info *types.Info, e ast.Expr, sel *ast.SelectorExpr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || calleeName(call) != "append" || len(call.Args) == 0 {
+		return false
+	}
+	first, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr)
+	return ok && types.ExprString(first) == types.ExprString(sel)
+}
+
+// staticCallee is Pass.StaticCallee against an explicit types.Info, for
+// use inside callee-summary computation in other packages.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	case *ast.IndexExpr:
+		if base, ok := ast.Unparen(fn.X).(*ast.Ident); ok {
+			id = base
+		}
+	case *ast.IndexListExpr:
+		if base, ok := ast.Unparen(fn.X).(*ast.Ident); ok {
+			id = base
+		}
+	}
+	if id == nil {
+		return nil
+	}
+	fn, _ := useObj(info, id).(*types.Func)
+	return fn
+}

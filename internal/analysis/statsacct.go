@@ -39,10 +39,17 @@ var statsAcctStrictPkgs = map[string]bool{
 }
 
 // statsFields are the counters whose updates discharge the obligation.
+// RowsScanned is the relational baseline's tuple counter, the
+// equivalent accounting for its Volcano plan.
 var statsFields = map[string]bool{
 	"ElementsRead":    true,
 	"ElementsSkipped": true,
+	"RowsScanned":     true,
 }
+
+// statsAcctDepth bounds the interprocedural search: the loop's callee
+// plus two further hops (helper chains of depth ≤ 3).
+const statsAcctDepth = 2
 
 func runStatsAcct(pass *Pass) {
 	strict := statsAcctStrictPkgs[pass.Pkg.Name()] ||
@@ -59,7 +66,7 @@ func runStatsAcct(pass *Pass) {
 				// Annotated is consulted only where a finding would fire,
 				// so a //ssvet:nostats on an already-accounting loop stays
 				// un-hit and is flagged by annlive as dead.
-				if !loopAccounts(pass.TypesInfo, loop) && !pass.Annotated(loop, "nostats") {
+				if !loopAccounts(pass, loop) && !pass.Annotated(loop, "nostats") {
 					pass.Reportf(loop.Pos(), "posting-reading loop neither bumps ElementsRead/ElementsSkipped nor passes Stats to a callee (account the postings, or annotate //ssvet:nostats <reason>)")
 				}
 			}
@@ -67,11 +74,15 @@ func runStatsAcct(pass *Pass) {
 	}
 }
 
-// loopAccounts reports whether the loop contains a stats observation: an
-// assignment or ++/-- whose target is an ElementsRead/ElementsSkipped
-// field, or a call receiving a Stats value (delegated accounting, e.g.
-// scanMemtable(..., &stats) or mergeStats(dst, st)).
-func loopAccounts(info *types.Info, loop ast.Stmt) bool {
+// loopAccounts reports whether the loop contains a stats observation:
+// an assignment or ++/-- whose target is an accounted counter field, a
+// call receiving a Stats value (delegated accounting, e.g.
+// scanMemtable(..., &stats) or mergeStats(dst, st)), or — through the
+// call graph — a call whose callee chain (depth ≤ 3, interface dispatch
+// included) bumps a counter itself: the iterator pattern, where
+// plan.next() charges RowsScanned inside the leaf scan.
+func loopAccounts(pass *Pass, loop ast.Stmt) bool {
+	info := pass.TypesInfo
 	accounts := false
 	ast.Inspect(loop, func(n ast.Node) bool {
 		if accounts {
@@ -100,10 +111,43 @@ func loopAccounts(info *types.Info, loop ast.Stmt) bool {
 					return true
 				}
 			}
+			if callee := pass.StaticCallee(n); callee != nil {
+				if pass.Reaches(callee, statsAcctDepth, func(_ *types.Func, decl *ast.FuncDecl) bool {
+					return declBumpsStats(decl)
+				}) {
+					accounts = true
+					return true
+				}
+			}
 		}
 		return true
 	})
 	return accounts
+}
+
+// declBumpsStats reports whether a function body directly assigns or
+// increments one of the accounted counter fields.
+func declBumpsStats(decl *ast.FuncDecl) bool {
+	if decl == nil || decl.Body == nil {
+		return false
+	}
+	bumps := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if isStatsField(lhs) {
+					bumps = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if isStatsField(n.X) {
+				bumps = true
+			}
+		}
+		return !bumps
+	})
+	return bumps
 }
 
 // isStatsField reports whether e selects one of the accounted counters

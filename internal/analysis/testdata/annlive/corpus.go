@@ -3,7 +3,10 @@
 // (or use an unknown verb) must be flagged by the full suite.
 package annlive
 
-import "context"
+import (
+	"context"
+	"sync/atomic"
+)
 
 type canceller struct {
 	ctx context.Context
@@ -82,4 +85,29 @@ func typod(cur *cursor) int {
 		n++
 	}
 	return n
+}
+
+type gauge struct{ v uint64 }
+
+func bumpGauge(g *gauge) { atomic.AddUint64(&g.v, 1) }
+
+// teardownRead reads an atomically owned field plainly: atomicfield
+// would fire, so the annotation is live.
+func teardownRead(g *gauge) uint64 {
+	//ssvet:atomicplain corpus: all writers joined at teardown
+	return g.v
+}
+
+// frozenDead annotates a write cowpublish never charges — the slice was
+// never published through an atomic.Pointer.
+func frozenDead(xs []int) {
+	//ssvet:cowfrozen plain slice, nobody published it // want "no longer suppresses any finding"
+	xs[0] = 1
+}
+
+// staleDead annotates a read scratchreset never charges — no pooled
+// scratch in sight.
+func staleDead(xs []int) int {
+	//ssvet:scratchread warm reuse // want "no longer suppresses any finding"
+	return xs[0]
 }

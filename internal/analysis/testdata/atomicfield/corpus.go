@@ -1,0 +1,92 @@
+// Package atomicfield is the test corpus for the atomicfield analyzer:
+// a field accessed through sync/atomic anywhere in the package must
+// never be accessed plainly elsewhere, and typed atomics must never be
+// copied as values.
+package atomicfield
+
+import "sync/atomic"
+
+// counterSet mixes atomically owned plain fields, typed atomics, and an
+// ordinary field.
+type counterSet struct {
+	hits  uint64        // accessed via atomic.AddUint64 in bump
+	skips uint64        // never touched atomically: plain access is fine
+	epoch atomic.Uint64 // typed atomic
+	name  string
+}
+
+// bump establishes atomic ownership of hits for the whole module.
+func bump(c *counterSet) {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+// loadHits is the sanctioned read.
+func loadHits(c *counterSet) uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+// plainRead reads the atomically owned field without the accessor.
+func plainRead(c *counterSet) uint64 {
+	return c.hits // want "field hits is accessed through sync/atomic elsewhere in the module but plainly read here"
+}
+
+// plainWrite races every concurrent bump.
+func plainWrite(c *counterSet) {
+	c.hits++ // want "field hits is accessed through sync/atomic elsewhere in the module but plainly written here"
+}
+
+// plainAssign is a write too.
+func plainAssign(c *counterSet) {
+	c.hits = 0 // want "field hits is accessed through sync/atomic elsewhere in the module but plainly written here"
+}
+
+// newCounterSet initializes an object nobody else can see yet: the
+// constructor exemption.
+func newCounterSet() *counterSet {
+	c := &counterSet{}
+	c.hits = 1
+	c.name = "fresh"
+	return c
+}
+
+// plainOther touches only fields with no atomic ownership.
+func plainOther(c *counterSet) uint64 {
+	c.skips++
+	return c.skips + uint64(len(c.name))
+}
+
+// typedMethods uses the typed atomic through its methods: fine.
+func typedMethods(c *counterSet) uint64 {
+	c.epoch.Add(1)
+	return c.epoch.Load()
+}
+
+// typedCopy copies the atomic by value: the copy carries no
+// synchronization.
+func typedCopy(c *counterSet) uint64 {
+	e := c.epoch // want "atomic field epoch used as a value"
+	return e.Load()
+}
+
+// typedReturn leaks a copy to the caller.
+func typedReturn(c *counterSet) atomic.Uint64 {
+	return c.epoch // want "atomic field epoch used as a value"
+}
+
+// typedArg passes a copy into a callee.
+func typedArg(c *counterSet) {
+	sink(c.epoch) // want "atomic field epoch used as a value"
+}
+
+func sink(v atomic.Uint64) { _ = v }
+
+// typedAddr passing the address is how helpers receive atomics: fine.
+func typedAddr(c *counterSet) *atomic.Uint64 {
+	return &c.epoch
+}
+
+// annotated documents a quiescence proof and is exempt.
+func annotated(c *counterSet) uint64 {
+	//ssvet:atomicplain corpus: single-threaded teardown path, all writers joined
+	return c.hits
+}

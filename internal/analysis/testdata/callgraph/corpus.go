@@ -1,0 +1,43 @@
+// Package callgraph is the fixture for the call-graph builder tests:
+// direct calls, method values, function literals, and interface
+// dispatch, each asserted by name from callgraph_test.go. No // want
+// markers — the graph API is tested directly.
+package callgraph
+
+type worker struct{ n int }
+
+func (w *worker) step() { w.n++ }
+
+type runner interface{ run() }
+
+type fastRunner struct{ w worker }
+
+func (f *fastRunner) run() { f.w.step() }
+
+type slowRunner struct{}
+
+func (s *slowRunner) run() {}
+
+func helper() int { return 1 }
+
+// direct calls helper by name.
+func direct() int { return helper() }
+
+// viaMethodValue never calls step, but referencing it as a method value
+// is an edge all the same.
+func viaMethodValue(w *worker) func() {
+	return w.step
+}
+
+// viaLiteral reaches helper only from inside a function literal; the
+// edge is attributed to viaLiteral itself.
+func viaLiteral() int {
+	f := func() int { return helper() }
+	return f()
+}
+
+// dispatch calls through the interface: CHA expands run() to both
+// implementations.
+func dispatch(r runner) {
+	r.run()
+}

@@ -1,0 +1,108 @@
+// Package casmono is the test corpus for the casmono analyzer: shared
+// bounds managed by CompareAndSwap must only be updated by monotone CAS
+// retry loops — no blind stores, no stale loads, no unguarded
+// non-monotone candidates.
+package casmono
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// sharedBound mirrors the engine's sharedTau: a float64 bound in an
+// atomic.Uint64, raised by CAS.
+type sharedBound struct {
+	bits   atomic.Uint64
+	raises atomic.Uint64
+}
+
+// raise is the canonical monotone shape: load inside the loop, bail out
+// when the current value supersedes the candidate, CAS, retry.
+func (b *sharedBound) raise(tau float64) {
+	for {
+		old := b.bits.Load()
+		if math.Float64frombits(old) >= tau {
+			return
+		}
+		if b.bits.CompareAndSwap(old, math.Float64bits(tau)) {
+			b.raises.Add(1)
+			return
+		}
+	}
+}
+
+// accumulate derives the new value from the loaded old value: the
+// histogram-sum shape, monotone by derivation.
+func (b *sharedBound) accumulate(v float64) {
+	for {
+		old := b.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if b.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// blindStore overwrites a CAS-managed field: a racing raise is lost.
+func (b *sharedBound) blindStore(tau float64) {
+	b.bits.Store(math.Float64bits(tau)) // want "blind Store on b.bits, a CAS-managed field"
+}
+
+// blindSwap is a store with a receipt; the racing raise is still lost.
+func (b *sharedBound) blindSwap(tau float64) uint64 {
+	return b.bits.Swap(math.Float64bits(tau)) // want "blind Swap on b.bits, a CAS-managed field"
+}
+
+// poolReset documents why a blind store is safe here.
+func (b *sharedBound) poolReset() {
+	//ssvet:casstore corpus: pool check-in, all racers have joined
+	b.bits.Store(0)
+	b.raises.Store(0)
+}
+
+// singleShot CASes without a retry loop: one failure drops the update.
+func (b *sharedBound) singleShot(tau float64) {
+	old := b.bits.Load()
+	b.bits.CompareAndSwap(old, math.Float64bits(tau)) // want "CompareAndSwap on b.bits outside a retry loop"
+}
+
+// staleLoad hoists the load above the loop: after one failed CAS the
+// loop spins against a stale value forever.
+func (b *sharedBound) staleLoad(tau float64) {
+	old := b.bits.Load()
+	for {
+		if math.Float64frombits(old) >= tau {
+			return
+		}
+		if b.bits.CompareAndSwap(old, math.Float64bits(tau)) { // want "old value for b.bits is not assigned from a b.bits.Load.. inside the retry loop"
+			return
+		}
+	}
+}
+
+// unguarded reloads correctly but its candidate ignores the old value
+// and nothing bails out on it: the bound can move backwards.
+func (b *sharedBound) unguarded(tau float64) {
+	for {
+		old := b.bits.Load()
+		if b.bits.CompareAndSwap(old, math.Float64bits(tau)) { // want "new value for b.bits is neither derived from the loaded old value nor guarded"
+			return
+		}
+	}
+}
+
+// shapedEscape documents an intentional deviation.
+func (b *sharedBound) shapedEscape(tau float64) {
+	for {
+		old := b.bits.Load()
+		//ssvet:casshape corpus: last-writer-wins by design for this gauge
+		if b.bits.CompareAndSwap(old, math.Float64bits(tau)) {
+			return
+		}
+	}
+}
+
+// plainStore is fine on a field nobody CASes.
+func (b *sharedBound) plainStore() {
+	b.raises.Store(0)
+}

@@ -1,0 +1,94 @@
+// Package cowpublish is the test corpus for the cowpublish analyzer:
+// values stored into an atomic.Pointer are frozen after publication,
+// and values loaded from one were frozen by their publisher.
+package cowpublish
+
+import "sync/atomic"
+
+type shard struct {
+	mem []int
+	n   int
+}
+
+type snapshot struct {
+	shards []shard
+	epoch  uint64
+}
+
+type engine struct {
+	snap atomic.Pointer[snapshot]
+}
+
+// publishFresh is the copy-on-write discipline done right: build a
+// fresh value, mutate it freely, publish, never touch it again.
+func publishFresh(e *engine, v int) {
+	next := &snapshot{shards: make([]shard, 1)}
+	next.shards[0].mem = append(next.shards[0].mem, v)
+	next.epoch++
+	e.snap.Store(next)
+}
+
+// mutateAfterStore writes through the value it just published.
+func mutateAfterStore(e *engine) {
+	next := &snapshot{}
+	e.snap.Store(next)
+	next.epoch++ // want "write through next, which aliases a value published via e.snap"
+}
+
+// mutateLoaded writes through a loaded snapshot some reader is pinned
+// on.
+func mutateLoaded(e *engine) {
+	cur := e.snap.Load()
+	cur.shards[0].n = 7 // want "write through cur, which aliases a value published via e.snap"
+}
+
+// readLoaded only reads the snapshot: fine.
+func readLoaded(e *engine) int {
+	cur := e.snap.Load()
+	total := 0
+	for _, sh := range cur.shards {
+		total += sh.n + len(sh.mem)
+	}
+	return total
+}
+
+// mutateThroughCopy reaches the published backing arrays through a
+// shallow copy: copy(dst, src) shares every slice inside the elements.
+func mutateThroughCopy(e *engine) {
+	old := e.snap.Load()
+	shards := make([]shard, len(old.shards))
+	copy(shards, old.shards)
+	shards[0].mem = append(shards[0].mem, 1) // want "write through shards, which aliases a value published via e.snap"
+	e.snap.Store(&snapshot{shards: shards})
+}
+
+// rebuildThenPublish deep-copies the element slices before mutating:
+// the fresh backing arrays are not aliased, so writes are fine.
+func rebuildThenPublish(e *engine, v int) {
+	old := e.snap.Load()
+	shards := make([]shard, len(old.shards))
+	for i := range old.shards {
+		mem := make([]int, len(old.shards[i].mem), len(old.shards[i].mem)+1)
+		copy(mem, old.shards[i].mem)
+		shards[i] = shard{mem: mem, n: old.shards[i].n}
+		shards[i].mem = append(shards[i].mem, v)
+	}
+	e.snap.Store(&snapshot{shards: shards})
+}
+
+// mutateDerived writes through a pointer derived from a loaded
+// snapshot.
+func mutateDerived(e *engine) {
+	sh := &e.snap.Load().shards[0]
+	sh.n++ // want "write through sh, which aliases a value published via e.snap"
+}
+
+// annotated documents a bounded-visibility proof and is exempt.
+func annotated(e *engine, v int) {
+	old := e.snap.Load()
+	shards := make([]shard, len(old.shards))
+	copy(shards, old.shards)
+	//ssvet:cowfrozen corpus: append past pinned readers' slice headers
+	shards[0].mem = append(shards[0].mem, v)
+	e.snap.Store(&snapshot{shards: shards})
+}

@@ -1,0 +1,156 @@
+// Package scratchreset is the test corpus for the scratchreset
+// analyzer: a queryScratch checked out of the pool carries the previous
+// query's data, so every field must be reslice/reset before its first
+// read — including reads performed by helpers the scratch is passed to.
+package scratchreset
+
+import "sync"
+
+type bucket struct {
+	vals []float64
+	n    int
+}
+
+func (b *bucket) reset(n int) {
+	b.vals = b.vals[:0]
+	b.n = n
+}
+
+type queryScratch struct {
+	cands []int
+	tmp   []int
+	heap  []int
+	mask  []int
+	ids   []int
+	seen  []int
+	w     []int
+	kth   bucket
+}
+
+var scratchPool = sync.Pool{New: func() any { return &queryScratch{} }}
+
+func getScratch() *queryScratch  { return scratchPool.Get().(*queryScratch) }
+func putScratch(s *queryScratch) { scratchPool.Put(s) }
+
+// selectGood reslices before the first append: the discipline done
+// right.
+func selectGood(n int) int {
+	s := getScratch()
+	defer putScratch(s)
+	s.cands = s.cands[:0]
+	for i := 0; i < n; i++ {
+		s.cands = append(s.cands, i)
+	}
+	return len(s.cands)
+}
+
+// appendStale grows the previous query's candidate list.
+func appendStale(n int) int {
+	s := getScratch()
+	defer putScratch(s)
+	for i := 0; i < n; i++ {
+		s.cands = append(s.cands, i) // want "scratch field cands is read before reslice/reset after getScratch"
+	}
+	return len(s.cands)
+}
+
+// readStale reads an element left over from the previous query. The
+// len probe is neutral; the element access is the read.
+func readStale() int {
+	s := getScratch()
+	defer putScratch(s)
+	if len(s.tmp) == 0 {
+		return 0
+	}
+	return s.tmp[0] // want "scratch field tmp is read before reslice/reset after getScratch"
+}
+
+// fillHeap appends to whatever the heap already holds; when a root
+// passes a fresh checkout straight here, the stale read is charged to
+// this line.
+func fillHeap(s *queryScratch, n int) {
+	s.heap = append(s.heap, n) // want "scratch field heap is read before reslice/reset after getScratch"
+}
+
+func rootHelperRead(n int) {
+	s := getScratch()
+	defer putScratch(s)
+	fillHeap(s, n)
+}
+
+// prep resets mask on the root's behalf: a helper reset discharges the
+// caller.
+func (s *queryScratch) prep(n int) {
+	s.mask = s.mask[:0]
+	for i := 0; i < n; i++ {
+		s.mask = append(s.mask, i)
+	}
+}
+
+func rootHelperReset(n int) int {
+	s := getScratch()
+	defer putScratch(s)
+	s.prep(n)
+	return len(s.mask) + s.mask[0]
+}
+
+// consume receives an already-reslied view, not the scratch itself.
+func consume(ids []int, n int) int {
+	for i := 0; i < n; i++ {
+		ids = append(ids, i)
+	}
+	return len(ids)
+}
+
+// sliceIdiom hands the field to a callee pre-emptied with [:0].
+func sliceIdiom(n int) int {
+	s := getScratch()
+	defer putScratch(s)
+	return consume(s.ids[:0], n)
+}
+
+// aliasReset resets through a field-pointer alias before reading.
+func aliasReset(n int) int {
+	s := getScratch()
+	defer putScratch(s)
+	b := &s.kth
+	b.reset(n)
+	return s.kth.n
+}
+
+// neutralProbes may cap-check and branch; both arms reset before the
+// append.
+func neutralProbes(n int) int {
+	s := getScratch()
+	defer putScratch(s)
+	if cap(s.w) < n {
+		s.w = make([]int, 0, n)
+	} else {
+		s.w = s.w[:0]
+	}
+	s.w = append(s.w, n)
+	return len(s.w)
+}
+
+type holder struct{ s *queryScratch }
+
+// escapes stores the scratch where the analysis cannot follow it:
+// tracking stops conservatively, the later read is not flagged.
+func escapes(h *holder) int {
+	s := getScratch()
+	h.s = s
+	return s.cands[0]
+}
+
+// warmReuse deliberately carries the previous query's survivors: the
+// warm-over-warm idiom, documented at the read.
+func warmReuse() int {
+	s := getScratch()
+	defer putScratch(s)
+	total := 0
+	//ssvet:scratchread corpus: warm-over-warm reuse of the previous survivors
+	for _, v := range s.seen {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,84 @@
+package statsacct
+
+// This file exercises the interprocedural half of the rule: a loop is
+// accounted when a callee chain of depth ≤ 3 (resolved through the call
+// graph, interface dispatch included) bumps a counter — the iterator
+// pattern, where the leaf scan charges and the driver loop stays clean.
+
+// acct wraps the counters behind methods, so callers never see a Stats
+// value to pass.
+type acct struct{ stats Stats }
+
+func (a *acct) charge() { a.stats.ElementsRead++ }
+
+func charge1(a *acct) { charge2(a) }
+func charge2(a *acct) { charge3(a) }
+func charge3(a *acct) { a.stats.ElementsSkipped++ }
+
+func deep1(a *acct) { deep2(a) }
+func deep2(a *acct) { deep3(a) }
+func deep3(a *acct) { deep4(a) }
+func deep4(a *acct) { a.stats.ElementsRead++ }
+
+// scanViaMethod delegates to a method that bumps directly (depth 1).
+func scanViaMethod(list []Posting, a *acct) {
+	for _, p := range list {
+		observe(p)
+		a.charge()
+	}
+}
+
+// scanViaChain reaches the bump through two intermediate helpers
+// (depth 3, the bound).
+func scanViaChain(list []Posting, a *acct) {
+	for _, p := range list {
+		observe(p)
+		charge1(a)
+	}
+}
+
+// scanViaDeepChain buries the bump one hop past the bound: invisible
+// accounting is no accounting.
+func scanViaDeepChain(list []Posting, a *acct) {
+	for _, p := range list { // want "posting-reading loop neither bumps ElementsRead/ElementsSkipped nor passes Stats to a callee"
+		observe(p)
+		deep1(a)
+	}
+}
+
+// pIter is the abstract iterator; CHA resolves next() to every module
+// implementation.
+type pIter interface {
+	next() (Posting, bool)
+}
+
+// countingCursor charges each posting it materializes: the leaf scan.
+type countingCursor struct {
+	list  []Posting
+	pos   int
+	stats *Stats
+}
+
+func (c *countingCursor) next() (Posting, bool) {
+	if c.pos >= len(c.list) {
+		return Posting{}, false
+	}
+	p := c.list[c.pos]
+	c.pos++
+	c.stats.ElementsRead++
+	return p, true
+}
+
+// scanViaInterface drains an abstract iterator: the dispatch resolves
+// through the call graph to the charging implementation.
+func scanViaInterface(it pIter) int {
+	n := 0
+	for {
+		p, ok := it.next()
+		if !ok {
+			break
+		}
+		n += p.ID
+	}
+	return n
+}

@@ -46,6 +46,7 @@ func (e *Engine) selectHybrid(s *queryScratch, cc *canceller, q Query, tau float
 	s.arena = s.arena[:0]
 	live := 0
 	for len(s.parts) < n {
+		//ssvet:scratchread partition-list cache: stale sublists are kept and explicitly resliced to [:0] just below
 		s.parts = append(s.parts, nil)
 	}
 	parts := s.parts[:n] // §VII partitioned candidate lists

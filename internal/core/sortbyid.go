@@ -17,6 +17,7 @@ func (e *Engine) selectSortByID(s *queryScratch, cc *canceller, q Query, tau flo
 	fillIDFSq(s, q)
 	reuser, _ := e.store.(invlist.CursorReuser)
 	for len(s.idcurs) < len(q.Tokens) {
+		//ssvet:scratchread cursor-reuse cache: stale cursors are kept on purpose and rebound via IDCursorReuse below
 		s.idcurs = append(s.idcurs, nil)
 	}
 	h := s.merge[:0]

@@ -99,6 +99,7 @@ func listsErr(lists []listState) error {
 func (e *Engine) openLists(s *queryScratch, cc *canceller, q Query, lo float64, o *Options, stats *Stats) []listState {
 	reuser, _ := e.store.(invlist.CursorReuser)
 	for len(s.wcurs) < len(q.Tokens) {
+		//ssvet:scratchread cursor-reuse cache: stale cursors are kept on purpose and rebound via WeightCursorReuse below
 		s.wcurs = append(s.wcurs, nil)
 	}
 	s.lists = s.lists[:0]

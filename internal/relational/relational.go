@@ -169,7 +169,6 @@ type concat struct {
 }
 
 func (c *concat) next() (Row, bool) {
-	//ssvet:nostats each iter's next() bumps RowsScanned through its stored *ScanStats
 	for c.cur < len(c.iters) { //ssvet:nopoll produces at most one row per call; SelectStop polls per row
 		if r, ok := c.iters[c.cur].next(); ok {
 			return r, ok
@@ -226,7 +225,6 @@ func (e *Engine) SelectStop(tokens []QueryToken, lenQ, tau float64, lengthBound 
 	// Hash group-by on id. The stored partial already carries the gram's
 	// idf², so the aggregate is Σ partial / len(q).
 	acc := make(map[collection.SetID]float64)
-	//ssvet:nostats plan.next() delegates to range scans that bump RowsScanned through their stored *ScanStats
 	for {
 		if stop != nil && stop() {
 			return nil, stats, true
