@@ -25,7 +25,6 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/metrics"
 	"repro/internal/relational"
-	"repro/internal/sim"
 	"repro/internal/tokenize"
 )
 
@@ -84,6 +83,18 @@ type Options struct {
 	// over the same similarity-aware partitions. The per-query ablation
 	// twin of Config.NoRoute; answers are bitwise-identical either way.
 	NoShardPrune bool
+	// NoSecondMoment drops the Cauchy–Schwarz refinement of the shard
+	// magnitude bound (see shardBound): the planner falls back to the
+	// plain first-moment Σ idf² overlap estimate. Ablation knob for the
+	// mid-flight top-k recheck; answers are bitwise-identical either way.
+	NoSecondMoment bool
+	// NoBatchAffinity makes SelectBatch on a routed ShardedEngine hand
+	// workers queries in plain submission order instead of grouping
+	// queries that route to the same shard set onto the same worker.
+	// Ablation twin for the batch scheduler; per-query results are
+	// identical either way (results are always indexed by submission
+	// position).
+	NoBatchAffinity bool
 }
 
 // Result is one qualifying set with its exact IDF score.
@@ -349,61 +360,11 @@ func (e *Engine) Select(q Query, tau float64, alg Algorithm, opts *Options) ([]R
 // far, instead of running to completion. Results are sorted by
 // ascending id.
 func (e *Engine) SelectCtx(ctx context.Context, q Query, tau float64, alg Algorithm, opts *Options) ([]Result, Stats, error) {
-	var o Options
-	if opts != nil {
-		o = *opts
-	}
-	var stats Stats
-	if len(q.Tokens) == 0 {
-		return nil, stats, ErrEmptyQuery
-	}
-	if tau <= 0 || tau > 1+sim.ScoreEpsilon {
-		return nil, stats, ErrBadThreshold
-	}
-	for _, qt := range q.Tokens {
-		stats.ListTotal += e.store.ListLen(qt.Token)
-	}
-	start := time.Now()
-	cc := &canceller{ctx: ctx}
-	s := e.getScratch()
-	var res []Result
-	var err error
-	switch alg {
-	case Naive:
-		res, err = e.selectNaive(s, cc, q, tau, &stats)
-	case SortByID:
-		res, err = e.selectSortByID(s, cc, q, tau, &stats)
-	case SQL:
-		res, err = e.selectSQL(s, cc, q, tau, &o, &stats)
-	case TA:
-		res, err = e.selectTA(s, cc, q, tau, false, &o, &stats)
-	case ITA:
-		res, err = e.selectTA(s, cc, q, tau, true, &o, &stats)
-	case NRA:
-		res, err = e.selectNRA(s, cc, q, tau, &stats)
-	case INRA:
-		res, err = e.selectINRA(s, cc, q, tau, &o, &stats)
-	case SF:
-		res, err = e.selectSF(s, cc, q, tau, &o, &stats)
-	case Hybrid:
-		res, err = e.selectHybrid(s, cc, q, tau, &o, &stats)
-	default:
-		err = ErrUnknownAlg
-	}
-	// The algorithms accumulate into the scratch's result buffer; copy
-	// out before pooling so the returned slice survives the next query.
-	// This copy is the one steady-state allocation of a warm non-empty
-	// query (see DESIGN.md, "Performance model and allocation
-	// discipline").
-	res = copyResults(res)
-	e.putScratch(s)
-	stats.Elapsed = time.Since(start)
-	e.observe(stats, err)
+	p, err := selectPlan(q, tau, alg, opts)
 	if err != nil {
-		return nil, stats, err
+		return planDone(err)
 	}
-	sortResults(res)
-	return res, stats, nil
+	return e.runPlan(ctx, q, p, nil)
 }
 
 // copyResults moves a scratch-backed result slice to caller-owned memory.

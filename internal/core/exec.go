@@ -1,0 +1,449 @@
+// The query pipeline's execute and merge stages (plan and route live in
+// plan.go). One spine serves every engine shape: Engine.runPlan is the
+// single-engine execution (also the per-shard and per-segment unit of
+// the fan-outs), ShardedEngine.runFan is the scatter-gather execution,
+// LiveEngine.runLivePlan the snapshot-pinned one, and runBatch the one
+// inter-query scheduler — affinity-grouped on routed fleets so queries
+// landing on the same shards run back to back on the same worker.
+package core
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// runAlg is the execute stage's single dispatch point: one switch maps
+// the plan onto an algorithm implementation, for both merge disciplines
+// (the nine threshold algorithms; Naive, SF and INRA for top-k).
+//
+//ssvet:hot
+func (e *Engine) runAlg(s *queryScratch, cc *canceller, q Query, p *queryPlan, stats *Stats, shared *sharedTau) ([]Result, error) {
+	if p.kind == planTopK {
+		switch p.alg {
+		case Naive:
+			return e.topkNaive(s, cc, q, p.k)
+		case SF:
+			return e.topkSF(s, cc, q, p.k, &p.opts, stats, shared)
+		case INRA:
+			return e.topkINRA(s, cc, q, p.k, &p.opts, stats, shared)
+		default:
+			return nil, ErrUnknownAlg
+		}
+	}
+	switch p.alg {
+	case Naive:
+		return e.selectNaive(s, cc, q, p.tau, stats)
+	case SortByID:
+		return e.selectSortByID(s, cc, q, p.tau, stats)
+	case SQL:
+		return e.selectSQL(s, cc, q, p.tau, &p.opts, stats)
+	case TA:
+		return e.selectTA(s, cc, q, p.tau, false, &p.opts, stats)
+	case ITA:
+		return e.selectTA(s, cc, q, p.tau, true, &p.opts, stats)
+	case NRA:
+		return e.selectNRA(s, cc, q, p.tau, stats)
+	case INRA:
+		return e.selectINRA(s, cc, q, p.tau, &p.opts, stats)
+	case SF:
+		return e.selectSF(s, cc, q, p.tau, &p.opts, stats)
+	case Hybrid:
+		return e.selectHybrid(s, cc, q, p.tau, &p.opts, stats)
+	default:
+		return nil, ErrUnknownAlg
+	}
+}
+
+// runPlan executes a validated plan on one engine — the pipeline unit
+// the fan-outs compose: list-total accounting, scratch checkout, the
+// planned algorithm, the merge-discipline ordering and the one copy out
+// of scratch. Metrics observe exactly once per run. shared, when
+// non-nil, circulates the cross-shard top-k bound into the algorithm.
+//
+//ssvet:hot
+func (e *Engine) runPlan(ctx context.Context, q Query, p queryPlan, shared *sharedTau) ([]Result, Stats, error) {
+	var stats Stats
+	for _, qt := range q.Tokens {
+		stats.ListTotal += e.store.ListLen(qt.Token)
+	}
+	start := time.Now()
+	cc := &canceller{ctx: ctx}
+	s := e.getScratch()
+	res, err := e.runAlg(s, cc, q, &p, &stats, shared)
+	if err == nil && p.kind == planTopK {
+		// Sort and cut on the scratch slice so only k results are copied.
+		sortTopK(res)
+		if len(res) > p.k {
+			res = res[:p.k]
+		}
+	}
+	// The algorithms accumulate into the scratch's result buffer; copy
+	// out before pooling so the returned slice survives the next query.
+	// This copy is the one steady-state allocation of a warm non-empty
+	// query (see DESIGN.md, "Performance model and allocation
+	// discipline").
+	res = copyResults(res)
+	e.putScratch(s)
+	stats.Elapsed = time.Since(start)
+	e.observe(stats, err)
+	if err != nil {
+		return nil, stats, err
+	}
+	if p.kind == planSelect {
+		sortResults(res)
+	}
+	return res, stats, nil
+}
+
+// mergeRanked applies the plan's merge discipline to a concatenated
+// result set: ascending-id order for threshold selection; descending
+// score, ties by ascending id, cut to k for top-k.
+func mergeRanked(out []Result, p *queryPlan) []Result {
+	if p.kind == planTopK {
+		sortTopK(out)
+		if len(out) > p.k {
+			out = out[:p.k]
+		}
+		return out
+	}
+	sortResults(out)
+	return out
+}
+
+// runFan is the sharded execute+merge: the route stage's shard order
+// fans out on the executor pool — each shard running runPlan on its own
+// engine — results are remapped to global ids, gathered, and merged
+// under the plan's discipline. Top-k shards share fb.shared, and a
+// queued shard whose summary bound has fallen below the risen fleet
+// bound is skipped mid-flight without running.
+//
+//ssvet:hot
+func (se *ShardedEngine) runFan(ctx context.Context, q Query, p queryPlan) ([]Result, Stats, error) {
+	start := time.Now()
+	fb := se.getBuffers()
+	act, recheck := se.routeShards(fb, q, &p)
+	if len(act) > 0 {
+		//ssvet:coldalloc the executor's one pooled-dispatch closure per fan-out
+		se.exec.fan(len(act), func(i int) {
+			sh := int(act[i])
+			if recheck {
+				// Mid-flight recheck: earlier shards may have risen the
+				// shared k-th bound past this shard's summary bound.
+				if s := fb.shared.load(); s > 0 && !boundMeets(fb.bounds[sh], s) {
+					fb.sts[sh] = skipStats(se.shards[sh], q)
+					se.boundChecks.Add(1)
+					se.shardsSkipped.Add(1)
+					return
+				}
+			}
+			var shared *sharedTau
+			if p.kind == planTopK {
+				shared = &fb.shared
+			}
+			res, st, err := se.shards[sh].runPlan(ctx, q, p, shared)
+			se.remap(sh, res)
+			fb.res[sh], fb.sts[sh], fb.errs[sh] = res, st, err
+		})
+	}
+	total, stats, err := se.gather(fb)
+	if p.kind == planTopK {
+		se.boundRaises.Add(fb.shared.raises.Load())
+	}
+	var out []Result
+	if err == nil {
+		out = mergeRanked(se.mergeConcat(fb, total), &p)
+	}
+	se.putBuffers(fb)
+	stats.Elapsed = time.Since(start)
+	se.m.ObserveQuery(stats.Elapsed, stats.ElementsRead, err)
+	if err != nil {
+		return nil, stats, err
+	}
+	return out, stats, nil
+}
+
+// runLivePlan executes a validated plan against a snapshot-pinned
+// LiveQuery: one shard runs inline (byte-for-byte the monolithic path —
+// no sharedTau), a fleet fans out on plain goroutines with one bound
+// circulating across all shards, and the merge applies the plan's
+// discipline over the concatenated, tombstone-filtered answers.
+func (le *LiveEngine) runLivePlan(ctx context.Context, lq LiveQuery, p queryPlan) ([]Result, Stats, error) {
+	start := time.Now()
+	del := le.del.Load()
+	var out []Result
+	var stats Stats
+	var err error
+	if len(lq.snap.shards) == 1 {
+		out, stats, err = le.liveShardRun(ctx, lq, 0, p, del, nil)
+	} else {
+		var shared *sharedTau
+		if p.kind == planTopK {
+			// One bound for the whole fleet: every shard prunes against
+			// the best k-th-score lower bound any shard established.
+			shared = new(sharedTau)
+		}
+		outs, sts, errs := le.liveFan(func(si int) ([]Result, Stats, error) {
+			return le.liveShardRun(ctx, lq, si, p, del, shared)
+		})
+		out, stats, err = mergeLiveFan(outs, sts, errs)
+		if p.kind == planSelect {
+			sortResults(out)
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	le.m.ObserveQuery(stats.Elapsed, stats.ElementsRead, err)
+	if err != nil {
+		return nil, stats, err
+	}
+	if p.kind == planTopK {
+		sortTopK(out)
+		if len(out) > p.k {
+			out = out[:p.k]
+		}
+	}
+	return out, stats, nil
+}
+
+// liveShardRun executes the plan against one shard of the pinned
+// snapshot: its segments in order, then its memtable. Threshold
+// selections return the shard's answers sorted by ascending global id
+// (a single fully compacted segment passes through with no merge work);
+// top-k over-fetches each segment by its tombstone count so deleted
+// documents cannot displace live answers — the bound stays sound
+// because at least k of a segment's top k+dead survive the tombstone
+// filter — and leaves the concatenation unsorted for the caller's one
+// sort-and-cut. Segments carrying a pruning summary run through the
+// same route-stage predicate as static shards.
+func (le *LiveEngine) liveShardRun(ctx context.Context, lq LiveQuery, si int, p queryPlan, del *tombstones, shared *sharedTau) ([]Result, Stats, error) {
+	var stats Stats
+	sh := &lq.snap.shards[si]
+	single := p.kind == planSelect && len(sh.segs) == 1 && len(sh.mem) == 0
+	var out []Result
+	for i, g := range sh.segs {
+		q := lq.segQ[si][i]
+		if len(q.Tokens) == 0 {
+			continue // no query token occurs in this segment
+		}
+		if g.sum != nil && !p.opts.NoShardPrune {
+			// Route stage at segment granularity. A zero bound means no
+			// query token occurs here — nothing can score, and no
+			// algorithm emits zero-score documents. Threshold selections
+			// prune on this segment query's own Theorem 1 window; top-k
+			// rechecks the circulating fleet bound instead (nil-safe: it
+			// loads 0 on the single-shard path).
+			le.boundChecks.Add(1)
+			sp := p
+			if p.kind == planSelect {
+				sp.lo, sp.hi = lengthWindow(q, p.tau, &p.opts)
+			}
+			b := shardBound(g.sum, q, !p.opts.NoSecondMoment)
+			s := shared.load()
+			if !shardActive(g.sum, b, &sp) || (p.kind == planTopK && s > 0 && !boundMeets(b, s)) {
+				t := g.eng.queryListTotal(q)
+				stats.ListTotal += t
+				stats.ElementsSkipped += t
+				le.shardsSkipped.Add(1)
+				continue
+			}
+		}
+		sp := p
+		if p.kind == planTopK {
+			kk := p.k + int(g.dead.Load())
+			if kk > len(g.ids) {
+				kk = len(g.ids)
+			}
+			sp.k = kk
+		}
+		res, st, err := g.eng.runPlan(ctx, q, sp, shared)
+		addStats(&stats, st)
+		if err != nil {
+			return nil, stats, err
+		}
+		res = g.emit(res, del)
+		if single {
+			out = res
+		} else {
+			out = append(out, res...)
+		}
+	}
+	if len(sh.mem) > 0 {
+		cc := &canceller{ctx: ctx}
+		stats.ListTotal += len(sh.mem)
+		tau := p.tau
+		if p.kind == planTopK {
+			tau = minPositiveTau
+		}
+		var err error
+		out, err = scanMemtable(cc, sh.mem, lq.mem, tau, del, &stats, out)
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	if p.kind == planSelect && !single {
+		sortResults(out)
+	}
+	return out, stats, nil
+}
+
+// normWorkers resolves a caller-facing worker count: ≤ 0 selects
+// GOMAXPROCS, the shared convention of every batch and parallel entry
+// point.
+func normWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// runBatch drains a batch over a bounded worker pool — the one
+// inter-query scheduler behind every shape's SelectBatchCtx. The
+// execution order is perm (nil: submission order) sliced into groups by
+// starts (nil: one query per group); workers claim whole groups under
+// the mutex, so affinity-grouped queries run back to back on a single
+// worker. out is indexed by original query position regardless of the
+// execution order.
+func runBatch(n, workers int, perm, starts []int32, fn func(qi int) BatchResult) []BatchResult {
+	out := make([]BatchResult, n)
+	if n == 0 {
+		return out
+	}
+	if starts != nil && workers > 1 {
+		// Split oversized affinity groups into bounded chunks: whole-group
+		// claiming keeps shard locality, but a group much larger than a
+		// worker's fair share would serialize its tail on one worker while
+		// the others sit idle.
+		maxChunk := (n + 4*workers - 1) / (4 * workers)
+		refined := make([]int32, 0, len(starts))
+		for g := 0; g+1 < len(starts); g++ {
+			for s := starts[g]; s < starts[g+1]; s += int32(maxChunk) {
+				refined = append(refined, s)
+			}
+		}
+		starts = append(refined, starts[len(starts)-1])
+	}
+	groups := n
+	if starts != nil {
+		groups = len(starts) - 1
+	}
+	if workers > groups {
+		workers = groups
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				g := next
+				next++
+				mu.Unlock()
+				if g >= groups {
+					return
+				}
+				lo, hi := g, g+1
+				if starts != nil {
+					lo, hi = int(starts[g]), int(starts[g+1])
+				}
+				for j := lo; j < hi; j++ {
+					qi := j
+					if perm != nil {
+						qi = int(perm[j])
+					}
+					out[qi] = fn(qi)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// affinityKey fingerprints which shards a query's fan-out touches: bit
+// sh mod 64 is set when shard sh survives the route stage. Queries with
+// equal keys hit the same shard engines, so running them consecutively
+// on one worker reuses those shards' warm scratch pools and caches.
+// Fleets past 64 shards fold onto the 64 bits — grouping quality
+// decays, correctness is unaffected (the key only orders work).
+func (se *ShardedEngine) affinityKey(q Query, p *queryPlan) uint64 {
+	var key uint64
+	for sh := range se.shards {
+		sum := se.sums[sh]
+		if shardActive(sum, shardBound(sum, q, !p.opts.NoSecondMoment), p) {
+			key |= 1 << (uint(sh) & 63)
+		}
+	}
+	return key
+}
+
+// affinityInsertionMax bounds affinityOrder's insertion sort, mirroring
+// sortResultsInsertionMax: small batches dominate and stay closure-free.
+const affinityInsertionMax = 64
+
+// affinityOrder computes the deterministic batch execution order:
+// query indices stably sorted by (affinity key, submission index) and
+// sliced into one group per distinct key. The order depends only on the
+// queries, τ, the options and the fleet's summaries — never on worker
+// timing — so repeated calls schedule identically. nil, nil (submission
+// order, one query per group) when the fleet is unrouted, affinity is
+// disabled, or the batch is trivial.
+func (se *ShardedEngine) affinityOrder(queries []Query, tau float64, alg Algorithm, opts *Options) (perm, starts []int32) {
+	if se.sums == nil || len(queries) < 2 || (opts != nil && opts.NoBatchAffinity) {
+		return nil, nil
+	}
+	// Repeated queries are the textbook affinity batch, so memoize keys
+	// by token-slice identity: a re-submitted Prepare result shares its
+	// backing array and skips the per-shard bound pass entirely.
+	type tokID struct {
+		head *QueryToken
+		n    int
+	}
+	seen := make(map[tokID]uint64, len(queries))
+	keys := make([]uint64, len(queries))
+	for i := range queries {
+		var id tokID
+		if n := len(queries[i].Tokens); n > 0 {
+			id = tokID{&queries[i].Tokens[0], n}
+			if k, ok := seen[id]; ok {
+				keys[i] = k
+				continue
+			}
+		}
+		p, err := selectPlan(queries[i], tau, alg, opts)
+		if err != nil {
+			continue // invalid queries group under key 0; they fail identically wherever they run
+		}
+		keys[i] = se.affinityKey(queries[i], &p)
+		if id.head != nil {
+			seen[id] = keys[i]
+		}
+	}
+	perm = make([]int32, len(queries))
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	if len(perm) <= affinityInsertionMax {
+		// Insertion sort on (key, submission index): already stable, and
+		// for the common modest batch it avoids sort.SliceStable's
+		// reflection setup — ordering must stay cheaper than the queries.
+		for i := 1; i < len(perm); i++ {
+			for j := i; j > 0 && keys[perm[j]] < keys[perm[j-1]]; j-- {
+				perm[j], perm[j-1] = perm[j-1], perm[j]
+			}
+		}
+	} else {
+		sort.SliceStable(perm, func(a, b int) bool { return keys[perm[a]] < keys[perm[b]] })
+	}
+	starts = make([]int32, 1, len(queries)+1)
+	for j := 1; j < len(perm); j++ {
+		if keys[perm[j]] != keys[perm[j-1]] {
+			starts = append(starts, int32(j))
+		}
+	}
+	return perm, append(starts, int32(len(perm)))
+}

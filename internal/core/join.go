@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"runtime"
 	"sort"
 	"sync"
 
@@ -31,12 +30,12 @@ func (e *Engine) SelfJoin(tau float64, alg Algorithm, opts *Options, workers int
 // the context's cancellation inside its own scan loops, so a cancelled
 // join stops promptly instead of draining the remaining n queries.
 func (e *Engine) SelfJoinCtx(ctx context.Context, tau float64, alg Algorithm, opts *Options, workers int) ([]Pair, error) {
-	if tau <= 0 || tau > 1 {
-		return nil, ErrBadThreshold
+	// The planner's τ gate (same domain as every selection entry point;
+	// the per-query emptiness check happens as each set is issued below).
+	if _, err := planQuery(planSelect, false, tau, 0, alg, opts); err != nil {
+		return nil, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = normWorkers(workers)
 	n := e.c.NumSets()
 	if workers > n {
 		workers = n

@@ -20,7 +20,6 @@ import (
 	"context"
 	"errors"
 	"math"
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -697,89 +696,11 @@ func (le *LiveEngine) Select(q LiveQuery, tau float64, alg Algorithm, opts *Opti
 // answers are identical to a static Engine over the same corpus, and the
 // merge adds no allocation or sorting work.
 func (le *LiveEngine) SelectCtx(ctx context.Context, lq LiveQuery, tau float64, alg Algorithm, opts *Options) ([]Result, Stats, error) {
-	var stats Stats
-	snap := lq.snap
-	if snap == nil || len(lq.mem.toks) == 0 || !lq.known {
-		return nil, stats, ErrEmptyQuery
-	}
-	if tau <= 0 || tau > 1+sim.ScoreEpsilon {
-		return nil, stats, ErrBadThreshold
-	}
-	start := time.Now()
-	del := le.del.Load()
-	var out []Result
-	var err error
-	if len(snap.shards) == 1 {
-		out, stats, err = le.liveShardSelect(ctx, lq, 0, tau, alg, opts, del)
-	} else {
-		outs, sts, errs := le.liveFan(func(si int) ([]Result, Stats, error) {
-			return le.liveShardSelect(ctx, lq, si, tau, alg, opts, del)
-		})
-		out, stats, err = mergeLiveFan(outs, sts, errs)
-		sortResults(out)
-	}
-	stats.Elapsed = time.Since(start)
-	le.m.ObserveQuery(stats.Elapsed, stats.ElementsRead, err)
+	p, err := livePlan(planSelect, lq, tau, 0, alg, opts)
 	if err != nil {
-		return nil, stats, err
+		return planDone(err)
 	}
-	return out, stats, nil
-}
-
-// liveShardSelect answers a threshold query against one shard of the
-// pinned snapshot: its segments in order, then its memtable, results
-// sorted by ascending global id. On a shard holding a single fully
-// compacted segment the answer passes through with no merge work.
-// Segments carrying a pruning summary are skipped outright when their
-// bound cannot reach τ, their postings accounted as skipped.
-func (le *LiveEngine) liveShardSelect(ctx context.Context, lq LiveQuery, si int, tau float64, alg Algorithm, opts *Options, del *tombstones) ([]Result, Stats, error) {
-	var stats Stats
-	sh := &lq.snap.shards[si]
-	single := len(sh.segs) == 1 && len(sh.mem) == 0
-	var out []Result
-	for i, g := range sh.segs {
-		if len(lq.segQ[si][i].Tokens) == 0 {
-			continue // no query token occurs in this segment
-		}
-		if g.sum != nil && !(opts != nil && opts.NoShardPrune) {
-			q := lq.segQ[si][i]
-			le.boundChecks.Add(1)
-			sLo, sHi := g.sum.LenRange()
-			lo, hi := lengthWindow(q, tau, opts)
-			b := shardBound(g.sum, q)
-			if g.sum.Docs() == 0 || b <= 0 || sHi < lo || sLo > hi || !boundMeets(b, tau) {
-				t := g.eng.queryListTotal(q)
-				stats.ListTotal += t
-				stats.ElementsSkipped += t
-				le.shardsSkipped.Add(1)
-				continue
-			}
-		}
-		res, st, err := g.eng.SelectCtx(ctx, lq.segQ[si][i], tau, alg, opts)
-		addStats(&stats, st)
-		if err != nil {
-			return nil, stats, err
-		}
-		res = g.emit(res, del)
-		if single {
-			out = res
-		} else {
-			out = append(out, res...)
-		}
-	}
-	if len(sh.mem) > 0 {
-		cc := &canceller{ctx: ctx}
-		stats.ListTotal += len(sh.mem)
-		var err error
-		out, err = scanMemtable(cc, sh.mem, lq.mem, tau, del, &stats, out)
-		if err != nil {
-			return nil, stats, err
-		}
-	}
-	if !single {
-		sortResults(out)
-	}
-	return out, stats, nil
+	return le.runLivePlan(ctx, lq, p)
 }
 
 // liveFan runs fn(shard) for every shard concurrently. Live mutation
@@ -837,98 +758,11 @@ func (le *LiveEngine) SelectTopK(q LiveQuery, k int, alg Algorithm, opts *Option
 // displace live answers; the per-segment answers and the memtable
 // matches are merged and cut to k.
 func (le *LiveEngine) SelectTopKCtx(ctx context.Context, lq LiveQuery, k int, alg Algorithm, opts *Options) ([]Result, Stats, error) {
-	var stats Stats
-	snap := lq.snap
-	if snap == nil || len(lq.mem.toks) == 0 || !lq.known {
-		return nil, stats, ErrEmptyQuery
-	}
-	if k <= 0 {
-		return nil, stats, nil
-	}
-	start := time.Now()
-	del := le.del.Load()
-	var out []Result
-	var err error
-	if len(snap.shards) == 1 {
-		// nil sharedTau: the single-partition path is byte-for-byte the
-		// monolithic one.
-		out, stats, err = le.liveShardTopK(ctx, lq, 0, k, alg, opts, del, nil)
-	} else {
-		// One bound for the whole fleet: every shard prunes against the
-		// best k-th-score lower bound any shard has established so far.
-		var shared sharedTau
-		outs, sts, errs := le.liveFan(func(si int) ([]Result, Stats, error) {
-			return le.liveShardTopK(ctx, lq, si, k, alg, opts, del, &shared)
-		})
-		out, stats, err = mergeLiveFan(outs, sts, errs)
-	}
-	stats.Elapsed = time.Since(start)
-	le.m.ObserveQuery(stats.Elapsed, stats.ElementsRead, err)
+	p, err := livePlan(planTopK, lq, 0, k, alg, opts)
 	if err != nil {
-		return nil, stats, err
+		return planDone(err)
 	}
-	sortTopK(out)
-	if len(out) > k {
-		out = out[:k]
-	}
-	return out, stats, nil
-}
-
-// liveShardTopK answers a top-k query against one shard: each segment is
-// over-fetched by its tombstone count so deleted documents cannot
-// displace live answers, then the shard's memtable matches are appended.
-// The concatenation is left unsorted; the caller sorts and cuts once.
-// shared, when non-nil, circulates the cross-shard k-th-score bound:
-// raising it mid-scan tightens every other shard's Theorem 1 window.
-// Over-fetch keeps the bound sound — a segment's kk-th-best lower bound
-// never exceeds the global k-th live score, because at least k of its
-// top kk results survive the tombstone filter.
-func (le *LiveEngine) liveShardTopK(ctx context.Context, lq LiveQuery, si, k int, alg Algorithm, opts *Options, del *tombstones, shared *sharedTau) ([]Result, Stats, error) {
-	var stats Stats
-	sh := &lq.snap.shards[si]
-	var out []Result
-	for i, g := range sh.segs {
-		if len(lq.segQ[si][i].Tokens) == 0 {
-			continue
-		}
-		if g.sum != nil && !(opts != nil && opts.NoShardPrune) {
-			// A zero bound means no query token occurs in this segment —
-			// nothing here can score, and no algorithm emits zero-score
-			// documents. A positive circulating bound past the segment's
-			// bound proves its best score below the fleet's k-th.
-			q := lq.segQ[si][i]
-			le.boundChecks.Add(1)
-			b := shardBound(g.sum, q)
-			s := shared.load() // nil-safe: 0 for the single-shard path
-			if g.sum.Docs() == 0 || b <= 0 || (s > 0 && !boundMeets(b, s)) {
-				t := g.eng.queryListTotal(q)
-				stats.ListTotal += t
-				stats.ElementsSkipped += t
-				le.shardsSkipped.Add(1)
-				continue
-			}
-		}
-		kk := k + int(g.dead.Load())
-		if kk > len(g.ids) {
-			kk = len(g.ids)
-		}
-		res, st, err := g.eng.selectTopKShard(ctx, lq.segQ[si][i], kk, alg, opts, shared)
-		addStats(&stats, st)
-		if err != nil {
-			return nil, stats, err
-		}
-		out = append(out, g.emit(res, del)...)
-	}
-	if len(sh.mem) > 0 {
-		cc := &canceller{ctx: ctx}
-		stats.ListTotal += len(sh.mem)
-		var err error
-		out, err = scanMemtable(cc, sh.mem, lq.mem, minPositiveTau, del, &stats, out)
-		if err != nil {
-			return nil, stats, err
-		}
-	}
-	return out, stats, nil
+	return le.runLivePlan(ctx, lq, p)
 }
 
 // SelectBatch runs every query with the same τ, algorithm and options on
@@ -942,38 +776,10 @@ func (le *LiveEngine) SelectBatch(queries []LiveQuery, tau float64, alg Algorith
 // SelectBatchCtx is SelectBatch under a context; cancellation stops
 // in-flight queries mid-scan and fails the remainder immediately.
 func (le *LiveEngine) SelectBatchCtx(ctx context.Context, queries []LiveQuery, tau float64, alg Algorithm, opts *Options, workers int) []BatchResult {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(queries) {
-		workers = len(queries)
-	}
-	out := make([]BatchResult, len(queries))
-	if len(queries) == 0 {
-		return out
-	}
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= len(queries) {
-					return
-				}
-				res, st, err := le.SelectCtx(ctx, queries[i], tau, alg, opts)
-				out[i] = BatchResult{Results: res, Stats: st, Err: err}
-			}
-		}()
-	}
-	wg.Wait()
-	return out
+	return runBatch(len(queries), normWorkers(workers), nil, nil, func(qi int) BatchResult {
+		res, st, err := le.SelectCtx(ctx, queries[qi], tau, alg, opts)
+		return BatchResult{Results: res, Stats: st, Err: err}
+	})
 }
 
 // addStats accumulates a per-segment Stats into the merged total;

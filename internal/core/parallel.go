@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"runtime"
 	"sync"
 	"time"
 
@@ -43,38 +42,10 @@ func (e *Engine) SelectBatch(queries []Query, tau float64, alg Algorithm, opts *
 // the not-yet-started remainder immediately; every affected entry carries
 // ctx.Err() in its Err field.
 func (e *Engine) SelectBatchCtx(ctx context.Context, queries []Query, tau float64, alg Algorithm, opts *Options, workers int) []BatchResult {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(queries) {
-		workers = len(queries)
-	}
-	out := make([]BatchResult, len(queries))
-	if len(queries) == 0 {
-		return out
-	}
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= len(queries) {
-					return
-				}
-				res, st, err := e.SelectCtx(ctx, queries[i], tau, alg, opts)
-				out[i] = BatchResult{Results: res, Stats: st, Err: err}
-			}
-		}()
-	}
-	wg.Wait()
-	return out
+	return runBatch(len(queries), normWorkers(workers), nil, nil, func(qi int) BatchResult {
+		res, st, err := e.SelectCtx(ctx, queries[qi], tau, alg, opts)
+		return BatchResult{Results: res, Stats: st, Err: err}
+	})
 }
 
 // SelectSortByIDParallel is an intra-query parallel version of the
@@ -93,19 +64,14 @@ func (e *Engine) SelectSortByIDParallel(q Query, tau float64, workers int) ([]Re
 // the call returns ctx.Err() with the Stats of the postings read before
 // the workers stopped.
 func (e *Engine) SelectSortByIDParallelCtx(ctx context.Context, q Query, tau float64, workers int) ([]Result, Stats, error) {
+	if _, err := planQuery(planSelect, len(q.Tokens) == 0, tau, 0, SortByID, nil); err != nil {
+		return planDone(err)
+	}
 	var stats Stats
-	if len(q.Tokens) == 0 {
-		return nil, stats, ErrEmptyQuery
-	}
-	if tau <= 0 || tau > 1+sim.ScoreEpsilon {
-		return nil, stats, ErrBadThreshold
-	}
 	for _, qt := range q.Tokens {
 		stats.ListTotal += e.store.ListLen(qt.Token)
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = normWorkers(workers)
 	if workers > len(q.Tokens) {
 		workers = len(q.Tokens)
 	}
@@ -210,19 +176,14 @@ func (e *Engine) SelectNaiveParallel(q Query, tau float64, workers int) ([]Resul
 // worker polls the context from its shard scan; on cancellation the call
 // returns ctx.Err().
 func (e *Engine) SelectNaiveParallelCtx(ctx context.Context, q Query, tau float64, workers int) ([]Result, Stats, error) {
+	if _, err := planQuery(planSelect, len(q.Tokens) == 0, tau, 0, Naive, nil); err != nil {
+		return planDone(err)
+	}
 	var stats Stats
-	if len(q.Tokens) == 0 {
-		return nil, stats, ErrEmptyQuery
-	}
-	if tau <= 0 || tau > 1+sim.ScoreEpsilon {
-		return nil, stats, ErrBadThreshold
-	}
 	for _, qt := range q.Tokens {
 		stats.ListTotal += e.store.ListLen(qt.Token)
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = normWorkers(workers)
 	n := e.c.NumSets()
 	if workers > n {
 		workers = n

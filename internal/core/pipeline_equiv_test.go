@@ -1,0 +1,345 @@
+package core
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/collection"
+	"repro/internal/tokenize"
+)
+
+// buildPipelineCollection indexes the corpus monolithically.
+func buildPipelineCollection(docs []string) *collection.Collection {
+	b := collection.NewBuilder(tokenize.QGramTokenizer{Q: 3}, true)
+	for _, s := range docs {
+		b.Add(s)
+	}
+	return b.Build()
+}
+
+// The pipeline equivalence suite pins the query surface bit for bit:
+// every fingerprint below was recorded against the pre-pipeline engines
+// (commit 8ecceda) and the plan → route → execute → merge refactor must
+// reproduce each one exactly — same ids, same float64 score bits, same
+// order — across all nine algorithms, every engine shape, shard counts
+// 1/2/4/8, pruning on and off, and mutated as well as compacted live
+// states. Regenerate with SSFIXTURES=write only when a change is MEANT
+// to alter answers (none should).
+
+const pipelineFixturesPath = "testdata/pipeline_fixtures.json"
+
+// pipelineDocs is the deterministic q-gram corpus every fixture is
+// computed over.
+func pipelineDocs(n int, seed int64, alphabet int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	docs := make([]string, n)
+	for i := range docs {
+		ln := 3 + rng.Intn(14)
+		var sb strings.Builder
+		for j := 0; j < ln; j++ {
+			sb.WriteByte(byte('a' + rng.Intn(alphabet)))
+		}
+		docs[i] = sb.String()
+	}
+	return docs
+}
+
+// fpFold hashes one result list into a running fingerprint, length and
+// error outcome included, so reorderings, truncations and error-path
+// changes all show up.
+func fpFold(h interface{ Write([]byte) (int, error) }, rs []Result, err error) {
+	var b [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	if err != nil {
+		put(^uint64(0))
+		return
+	}
+	put(uint64(len(rs)))
+	for _, r := range rs {
+		put(uint64(r.ID))
+		put(math.Float64bits(r.Score))
+	}
+}
+
+type pipelineFP struct {
+	m map[string]string
+}
+
+func (f *pipelineFP) add(key string, folds func(h interface{ Write([]byte) (int, error) })) {
+	h := fnv.New64a()
+	folds(h)
+	if _, dup := f.m[key]; dup {
+		panic("duplicate fixture key " + key)
+	}
+	f.m[key] = fmt.Sprintf("%016x", h.Sum64())
+}
+
+var (
+	pipelineTaus  = []float64{0.5, 0.8}
+	pipelineKs    = []int{1, 3, 10, 25}
+	pipelineTopKA = []Algorithm{Naive, SF, INRA}
+)
+
+func pipelineAllAlgs() []Algorithm {
+	return append([]Algorithm{Naive}, Algorithms()...)
+}
+
+// computePipelineFingerprints runs the whole matrix. Query strings are
+// drawn from the corpus itself so every engine shape prepares the same
+// text against its own dictionary.
+func computePipelineFingerprints(t *testing.T) map[string]string {
+	t.Helper()
+	docs := pipelineDocs(500, 1234, 6)
+	queryDocs := []string{docs[3], docs[57], docs[120], docs[261], docs[402], docs[499]}
+	f := &pipelineFP{m: map[string]string{}}
+
+	// Monolithic engine: full index set, all algorithms, a τ grid, the
+	// ablation options, top-k, batch, the intra-query parallel variants
+	// and the self-join.
+	eng := NewEngine(buildPipelineCollection(docs), Config{})
+	for _, alg := range pipelineAllAlgs() {
+		for _, tau := range []float64{0.5, 0.7, 0.8, 0.95} {
+			f.add(fmt.Sprintf("mono/select/%v/tau=%g", alg, tau), func(h interface{ Write([]byte) (int, error) }) {
+				for _, qs := range queryDocs {
+					res, _, err := eng.Select(eng.Prepare(qs), tau, alg, nil)
+					fpFold(h, res, err)
+				}
+			})
+		}
+		f.add(fmt.Sprintf("mono/select-nlb/%v", alg), func(h interface{ Write([]byte) (int, error) }) {
+			for _, qs := range queryDocs {
+				res, _, err := eng.Select(eng.Prepare(qs), 0.7, alg, &Options{NoLengthBound: true})
+				fpFold(h, res, err)
+			}
+		})
+	}
+	for _, alg := range pipelineTopKA {
+		for _, k := range pipelineKs {
+			f.add(fmt.Sprintf("mono/topk/%v/k=%d", alg, k), func(h interface{ Write([]byte) (int, error) }) {
+				for _, qs := range queryDocs {
+					res, _, err := eng.SelectTopK(eng.Prepare(qs), k, alg, nil)
+					fpFold(h, res, err)
+				}
+			})
+		}
+	}
+	f.add("mono/batch", func(h interface{ Write([]byte) (int, error) }) {
+		queries := make([]Query, len(queryDocs))
+		for i, qs := range queryDocs {
+			queries[i] = eng.Prepare(qs)
+		}
+		for _, br := range eng.SelectBatch(queries, 0.6, SF, nil, 4) {
+			fpFold(h, br.Results, br.Err)
+		}
+	})
+	f.add("mono/par/sortbyid", func(h interface{ Write([]byte) (int, error) }) {
+		for _, qs := range queryDocs {
+			res, _, err := eng.SelectSortByIDParallel(eng.Prepare(qs), 0.6, 4)
+			fpFold(h, res, err)
+		}
+	})
+	f.add("mono/par/naive", func(h interface{ Write([]byte) (int, error) }) {
+		for _, qs := range queryDocs {
+			res, _, err := eng.SelectNaiveParallel(eng.Prepare(qs), 0.6, 4)
+			fpFold(h, res, err)
+		}
+	})
+	f.add("mono/join/sf", func(h interface{ Write([]byte) (int, error) }) {
+		pairs, err := eng.SelfJoin(0.85, SF, nil, 4)
+		var b [8]byte
+		put := func(v uint64) {
+			binary.LittleEndian.PutUint64(b[:], v)
+			h.Write(b[:])
+		}
+		if err != nil {
+			put(^uint64(0))
+			return
+		}
+		put(uint64(len(pairs)))
+		for _, p := range pairs {
+			put(uint64(p.A))
+			put(uint64(p.B))
+			put(math.Float64bits(p.Score))
+		}
+	})
+
+	// Sharded fleets: similarity-routed partitions at K∈{1,2,4,8}, every
+	// algorithm, pruning on and off, top-k and batch.
+	for _, K := range []int{1, 2, 4, 8} {
+		se := BuildSharded(tokenize.QGramTokenizer{Q: 3}, docs, true, K, Config{})
+		for _, alg := range pipelineAllAlgs() {
+			for _, tau := range pipelineTaus {
+				for _, prune := range []bool{true, false} {
+					var opts *Options
+					name := "on"
+					if !prune {
+						opts = &Options{NoShardPrune: true}
+						name = "off"
+					}
+					f.add(fmt.Sprintf("sharded/K=%d/select/%v/tau=%g/prune=%s", K, alg, tau, name), func(h interface{ Write([]byte) (int, error) }) {
+						for _, qs := range queryDocs {
+							res, _, err := se.Select(se.Prepare(qs), tau, alg, opts)
+							fpFold(h, res, err)
+						}
+					})
+				}
+			}
+		}
+		for _, alg := range pipelineTopKA {
+			for _, k := range pipelineKs {
+				f.add(fmt.Sprintf("sharded/K=%d/topk/%v/k=%d", K, alg, k), func(h interface{ Write([]byte) (int, error) }) {
+					for _, qs := range queryDocs {
+						res, _, err := se.SelectTopK(se.Prepare(qs), k, alg, nil)
+						fpFold(h, res, err)
+					}
+				})
+			}
+		}
+		f.add(fmt.Sprintf("sharded/K=%d/batch", K), func(h interface{ Write([]byte) (int, error) }) {
+			queries := make([]Query, len(queryDocs))
+			for i, qs := range queryDocs {
+				queries[i] = se.Prepare(qs)
+			}
+			for _, br := range se.SelectBatch(queries, 0.6, SF, nil, 4) {
+				fpFold(h, br.Results, br.Err)
+			}
+		})
+		se.Close()
+	}
+
+	// Live engines: a mutated state (segments + memtable + tombstones)
+	// and its fully compacted twin, at one and two hash partitions.
+	for _, shards := range []int{1, 2} {
+		for _, compact := range []bool{false, true} {
+			state := "mutated"
+			if compact {
+				state = "compacted"
+			}
+			le := buildPipelineLive(t, docs[:300], shards, compact)
+			for _, alg := range pipelineAllAlgs() {
+				for _, tau := range pipelineTaus {
+					f.add(fmt.Sprintf("live/%s/shards=%d/select/%v/tau=%g", state, shards, alg, tau), func(h interface{ Write([]byte) (int, error) }) {
+						for _, qs := range queryDocs {
+							res, _, err := le.Select(le.Prepare(qs), tau, alg, nil)
+							fpFold(h, res, err)
+						}
+					})
+				}
+			}
+			for _, alg := range pipelineTopKA {
+				for _, k := range pipelineKs {
+					f.add(fmt.Sprintf("live/%s/shards=%d/topk/%v/k=%d", state, shards, alg, k), func(h interface{ Write([]byte) (int, error) }) {
+						for _, qs := range queryDocs {
+							res, _, err := le.SelectTopK(le.Prepare(qs), k, alg, nil)
+							fpFold(h, res, err)
+						}
+					})
+				}
+			}
+			f.add(fmt.Sprintf("live/%s/shards=%d/batch", state, shards), func(h interface{ Write([]byte) (int, error) }) {
+				queries := make([]LiveQuery, len(queryDocs))
+				for i, qs := range queryDocs {
+					queries[i] = le.Prepare(qs)
+				}
+				for _, br := range le.SelectBatch(queries, 0.6, SF, nil, 4) {
+					fpFold(h, br.Results, br.Err)
+				}
+			})
+			le.Close()
+		}
+	}
+	return f.m
+}
+
+// buildPipelineLive inserts the documents through the mutation API with
+// a small flush threshold (many segments), deletes every 7th document,
+// and optionally compacts — all deterministic under NoBackground.
+func buildPipelineLive(t *testing.T, docs []string, shards int, compact bool) *LiveEngine {
+	t.Helper()
+	le := NewLive(liveTestTK, LiveConfig{
+		Config:         Config{},
+		NoBackground:   true,
+		FlushThreshold: 32,
+		Shards:         shards,
+	})
+	for i, s := range docs {
+		id, err := le.Insert(s)
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		if i%7 == 3 {
+			if !le.Delete(id) {
+				t.Fatalf("delete %d failed", id)
+			}
+		}
+	}
+	if compact {
+		le.Compact()
+	}
+	return le
+}
+
+func TestPipelineFixtures(t *testing.T) {
+	got := computePipelineFingerprints(t)
+	if os.Getenv("SSFIXTURES") == "write" {
+		if err := os.MkdirAll(filepath.Dir(pipelineFixturesPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(pipelineFixturesPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d fixtures to %s", len(got), pipelineFixturesPath)
+		return
+	}
+	data, err := os.ReadFile(pipelineFixturesPath)
+	if err != nil {
+		t.Fatalf("fixtures missing (run with SSFIXTURES=write to generate): %v", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 0, len(want))
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	bad := 0
+	for _, k := range keys {
+		g, ok := got[k]
+		if !ok {
+			t.Errorf("fixture %q no longer computed", k)
+			bad++
+			continue
+		}
+		if g != want[k] {
+			t.Errorf("fixture %q: got %s, want %s", k, g, want[k])
+			bad++
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("new case %q has no recorded fixture (SSFIXTURES=write)", k)
+			bad++
+		}
+	}
+	if bad == 0 && len(keys) == 0 {
+		t.Fatal("fixture file is empty")
+	}
+}

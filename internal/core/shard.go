@@ -399,36 +399,11 @@ func (se *ShardedEngine) Select(q Query, tau float64, alg Algorithm, opts *Optio
 // SelectCtx is Select under a context; cancellation propagates to every
 // shard's scan loops with SelectCtx's usual granularity guarantee.
 func (se *ShardedEngine) SelectCtx(ctx context.Context, q Query, tau float64, alg Algorithm, opts *Options) ([]Result, Stats, error) {
-	if len(q.Tokens) == 0 {
-		return nil, Stats{}, ErrEmptyQuery
-	}
-	if tau <= 0 || tau > 1+sim.ScoreEpsilon {
-		return nil, Stats{}, ErrBadThreshold
-	}
-	start := time.Now()
-	fb := se.getBuffers()
-	act := se.activeForSelect(fb, q, tau, opts)
-	if len(act) > 0 {
-		se.exec.fan(len(act), func(i int) {
-			sh := int(act[i])
-			res, st, err := se.shards[sh].SelectCtx(ctx, q, tau, alg, opts)
-			se.remap(sh, res)
-			fb.res[sh], fb.sts[sh], fb.errs[sh] = res, st, err
-		})
-	}
-	total, stats, err := se.gather(fb)
-	var out []Result
-	if err == nil {
-		out = se.mergeConcat(fb, total)
-		sortResults(out)
-	}
-	se.putBuffers(fb)
-	stats.Elapsed = time.Since(start)
-	se.m.ObserveQuery(stats.Elapsed, stats.ElementsRead, err)
+	p, err := selectPlan(q, tau, alg, opts)
 	if err != nil {
-		return nil, stats, err
+		return planDone(err)
 	}
-	return out, stats, nil
+	return se.runFan(ctx, q, p)
 }
 
 // SelectTopK returns the k highest-scoring sets across all shards,
@@ -447,50 +422,11 @@ func (se *ShardedEngine) SelectTopK(q Query, k int, alg Algorithm, opts *Options
 // cuts to k — correct because every member of the global top-k is
 // necessarily in its own shard's local top-k.
 func (se *ShardedEngine) SelectTopKCtx(ctx context.Context, q Query, k int, alg Algorithm, opts *Options) ([]Result, Stats, error) {
-	if len(q.Tokens) == 0 {
-		return nil, Stats{}, ErrEmptyQuery
-	}
-	if k <= 0 {
-		return nil, Stats{}, nil
-	}
-	start := time.Now()
-	fb := se.getBuffers()
-	act, pruned := se.activeForTopK(fb, q, opts)
-	if len(act) > 0 {
-		se.exec.fan(len(act), func(i int) {
-			sh := int(act[i])
-			if pruned {
-				// Mid-flight recheck: earlier shards may have risen the
-				// shared k-th bound past this shard's summary bound.
-				if s := fb.shared.load(); s > 0 && !boundMeets(fb.bounds[sh], s) {
-					fb.sts[sh] = skipStats(se.shards[sh], q)
-					se.boundChecks.Add(1)
-					se.shardsSkipped.Add(1)
-					return
-				}
-			}
-			res, st, err := se.shards[sh].selectTopKShard(ctx, q, k, alg, opts, &fb.shared)
-			se.remap(sh, res)
-			fb.res[sh], fb.sts[sh], fb.errs[sh] = res, st, err
-		})
-	}
-	total, stats, err := se.gather(fb)
-	se.boundRaises.Add(fb.shared.raises.Load())
-	var out []Result
-	if err == nil {
-		out = se.mergeConcat(fb, total)
-		sortTopK(out)
-		if len(out) > k {
-			out = out[:k]
-		}
-	}
-	se.putBuffers(fb)
-	stats.Elapsed = time.Since(start)
-	se.m.ObserveQuery(stats.Elapsed, stats.ElementsRead, err)
+	p, err := topkPlan(q, k, alg, opts)
 	if err != nil {
-		return nil, stats, err
+		return planDone(err)
 	}
-	return out, stats, nil
+	return se.runFan(ctx, q, p)
 }
 
 // SelectBatch drains a batch of queries over an outer worker pool, each
@@ -502,40 +438,17 @@ func (se *ShardedEngine) SelectBatch(queries []Query, tau float64, alg Algorithm
 }
 
 // SelectBatchCtx is SelectBatch under a context, with Engine
-// SelectBatchCtx's cancellation semantics.
+// SelectBatchCtx's cancellation semantics. On a routed fleet the batch
+// is executed in affinity order — queries landing on the same shard set
+// run back to back on one worker (see affinityOrder; disable with
+// Options.NoBatchAffinity) — while the returned slice stays indexed by
+// submission position.
 func (se *ShardedEngine) SelectBatchCtx(ctx context.Context, queries []Query, tau float64, alg Algorithm, opts *Options, workers int) []BatchResult {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(queries) {
-		workers = len(queries)
-	}
-	out := make([]BatchResult, len(queries))
-	if len(queries) == 0 {
-		return out
-	}
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= len(queries) {
-					return
-				}
-				res, st, err := se.SelectCtx(ctx, queries[i], tau, alg, opts)
-				out[i] = BatchResult{Results: res, Stats: st, Err: err}
-			}
-		}()
-	}
-	wg.Wait()
-	return out
+	perm, starts := se.affinityOrder(queries, tau, alg, opts)
+	return runBatch(len(queries), normWorkers(workers), perm, starts, func(qi int) BatchResult {
+		res, st, err := se.SelectCtx(ctx, queries[qi], tau, alg, opts)
+		return BatchResult{Results: res, Stats: st, Err: err}
+	})
 }
 
 // executor is a bounded pool of persistent workers draining shard

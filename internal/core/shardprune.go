@@ -20,36 +20,61 @@ import (
 //   - Cap bound: I(q, s) = Σ_{t∈q∩s} idf(t)²/(len(q)·len(s)) and the
 //     summary guarantees CapFor(t) ≥ idf(t)²/len(s) for every s here
 //     containing t, so Σ CapFor(t)/len(q) dominates every score.
-//   - Magnitude bound: with P = Σ_{t∈q, CapFor>0} idf(t)² ≥ Σ_{t∈q∩s}
-//     idf(t)², any s has len(s) ≥ max(lenMin, √(Σ_{t∈q∩s} idf²)) and
-//     X/max(L, √X) is non-decreasing in X, so P/(len(q)·max(lenMin, √P))
-//     dominates every score — Magnitude Boundedness at shard granularity.
+//   - Magnitude bound: with X ≥ Σ_{t∈q∩s} idf(t)² for every s here, any
+//     s has len(s) ≥ max(lenMin, √(Σ_{t∈q∩s} idf²)) and Y/max(L, √Y) is
+//     non-decreasing in Y, so X/(len(q)·max(lenMin, √X)) dominates every
+//     score — Magnitude Boundedness at shard granularity.
 //
-// Sketch collisions only ever raise CapFor, and P only grows with false
-// positives, so both bounds stay upper bounds in exact arithmetic.
-func shardBound(sum *route.Summary, q Query) float64 {
+// The first-moment overlap estimate is X₁ = Σ_{t∈q, CapFor>0} idf(t)².
+// With secondMoment, the summary's per-document distinct-token ceiling
+// refines it: a document intersects the query in at most m =
+// min(|q ∩ shard|, MaxToks) tokens, so by Cauchy–Schwarz
+//
+//	Σ_{t∈q∩s} idf(t)² ≤ √(m · Σ_{t∈q∩shard} idf(t)⁴) = X₂
+//
+// and X = min(X₁, X₂) still dominates every document's overlap weight.
+// X₂ bites on shards of short documents — few tokens, so the query's
+// heavy idf² mass cannot all land in one set — exactly the regime where
+// low-k top-k needs tight bounds for the mid-flight sharedTau recheck.
+//
+// Sketch collisions only ever raise CapFor, and X₁/X₂ only grow with
+// false positives, so every bound stays an upper bound in exact
+// arithmetic; monotonicity of Y/max(L, √Y) keeps min(X₁, X₂) sound in
+// the denominator too.
+func shardBound(sum *route.Summary, q Query, secondMoment bool) float64 {
 	if sum.Docs() == 0 || q.Len <= 0 {
 		return 0
 	}
-	var capSum, present float64
+	var capSum, present, p4 float64
+	mPresent := 0
 	for i := range q.Tokens {
 		qt := &q.Tokens[i]
 		if c := sum.CapFor(qt.Token); c > 0 {
 			capSum += c
 			present += qt.IDFSq
+			p4 += qt.IDFSq * qt.IDFSq
+			mPresent++
 		}
 	}
 	if capSum <= 0 {
 		return 0
 	}
+	x := present
+	if secondMoment {
+		if m := sum.MaxToks(); m < mPresent {
+			if x2 := math.Sqrt(float64(m) * p4); x2 < x {
+				x = x2
+			}
+		}
+	}
 	bound := capSum / q.Len
 	lenMin, _ := sum.LenRange()
 	den := lenMin
-	if r := math.Sqrt(present); r > den {
+	if r := math.Sqrt(x); r > den {
 		den = r
 	}
 	if den > 0 {
-		if mb := present / (q.Len * den); mb < bound {
+		if mb := x / (q.Len * den); mb < bound {
 			bound = mb
 		}
 	}
@@ -81,75 +106,4 @@ func (e *Engine) queryListTotal(q Query) int {
 		total += e.store.ListLen(q.Tokens[i].Token)
 	}
 	return total
-}
-
-// activeForSelect fills fb.sts for skipped shards and returns the shards
-// a threshold selection must visit. Unrouted engines (and
-// Options.NoShardPrune) visit everything. A shard survives only if its
-// length range intersects the query's Theorem 1 window and its summary
-// bound can reach τ.
-func (se *ShardedEngine) activeForSelect(fb *fanBuffers, q Query, tau float64, opts *Options) []int32 {
-	act := fb.order[:0]
-	if se.sums == nil || (opts != nil && opts.NoShardPrune) {
-		for sh := range se.shards {
-			act = append(act, int32(sh))
-		}
-		return act
-	}
-	lo, hi := lengthWindow(q, tau, opts)
-	var skipped uint64
-	for sh := range se.shards {
-		sum := se.sums[sh]
-		sLo, sHi := sum.LenRange()
-		b := shardBound(sum, q)
-		if sum.Docs() == 0 || b <= 0 || sHi < lo || sLo > hi || !boundMeets(b, tau) {
-			fb.sts[sh] = skipStats(se.shards[sh], q)
-			skipped++
-			continue
-		}
-		act = append(act, int32(sh))
-	}
-	se.boundChecks.Add(uint64(len(se.shards)))
-	se.shardsSkipped.Add(skipped)
-	return act
-}
-
-// activeForTopK fills fb.bounds and fb.sts and returns the shards a
-// top-k must visit, in descending summary-bound order (stable: equal
-// bounds keep the lower shard first) so the shards most likely to hold
-// the global top-k run first and raise the shared bound for the tail.
-// Only shards sharing no query token are dropped up front — the k-th
-// score is unknown until shards run — and the executor rechecks each
-// remaining shard's bound against the risen sharedTau mid-flight. The
-// second return is whether pruning is live (mid-flight rechecks apply).
-func (se *ShardedEngine) activeForTopK(fb *fanBuffers, q Query, opts *Options) ([]int32, bool) {
-	act := fb.order[:0]
-	if se.sums == nil || (opts != nil && opts.NoShardPrune) {
-		for sh := range se.shards {
-			act = append(act, int32(sh))
-		}
-		return act, false
-	}
-	var skipped uint64
-	for sh := range se.shards {
-		sum := se.sums[sh]
-		b := shardBound(sum, q)
-		fb.bounds[sh] = b
-		if sum.Docs() == 0 || b <= 0 {
-			fb.sts[sh] = skipStats(se.shards[sh], q)
-			skipped++
-			continue
-		}
-		act = append(act, int32(sh))
-	}
-	se.boundChecks.Add(uint64(len(se.shards)))
-	se.shardsSkipped.Add(skipped)
-	// Stable insertion sort on strict >: equal bounds never swap, so the
-	// ascending shard order of act breaks ties deterministically.
-	for i := 1; i < len(act); i++ {
-		for j := i; j > 0 && fb.bounds[act[j]] > fb.bounds[act[j-1]]; j-- {
-			act[j], act[j-1] = act[j-1], act[j]
-		}
-	}
-	return act, true
 }

@@ -5,7 +5,6 @@ import (
 	"math"
 	"sort"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/collection"
 	"repro/internal/sim"
@@ -84,49 +83,11 @@ func liveTau(b *kthBound, shared *sharedTau) float64 {
 // (nil when the engine is queried stand-alone; the sharded executor
 // passes one sharedTau to all shards of a query).
 func (e *Engine) selectTopKShard(ctx context.Context, q Query, k int, alg Algorithm, opts *Options, shared *sharedTau) ([]Result, Stats, error) {
-	var o Options
-	if opts != nil {
-		o = *opts
-	}
-	var stats Stats
-	if len(q.Tokens) == 0 {
-		return nil, stats, ErrEmptyQuery
-	}
-	if k <= 0 {
-		return nil, stats, nil
-	}
-	for _, qt := range q.Tokens {
-		stats.ListTotal += e.store.ListLen(qt.Token)
-	}
-	start := time.Now()
-	cc := &canceller{ctx: ctx}
-	s := e.getScratch()
-	var res []Result
-	var err error
-	switch alg {
-	case Naive:
-		res, err = e.topkNaive(s, cc, q, k)
-	case SF:
-		res, err = e.topkSF(s, cc, q, k, &o, &stats, shared)
-	case INRA:
-		res, err = e.topkINRA(s, cc, q, k, &o, &stats, shared)
-	default:
-		err = ErrUnknownAlg
-	}
-	if err == nil {
-		sortTopK(res)
-		if len(res) > k {
-			res = res[:k]
-		}
-	}
-	res = copyResults(res)
-	e.putScratch(s)
-	stats.Elapsed = time.Since(start)
-	e.observe(stats, err)
+	p, err := topkPlan(q, k, alg, opts)
 	if err != nil {
-		return nil, stats, err
+		return planDone(err)
 	}
-	return res, stats, nil
+	return e.runPlan(ctx, q, p, shared)
 }
 
 func sortTopK(rs []Result) {
