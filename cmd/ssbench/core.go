@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/tokenize"
+	"repro/setsim"
 )
 
 // CoreBenchResult is one benchmark case of the `ssbench core` run, in the
@@ -60,6 +61,26 @@ type MutateReport struct {
 	LastCompactionNs   int64   `json:"last_compaction_ns"`
 	LastCompactionDocs int     `json:"last_compaction_docs"`
 	MaxDrift           float64 `json:"max_drift"`
+	// WALTwins re-run a scaled version of the same workload against a
+	// durable engine under each WAL sync policy, so the journaling and
+	// fsync cost of every durability level is tracked next to the
+	// in-memory baseline.
+	WALTwins []WALMutateResult `json:"wal_twins,omitempty"`
+}
+
+// WALMutateResult is one WAL sync-policy twin of the mutate workload.
+type WALMutateResult struct {
+	Sync       string  `json:"sync"`
+	Ops        int     `json:"ops"`
+	Writes     int     `json:"writes"`
+	QueryOps   int     `json:"query_ops"`
+	NsPerWrite float64 `json:"ns_per_write"`
+	NsPerQuery float64 `json:"ns_per_query"`
+	// Durable-store state after the workload drained and the engine
+	// closed: the manifest generation (checkpoints taken) and the WAL
+	// records left in the tail.
+	Generation uint64 `json:"generation"`
+	WALRecords int    `json:"wal_records"`
 }
 
 // runCore measures the steady-state query path — the allocation-free warm
@@ -570,5 +591,106 @@ func runMutate(env *experiments.Env, setup experiments.Setup) *MutateReport {
 	fmt.Printf("  %d segments, %d memtable docs, %d tombstones, %d compactions (last folded %d docs in %v), drift %.3f\n",
 		rep.Segments, rep.MemtableDocs, rep.Tombstones, rep.Compactions,
 		rep.LastCompactionDocs, st.LastCompaction, rep.MaxDrift)
+
+	for _, pol := range []setsim.SyncPolicy{setsim.SyncAlways, setsim.SyncGroup, setsim.SyncOff} {
+		rep.WALTwins = append(rep.WALTwins, runMutateWAL(env, setup, pol))
+	}
 	return rep
+}
+
+// runMutateWAL is one durable twin of the mutate workload: the same
+// interleaved mix against an OpenDurable engine journaling every
+// mutation under the given sync policy, with checkpoints on the default
+// cadence. The op count is scaled down because sync=always pays one
+// fsync per write.
+func runMutateWAL(env *experiments.Env, setup experiments.Setup, pol setsim.SyncPolicy) WALMutateResult {
+	seedN := len(env.Words)
+	if seedN > 4000 {
+		seedN = 4000
+	}
+	ops := 4000
+	fmt.Printf("wal twin sync=%s: %d seed docs, %d ops ... ", pol, seedN, ops)
+	start := time.Now()
+
+	dir, err := os.MkdirTemp("", "ssbench-wal-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssbench:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	path := dir + "/store.sssnap"
+	le, _, err := setsim.OpenDurable(path, setsim.LiveConfig{
+		Config:         core.Config{SkipInterval: setup.SkipInterval},
+		FlushThreshold: 2048,
+		MaxSegments:    4,
+		// Low enough that the workload crosses several checkpoints, so
+		// manifest rotation and WAL truncation costs land in the numbers.
+		CheckpointEvery: 1024,
+	}, setsim.DurableOptions{Sync: pol})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssbench:", err)
+		os.Exit(1)
+	}
+	ids := make([]collection.SetID, 0, seedN)
+	for _, w := range env.Words[:seedN] {
+		if id, err := le.Insert(w); err == nil {
+			ids = append(ids, id)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(setup.Seed + 11))
+	res := WALMutateResult{Sync: pol.String(), Ops: ops}
+	var writeNs, queryNs int64
+	word := func() string { return env.Words[rng.Intn(len(env.Words))] }
+	for i := 0; i < ops; i++ {
+		switch r := rng.Intn(100); {
+		case r < 50:
+			t0 := time.Now()
+			if id, err := le.Insert(word()); err == nil {
+				ids = append(ids, id)
+			}
+			writeNs += time.Since(t0).Nanoseconds()
+			res.Writes++
+		case r < 70 && len(ids) > 0:
+			j := rng.Intn(len(ids))
+			t0 := time.Now()
+			le.Delete(ids[j])
+			writeNs += time.Since(t0).Nanoseconds()
+			ids[j] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			res.Writes++
+		case r < 80 && len(ids) > 0:
+			j := rng.Intn(len(ids))
+			t0 := time.Now()
+			if id, err := le.Upsert(ids[j], word()); err == nil {
+				ids[j] = id
+			}
+			writeNs += time.Since(t0).Nanoseconds()
+			res.Writes++
+		default:
+			w := word()
+			t0 := time.Now()
+			q := le.Prepare(w)
+			le.Select(q, 0.8, core.SF, nil) //nolint:errcheck // mixed-state latency probe
+			queryNs += time.Since(t0).Nanoseconds()
+			res.QueryOps++
+		}
+	}
+	le.Close()
+	if res.Writes > 0 {
+		res.NsPerWrite = float64(writeNs) / float64(res.Writes)
+	}
+	if res.QueryOps > 0 {
+		res.NsPerQuery = float64(queryNs) / float64(res.QueryOps)
+	}
+	if rep, err := setsim.Verify(path); err == nil {
+		res.Generation = rep.Generation
+		res.WALRecords = rep.WALRecords
+	} else {
+		fmt.Fprintln(os.Stderr, "ssbench: wal twin verify:", err)
+	}
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  %d writes, %d queries (%.0f ns/write, %.0f ns/query), generation %d, %d wal records\n",
+		res.Writes, res.QueryOps, res.NsPerWrite, res.NsPerQuery, res.Generation, res.WALRecords)
+	return res
 }

@@ -3,19 +3,26 @@
 //
 // Usage:
 //
-//	ssindex build -in strings.txt -out index.bin [-q 3] [-skip 64]
-//	ssindex stat  -index index.bin [-in strings.txt]
-//	ssindex stat  -snap corpus.sscol [-shards N] [-v]
+//	ssindex build  -in strings.txt -out index.bin [-q 3] [-skip 64]
+//	ssindex stat   -index index.bin [-in strings.txt]
+//	ssindex stat   -snap corpus.sscol [-shards N] [-v]
+//	ssindex verify -snap corpus.sssnap
 //
 // build tokenizes one string per input line into q-grams and writes the
 // weight-sorted lists, id-sorted lists and skip indexes. stat validates
 // the file and prints storage accounting; with -snap it instead opens a
 // saved snapshot (any format version: legacy collection or live
-// snapshot) and prints its layout — including the stored shard count
-// and, for version-4 snapshots, the similarity-aware routing table
-// (live docs per shard) and each shard's pruning summary — plus segment
-// and compaction stats under -v. -shards overrides the stored shard
-// count when replaying the snapshot (0 keeps it).
+// snapshot) and prints its layout — including the stored shard count,
+// the similarity-aware routing table (live docs per shard), each
+// shard's pruning summary and, for version-5 durable stores, the
+// manifest (generation, segment-package list, WAL tail length) — plus
+// segment and compaction stats under -v. -shards overrides the stored
+// shard count when replaying the snapshot (0 keeps it).
+//
+// verify checks a snapshot's integrity without building an engine: the
+// manifest (or legacy payload) checksum, every segment package's every
+// block CRC, and the write-ahead log tail. It exits non-zero when any
+// checksum fails.
 package main
 
 import (
@@ -40,15 +47,18 @@ func main() {
 		buildCmd(os.Args[2:])
 	case "stat":
 		statCmd(os.Args[2:])
+	case "verify":
+		verifyCmd(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ssindex build -in strings.txt -out index.bin [-q 3] [-skip 64]")
-	fmt.Fprintln(os.Stderr, "       ssindex stat  -index index.bin")
-	fmt.Fprintln(os.Stderr, "       ssindex stat  -snap corpus.sscol [-shards N] [-v]")
+	fmt.Fprintln(os.Stderr, "usage: ssindex build  -in strings.txt -out index.bin [-q 3] [-skip 64]")
+	fmt.Fprintln(os.Stderr, "       ssindex stat   -index index.bin")
+	fmt.Fprintln(os.Stderr, "       ssindex stat   -snap corpus.sscol [-shards N] [-v]")
+	fmt.Fprintln(os.Stderr, "       ssindex verify -snap corpus.sssnap")
 	os.Exit(2)
 }
 
@@ -140,6 +150,18 @@ func snapStat(path string, shards int, verbose bool) {
 	} else if info.Version >= 4 {
 		fmt.Println("routing: none (single shard)")
 	}
+	if info.Version >= 5 {
+		fmt.Printf("manifest: generation %d, %d segment package(s), wal covered through seq %d\n",
+			info.Generation, len(info.Segpacks), info.WALStart)
+		for _, ref := range info.Segpacks {
+			fmt.Printf("  package %s: shard %d, %d docs\n", ref.Name, ref.Shard, ref.Docs)
+		}
+		torn := ""
+		if info.WALTorn {
+			torn = " (torn tail truncated at recovery)"
+		}
+		fmt.Printf("wal tail: %d record(s) replayed%s\n", info.WALTail, torn)
+	}
 	if verbose {
 		st := le.Stats()
 		fmt.Printf("shards: %d, segments: %d (epoch %d), memtable %d docs\n",
@@ -147,6 +169,43 @@ func snapStat(path string, shards int, verbose bool) {
 		fmt.Printf("compactions: %d (last folded %d docs in %v), max drift %.3f\n",
 			st.Compactions, st.LastCompactionDocs, st.LastCompaction, st.MaxDrift)
 	}
+}
+
+// verifyCmd checks every checksum a snapshot carries: the manifest (or
+// legacy payload), each segment package block by block, and the WAL.
+func verifyCmd(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	snap := fs.String("snap", "", "snapshot file (any format version)")
+	fs.Parse(args)
+	if *snap == "" {
+		usage()
+	}
+	rep, err := setsim.Verify(*snap)
+	if err != nil {
+		fatal(err)
+	}
+	if rep.Version < 5 {
+		fmt.Printf("%s: v%d snapshot, payload checksum ok\n", *snap, rep.Version)
+		return
+	}
+	fmt.Printf("%s: v%d manifest ok, generation %d, wal covered through seq %d\n",
+		*snap, rep.Version, rep.Generation, rep.WALStart)
+	for _, p := range rep.Packs {
+		status := fmt.Sprintf("%d block checksum(s) ok", p.Blocks)
+		if p.Err != nil {
+			status = "FAILED: " + p.Err.Error()
+		}
+		fmt.Printf("  package %s (shard %d, %d docs): %s\n", p.Ref.Name, p.Ref.Shard, p.Ref.Docs, status)
+	}
+	torn := ""
+	if rep.WALTorn {
+		torn = ", torn tail"
+	}
+	fmt.Printf("wal: %d intact record(s)%s\n", rep.WALRecords, torn)
+	if !rep.OK {
+		fatal(fmt.Errorf("%s: verification failed", *snap))
+	}
+	fmt.Println("ok")
 }
 
 func printSizes(st *invlist.FileStore) {

@@ -9,7 +9,10 @@
 // With no query arguments it reads queries from stdin, one per line.
 // -k > 0 switches to top-k mode (ignores -tau). -load opens any
 // snapshot version: a legacy collection saved with -save (or
-// setsim.Save), or a live snapshot written by setsim.SaveLive; both are
+// setsim.Save), a live snapshot written by setsim.SaveLive, or a v5
+// durable store (manifest + segment packages + write-ahead log), for
+// which crash recovery runs first — the manifest's packages are
+// loaded, the WAL tail replayed, and a torn tail reported. All are
 // served through a LiveEngine, and -v prints its segment count and
 // last-compaction stats alongside the query metrics. -lists serves
 // queries from a disk-resident list file (setsim.SaveLists / ssindex
@@ -127,6 +130,14 @@ func main() {
 		st := le.Stats()
 		fmt.Fprintf(os.Stderr, "loaded v%d snapshot: %d docs (%d live), %d shard(s), %d segment(s)\n",
 			info.Version, info.Docs, info.Live, le.NumShards(), st.Segments)
+		if info.Version >= 5 {
+			torn := ""
+			if info.WALTorn {
+				torn = ", torn tail truncated"
+			}
+			fmt.Fprintf(os.Stderr, "durable store: generation %d, %d segment package(s), %d wal record(s) replayed%s\n",
+				info.Generation, len(info.Segpacks), info.WALTail, torn)
+		}
 		doQuery = liveQuery(le, alg, *tau, *k)
 		source = func(id collection.SetID) string {
 			s, _ := le.Source(id)

@@ -84,7 +84,16 @@ func (le *LiveEngine) compactOnce(full bool) bool {
 	defer le.compactMu.Unlock()
 	start := time.Now()
 
-	works, all, needRoute, mutAt, ok := le.gather(full)
+	// A durable engine escalates to a full round — and checkpoints —
+	// once the un-checkpointed WAL tail is long enough, or whenever an
+	// explicit full round finds anything new to persist.
+	pending := le.walPending()
+	if le.cfg.CheckpointEvery > 0 && pending >= uint64(le.cfg.CheckpointEvery) {
+		full = true
+	}
+	ckpt := le.ckptSink != nil && full && pending > 0
+
+	works, all, needRoute, mutAt, cap, ok := le.gather(full, ckpt)
 	if !ok {
 		return false
 	}
@@ -176,6 +185,42 @@ func (le *LiveEngine) compactOnce(full bool) bool {
 	le.compactions.Add(1)
 	le.lastCompactNs.Store(int64(time.Since(start)))
 	le.lastCompactDocs.Store(int64(len(all)))
+
+	// Persist the round as a checkpoint: the work lists are exactly the
+	// live documents per shard (post-reassignment), and cap froze the
+	// WAL horizon and dead log consistently with them. Mutations applied
+	// since gather are not in the state — their records sit past
+	// cap.walSeq, so the surviving WAL tail replays them. The sink call
+	// does the disk work under compactMu only; mutations and queries
+	// proceed.
+	if cap != nil {
+		st := &CheckpointState{
+			WALSeq:    cap.walSeq,
+			NextID:    cap.nextID,
+			LiveN:     cap.liveN,
+			Live:      make([][]DocRef, len(works)),
+			Dead:      cap.dead,
+			Summaries: make([]*route.Summary, len(segs)),
+		}
+		for si := range works {
+			refs := make([]DocRef, len(works[si].work))
+			for i, ref := range works[si].work {
+				refs[i] = DocRef{ID: ref.id, Source: ref.source}
+			}
+			st.Live[si] = refs
+		}
+		for si, g := range segs {
+			if g != nil {
+				st.Summaries[si] = g.sum
+			}
+		}
+		if err := le.ckptSink.Checkpoint(st); err != nil {
+			le.ckptErr = err
+		} else {
+			le.ckptErr = nil
+			le.lastCkptSeq.Store(cap.walSeq)
+		}
+	}
 	return true
 }
 
@@ -190,7 +235,14 @@ func (le *LiveEngine) compactOnce(full bool) bool {
 // participates (documents may move between shards even if a shard looks
 // clean in isolation) and the caller re-clusters; mutAt is the mutation
 // count the fresh routing will reflect.
-func (le *LiveEngine) gather(full bool) (works []shardWork, all []docRef, needRoute bool, mutAt uint64, ok bool) {
+//
+// A checkpoint round (ckpt set; implies full) also forces every shard
+// to participate — the checkpoint state must cover the whole corpus,
+// not just the churned shards — and freezes, under the same read lock,
+// the WAL horizon, id space and dead log the checkpoint will persist.
+// The horizon is exact: WAL appends happen inside the write-locked
+// mutation section, so no record can land while the read lock is held.
+func (le *LiveEngine) gather(full, ckpt bool) (works []shardWork, all []docRef, needRoute bool, mutAt uint64, cap *ckptCapture, ok bool) {
 	le.mu.RLock()
 	defer le.mu.RUnlock()
 	snap := le.snap.Load()
@@ -204,6 +256,14 @@ func (le *LiveEngine) gather(full bool) (works []shardWork, all []docRef, needRo
 	}
 	needRoute = full && le.nShards > 1 && !le.cfg.NoRoute && le.mutations != le.lastRouteMut
 	mutAt = le.mutations
+	if ckpt {
+		cap = &ckptCapture{walSeq: le.wal.Seq(), nextID: len(le.log), liveN: le.liveN}
+		for id, d := range le.log {
+			if d.deleted {
+				cap.dead = append(cap.dead, DocRef{ID: collection.SetID(id), Source: d.source})
+			}
+		}
+	}
 	works = make([]shardWork, len(snap.shards))
 	any := false
 	for si := range snap.shards {
@@ -221,7 +281,7 @@ func (le *LiveEngine) gather(full bool) (works []shardWork, all []docRef, needRo
 				drifted = true
 			}
 		}
-		if !needRoute && len(sh.mem) == 0 && len(fold) < 2 && deadIn == 0 && !drifted {
+		if !ckpt && !needRoute && len(sh.mem) == 0 && len(fold) < 2 && deadIn == 0 && !drifted {
 			continue // pure churn: an identical segment would come back
 		}
 		any = true
@@ -246,10 +306,10 @@ func (le *LiveEngine) gather(full bool) (works []shardWork, all []docRef, needRo
 		all = append(all, w.work...)
 	}
 	if !any {
-		return nil, nil, false, 0, false
+		return nil, nil, false, 0, nil, false
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
-	return works, all, needRoute, mutAt, true
+	return works, all, needRoute, mutAt, cap, true
 }
 
 // roundIDF computes the idf weight of every round-dictionary token under

@@ -51,6 +51,12 @@ type LiveConfig struct {
 	// NoBackground disables the compaction goroutine; Compact must then
 	// be called explicitly. Deterministic tests use it.
 	NoBackground bool
+	// CheckpointEvery bounds the un-checkpointed WAL tail of a durable
+	// engine (one with sinks attached via SetDurable): once that many
+	// records accumulate past the last checkpoint, the next compaction
+	// round escalates to full and checkpoints. 0 selects 8192; negative
+	// disables automatic checkpoints (only CheckpointNow persists).
+	CheckpointEvery int
 	// Shards is the number of hash partitions the live corpus is split
 	// into. Each shard owns its own segment list and memtable: mutations
 	// route to one shard by a hash of the document id, and queries fan
@@ -214,6 +220,16 @@ type LiveEngine struct {
 	epoch atomic.Uint64
 	tombs atomic.Int64 // tombstoned docs still present in some segment or the memtable
 
+	// Durability sinks (nil on a non-durable engine). Set once by
+	// SetDurable under mu before concurrent mutations; appends happen
+	// under mu, WaitDurable and checkpoints outside it. lastCkptSeq is
+	// the WAL sequence the last successful checkpoint covered (written
+	// under compactMu, read under mu by the kick path).
+	wal         WALSink
+	ckptSink    CheckpointSink
+	lastCkptSeq atomic.Uint64
+	ckptErr     error // last checkpoint outcome; guarded by compactMu
+
 	// compactMu serializes compactions (background and explicit);
 	// compactCh wakes the background goroutine.
 	compactMu sync.Mutex
@@ -243,6 +259,9 @@ func NewLive(tk tokenize.Tokenizer, cfg LiveConfig) *LiveEngine {
 	}
 	if cfg.Shards < 1 {
 		cfg.Shards = 1
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 8192
 	}
 	cfg.Store = nil // each segment builds and owns its MemStore
 	le := &LiveEngine{
@@ -283,14 +302,16 @@ func BuildLive(corpus []string, tk tokenize.Tokenizer, cfg LiveConfig) *LiveEngi
 	return le
 }
 
-// Close stops the background compaction goroutine and rejects further
-// mutations. Queries against the final snapshot keep working.
+// Close stops the background compaction goroutine, rejects further
+// mutations and — on a durable engine — flushes and closes the WAL.
+// Queries against the final snapshot keep working.
 func (le *LiveEngine) Close() {
 	if !le.markClosed() {
 		return
 	}
 	close(le.closeCh)
 	le.wg.Wait()
+	le.closeWAL()
 }
 
 func (le *LiveEngine) markClosed() bool {
@@ -331,55 +352,114 @@ func distinctTokens(tk tokenize.Tokenizer, s string) []string {
 }
 
 // Insert adds s as a new document and returns its permanent id. The
-// document is searchable as soon as Insert returns.
+// document is searchable as soon as Insert returns. On a durable engine
+// the returned error reports a WAL write failure: the mutation is
+// applied in memory but may not survive a crash.
 func (le *LiveEngine) Insert(s string) (collection.SetID, error) {
 	toks := distinctTokens(le.tk, s)
 	if toks == nil {
 		return 0, ErrNoTokens
 	}
+	id, seq, w, err := le.insertCritical(s, toks)
+	if err != nil {
+		return 0, err
+	}
+	if w != nil {
+		// The durability wait runs with no lock held: the record is
+		// already ordered, only its fsync is outstanding.
+		if derr := w.WaitDurable(seq); derr != nil {
+			return id, derr
+		}
+	}
+	return id, nil
+}
+
+// insertCritical is Insert's serialized section: journal, apply, kick.
+func (le *LiveEngine) insertCritical(s string, toks []string) (collection.SetID, uint64, WALSink, error) {
 	le.mu.Lock()
 	defer le.mu.Unlock()
 	if le.closed {
-		return 0, ErrClosed
+		return 0, 0, nil, ErrClosed
+	}
+	var seq uint64
+	if le.wal != nil {
+		seq = le.wal.AppendInsert(s)
 	}
 	id := le.insertLocked(s, toks)
 	le.maybeKickLocked()
-	return id, nil
+	return id, seq, le.wal, nil
 }
 
 // Delete tombstones document id. It reports false when the id does not
 // exist or is already deleted. The document disappears from results
 // immediately; its index entries are reclaimed by the next compaction.
+// On a durable engine Delete waits for the record's fsync like Insert
+// does; a WAL failure is sticky in the log and surfaces on the next
+// Insert/Upsert or Close.
 func (le *LiveEngine) Delete(id collection.SetID) bool {
-	le.mu.Lock()
-	defer le.mu.Unlock()
-	if le.closed {
-		return false
-	}
-	ok := le.deleteLocked(id)
-	if ok {
-		le.maybeKickLocked()
+	ok, seq, w := le.deleteCritical(id)
+	if ok && w != nil {
+		w.WaitDurable(seq) //nolint:errcheck // sticky in the WAL; see doc comment
 	}
 	return ok
 }
 
+func (le *LiveEngine) deleteCritical(id collection.SetID) (bool, uint64, WALSink) {
+	le.mu.Lock()
+	defer le.mu.Unlock()
+	if le.closed {
+		return false, 0, nil
+	}
+	// Journal only deletes that will apply, so replay mirrors history.
+	if int(id) >= len(le.log) || le.log[id].deleted {
+		return false, 0, nil
+	}
+	var seq uint64
+	if le.wal != nil {
+		seq = le.wal.AppendDelete(uint32(id))
+	}
+	le.deleteLocked(id)
+	le.maybeKickLocked()
+	return true, seq, le.wal
+}
+
 // Upsert replaces document id with s, returning the new document's id
 // (ids are never reused). A missing or already-deleted id degrades to a
-// plain insert.
+// plain insert. Durability errors are reported like Insert's.
 func (le *LiveEngine) Upsert(id collection.SetID, s string) (collection.SetID, error) {
 	toks := distinctTokens(le.tk, s)
 	if toks == nil {
 		return 0, ErrNoTokens
 	}
+	nid, seq, w, err := le.upsertCritical(id, s, toks)
+	if err != nil {
+		return 0, err
+	}
+	if w != nil {
+		if derr := w.WaitDurable(seq); derr != nil {
+			return nid, derr
+		}
+	}
+	return nid, nil
+}
+
+func (le *LiveEngine) upsertCritical(id collection.SetID, s string, toks []string) (collection.SetID, uint64, WALSink, error) {
 	le.mu.Lock()
 	defer le.mu.Unlock()
 	if le.closed {
-		return 0, ErrClosed
+		return 0, 0, nil, ErrClosed
+	}
+	if le.wal != nil && int(id) < len(le.log) && !le.log[id].deleted {
+		le.wal.AppendDelete(uint32(id))
 	}
 	le.deleteLocked(id)
+	var seq uint64
+	if le.wal != nil {
+		seq = le.wal.AppendInsert(s)
+	}
 	nid := le.insertLocked(s, toks)
 	le.maybeKickLocked()
-	return nid, nil
+	return nid, seq, le.wal, nil
 }
 
 func (le *LiveEngine) insertLocked(s string, toks []string) collection.SetID {
@@ -485,6 +565,10 @@ func (le *LiveEngine) maybeKickLocked() {
 		if len(sh.mem) >= le.cfg.FlushThreshold || len(sh.segs) > le.cfg.MaxSegments {
 			kick = true
 		}
+	}
+	// A durable engine also bounds its un-checkpointed WAL tail.
+	if le.cfg.CheckpointEvery > 0 && le.walPending() >= uint64(le.cfg.CheckpointEvery) {
+		kick = true
 	}
 	if !kick {
 		return

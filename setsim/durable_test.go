@@ -1,0 +1,589 @@
+package setsim_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/collection"
+	"repro/setsim"
+)
+
+// The WAL file layout the kill-point suite cuts against (mirrors
+// internal/wal): a 16-byte header (7-byte magic, version byte, firstSeq
+// u64) followed by frames of 9 bytes (payloadLen u32, crc u32, op u8)
+// plus the payload. Insert payloads are the source bytes; delete
+// payloads are the uvarint id. The suite asserts its arithmetic against
+// the actual file size, so a format change fails loudly here.
+const (
+	walHeaderSize = 16
+	walFrameHead  = 9
+)
+
+// walRec is one expected WAL record: an insert of src or a delete of id.
+type walRec struct {
+	del bool
+	id  uint32
+	src string
+}
+
+func (r walRec) frameLen() int {
+	if !r.del {
+		return walFrameHead + len(r.src)
+	}
+	var buf [10]byte
+	return walFrameHead + binary.PutUvarint(buf[:], uint64(r.id))
+}
+
+// mutOp is one scripted mutation against the durable engine.
+type mutOp struct {
+	kind byte // 'i' insert, 'd' delete, 'u' upsert
+	id   setsim.SetID
+	src  string
+}
+
+// walRecs expands a script into the WAL records the engine journals:
+// inserts and applied deletes are one record, an upsert of a live id is
+// a delete followed by an insert.
+func walRecs(ops []mutOp) []walRec {
+	var recs []walRec
+	for _, op := range ops {
+		switch op.kind {
+		case 'i':
+			recs = append(recs, walRec{src: op.src})
+		case 'd':
+			recs = append(recs, walRec{del: true, id: uint32(op.id)})
+		case 'u':
+			recs = append(recs, walRec{del: true, id: uint32(op.id)}, walRec{src: op.src})
+		}
+	}
+	return recs
+}
+
+// applyOps drives a script through the engine's public mutation API.
+func applyOps(t *testing.T, le *setsim.LiveEngine, ops []mutOp) {
+	t.Helper()
+	for _, op := range ops {
+		switch op.kind {
+		case 'i':
+			if _, err := le.Insert(op.src); err != nil {
+				t.Fatalf("insert %q: %v", op.src, err)
+			}
+		case 'd':
+			if !le.Delete(op.id) {
+				t.Fatalf("delete %d did not apply", op.id)
+			}
+		case 'u':
+			if _, err := le.Upsert(op.id, op.src); err != nil {
+				t.Fatalf("upsert %d %q: %v", op.id, op.src, err)
+			}
+		}
+	}
+}
+
+// applyRecs replays raw WAL records — the recovery primitive — through
+// the mutation API, building the reference engine for a cut.
+func applyRecs(t *testing.T, le *setsim.LiveEngine, recs []walRec) {
+	t.Helper()
+	for _, r := range recs {
+		if r.del {
+			if !le.Delete(setsim.SetID(r.id)) {
+				t.Fatalf("reference delete %d did not apply", r.id)
+			}
+		} else if _, err := le.Insert(r.src); err != nil {
+			t.Fatalf("reference insert %q: %v", r.src, err)
+		}
+	}
+}
+
+// killPointQueries are the probes every recovered engine must answer
+// bitwise-identically to its reference.
+var killPointQueries = []string{"main street 12", "market square one", "river bank walk"}
+
+// requireBitwiseEqual fails unless got answers every probe — full
+// selection at two thresholds plus top-k — bitwise-identically to want,
+// and exposes the same document log (ids, sources, liveness).
+func requireBitwiseEqual(t *testing.T, label string, got, want *setsim.LiveEngine) {
+	t.Helper()
+	if got.NumDocs() != want.NumDocs() || got.NumLive() != want.NumLive() {
+		t.Fatalf("%s: recovered %d docs (%d live), want %d (%d live)",
+			label, got.NumDocs(), got.NumLive(), want.NumDocs(), want.NumLive())
+	}
+	for id := 0; id < want.NumDocs(); id++ {
+		s1, ok1 := want.Source(setsim.SetID(id))
+		s2, ok2 := got.Source(setsim.SetID(id))
+		if ok1 != ok2 || s1 != s2 {
+			t.Fatalf("%s: doc %d is (%q,%v) after recovery, want (%q,%v)", label, id, s2, ok2, s1, ok1)
+		}
+	}
+	for _, q := range killPointQueries {
+		for _, tau := range []float64{0.4, 0.7} {
+			r1, _, err1 := want.Select(want.Prepare(q), tau, setsim.SF, nil)
+			r2, _, err2 := got.Select(got.Prepare(q), tau, setsim.SF, nil)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("%s: %q tau=%v: errors diverge: %v vs %v", label, q, tau, err2, err1)
+			}
+			if len(r1) != len(r2) {
+				t.Fatalf("%s: %q tau=%v: %d results, want %d", label, q, tau, len(r2), len(r1))
+			}
+			for i := range r1 {
+				if r1[i].ID != r2[i].ID ||
+					math.Float64bits(r1[i].Score) != math.Float64bits(r2[i].Score) {
+					t.Fatalf("%s: %q tau=%v result %d: {%d %.17g}, want {%d %.17g}",
+						label, q, tau, i, r2[i].ID, r2[i].Score, r1[i].ID, r1[i].Score)
+				}
+			}
+		}
+		k1, _, err1 := want.SelectTopK(want.Prepare(q), 3, setsim.SF, nil)
+		k2, _, err2 := got.SelectTopK(got.Prepare(q), 3, setsim.SF, nil)
+		if (err1 == nil) != (err2 == nil) || len(k1) != len(k2) {
+			t.Fatalf("%s: %q topk diverges: (%d,%v) vs (%d,%v)", label, q, len(k2), err2, len(k1), err1)
+		}
+		for i := range k1 {
+			if k1[i].ID != k2[i].ID ||
+				math.Float64bits(k1[i].Score) != math.Float64bits(k2[i].Score) {
+				t.Fatalf("%s: %q topk result %d: {%d %.17g}, want {%d %.17g}",
+					label, q, i, k2[i].ID, k2[i].Score, k1[i].ID, k1[i].Score)
+			}
+		}
+	}
+}
+
+// The kill-point script: phase A is checkpointed, phase B lives only in
+// the WAL. Ids are assigned densely from 0 in insert order.
+var (
+	killPhaseA = []mutOp{
+		{kind: 'i', src: "main street 12"},    // id 0
+		{kind: 'i', src: "mian street 12"},    // id 1
+		{kind: 'i', src: "main st twelve"},    // id 2
+		{kind: 'i', src: "south main road"},   // id 3
+		{kind: 'i', src: "north main avenue"}, // id 4
+		{kind: 'i', src: "market square one"}, // id 5
+		{kind: 'i', src: "market sq 1"},       // id 6
+		{kind: 'i', src: "old market lane"},   // id 7
+		{kind: 'd', id: 1},
+		{kind: 'd', id: 4},
+	}
+	killPhaseB = []mutOp{
+		{kind: 'i', src: "river bank walk"}, // id 8
+		{kind: 'i', src: "main street 13"},  // id 9
+		{kind: 'd', id: 2},
+		{kind: 'u', id: 6, src: "market square two"}, // delete 6 + insert id 10
+		{kind: 'i', src: "river bank way"},           // id 11
+		{kind: 'd', id: 9},
+	}
+)
+
+func killPointConfig(shards int) setsim.LiveConfig {
+	return setsim.LiveConfig{
+		Config: setsim.ListsOnly(), NoBackground: true,
+		Shards: shards, CheckpointEvery: -1,
+	}
+}
+
+// buildKillPointStore runs the script against a durable store (phase A,
+// forced checkpoint, phase B) and returns the WAL bytes plus the
+// record boundaries of its tail.
+func buildKillPointStore(t *testing.T, path string) (walBytes []byte, bounds []int, tail []walRec) {
+	t.Helper()
+	le, _, err := setsim.OpenDurable(path, killPointConfig(2), setsim.DurableOptions{Sync: setsim.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyOps(t, le, killPhaseA)
+	if err := le.CheckpointNow(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	applyOps(t, le, killPhaseB)
+	le.Close()
+
+	walBytes, err = os.ReadFile(path + ".wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The checkpoint truncated the log, so the file holds exactly the
+	// phase-B records. Cross-check the frame arithmetic against the file.
+	tail = walRecs(killPhaseB)
+	bounds = []int{walHeaderSize}
+	for _, r := range tail {
+		bounds = append(bounds, bounds[len(bounds)-1]+r.frameLen())
+	}
+	if bounds[len(bounds)-1] != len(walBytes) {
+		t.Fatalf("frame arithmetic says the WAL is %d bytes, file is %d", bounds[len(bounds)-1], len(walBytes))
+	}
+	return walBytes, bounds, tail
+}
+
+// copyStoreFiles copies the manifest and every segment package (but not
+// the WAL) from src's directory into dst's.
+func copyStoreFiles(t *testing.T, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Dir(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Base(src)
+	for _, e := range entries {
+		name := e.Name()
+		if name != base && !strings.HasSuffix(name, ".sspk") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(filepath.Dir(src), name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(filepath.Dir(dst), name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDurableKillPoints is the crash-recovery acceptance suite: the WAL
+// is truncated at every byte offset — every record boundary and every
+// mid-record position — and the recovered engine must answer queries
+// bitwise-identically to a reference engine that replayed the surviving
+// prefix (checkpointed history, a compaction, then the intact tail
+// records).
+func TestDurableKillPoints(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.sssnap")
+	walBytes, bounds, tail := buildKillPointStore(t, path)
+
+	// One reference per possible surviving-tail length.
+	refs := make([]*setsim.LiveEngine, len(tail)+1)
+	for k := range refs {
+		ref := setsim.NewLive(setsim.QGramTokenizer{Q: 3}, killPointConfig(2))
+		defer ref.Close()
+		applyOps(t, ref, killPhaseA)
+		ref.Compact()
+		applyRecs(t, ref, tail[:k])
+		refs[k] = ref
+	}
+
+	wdir := t.TempDir()
+	wpath := filepath.Join(wdir, "store.sssnap")
+	copyStoreFiles(t, path, wpath)
+	for cut := 0; cut <= len(walBytes); cut++ {
+		if err := os.WriteFile(wpath+".wal", walBytes[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		k := 0
+		for k < len(tail) && bounds[k+1] <= cut {
+			k++
+		}
+		le, info, err := setsim.OpenLive(wpath, killPointConfig(0))
+		if err != nil {
+			t.Fatalf("cut %d: recovery failed: %v", cut, err)
+		}
+		if info.Version != 5 || info.WALTail != k {
+			t.Fatalf("cut %d: info %+v, want version 5 with %d surviving tail records", cut, info, k)
+		}
+		wantTorn := cut != bounds[k] && cut != 0
+		if info.WALTorn != wantTorn {
+			t.Fatalf("cut %d: WALTorn=%v, want %v", cut, info.WALTorn, wantTorn)
+		}
+		requireBitwiseEqual(t, "cut "+strconv.Itoa(cut), le, refs[k])
+		le.Close()
+	}
+
+	// A missing WAL is a store with an empty tail, not an error.
+	if err := os.Remove(wpath + ".wal"); err != nil {
+		t.Fatal(err)
+	}
+	le, info, err := setsim.OpenLive(wpath, killPointConfig(0))
+	if err != nil {
+		t.Fatalf("recovery without WAL: %v", err)
+	}
+	if info.WALTail != 0 || info.WALTorn {
+		t.Fatalf("recovery without WAL: info %+v", info)
+	}
+	requireBitwiseEqual(t, "no wal", le, refs[0])
+	le.Close()
+}
+
+// TestDurableKillPointsBeforeFirstCheckpoint cuts a store that never
+// checkpointed: no manifest exists and the whole history lives in the
+// WAL. OpenDurable must recover the surviving prefix into an empty
+// engine.
+func TestDurableKillPointsBeforeFirstCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.sssnap")
+	le, _, err := setsim.OpenDurable(path, killPointConfig(1), setsim.DurableOptions{Sync: setsim.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyOps(t, le, killPhaseA)
+	le.Close()
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("manifest exists without a checkpoint (stat err %v)", err)
+	}
+	walBytes, err := os.ReadFile(path + ".wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := walRecs(killPhaseA)
+	bounds := []int{walHeaderSize}
+	for _, r := range recs {
+		bounds = append(bounds, bounds[len(bounds)-1]+r.frameLen())
+	}
+	if bounds[len(bounds)-1] != len(walBytes) {
+		t.Fatalf("frame arithmetic says the WAL is %d bytes, file is %d", bounds[len(bounds)-1], len(walBytes))
+	}
+
+	wdir := t.TempDir()
+	wpath := filepath.Join(wdir, "store.sssnap")
+	for cut := 0; cut <= len(walBytes); cut++ {
+		if err := os.WriteFile(wpath+".wal", walBytes[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		k := 0
+		for k < len(recs) && bounds[k+1] <= cut {
+			k++
+		}
+		ref := setsim.NewLive(setsim.QGramTokenizer{Q: 3}, killPointConfig(1))
+		applyRecs(t, ref, recs[:k])
+		re, info, err := setsim.OpenDurable(wpath, killPointConfig(1), setsim.DurableOptions{Sync: setsim.SyncOff})
+		if err != nil {
+			t.Fatalf("cut %d: recovery failed: %v", cut, err)
+		}
+		if info.WALTail != k {
+			t.Fatalf("cut %d: info %+v, want %d surviving records", cut, info, k)
+		}
+		requireBitwiseEqual(t, "pre-checkpoint cut "+strconv.Itoa(cut), re, ref)
+		re.Close()
+		ref.Close()
+	}
+}
+
+// TestDurableReopenAtBoundaries reopens the cut store through the full
+// durable path at every record boundary: recovery must repair the torn
+// tail, accept new mutations, and persist them across another reopen —
+// with and without an intervening checkpoint.
+func TestDurableReopenAtBoundaries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.sssnap")
+	walBytes, bounds, tail := buildKillPointStore(t, path)
+
+	for k := 0; k <= len(tail); k++ {
+		// Also land one byte inside the next record where there is one,
+		// so the durable reopen exercises in-place torn-tail truncation.
+		cuts := []int{bounds[k]}
+		if k < len(tail) {
+			cuts = append(cuts, bounds[k]+walFrameHead/2)
+		}
+		for _, cut := range cuts {
+			wdir := t.TempDir()
+			wpath := filepath.Join(wdir, "store.sssnap")
+			copyStoreFiles(t, path, wpath)
+			if err := os.WriteFile(wpath+".wal", walBytes[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			ref := setsim.NewLive(setsim.QGramTokenizer{Q: 3}, killPointConfig(2))
+			applyOps(t, ref, killPhaseA)
+			ref.Compact()
+			applyRecs(t, ref, tail[:k])
+
+			de, _, err := setsim.OpenDurable(wpath, killPointConfig(0), setsim.DurableOptions{Sync: setsim.SyncAlways})
+			if err != nil {
+				t.Fatalf("cut %d: durable reopen failed: %v", cut, err)
+			}
+			requireBitwiseEqual(t, "durable cut "+strconv.Itoa(cut), de, ref)
+
+			const extra = "brand new doc after recovery"
+			id, err := de.Insert(extra)
+			if err != nil {
+				t.Fatalf("cut %d: insert after recovery: %v", cut, err)
+			}
+			if k%2 == 0 {
+				if err := de.CheckpointNow(); err != nil {
+					t.Fatalf("cut %d: checkpoint after recovery: %v", cut, err)
+				}
+			}
+			de.Close()
+
+			re, _, err := setsim.OpenLive(wpath, killPointConfig(0))
+			if err != nil {
+				t.Fatalf("cut %d: reopen after append: %v", cut, err)
+			}
+			if s, ok := re.Source(id); !ok || s != extra {
+				t.Fatalf("cut %d: post-recovery insert lost: (%q,%v)", cut, s, ok)
+			}
+			if re.NumLive() != ref.NumLive()+1 {
+				t.Fatalf("cut %d: %d live after append, want %d", cut, re.NumLive(), ref.NumLive()+1)
+			}
+			re.Close()
+			ref.Close()
+		}
+	}
+}
+
+// TestDurableVerify checks the integrity checker over a healthy store,
+// a store with a torn WAL, and a store with a corrupted package block.
+func TestDurableVerify(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.sssnap")
+	walBytes, bounds, tail := buildKillPointStore(t, path)
+
+	rep, err := setsim.Verify(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK || rep.Version != 5 || rep.WALRecords != len(tail) || rep.WALTorn {
+		t.Fatalf("healthy store: report %+v", rep)
+	}
+	if len(rep.Packs) == 0 {
+		t.Fatal("healthy store: no packages in report")
+	}
+	for _, p := range rep.Packs {
+		if p.Err != nil || p.Blocks < 1 {
+			t.Fatalf("healthy pack %s: blocks %d err %v", p.Ref.Name, p.Blocks, p.Err)
+		}
+	}
+
+	// Torn WAL: fewer records, torn flag, still OK (recoverable).
+	if err := os.WriteFile(path+".wal", walBytes[:bounds[2]+3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = setsim.Verify(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK || rep.WALRecords != 2 || !rep.WALTorn {
+		t.Fatalf("torn store: report %+v", rep)
+	}
+
+	// Flip one payload byte in a package: its block checksum must fail
+	// and the report must say which package.
+	pack := filepath.Join(filepath.Dir(path), rep.Packs[0].Ref.Name)
+	data, err := os.ReadFile(pack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(pack, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = setsim.Verify(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK {
+		t.Fatalf("corrupted store: report says OK: %+v", rep)
+	}
+	bad := 0
+	for _, p := range rep.Packs {
+		if p.Err != nil {
+			bad++
+		}
+	}
+	if bad != 1 {
+		t.Fatalf("corrupted store: %d bad packages in report, want 1: %+v", bad, rep.Packs)
+	}
+}
+
+// TestLoaderShortFiles: zero-length, magic-only and version-only
+// prefixes of every format version must fail with a wrapped
+// ErrBadCollection or ErrUnknownVersion from every loader — never a raw
+// (or wrapped) io.EOF.
+func TestLoaderShortFiles(t *testing.T) {
+	const (
+		colMagic  = "SSCOL1\n\x00"
+		snapMagic = "SSSNAP\n\x00"
+	)
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"collection-magic-only", []byte(colMagic)},
+		{"snapshot-magic-only", []byte(snapMagic)},
+		{"v2-version-only", append([]byte(snapMagic), 2)},
+		{"v3-version-only", append([]byte(snapMagic), 3)},
+		{"v4-version-only", append([]byte(snapMagic), 4)},
+		{"v5-version-only", append([]byte(snapMagic), 5)},
+		{"v5-header-no-payload", append([]byte(snapMagic), 5, 0xde, 0xad, 0xbe, 0xef)},
+		{"unknown-version-only", append([]byte(snapMagic), 9)},
+		{"truncated-magic", []byte(snapMagic[:4])},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "short")
+			if err := os.WriteFile(path, tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			loaders := []struct {
+				name string
+				open func(string) error
+			}{
+				{"Load", func(p string) error {
+					_, err := setsim.Load(p, setsim.ListsOnly())
+					return err
+				}},
+				{"Open", func(p string) error {
+					_, _, err := setsim.Open(p, setsim.ListsOnly())
+					return err
+				}},
+				{"OpenSharded", func(p string) error {
+					_, _, err := setsim.OpenSharded(p, setsim.ListsOnly(), 2)
+					return err
+				}},
+				{"OpenLive", func(p string) error {
+					_, _, err := setsim.OpenLive(p, setsim.LiveConfig{Config: setsim.ListsOnly(), NoBackground: true})
+					return err
+				}},
+				{"OpenDurable", func(p string) error {
+					le, _, err := setsim.OpenDurable(p, setsim.LiveConfig{Config: setsim.ListsOnly(), NoBackground: true}, setsim.DurableOptions{})
+					if err == nil {
+						le.Close()
+					}
+					return err
+				}},
+			}
+			for _, ld := range loaders {
+				err := ld.open(path)
+				if err == nil {
+					t.Errorf("%s accepted a %d-byte file", ld.name, len(tc.data))
+					continue
+				}
+				if !errors.Is(err, collection.ErrBadCollection) && !errors.Is(err, setsim.ErrUnknownVersion) {
+					t.Errorf("%s: %v, want ErrBadCollection or ErrUnknownVersion", ld.name, err)
+				}
+				if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+					t.Errorf("%s leaked a raw EOF: %v", ld.name, err)
+				}
+			}
+		})
+	}
+}
+
+// TestDurableSyncPolicies smoke-tests every WAL sync policy through the
+// public surface: mutations are durable (or at least replayable after a
+// clean close) under each.
+func TestDurableSyncPolicies(t *testing.T) {
+	for _, pol := range []setsim.SyncPolicy{setsim.SyncAlways, setsim.SyncGroup, setsim.SyncOff} {
+		t.Run(pol.String(), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "store.sssnap")
+			le, _, err := setsim.OpenDurable(path, killPointConfig(1), setsim.DurableOptions{Sync: pol})
+			if err != nil {
+				t.Fatal(err)
+			}
+			applyOps(t, le, killPhaseA)
+			le.Close()
+			re, info, err := setsim.OpenDurable(path, killPointConfig(1), setsim.DurableOptions{Sync: pol})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+			if info.WALTail != len(walRecs(killPhaseA)) || re.NumDocs() != 8 || re.NumLive() != 6 {
+				t.Fatalf("reopen under %v: info %+v, %d docs %d live", pol, info, re.NumDocs(), re.NumLive())
+			}
+		})
+	}
+	if _, err := setsim.ParseSyncPolicy("bogus"); err == nil {
+		t.Error("ParseSyncPolicy accepted bogus")
+	}
+}

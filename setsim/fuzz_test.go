@@ -59,10 +59,10 @@ func FuzzPersistRoundTrip(f *testing.F) {
 			}
 		}
 
-		// Live-snapshot round trip (version 4): the same corpus through a
-		// live engine and the snapshot format, with one deletion so
-		// tombstones are persisted. The reloaded engine must preserve ids
-		// and hide the deleted document.
+		// Live-snapshot round trip (version 5 manifest + segpacks): the
+		// same corpus through a live engine and the snapshot format, with
+		// one deletion so tombstones are persisted. The reloaded engine
+		// must preserve ids and hide the deleted document.
 		live := setsim.NewLive(setsim.QGramTokenizer{Q: 2, Pad: true}, setsim.LiveConfig{
 			Config: setsim.ListsOnly(), NoBackground: true,
 		})
@@ -87,8 +87,8 @@ func FuzzPersistRoundTrip(f *testing.F) {
 			t.Fatalf("open live: %v", err)
 		}
 		defer reloaded.Close()
-		if info.Version != 4 || info.Docs != live.NumDocs() || info.Live != live.NumLive() {
-			t.Fatalf("snapshot info %+v, want version 4, %d docs, %d live",
+		if info.Version != 5 || info.Docs != live.NumDocs() || info.Live != live.NumLive() {
+			t.Fatalf("snapshot info %+v, want version 5, %d docs, %d live",
 				info, live.NumDocs(), live.NumLive())
 		}
 		for _, id := range ids {
@@ -126,8 +126,78 @@ func FuzzPersistRoundTrip(f *testing.F) {
 			}
 			fromLegacy.Close()
 		}
-		if _, info, err := setsim.Open(lpath, setsim.ListsOnly()); err != nil || info.Version != 4 {
-			t.Fatalf("static open of v4 snapshot: info %+v err %v", info, err)
+		if _, info, err := setsim.Open(lpath, setsim.ListsOnly()); err != nil || info.Version != 5 {
+			t.Fatalf("static open of v5 snapshot: info %+v err %v", info, err)
+		}
+
+		// Durable round trip: the same script journaled into a WAL with
+		// no checkpoint, recovered by replaying the log, then upgraded to
+		// a checkpointed v5 store. The reference engine applies the same
+		// mutations through the ordinary in-memory path (OpenDurable's
+		// fresh-store tokenizer, not the q=2 one above).
+		dcfg := setsim.LiveConfig{Config: setsim.ListsOnly(), NoBackground: true, CheckpointEvery: -1}
+		dpath := filepath.Join(t.TempDir(), "corpus.sssnap")
+		de, _, err := setsim.OpenDurable(dpath, dcfg, setsim.DurableOptions{Sync: setsim.SyncOff})
+		if err != nil {
+			t.Fatalf("open durable: %v", err)
+		}
+		ref := setsim.NewLive(setsim.QGramTokenizer{Q: 3}, dcfg)
+		defer ref.Close()
+		records := 0
+		var did []setsim.SetID
+		for _, s := range corpus {
+			idD, errD := de.Insert(s)
+			idR, errR := ref.Insert(s)
+			if (errD == nil) != (errR == nil) || idD != idR {
+				t.Fatalf("durable insert %q: (%d,%v) vs reference (%d,%v)", s, idD, errD, idR, errR)
+			}
+			if errD == nil {
+				did = append(did, idD)
+				records++
+			}
+		}
+		if len(did) > 1 {
+			if !de.Delete(did[0]) || !ref.Delete(did[0]) {
+				t.Fatalf("durable delete %d did not apply", did[0])
+			}
+			records++
+		}
+		de.Close()
+
+		re, dinfo, err := setsim.OpenDurable(dpath, dcfg, setsim.DurableOptions{Sync: setsim.SyncOff})
+		if err != nil {
+			t.Fatalf("durable recovery: %v", err)
+		}
+		if dinfo.WALTail != records || re.NumDocs() != ref.NumDocs() || re.NumLive() != ref.NumLive() {
+			t.Fatalf("durable recovery: info %+v, %d docs %d live; want %d records, %d docs, %d live",
+				dinfo, re.NumDocs(), re.NumLive(), records, ref.NumDocs(), ref.NumLive())
+		}
+		d1, _, derr1 := ref.Select(ref.Prepare(query), 0.5, setsim.SF, nil)
+		d2, _, derr2 := re.Select(re.Prepare(query), 0.5, setsim.SF, nil)
+		if (derr1 == nil) != (derr2 == nil) || len(d1) != len(d2) {
+			t.Fatalf("durable recovery queries diverge: (%d,%v) vs (%d,%v)", len(d2), derr2, len(d1), derr1)
+		}
+		for i := range d1 {
+			if d1[i].ID != d2[i].ID || d1[i].Score != d2[i].Score {
+				t.Fatalf("durable result %d diverges: {%d %.17g} vs {%d %.17g}",
+					i, d2[i].ID, d2[i].Score, d1[i].ID, d1[i].Score)
+			}
+		}
+		// Checkpoint upgrades the store to a manifest + packages with an
+		// empty WAL tail; the static loader must agree on what survived.
+		if records > 0 {
+			if err := re.CheckpointNow(); err != nil {
+				re.Close()
+				t.Fatalf("checkpoint: %v", err)
+			}
+			re.Close()
+			if _, cinfo, err := setsim.Open(dpath, setsim.ListsOnly()); err != nil ||
+				cinfo.Version != 5 || cinfo.WALTail != 0 || cinfo.Live != ref.NumLive() {
+				t.Fatalf("post-checkpoint open: info %+v err %v, want v5 with empty tail and %d live",
+					cinfo, err, ref.NumLive())
+			}
+		} else {
+			re.Close()
 		}
 	})
 }

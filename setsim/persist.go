@@ -33,12 +33,19 @@ import (
 //	  per shard: docs u32, lenMin f64, lenMax f64 (IEEE bits, LE),
 //	             hot-token count u32, sketch slots u32, occupied u32
 //
-// SaveLive writes version 4 — the routed layout, which additionally
-// records the similarity-aware routing table and each shard's pruning
-// summary scalars; versions 1–3 remain fully readable. The persisted
-// routing table lets OpenSharded reproduce the saved partition exactly
-// without re-clustering; the summary scalars are advisory (inspection
-// via SnapshotInfo — full summaries are derived state, rebuilt from the
+// Version 5 is the durable-store layout (store.go): the file at path is
+// a thin manifest — same magic and CRC framing, version byte 5 —
+// listing checksummed segment packages (one per shard, holding the live
+// documents) plus the dead log, per-shard summary scalars and the WAL
+// horizon; the documents themselves live in the packages and the
+// mutations since the last checkpoint in a write-ahead log next to the
+// manifest.
+//
+// SaveLive writes version 5; versions 1–4 remain fully readable. The
+// package shard membership doubles as the routing table, letting
+// OpenSharded reproduce the saved partition exactly without
+// re-clustering; the summary scalars are advisory (inspection via
+// SnapshotInfo — full summaries are derived state, rebuilt from the
 // documents on load, like every other index structure). The document
 // log is stored in id order including tombstoned entries, so a
 // save/load cycle preserves every id a caller may still hold. Files
@@ -49,6 +56,7 @@ const (
 	snapV2    = 2
 	snapV3    = 3
 	snapV4    = 4
+	snapV5    = 5
 )
 
 // ErrUnknownVersion reports a snapshot file with a format version this
@@ -82,13 +90,29 @@ type SnapshotInfo struct {
 	// Shards is the partition count the engine was saved with (1 for
 	// version-1 and version-2 files).
 	Shards int
-	// Routed reports a version-4 snapshot carrying a routing table and
-	// per-shard summaries; the fields below are only meaningful then.
+	// Routed reports a version-4 or newer snapshot carrying a routing
+	// table (explicit in v4, package membership in v5) and per-shard
+	// summaries; RouteCounts and Summaries are only meaningful then.
 	Routed bool
 	// RouteCounts is the number of live documents routed to each shard.
 	RouteCounts []int
 	// Summaries holds each shard's persisted summary scalars.
 	Summaries []ShardSummaryInfo
+
+	// The fields below describe version-5 durable stores only.
+
+	// Generation is the manifest's checkpoint generation.
+	Generation uint64
+	// WALStart is the last WAL sequence number the manifest covers;
+	// recovery replayed the records after it.
+	WALStart uint64
+	// WALTail is the number of intact WAL records replayed past the
+	// checkpoint; WALTorn reports a torn (truncated mid-record) tail
+	// after them — the sign of a crash mid-append.
+	WALTail int
+	WALTorn bool
+	// Segpacks lists the segment packages the manifest references.
+	Segpacks []SegpackRef
 }
 
 // Save writes the engine's collection (dictionary, sets, sources) to
@@ -108,37 +132,17 @@ func Save(path string, e *Engine) (err error) {
 	return collection.Write(f, e.Collection())
 }
 
-// SaveLive writes a mutable engine's snapshot to path in the version-4
-// format: the full document log with tombstone flags, the shard count
-// the engine ran with, the routing table, and each shard's summary
-// scalars. The engine is fully compacted first so the snapshot captures
-// one settled generation — in particular, the routing table is the
-// similarity-aware assignment the compaction computed, not the hash
-// fallback fresh inserts start under.
-func SaveLive(path string, le *LiveEngine) (err error) {
+// SaveLive writes a mutable engine's snapshot to path in the version-5
+// durable-store format: one checksummed segment package per non-empty
+// shard holding its live documents, plus the thin manifest (dead log,
+// summary scalars, package references). The engine is fully compacted
+// first so the snapshot captures one settled generation — in
+// particular, the package shard membership is the similarity-aware
+// assignment the compaction computed, not the hash fallback fresh
+// inserts start under.
+func SaveLive(path string, le *LiveEngine) error {
 	le.Compact()
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-	}()
-	sums := make([]ShardSummaryInfo, le.NumShards())
-	for i, s := range le.ShardSummaries() {
-		if s == nil || i >= len(sums) {
-			continue
-		}
-		var si ShardSummaryInfo
-		si.Docs = s.Docs()
-		si.LenMin, si.LenMax = s.LenRange()
-		si.HotTokens = s.HotTokens()
-		si.SketchSlots, si.SketchOccupied = s.SketchSlots()
-		sums[i] = si
-	}
-	return writeSnapshot(f, le.Tokenizer().Name(), le.NumShards(), le.Log(), le.Routing(), sums)
+	return saveLiveV5(path, le)
 }
 
 // writeSnapshot serializes a live snapshot. A nil routing table writes
@@ -201,6 +205,13 @@ func writeSnapshot(w io.Writer, tkName string, shards int, log []core.DocState, 
 		}
 	}
 
+	return writeFramedSnapshot(w, version, payload)
+}
+
+// writeFramedSnapshot writes the shared snapshot framing — magic,
+// version byte, payload CRC32 — followed by the payload. Versions 2–5
+// all use it; what differs is the payload layout.
+func writeFramedSnapshot(w io.Writer, version byte, payload []byte) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.WriteString(snapMagic); err != nil {
 		return err
@@ -217,6 +228,38 @@ func writeSnapshot(w io.Writer, tkName string, shards int, log []core.DocState, 
 		return err
 	}
 	return bw.Flush()
+}
+
+// readFramedSnapshot validates the shared framing and returns the
+// checksum-verified payload. The version byte must equal want (the
+// caller sniffed it); unknown versions wrap ErrUnknownVersion, every
+// other structural failure wraps collection.ErrBadCollection — a
+// truncated file never surfaces a raw io.EOF.
+func readFramedSnapshot(r io.Reader, want byte) ([]byte, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	head := make([]byte, len(snapMagic)+1+4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", collection.ErrBadCollection, err)
+	}
+	if string(head[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad magic", collection.ErrBadCollection)
+	}
+	version := head[len(snapMagic)]
+	if version < snapV2 || version > snapV5 {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownVersion, version)
+	}
+	if version != want {
+		return nil, fmt.Errorf("%w: version %d where %d expected", collection.ErrBadCollection, version, want)
+	}
+	wantCRC := binary.LittleEndian.Uint32(head[len(snapMagic)+1:])
+	payload, err := io.ReadAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", collection.ErrBadCollection, err)
+	}
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return nil, fmt.Errorf("%w: checksum mismatch", collection.ErrBadCollection)
+	}
+	return payload, nil
 }
 
 // snapExtra is the version-4 tail: the per-log-entry routing table and
@@ -378,9 +421,9 @@ func snapInfo(version, shards int, log []core.DocState, extra *snapExtra) Snapsh
 }
 
 // sniffVersion reads the leading magic of the file at path: 1 for the
-// legacy collection format, 2–4 for live snapshots. Unknown snapshot
-// versions yield ErrUnknownVersion; anything else is rejected as a bad
-// collection.
+// legacy collection format, 2–4 for live snapshots, 5 for durable-store
+// manifests. Unknown snapshot versions yield ErrUnknownVersion;
+// anything else is rejected as a bad collection.
 func sniffVersion(f *os.File) (int, error) {
 	head := make([]byte, len(snapMagic)+1)
 	n, err := io.ReadFull(f, head)
@@ -399,7 +442,7 @@ func sniffVersion(f *os.File) (int, error) {
 			return snapV2, nil // truncated after magic; the body read reports it
 		}
 		switch v := head[len(snapMagic)]; v {
-		case snapV2, snapV3, snapV4:
+		case snapV2, snapV3, snapV4, snapV5:
 			return int(v), nil
 		default:
 			return 0, fmt.Errorf("%w: %d", ErrUnknownVersion, v)
@@ -431,6 +474,25 @@ func Open(path string, cfg Config) (*Engine, SnapshotInfo, error) {
 		}
 		info := SnapshotInfo{Version: 1, Docs: c.NumSets(), Live: c.NumSets(), Shards: 1}
 		return core.NewEngine(c, cfg), info, nil
+	}
+	if version == snapV5 {
+		st, err := loadStore(path, f)
+		if err != nil {
+			return nil, SnapshotInfo{}, fmt.Errorf("setsim: load %s: %w", path, err)
+		}
+		log, err := st.foldTail()
+		if err != nil {
+			return nil, SnapshotInfo{}, fmt.Errorf("setsim: load %s: %w", path, err)
+		}
+		b := collection.NewBuilder(st.tk, true)
+		live := 0
+		for _, d := range log {
+			if !d.Deleted {
+				b.Add(d.Source)
+				live++
+			}
+		}
+		return core.NewEngine(b.Build(), cfg), st.info(len(log), live), nil
 	}
 	tk, shards, log, extra, err := readSnapshot(f)
 	if err != nil {
@@ -481,6 +543,28 @@ func OpenSharded(path string, cfg Config, shards int) (*ShardedEngine, SnapshotI
 			docs[i] = c.Source(collection.SetID(i))
 		}
 		info = SnapshotInfo{Version: 1, Docs: len(docs), Live: len(docs), Shards: 1}
+	} else if version == snapV5 {
+		st, lerr := loadStore(path, f)
+		if lerr != nil {
+			return nil, SnapshotInfo{}, fmt.Errorf("setsim: load %s: %w", path, lerr)
+		}
+		log, lerr := st.foldTail()
+		if lerr != nil {
+			return nil, SnapshotInfo{}, fmt.Errorf("setsim: load %s: %w", path, lerr)
+		}
+		tk = st.tk
+		for i, d := range log {
+			if d.Deleted {
+				continue
+			}
+			docs = append(docs, d.Source)
+			if len(st.tail) == 0 {
+				// Package membership is the saved routing; only valid when
+				// no un-checkpointed mutations follow it.
+				assign = append(assign, st.routing[i])
+			}
+		}
+		info = st.info(len(log), len(docs))
 	} else {
 		var saved int
 		var log []core.DocState
@@ -519,6 +603,13 @@ func OpenSharded(path string, cfg Config, shards int) (*ShardedEngine, SnapshotI
 // routing table of a version-4 snapshot is not replayed: the closing
 // Compact re-clusters deterministically, reproducing the same partition
 // the snapshot carried (hash partitioning under cfg.NoRoute).
+//
+// A version-5 durable store additionally performs crash recovery: the
+// checkpoint log from the manifest's segment packages is replayed and
+// compacted, then the WAL tail — every intact record past the
+// checkpoint, a torn final record excluded — replays through the
+// normal mutation path. Use OpenDurable to continue journaling into
+// the same store.
 func OpenLive(path string, cfg LiveConfig) (*LiveEngine, SnapshotInfo, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -547,6 +638,12 @@ func OpenLive(path string, cfg LiveConfig) (*LiveEngine, SnapshotInfo, error) {
 			log[i] = core.DocState{Source: c.Source(collection.SetID(i))}
 		}
 		info = SnapshotInfo{Version: 1, Docs: len(log), Live: len(log), Shards: 1}
+	case snapV5:
+		st, lerr := loadStore(path, f)
+		if lerr != nil {
+			return nil, SnapshotInfo{}, fmt.Errorf("setsim: load %s: %w", path, lerr)
+		}
+		return openLiveV5(path, st, cfg)
 	default:
 		var saved int
 		var extra *snapExtra

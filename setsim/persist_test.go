@@ -292,8 +292,8 @@ func TestShardedSnapshotRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer se.Close()
-	if info.Version != 4 || info.Shards != 4 || se.NumShards() != 4 {
-		t.Fatalf("info %+v, engine shards %d; want version 4 with 4 shards restored", info, se.NumShards())
+	if info.Version != 5 || info.Shards != 4 || se.NumShards() != 4 {
+		t.Fatalf("info %+v, engine shards %d; want version 5 with 4 shards restored", info, se.NumShards())
 	}
 	if !info.Routed || len(info.RouteCounts) != 4 || len(info.Summaries) != 4 {
 		t.Fatalf("info %+v; want routing table and summaries for 4 shards", info)

@@ -1,0 +1,8 @@
+//go:build !race
+
+package setsim_test
+
+// raceEnabled reports whether the race detector is active; the
+// allocation regression tests skip under -race, whose instrumentation
+// allocates.
+const raceEnabled = false

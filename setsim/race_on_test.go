@@ -1,0 +1,5 @@
+//go:build race
+
+package setsim_test
+
+const raceEnabled = true

@@ -1,0 +1,947 @@
+// The durable storage layer: version-5 snapshots. A v5 snapshot is not
+// one monolithic blob but a thin manifest plus segment packages:
+//
+//   - <path>              the manifest (same magic/CRC framing as v2–v4)
+//   - <base>.g<G>-s<S>.sspk  one segment package per non-empty shard,
+//     in the manifest's directory (internal/segpack format: per-block
+//     CRC32, tagged metadata with the shard's route summary and stats)
+//   - <path>.wal          the write-ahead log holding the mutations
+//     applied after the manifest's checkpoint (internal/wal format)
+//
+// Manifest payload (after magic, version byte 5, payload CRC32 — the
+// same framing readSnapshot validates for v2–v4):
+//
+//	tokenizer name: uvarint len + bytes
+//	shards u32, generation u64, walStart u64
+//	nextID u32 (id-space size), liveN u32
+//	dead docs: u32 count, per doc: uvarint id + uvarint len + source
+//	per shard: summary scalars (docs u32, lenMin f64, lenMax f64,
+//	           hot u32, sketch slots u32, occupied u32)
+//	segpacks: u32 count, per ref: uvarint len + basename, shard u32,
+//	          docs u32
+//
+// The manifest carries no routing table: shard membership of the
+// packages IS the routing. Recovery loads the manifest, reads every
+// package (verifying block checksums), reconstructs the document log —
+// live docs from the packages, tombstoned docs from the manifest's dead
+// list, together covering the id space exactly — replays it into a
+// live engine, compacts, then replays the WAL tail (records past
+// walStart) through the normal mutation path. The recovered engine
+// answers queries bitwise-identically to an engine that replayed the
+// same surviving history with a compaction at the checkpoint.
+//
+// Checkpoints follow write-ahead ordering: new-generation packages
+// first, then the manifest (temp file + rename, directory fsync), then
+// WAL truncation, then old-generation package removal. A crash between
+// any two steps leaves a recoverable store — at worst a longer WAL tail
+// or orphaned package files the next checkpoint overwrites.
+package setsim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/route"
+	"repro/internal/segpack"
+	"repro/internal/tokenize"
+	"repro/internal/wal"
+)
+
+// SyncPolicy selects the WAL durability mode of a durable engine. The
+// zero value is SyncGroup (batched fsync with group commit).
+type SyncPolicy = wal.SyncPolicy
+
+// Re-exported sync policies.
+const (
+	SyncGroup  = wal.SyncGroup
+	SyncAlways = wal.SyncAlways
+	SyncOff    = wal.SyncOff
+)
+
+// ParseSyncPolicy parses "always", "group" or "off".
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return wal.ParsePolicy(s) }
+
+// DurableOptions configure OpenDurable's write-ahead log.
+type DurableOptions struct {
+	// Sync is the WAL durability policy (default SyncGroup).
+	Sync SyncPolicy
+	// GroupWindow is the group-commit coalescing window (default 2ms).
+	GroupWindow time.Duration
+}
+
+// SegpackRef is one segment package referenced by a v5 manifest.
+type SegpackRef struct {
+	// Name is the package's file name, relative to the manifest's
+	// directory.
+	Name string
+	// Shard is the partition the package holds.
+	Shard int
+	// Docs is the number of live documents in the package.
+	Docs int
+}
+
+// packDocsRecord is the record name holding a package's document list.
+const packDocsRecord = "docs"
+
+// manifestV5 is a decoded (or to-be-written) version-5 manifest.
+type manifestV5 struct {
+	tkName   string
+	shards   int
+	gen      uint64
+	walStart uint64
+	nextID   int
+	liveN    int
+	dead     []core.DocRef // ascending id
+	sums     []ShardSummaryInfo
+	refs     []SegpackRef
+}
+
+func packName(base string, gen uint64, shard int) string {
+	return fmt.Sprintf("%s.g%d-s%d.sspk", base, gen, shard)
+}
+
+func walPath(path string) string { return path + ".wal" }
+
+// writeManifestFile atomically replaces path with the serialized
+// manifest: temp file, fsync, rename, directory fsync.
+func writeManifestFile(path string, m *manifestV5) error {
+	var p payloadBuf
+	p.str(m.tkName)
+	p.u32(uint32(m.shards))
+	p.u64(m.gen)
+	p.u64(m.walStart)
+	p.u32(uint32(m.nextID))
+	p.u32(uint32(m.liveN))
+	p.u32(uint32(len(m.dead)))
+	for _, d := range m.dead {
+		p.uvarint(uint64(d.ID))
+		p.str(d.Source)
+	}
+	for _, s := range m.sums {
+		p.u32(uint32(s.Docs))
+		p.f64(s.LenMin)
+		p.f64(s.LenMax)
+		p.u32(uint32(s.HotTokens))
+		p.u32(uint32(s.SketchSlots))
+		p.u32(uint32(s.SketchOccupied))
+	}
+	p.u32(uint32(len(m.refs)))
+	for _, r := range m.refs {
+		p.str(r.Name)
+		p.u32(uint32(r.Shard))
+		p.u32(uint32(r.Docs))
+	}
+
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = writeFramedSnapshot(f, snapV5, p.b)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// readManifest decodes a version-5 manifest from r (the whole file,
+// magic onward). Structural failures wrap collection.ErrBadCollection,
+// matching the v2–v4 reader's contract.
+func readManifest(r io.Reader) (*manifestV5, error) {
+	payload, err := readFramedSnapshot(r, snapV5)
+	if err != nil {
+		return nil, err
+	}
+	p := payloadRd{b: payload}
+	m := &manifestV5{}
+	m.tkName = p.str("tokenizer name")
+	m.shards = int(p.u32("shard count"))
+	m.gen = p.u64("generation")
+	m.walStart = p.u64("wal start")
+	m.nextID = int(p.u32("id-space size"))
+	m.liveN = int(p.u32("live count"))
+	nDead := int(p.u32("dead count"))
+	if p.err == nil && (m.shards < 1 || nDead > m.nextID || m.liveN > m.nextID) {
+		return nil, fmt.Errorf("%w: inconsistent manifest counts (shards %d, dead %d, live %d, ids %d)",
+			collection.ErrBadCollection, m.shards, nDead, m.liveN, m.nextID)
+	}
+	for i := 0; i < nDead && p.err == nil; i++ {
+		id := p.uvarint("dead id")
+		src := p.str("dead source")
+		m.dead = append(m.dead, core.DocRef{ID: collection.SetID(id), Source: src})
+	}
+	m.sums = make([]ShardSummaryInfo, 0, maxInt(m.shards, 0))
+	for i := 0; i < m.shards && p.err == nil; i++ {
+		var s ShardSummaryInfo
+		s.Docs = int(p.u32("summary docs"))
+		s.LenMin = p.f64("summary lenMin")
+		s.LenMax = p.f64("summary lenMax")
+		s.HotTokens = int(p.u32("summary hot tokens"))
+		s.SketchSlots = int(p.u32("summary sketch slots"))
+		s.SketchOccupied = int(p.u32("summary sketch occupied"))
+		m.sums = append(m.sums, s)
+	}
+	nRefs := int(p.u32("segpack count"))
+	for i := 0; i < nRefs && p.err == nil; i++ {
+		var ref SegpackRef
+		ref.Name = p.str("segpack name")
+		ref.Shard = int(p.u32("segpack shard"))
+		ref.Docs = int(p.u32("segpack docs"))
+		if p.err == nil && (ref.Shard < 0 || ref.Shard >= m.shards || ref.Name == "" ||
+			ref.Name != filepath.Base(ref.Name)) {
+			return nil, fmt.Errorf("%w: bad segpack ref %q (shard %d of %d)",
+				collection.ErrBadCollection, ref.Name, ref.Shard, m.shards)
+		}
+		m.refs = append(m.refs, ref)
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.pos != len(p.b) {
+		return nil, fmt.Errorf("%w: %d trailing manifest bytes", collection.ErrBadCollection, len(p.b)-p.pos)
+	}
+	return m, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// writePackFile writes one shard's segment package: the document list
+// record plus inspection metadata (shard, generation, the stats
+// snapshot the segment was built under, and its route-summary scalars).
+func writePackFile(path string, shard int, gen uint64, docs []core.DocRef, sum ShardSummaryInfo, nextID, liveN int) error {
+	w, err := segpack.Create(path)
+	if err != nil {
+		return err
+	}
+	var p payloadBuf
+	p.u32(uint32(len(docs)))
+	for _, d := range docs {
+		p.uvarint(uint64(d.ID))
+		p.str(d.Source)
+	}
+	if err := w.AddRecord(packDocsRecord, p.b); err != nil {
+		w.Abort()
+		return err
+	}
+	w.SetMeta("shard", []byte(strconv.Itoa(shard)))
+	w.SetMeta("gen", []byte(strconv.FormatUint(gen, 10)))
+	w.SetMeta("docs", []byte(strconv.Itoa(len(docs))))
+	w.SetMeta("stats.nextid", []byte(strconv.Itoa(nextID)))
+	w.SetMeta("stats.liven", []byte(strconv.Itoa(liveN)))
+	w.SetMeta("summary.docs", []byte(strconv.Itoa(sum.Docs)))
+	w.SetMeta("summary.lenrange", []byte(fmt.Sprintf("%g..%g", sum.LenMin, sum.LenMax)))
+	w.SetMeta("summary.hottokens", []byte(strconv.Itoa(sum.HotTokens)))
+	w.SetMeta("summary.sketch", []byte(fmt.Sprintf("%d/%d", sum.SketchOccupied, sum.SketchSlots)))
+	if err := w.Close(); err != nil {
+		os.Remove(path)
+		return err
+	}
+	return nil
+}
+
+// readPackDocs opens one segment package, verifies the document
+// record's block checksums, and decodes the (id, source) list.
+func readPackDocs(path string) ([]core.DocRef, error) {
+	fr, err := segpack.Open(path)
+	if err != nil {
+		if errors.Is(err, segpack.ErrVersion) {
+			return nil, fmt.Errorf("%w: %v", ErrUnknownVersion, err)
+		}
+		return nil, err
+	}
+	defer fr.Close()
+	raw, err := fr.ReadRecord(packDocsRecord)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", collection.ErrBadCollection, path, err)
+	}
+	p := payloadRd{b: raw}
+	n := int(p.u32("doc count"))
+	docs := make([]core.DocRef, 0, minInt(n, len(raw)))
+	last := int64(-1)
+	for i := 0; i < n && p.err == nil; i++ {
+		id := p.uvarint("doc id")
+		src := p.str("doc source")
+		if p.err == nil && int64(id) <= last {
+			return nil, fmt.Errorf("%w: %s: document ids not ascending", collection.ErrBadCollection, path)
+		}
+		last = int64(id)
+		docs = append(docs, core.DocRef{ID: collection.SetID(id), Source: src})
+	}
+	if p.err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", collection.ErrBadCollection, path, p.err)
+	}
+	if p.pos != len(p.b) {
+		return nil, fmt.Errorf("%w: %s: trailing bytes in document record", collection.ErrBadCollection, path)
+	}
+	return docs, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// storeState is a fully loaded v5 store: the manifest, the document log
+// it reconstructs (live docs from the packages, dead from the dead
+// list), the membership-derived routing table, and the WAL tail read
+// without modifying the file.
+type storeState struct {
+	m       *manifestV5
+	tk      Tokenizer
+	log     []core.DocState // manifest checkpoint state, length nextID
+	routing []int32         // shard per id (dead docs: shard 0)
+	tail    []wal.Record    // records past walStart, intact prefix only
+	walTorn bool
+}
+
+// loadStore reads and cross-validates a v5 store rooted at path. r is
+// the manifest file, positioned at its start.
+func loadStore(path string, r io.Reader) (*storeState, error) {
+	m, err := readManifest(r)
+	if err != nil {
+		return nil, err
+	}
+	tk, err := tokenize.ParseName(m.tkName)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", collection.ErrBadCollection, err)
+	}
+	st := &storeState{
+		m:       m,
+		tk:      tk,
+		log:     make([]core.DocState, m.nextID),
+		routing: make([]int32, m.nextID),
+	}
+	covered := make([]bool, m.nextID)
+	live := 0
+	dir := filepath.Dir(path)
+	for _, ref := range m.refs {
+		docs, err := readPackDocs(filepath.Join(dir, ref.Name))
+		if err != nil {
+			return nil, err
+		}
+		if len(docs) != ref.Docs {
+			return nil, fmt.Errorf("%w: %s holds %d docs, manifest says %d",
+				collection.ErrBadCollection, ref.Name, len(docs), ref.Docs)
+		}
+		for _, d := range docs {
+			if int(d.ID) >= m.nextID || covered[d.ID] {
+				return nil, fmt.Errorf("%w: %s: document id %d out of range or duplicated",
+					collection.ErrBadCollection, ref.Name, d.ID)
+			}
+			covered[d.ID] = true
+			st.log[d.ID] = core.DocState{Source: d.Source}
+			st.routing[d.ID] = int32(ref.Shard)
+			live++
+		}
+	}
+	for _, d := range m.dead {
+		if int(d.ID) >= m.nextID || covered[d.ID] {
+			return nil, fmt.Errorf("%w: dead document id %d out of range or duplicated",
+				collection.ErrBadCollection, d.ID)
+		}
+		covered[d.ID] = true
+		st.log[d.ID] = core.DocState{Source: d.Source, Deleted: true}
+	}
+	for id, ok := range covered {
+		if !ok {
+			return nil, fmt.Errorf("%w: document id %d missing from packages and dead list",
+				collection.ErrBadCollection, id)
+		}
+	}
+	if live != m.liveN {
+		return nil, fmt.Errorf("%w: packages hold %d live docs, manifest says %d",
+			collection.ErrBadCollection, live, m.liveN)
+	}
+
+	// The WAL tail, read-only: a missing log means no mutations since
+	// the checkpoint; a torn tail is the crash we are recovering from.
+	winfo, err := wal.Replay(walPath(path), m.walStart, func(rec wal.Record) error {
+		st.tail = append(st.tail, rec)
+		return nil
+	})
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("setsim: wal %s: %w", walPath(path), err)
+	}
+	st.walTorn = winfo.Torn
+	return st, nil
+}
+
+// foldTail applies the WAL tail to a document-log copy, yielding the
+// post-crash state as a plain log for the static loaders.
+func (st *storeState) foldTail() ([]core.DocState, error) {
+	log := append([]core.DocState(nil), st.log...)
+	for _, rec := range st.tail {
+		switch rec.Op {
+		case wal.OpInsert:
+			log = append(log, core.DocState{Source: rec.Source})
+		case wal.OpDelete:
+			if int(rec.ID) >= len(log) || log[rec.ID].Deleted {
+				return nil, fmt.Errorf("%w: wal record %d deletes unknown document %d",
+					collection.ErrBadCollection, rec.Seq, rec.ID)
+			}
+			log[rec.ID].Deleted = true
+		}
+	}
+	return log, nil
+}
+
+// replayTail drives the WAL tail through the engine's normal mutation
+// path (the engine has no WAL attached yet, so nothing is re-journaled
+// — the records are already in the log file).
+func (st *storeState) replayTail(le *LiveEngine) error {
+	for _, rec := range st.tail {
+		switch rec.Op {
+		case wal.OpInsert:
+			if _, err := le.Insert(rec.Source); err != nil {
+				return fmt.Errorf("setsim: wal replay record %d: %w", rec.Seq, err)
+			}
+		case wal.OpDelete:
+			if !le.Delete(collection.SetID(rec.ID)) {
+				return fmt.Errorf("%w: wal record %d deletes unknown document %d",
+					collection.ErrBadCollection, rec.Seq, rec.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// info assembles the SnapshotInfo of a loaded v5 store. docs/live are
+// the post-tail counts the caller derived from the opened engine.
+func (st *storeState) info(docs, live int) SnapshotInfo {
+	m := st.m
+	info := SnapshotInfo{
+		Version:    snapV5,
+		Docs:       docs,
+		Live:       live,
+		Shards:     m.shards,
+		Routed:     true,
+		Summaries:  m.sums,
+		Generation: m.gen,
+		WALStart:   m.walStart,
+		WALTail:    len(st.tail),
+		WALTorn:    st.walTorn,
+		Segpacks:   m.refs,
+	}
+	info.RouteCounts = make([]int, m.shards)
+	for _, ref := range m.refs {
+		info.RouteCounts[ref.Shard] += ref.Docs
+	}
+	return info
+}
+
+// openLiveV5 is the v5 arm of OpenLive: replay the checkpoint log,
+// compact, then replay the WAL tail through the mutation path — the
+// recovery algorithm. The resulting engine is bitwise-equivalent to one
+// that replayed the surviving history with a compaction at the
+// checkpoint.
+func openLiveV5(path string, st *storeState, cfg LiveConfig) (*LiveEngine, SnapshotInfo, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = st.m.shards
+	}
+	le := core.NewLive(st.tk, cfg)
+	for _, d := range st.log {
+		id, err := le.Insert(d.Source)
+		if err != nil {
+			le.Close()
+			return nil, SnapshotInfo{}, fmt.Errorf("setsim: load %s: replay: %w", path, err)
+		}
+		if d.Deleted {
+			le.Delete(id)
+		}
+	}
+	le.Compact()
+	if err := st.replayTail(le); err != nil {
+		le.Close()
+		return nil, SnapshotInfo{}, fmt.Errorf("setsim: load %s: %w", path, err)
+	}
+	return le, st.info(le.NumDocs(), le.NumLive()), nil
+}
+
+// saveLiveV5 writes a settled engine as a fresh v5 store: generation-1
+// packages plus the manifest, removing any stale WAL (this snapshot
+// starts a new history; walStart is 0 and no records precede it).
+func saveLiveV5(path string, le *LiveEngine) error {
+	log := le.Log()
+	routing := le.Routing()
+	shards := le.NumShards()
+	sums := summaryScalars(le)
+
+	live := make([][]core.DocRef, shards)
+	var dead []core.DocRef
+	liveN := 0
+	for id, d := range log {
+		if d.Deleted {
+			dead = append(dead, core.DocRef{ID: collection.SetID(id), Source: d.Source})
+			continue
+		}
+		sh := routing[id]
+		live[sh] = append(live[sh], core.DocRef{ID: collection.SetID(id), Source: d.Source})
+		liveN++
+	}
+
+	m := &manifestV5{
+		tkName: le.Tokenizer().Name(),
+		shards: shards,
+		gen:    1,
+		nextID: len(log),
+		liveN:  liveN,
+		dead:   dead,
+		sums:   sums,
+	}
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	var written []string
+	cleanup := func() {
+		for _, name := range written {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+	for si, docs := range live {
+		if len(docs) == 0 {
+			continue
+		}
+		name := packName(base, m.gen, si)
+		if err := writePackFile(filepath.Join(dir, name), si, m.gen, docs, sums[si], m.nextID, m.liveN); err != nil {
+			cleanup()
+			return err
+		}
+		written = append(written, name)
+		m.refs = append(m.refs, SegpackRef{Name: name, Shard: si, Docs: len(docs)})
+	}
+	if err := writeManifestFile(path, m); err != nil {
+		cleanup()
+		return err
+	}
+	// A stale WAL from an earlier durable store at this path would
+	// replay against the fresh snapshot; this save supersedes it.
+	if err := os.Remove(walPath(path)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// summaryScalars extracts each shard's persisted summary scalars.
+func summaryScalars(le *LiveEngine) []ShardSummaryInfo {
+	sums := make([]ShardSummaryInfo, le.NumShards())
+	for i, s := range le.ShardSummaries() {
+		if s == nil || i >= len(sums) {
+			continue
+		}
+		sums[i] = scalarsOf(s)
+	}
+	return sums
+}
+
+func scalarsOf(s *route.Summary) ShardSummaryInfo {
+	var si ShardSummaryInfo
+	si.Docs = s.Docs()
+	si.LenMin, si.LenMax = s.LenRange()
+	si.HotTokens = s.HotTokens()
+	si.SketchSlots, si.SketchOccupied = s.SketchSlots()
+	return si
+}
+
+// durableStore persists checkpoints for a durable engine: it is the
+// core.CheckpointSink attached by OpenDurable. Checkpoint runs under
+// the engine's compaction mutex, so fields need no further locking.
+type durableStore struct {
+	path      string
+	dir, base string
+	tkName    string
+	wal       *wal.Log
+	gen       uint64
+	curPacks  []string // basenames the current manifest references
+}
+
+// Checkpoint writes the compaction round's state as a new generation:
+// packages, manifest (atomic rename), WAL truncation, old-generation
+// removal — in that order, so a crash at any point leaves a
+// recoverable store.
+func (ds *durableStore) Checkpoint(st *core.CheckpointState) error {
+	gen := ds.gen + 1
+	sums := make([]ShardSummaryInfo, len(st.Live))
+	for si, s := range st.Summaries {
+		if s != nil {
+			sums[si] = scalarsOf(s)
+		}
+	}
+	m := &manifestV5{
+		tkName:   ds.tkName,
+		shards:   len(st.Live),
+		gen:      gen,
+		walStart: st.WALSeq,
+		nextID:   st.NextID,
+		liveN:    st.LiveN,
+		dead:     st.Dead,
+		sums:     sums,
+	}
+	var written []string
+	cleanup := func() {
+		for _, name := range written {
+			os.Remove(filepath.Join(ds.dir, name))
+		}
+	}
+	for si, docs := range st.Live {
+		if len(docs) == 0 {
+			continue
+		}
+		name := packName(ds.base, gen, si)
+		if err := writePackFile(filepath.Join(ds.dir, name), si, gen, docs, sums[si], st.NextID, st.LiveN); err != nil {
+			cleanup()
+			return err
+		}
+		written = append(written, name)
+		m.refs = append(m.refs, SegpackRef{Name: name, Shard: si, Docs: len(docs)})
+	}
+	if err := writeManifestFile(ds.path, m); err != nil {
+		cleanup()
+		return err
+	}
+	// The checkpoint is durable from here: the remaining steps only
+	// reclaim space, and their failure leaves a correct superset (the
+	// WAL keeps records the manifest already covers; recovery skips
+	// them via walStart).
+	ds.wal.TruncateThrough(st.WALSeq) //nolint:errcheck // see above
+	old := ds.curPacks
+	ds.gen, ds.curPacks = gen, written
+	kept := make(map[string]bool, len(written))
+	for _, name := range written {
+		kept[name] = true
+	}
+	for _, name := range old {
+		if !kept[name] {
+			os.Remove(filepath.Join(ds.dir, name))
+		}
+	}
+	return nil
+}
+
+// OpenDurable opens (or creates) a durable store rooted at path: a v5
+// manifest plus segment packages and a write-ahead log. Crash recovery
+// runs first — manifest, packages, WAL tail with torn-tail truncation —
+// then the engine is wired to journal every mutation into the WAL and
+// persist checkpoints at full compactions (bounded by
+// cfg.CheckpointEvery). A missing manifest starts an empty store; a
+// v1–v4 snapshot at path is upgraded to v5 at the first checkpoint. In
+// both of those cases a crash may have left a WAL with no manifest
+// covering it (the first checkpoint never ran), so the whole surviving
+// log replays into the engine before it goes live. Close the engine to
+// flush and close the WAL.
+func OpenDurable(path string, cfg LiveConfig, opts DurableOptions) (*LiveEngine, SnapshotInfo, error) {
+	var le *LiveEngine
+	var info SnapshotInfo
+	var m *manifestV5
+	tkName := ""
+
+	f, err := os.Open(path)
+	switch {
+	case os.IsNotExist(err):
+		// Fresh store: nothing checkpointed yet. Tokenizer defaults like
+		// NewLive's callers expect.
+		tk := tokenize.QGramTokenizer{Q: 3}
+		if cfg.Shards <= 0 {
+			cfg.Shards = 1
+		}
+		le = core.NewLive(tk, cfg)
+		tkName = tk.Name()
+		info = SnapshotInfo{Version: snapV5, Shards: cfg.Shards}
+	case err != nil:
+		return nil, SnapshotInfo{}, err
+	default:
+		version, verr := sniffVersion(f)
+		if verr != nil {
+			f.Close()
+			return nil, SnapshotInfo{}, fmt.Errorf("setsim: load %s: %w", path, verr)
+		}
+		if version == snapV5 {
+			st, lerr := loadStore(path, f)
+			f.Close()
+			if lerr != nil {
+				return nil, SnapshotInfo{}, fmt.Errorf("setsim: load %s: %w", path, lerr)
+			}
+			le, info, err = openLiveV5(path, st, cfg)
+			if err != nil {
+				return nil, SnapshotInfo{}, err
+			}
+			m = st.m
+			tkName = st.m.tkName
+		} else {
+			// Legacy upgrade path: load through the version-aware live
+			// loader; the first checkpoint rewrites the store as v5.
+			f.Close()
+			le, info, err = OpenLive(path, cfg)
+			if err != nil {
+				return nil, SnapshotInfo{}, err
+			}
+			tkName = le.Tokenizer().Name()
+		}
+	}
+
+	// Without a v5 manifest no checkpoint covers the WAL, so every
+	// surviving record is tail: a crash before the first checkpoint.
+	if m == nil {
+		st := &storeState{}
+		winfo, rerr := wal.Replay(walPath(path), 0, func(rec wal.Record) error {
+			st.tail = append(st.tail, rec)
+			return nil
+		})
+		switch {
+		case rerr != nil && !os.IsNotExist(rerr):
+			le.Close()
+			return nil, SnapshotInfo{}, fmt.Errorf("setsim: wal %s: %w", walPath(path), rerr)
+		case rerr == nil:
+			if err := st.replayTail(le); err != nil {
+				le.Close()
+				return nil, SnapshotInfo{}, err
+			}
+			info.Docs, info.Live = le.NumDocs(), le.NumLive()
+			info.WALTail = len(st.tail)
+			info.WALTorn = winfo.Torn
+		}
+	}
+
+	wlog, winfo, err := wal.Open(walPath(path), wal.Options{Sync: opts.Sync, GroupWindow: opts.GroupWindow})
+	if err != nil {
+		le.Close()
+		return nil, SnapshotInfo{}, fmt.Errorf("setsim: wal %s: %w", walPath(path), err)
+	}
+	var walStart uint64
+	ds := &durableStore{
+		path:   path,
+		dir:    filepath.Dir(path),
+		base:   filepath.Base(path),
+		tkName: tkName,
+		wal:    wlog,
+	}
+	if m != nil {
+		walStart = m.walStart
+		ds.gen = m.gen
+		for _, ref := range m.refs {
+			ds.curPacks = append(ds.curPacks, ref.Name)
+		}
+	}
+	// A log whose first record is past the checkpoint horizon has lost
+	// history: a rotated WAL survived but its manifest did not, or the
+	// manifest is older than the log.
+	if winfo.First > walStart+1 {
+		wlog.Close()
+		le.Close()
+		return nil, SnapshotInfo{}, fmt.Errorf("%w: wal starts at %d but manifest covers only through %d",
+			collection.ErrBadCollection, winfo.First, walStart)
+	}
+	le.SetDurable(wlog, ds, walStart)
+	return le, info, nil
+}
+
+// PackCheck is one package's verification outcome.
+type PackCheck struct {
+	Ref SegpackRef
+	// Blocks is the number of block checksums verified.
+	Blocks int
+	// Err is nil when every block checksum matched.
+	Err error
+}
+
+// VerifyReport is the outcome of Verify.
+type VerifyReport struct {
+	Version    int
+	Generation uint64
+	WALStart   uint64
+	// WALRecords is the number of intact records in the WAL tail;
+	// WALTorn reports a torn tail after them.
+	WALRecords int
+	WALTorn    bool
+	Packs      []PackCheck
+	// OK is true when the manifest parsed and every package verified.
+	OK bool
+}
+
+// Verify checks a snapshot's integrity without building an engine: the
+// manifest (or legacy snapshot) checksum, every package's every block
+// checksum, and the WAL tail. Legacy versions (1–4) have one payload
+// checksum, verified by parsing.
+func Verify(path string) (*VerifyReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	version, err := sniffVersion(f)
+	if err != nil {
+		return nil, fmt.Errorf("setsim: verify %s: %w", path, err)
+	}
+	rep := &VerifyReport{Version: version, OK: true}
+	if version == 1 {
+		if _, err := collection.Read(f); err != nil {
+			return nil, fmt.Errorf("setsim: verify %s: %w", path, err)
+		}
+		return rep, nil
+	}
+	if version != snapV5 {
+		if _, _, _, _, err := readSnapshot(f); err != nil {
+			return nil, fmt.Errorf("setsim: verify %s: %w", path, err)
+		}
+		return rep, nil
+	}
+	m, err := readManifest(f)
+	if err != nil {
+		return nil, fmt.Errorf("setsim: verify %s: %w", path, err)
+	}
+	rep.Generation, rep.WALStart = m.gen, m.walStart
+	dir := filepath.Dir(path)
+	for _, ref := range m.refs {
+		chk := PackCheck{Ref: ref}
+		fr, err := segpack.Open(filepath.Join(dir, ref.Name))
+		if err != nil {
+			chk.Err = err
+			rep.OK = false
+		} else {
+			chk.Blocks, chk.Err = fr.Verify()
+			if chk.Err != nil {
+				rep.OK = false
+			}
+			fr.Close()
+		}
+		rep.Packs = append(rep.Packs, chk)
+	}
+	winfo, err := wal.Replay(walPath(path), m.walStart, nil)
+	if err == nil {
+		rep.WALRecords = winfo.Records
+		rep.WALTorn = winfo.Torn
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("setsim: verify %s: wal: %w", path, err)
+	}
+	return rep, nil
+}
+
+// payloadBuf builds a little-endian snapshot payload.
+type payloadBuf struct{ b []byte }
+
+func (p *payloadBuf) uvarint(v uint64) {
+	var buf [10]byte
+	n := binary.PutUvarint(buf[:], v)
+	p.b = append(p.b, buf[:n]...)
+}
+
+func (p *payloadBuf) str(s string) {
+	p.uvarint(uint64(len(s)))
+	p.b = append(p.b, s...)
+}
+
+func (p *payloadBuf) u32(v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	p.b = append(p.b, buf[:]...)
+}
+
+func (p *payloadBuf) u64(v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	p.b = append(p.b, buf[:]...)
+}
+
+func (p *payloadBuf) f64(v float64) { p.u64(math.Float64bits(v)) }
+
+// payloadRd decodes a payload with a sticky, field-labelled error.
+type payloadRd struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (p *payloadRd) fail(what string) {
+	if p.err == nil {
+		p.err = fmt.Errorf("%w: truncated %s", collection.ErrBadCollection, what)
+	}
+}
+
+func (p *payloadRd) uvarint(what string) uint64 {
+	if p.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(p.b[p.pos:])
+	if n <= 0 {
+		p.fail(what)
+		return 0
+	}
+	p.pos += n
+	return v
+}
+
+func (p *payloadRd) str(what string) string {
+	n := p.uvarint(what)
+	if p.err != nil || uint64(len(p.b)-p.pos) < n {
+		p.fail(what)
+		return ""
+	}
+	s := string(p.b[p.pos : p.pos+int(n)])
+	p.pos += int(n)
+	return s
+}
+
+func (p *payloadRd) u32(what string) uint32 {
+	if p.err != nil {
+		return 0
+	}
+	if p.pos+4 > len(p.b) {
+		p.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(p.b[p.pos:])
+	p.pos += 4
+	return v
+}
+
+func (p *payloadRd) u64(what string) uint64 {
+	if p.err != nil {
+		return 0
+	}
+	if p.pos+8 > len(p.b) {
+		p.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(p.b[p.pos:])
+	p.pos += 8
+	return v
+}
+
+func (p *payloadRd) f64(what string) float64 { return math.Float64frombits(p.u64(what)) }
